@@ -1,0 +1,53 @@
+// Ablation: boundary-kernel cost vs launch latency (paper §4.1-4.2).
+// Reports the modeled fraction of runtime spent in boundary-condition
+// loops for CloverLeaf 2D/3D against the paper's quoted fractions on
+// GPUs, and the CPU DPC++-via-OpenCL vs OpenSYCL-via-OpenMP contrast.
+
+#include <iostream>
+
+#include "common/figures.hpp"
+#include "common/paper_data.hpp"
+#include "core/report.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  std::cout << "=== Ablation: boundary-loop time fraction ===\n\n";
+
+  report::Table t({"platform", "app", "variant", "boundary share",
+                   "paper share"});
+  for (PlatformId p : {PlatformId::A100, PlatformId::MI250X,
+                       PlatformId::Max1100}) {
+    for (AppId a : {AppId::CloverLeaf2D, AppId::CloverLeaf3D}) {
+      const Variant v = study::native_variant(p);
+      const auto r = runner.run(a, p, v);
+      if (!r.ok()) continue;
+      const auto paper = bench::paper_boundary_fraction(p, a);
+      t.add_row({std::string(to_string(p)), std::string(to_string(a)),
+                 to_string(v), report::fmt_percent(r.boundary_s / r.runtime_s),
+                 paper ? report::fmt_percent(*paper) : "-"});
+    }
+  }
+  // CPU contrast (paper §4.2, CloverLeaf 2D on the Xeon): DPC++ 5.4%
+  // (nd) / 8.7% (flat); OpenSYCL 2.5% / 1.24%; MPI+OpenMP 0.34%.
+  struct Row { Variant v; const char* paper; };
+  const Row rows[] = {
+      {{Model::MPI_OpenMP, Toolchain::Native}, "0.3%"},
+      {{Model::SYCLNDRange, Toolchain::DPCPP}, "5.4%"},
+      {{Model::SYCLFlat, Toolchain::DPCPP}, "8.7%"},
+      {{Model::SYCLNDRange, Toolchain::OpenSYCL}, "2.5%"},
+      {{Model::SYCLFlat, Toolchain::OpenSYCL}, "1.2%"},
+  };
+  for (const auto& row : rows) {
+    const auto r = runner.run(AppId::CloverLeaf2D, PlatformId::Xeon8360Y, row.v);
+    if (!r.ok()) continue;
+    t.add_row({"Xeon 8360Y", "CloverLeaf2D", to_string(row.v),
+               report::fmt_percent(r.boundary_s / r.runtime_s), row.paper});
+  }
+  t.render(std::cout);
+  std::cout << "\nMechanism: boundary loops move almost no data, so their "
+               "cost is launch latency\n(large under DPC++'s OpenCL driver "
+               "on CPUs, small for OpenSYCL's compile-time OpenMP).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: distributed-memory decomposition of the unstructured mesh
+// (the PT-Scotch owner-compute pipeline of paper §3, with RCB standing
+// in for PT-Scotch). Shows why rank count choices matter: pure MPI
+// (one rank per core) multiplies halo volume relative to one rank per
+// NUMA domain - the unstructured analogue of the RTM halo effect on
+// Genoa-X (§4.2).
+
+#include <iostream>
+
+#include "apps/mgcfd/mesh.hpp"
+#include "core/report.hpp"
+#include "hwmodel/comm_model.hpp"
+#include "op2/partition.hpp"
+
+using namespace syclport;
+
+int main() {
+  std::cout << "=== Ablation: mesh partitioning & halo volume ===\n\n";
+  auto mesh = apps::mgcfd::build_rotor_mesh(48, 40, 32, 1);
+  std::cout << "rotor-like mesh: " << mesh.fine_nodes() << " nodes, "
+            << mesh.fine_edges() << " edges\n\n";
+
+  report::Table t({"ranks (platform)", "imbalance", "cut edges",
+                   "avg halo/owned", "role"});
+  struct Row { int ranks; const char* label; const char* role; };
+  const Row rows[] = {
+      {2, "2 (Xeon, 1/socket)", "MPI+OpenMP"},
+      {4, "4 (Genoa-X, 1/NUMA)", "MPI+OpenMP"},
+      {64, "64 (Altra, 1/core)", "pure MPI"},
+      {72, "72 (Xeon, 1/core)", "pure MPI"},
+      {176, "176 (Genoa-X, 1/core)", "pure MPI"},
+  };
+  for (const Row& r : rows) {
+    const auto part = op2::rcb_partition(mesh.levels[0].coords, r.ranks);
+    const auto st =
+        op2::analyze_partition(*mesh.levels[0].e2n, part, r.ranks);
+    t.add_row({r.label, report::fmt(st.max_imbalance, 3),
+               report::fmt_percent(st.cut_fraction),
+               report::fmt_percent(st.avg_halo_fraction), r.role});
+  }
+  t.render(std::cout);
+  std::cout <<
+      "\nMore ranks -> more cut edges and proportionally larger halos per\n"
+      "owned node; the hybrid MPI+OpenMP placement buys its advantage\n"
+      "here. RCB keeps imbalance ~1.0 across every rank count.\n";
+  return 0;
+}

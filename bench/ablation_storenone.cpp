@@ -1,0 +1,35 @@
+// Ablation: OpenSBLI Store-All vs Store-None (paper §3/§4.1) - the
+// store-vs-recompute trade-off. SA moves ~2x the bytes at low
+// arithmetic intensity (92% efficiency on the A100); SN recomputes
+// derivatives on the fly (74%, partially compute/L1-bound).
+
+#include <iostream>
+
+#include "common/figures.hpp"
+#include "core/report.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  std::cout << "=== Ablation: OpenSBLI Store-All vs Store-None ===\n\n";
+  report::Table t({"platform", "SA time", "SN time", "SA eff", "SN eff",
+                   "SN/SA time"});
+  for (PlatformId p : kAllPlatforms) {
+    const Variant v = study::native_variant(p);
+    const auto sa = runner.run(AppId::OpenSBLI_SA, p, v);
+    const auto sn = runner.run(AppId::OpenSBLI_SN, p, v);
+    if (!sa.ok() || !sn.ok()) continue;
+    t.add_row({std::string(to_string(p)), report::fmt(sa.runtime_s, 3),
+               report::fmt(sn.runtime_s, 3),
+               report::fmt_percent(sa.efficiency),
+               report::fmt_percent(sn.efficiency),
+               report::fmt(sn.runtime_s / sa.runtime_s, 2)});
+  }
+  t.render(std::cout);
+  std::cout << "\nSN is the faster *runtime* despite lower bandwidth "
+               "efficiency: it moves half\nthe data and pays in flops - the "
+               "trade the paper quantifies as 92% vs 74%\nefficiency on the "
+               "A100 (both are reported per useful byte).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: flat vs nd_range work-group selection (paper §4.1's central
+// contrast). Reports per-platform average slowdowns of each SYCL
+// formulation against the native baseline, including the §4.1 quotes:
+// A100: DPC++ nd +1.2% vs CUDA, OpenSYCL nd +5.3%;
+// MI250X: DPC++ nd +15.9% vs HIP, OpenSYCL nd +4.5%;
+// Max1100: DPC++ nd 30.2% faster than OpenMP offload, OpenSYCL 27.6%.
+
+#include <iostream>
+#include <vector>
+
+#include "common/figures.hpp"
+#include "core/report.hpp"
+#include "core/statistics.hpp"
+
+using namespace syclport;
+
+namespace {
+
+/// Geometric-mean runtime ratio of variant family vs the native
+/// baseline over the structured apps (only cells where both ran).
+double mean_ratio(study::StudyRunner& runner, PlatformId p, Model m,
+                  Toolchain tc) {
+  std::vector<double> ratios;
+  const Variant native = study::native_variant(p);
+  for (AppId a : kStructuredApps) {
+    const auto rn = runner.run(a, p, native);
+    if (!rn.ok()) continue;
+    for (const Variant& v : study::structured_variants(p)) {
+      if (v.model != m || v.toolchain != tc) continue;
+      const auto r = runner.run(a, p, v);
+      if (r.ok()) ratios.push_back(r.runtime_s / rn.runtime_s);
+    }
+  }
+  return stats::geometric_mean(ratios);
+}
+
+}  // namespace
+
+int main() {
+  study::StudyRunner runner;
+  std::cout << "=== Ablation: flat vs nd_range work-group selection ===\n\n";
+
+  report::Table t({"platform", "variant family", "runtime vs native",
+                   "paper quote"});
+  struct Row {
+    PlatformId p;
+    Model m;
+    Toolchain tc;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {PlatformId::A100, Model::SYCLNDRange, Toolchain::DPCPP, "+1.2%"},
+      {PlatformId::A100, Model::SYCLNDRange, Toolchain::OpenSYCL, "+5.3%"},
+      {PlatformId::A100, Model::SYCLFlat, Toolchain::DPCPP, "(outliers)"},
+      {PlatformId::A100, Model::SYCLFlat, Toolchain::OpenSYCL, "(outliers)"},
+      {PlatformId::MI250X, Model::SYCLNDRange, Toolchain::DPCPP, "+15.9%"},
+      {PlatformId::MI250X, Model::SYCLNDRange, Toolchain::OpenSYCL, "+4.5%"},
+      {PlatformId::Max1100, Model::SYCLNDRange, Toolchain::DPCPP, "-30.2%"},
+      {PlatformId::Max1100, Model::SYCLNDRange, Toolchain::OpenSYCL,
+       "-27.6%"},
+      {PlatformId::Max1100, Model::SYCLFlat, Toolchain::DPCPP, "> native"},
+  };
+  for (const Row& r : rows) {
+    const double ratio = mean_ratio(runner, r.p, r.m, r.tc);
+    std::string family = std::string(to_string(r.tc)) +
+                         (r.m == Model::SYCLFlat ? " flat" : " nd_range");
+    t.add_row({std::string(to_string(r.p)), family,
+               bench::pct_delta(ratio, 1.0), r.paper});
+  }
+  t.render(std::cout);
+  std::cout << "\n(negative = faster than the platform's native model; the "
+               "Max 1100's native is OpenMP offload.)\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "common/figures.hpp"
+
+#include <ostream>
+
+#include "common/paper_data.hpp"
+#include "core/report.hpp"
+
+namespace syclport::bench {
+
+using study::mgcfd_variants;
+using study::structured_variants;
+
+namespace {
+
+report::Bar result_bar(const std::string& label,
+                       const study::ExperimentResult& r) {
+  if (!r.ok()) return {label, 0.0, std::string(to_string(r.status))};
+  return {label, r.runtime_s, report::fmt_percent(r.efficiency) + " eff"};
+}
+
+}  // namespace
+
+std::string pct_delta(double value, double reference) {
+  if (reference <= 0.0) return "n/a";
+  const double d = (value / reference - 1.0) * 100.0;
+  return (d >= 0 ? "+" : "") + report::fmt(d, 1) + "%";
+}
+
+void structured_figure(std::ostream& os, study::StudyRunner& runner,
+                       PlatformId platform, const std::string& fig_title,
+                       const std::string& csv_name) {
+  os << "=== " << fig_title << " ===\n";
+  os << "Platform: " << to_string(platform)
+     << "  (STREAM " << hw::platform(platform).stream_bw_gbs
+     << " GB/s, paper Table 1)\n\n";
+
+  const auto variants = structured_variants(platform);
+  std::vector<report::BarGroup> groups;
+  report::Table csv({"app", "variant", "status", "runtime_s", "eff_bw_gbs",
+                     "efficiency", "boundary_s", "halo_s"});
+  report::Table eff_table(
+      {"app", "best variant", "modeled eff", "paper eff", "delta"});
+
+  for (AppId app : kStructuredApps) {
+    report::BarGroup g;
+    g.title = std::string(to_string(app));
+    double best_eff = 0.0;
+    std::string best_label = "-";
+    for (const Variant& v : variants) {
+      const auto r = runner.run(app, platform, v);
+      g.bars.push_back(result_bar(to_string(v), r));
+      csv.add_row({std::string(to_string(app)), to_string(v),
+                   std::string(to_string(r.status)),
+                   report::fmt(r.runtime_s, 4), report::fmt(r.eff_bw_gbs, 1),
+                   report::fmt(r.efficiency, 4), report::fmt(r.boundary_s, 4),
+                   report::fmt(r.halo_s, 4)});
+      if (r.ok() && r.efficiency > best_eff) {
+        best_eff = r.efficiency;
+        best_label = to_string(v);
+      }
+    }
+    groups.push_back(std::move(g));
+
+    const auto paper = paper_best_efficiency(platform, app);
+    eff_table.add_row(
+        {std::string(to_string(app)), best_label,
+         report::fmt_percent(best_eff),
+         paper ? report::fmt_percent(*paper) : "-",
+         paper ? pct_delta(best_eff, *paper) : "-"});
+  }
+
+  report::render_bars(os, groups, "s");
+  os << "Best-variant architectural efficiency vs paper:\n";
+  eff_table.render(os);
+  csv.save_csv(csv_name + ".csv");
+  os << "\n[data written to " << csv_name << ".csv]\n\n";
+}
+
+void mgcfd_figure(std::ostream& os, study::StudyRunner& runner,
+                  const std::vector<PlatformId>& platforms,
+                  const std::string& fig_title, const std::string& csv_name) {
+  os << "=== " << fig_title << " ===\n\n";
+  std::vector<report::BarGroup> groups;
+  report::Table csv({"platform", "variant", "status", "runtime_s",
+                     "eff_bw_gbs", "efficiency"});
+  report::Table eff_table(
+      {"platform", "best variant", "modeled eff", "paper eff", "delta"});
+
+  for (PlatformId p : platforms) {
+    report::BarGroup g;
+    g.title = std::string(to_string(p));
+    double best_eff = 0.0;
+    std::string best_label = "-";
+    for (const Variant& v : mgcfd_variants(p)) {
+      const auto r = runner.run(AppId::MGCFD, p, v);
+      g.bars.push_back(result_bar(to_string(v), r));
+      csv.add_row({std::string(to_string(p)), to_string(v),
+                   std::string(to_string(r.status)),
+                   report::fmt(r.runtime_s, 4), report::fmt(r.eff_bw_gbs, 1),
+                   report::fmt(r.efficiency, 4)});
+      if (r.ok() && r.efficiency > best_eff) {
+        best_eff = r.efficiency;
+        best_label = to_string(v);
+      }
+    }
+    groups.push_back(std::move(g));
+    const auto paper = paper_best_efficiency(p, AppId::MGCFD);
+    eff_table.add_row({std::string(to_string(p)), best_label,
+                       report::fmt_percent(best_eff),
+                       paper ? report::fmt_percent(*paper) : "-",
+                       paper ? pct_delta(best_eff, *paper) : "-"});
+  }
+
+  report::render_bars(os, groups, "s");
+  os << "Best-variant effective-bandwidth efficiency vs paper (S4.3):\n";
+  eff_table.render(os);
+  csv.save_csv(csv_name + ".csv");
+  os << "\n[data written to " << csv_name << ".csv]\n\n";
+}
+
+void efficiency_matrix(std::ostream& os, study::StudyRunner& runner,
+                       bool unstructured, const std::string& fig_title,
+                       const std::string& csv_name) {
+  os << "=== " << fig_title << " ===\n\n";
+  std::vector<AppId> apps;
+  if (unstructured) {
+    apps = {AppId::MGCFD};
+  } else {
+    apps.assign(kStructuredApps.begin(), kStructuredApps.end());
+  }
+
+  std::vector<std::string> header{"platform", "variant"};
+  for (AppId a : apps) header.emplace_back(to_string(a));
+  report::Table t(header);
+  report::Table csv(header);
+
+  for (PlatformId p : kAllPlatforms) {
+    const auto variants =
+        unstructured ? mgcfd_variants(p) : structured_variants(p);
+    for (const Variant& v : variants) {
+      std::vector<std::string> row{std::string(to_string(p)), to_string(v)};
+      for (AppId a : apps) {
+        const auto r = runner.run(a, p, v);
+        row.push_back(r.ok() ? report::fmt_percent(r.efficiency)
+                             : std::string(to_string(r.status)));
+      }
+      t.add_row(row);
+      csv.add_row(row);
+    }
+  }
+  t.render(os);
+  csv.save_csv(csv_name + ".csv");
+  os << "\n[data written to " << csv_name << ".csv]\n\n";
+}
+
+}  // namespace syclport::bench

@@ -1,0 +1,36 @@
+#pragma once
+/// \file figures.hpp
+/// Shared rendering for the per-figure bench binaries: runtime bar
+/// charts (the stand-in for the paper's figures), efficiency tables
+/// with paper-vs-modeled columns, and CSV emission next to the binary.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "study/study.hpp"
+
+namespace syclport::bench {
+
+/// Render one structured-mesh runtime figure (paper Figs 2-7) for
+/// `platform`: bars per application x variant, an efficiency table with
+/// the paper's quoted best-variant numbers, and `<csv_name>.csv`.
+void structured_figure(std::ostream& os, study::StudyRunner& runner,
+                       PlatformId platform, const std::string& fig_title,
+                       const std::string& csv_name);
+
+/// Render the MG-CFD runtime figure (paper Fig 8 or 9) over `platforms`.
+void mgcfd_figure(std::ostream& os, study::StudyRunner& runner,
+                  const std::vector<PlatformId>& platforms,
+                  const std::string& fig_title, const std::string& csv_name);
+
+/// Render an architectural-efficiency matrix (paper Figs 10/11):
+/// rows = (platform, variant), columns = apps.
+void efficiency_matrix(std::ostream& os, study::StudyRunner& runner,
+                       bool unstructured, const std::string& fig_title,
+                       const std::string& csv_name);
+
+/// Ratio of two runtimes as a signed percentage string ("+5.3%").
+[[nodiscard]] std::string pct_delta(double value, double reference);
+
+}  // namespace syclport::bench

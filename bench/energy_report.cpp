@@ -1,0 +1,54 @@
+// Energy-efficiency extension: useful bytes per joule for every
+// application's best variant on each platform. Not a paper figure - a
+// forward extension in the spirit of the P3HPC series - but grounded
+// entirely in the same modeled runtimes and vendor TDPs. The headline:
+// for bandwidth-bound codes the GPUs' bandwidth-per-watt advantage
+// (~5 GB/s/W vs ~0.6 GB/s/W) dwarfs every programming-model effect the
+// paper measures.
+
+#include <iostream>
+
+#include "common/figures.hpp"
+#include "core/report.hpp"
+#include "hwmodel/energy.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  std::cout << "=== Energy: useful bytes per joule (best variant) ===\n\n";
+
+  report::Table spec({"platform", "TDP (W)", "STREAM GB/s per W"});
+  for (PlatformId p : kAllPlatforms) {
+    const auto ps = hw::power_spec(p);
+    spec.add_row({std::string(to_string(p)), report::fmt(ps.tdp_w, 0),
+                  report::fmt(hw::platform(p).stream_bw_gbs / ps.tdp_w, 2)});
+  }
+  spec.render(std::cout);
+  std::cout << "\n";
+
+  std::vector<std::string> header{"app"};
+  for (PlatformId p : kAllPlatforms) header.emplace_back(to_string(p));
+  report::Table t(header);
+  for (AppId a : kAllApps) {
+    std::vector<std::string> row{std::string(to_string(a))};
+    for (PlatformId p : kAllPlatforms) {
+      double best_gbj = 0.0;
+      const auto variants = a == AppId::MGCFD
+                                ? study::mgcfd_variants(p)
+                                : study::structured_variants(p);
+      for (const Variant& v : variants) {
+        const auto r = runner.run(a, p, v);
+        if (!r.ok()) continue;
+        best_gbj = std::max(
+            best_gbj, hw::gb_per_joule(p, r.useful_bytes, r.runtime_s));
+      }
+      row.push_back(report::fmt(best_gbj, 2) + " GB/J");
+    }
+    t.add_row(row);
+  }
+  t.render(std::cout);
+  std::cout << "\n(GB of application-useful data moved per joule of "
+               "TDP-bounded board energy.)\n";
+  return 0;
+}

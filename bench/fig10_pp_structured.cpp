@@ -1,0 +1,83 @@
+// Figure 10 reproduction: achieved architectural efficiency of every
+// (platform, variant) combination on the structured-mesh applications,
+// plus the §4.4 aggregate averages the paper quotes.
+
+#include <iostream>
+#include <vector>
+
+#include "common/figures.hpp"
+#include "common/paper_data.hpp"
+#include "core/report.hpp"
+#include "core/statistics.hpp"
+
+using namespace syclport;
+
+namespace {
+
+/// Mean/stddev of a variant's efficiency over all apps x platforms
+/// where it ran correctly.
+std::pair<double, double> variant_stats(study::StudyRunner& runner,
+                                        const Variant& v) {
+  std::vector<double> effs;
+  for (PlatformId p : kAllPlatforms) {
+    const auto vars = study::structured_variants(p);
+    bool present = false;
+    for (const auto& pv : vars)
+      if (pv.model == v.model && pv.toolchain == v.toolchain) present = true;
+    if (!present) continue;
+    for (AppId a : kStructuredApps) {
+      const auto r = runner.run(a, p, v);
+      if (r.ok()) effs.push_back(r.efficiency);
+    }
+  }
+  return {stats::mean(effs), stats::stddev(effs)};
+}
+
+std::pair<double, double> native_stats(study::StudyRunner& runner) {
+  std::vector<double> effs;
+  for (PlatformId p : kAllPlatforms) {
+    for (const Variant& v : study::structured_variants(p)) {
+      if (v.is_sycl()) continue;
+      for (AppId a : kStructuredApps) {
+        const auto r = runner.run(a, p, v);
+        if (r.ok()) effs.push_back(r.efficiency);
+      }
+    }
+  }
+  return {stats::mean(effs), stats::stddev(effs)};
+}
+
+}  // namespace
+
+int main() {
+  study::StudyRunner runner;
+  bench::efficiency_matrix(std::cout, runner, /*unstructured=*/false,
+                           "Figure 10: architectural efficiency, structured",
+                           "fig10_pp_structured");
+
+  const bench::PaperAggregates paper;
+  report::Table t({"variant family", "modeled mean (std)", "paper mean (std)"});
+  auto row = [&](const char* name, std::pair<double, double> m, double pm,
+                 double ps) {
+    t.add_row({name,
+               report::fmt_percent(m.first) + " (" +
+                   report::fmt_percent(m.second) + ")",
+               report::fmt_percent(pm) + " (" + report::fmt_percent(ps) + ")"});
+  };
+  row("native (all)", native_stats(runner), paper.native_structured_avg, 0.21);
+  row("DPC++ nd_range",
+      variant_stats(runner, {Model::SYCLNDRange, Toolchain::DPCPP}),
+      paper.dpcpp_nd_avg, 0.19);
+  row("OpenSYCL nd_range",
+      variant_stats(runner, {Model::SYCLNDRange, Toolchain::OpenSYCL}),
+      paper.osycl_nd_avg, 0.21);
+  row("DPC++ flat",
+      variant_stats(runner, {Model::SYCLFlat, Toolchain::DPCPP}),
+      paper.dpcpp_flat_avg, 0.19);
+  row("OpenSYCL flat",
+      variant_stats(runner, {Model::SYCLFlat, Toolchain::OpenSYCL}),
+      paper.osycl_flat_avg, 0.19);
+  std::cout << "S4.4 aggregate efficiencies (structured apps):\n";
+  t.render(std::cout);
+  return 0;
+}

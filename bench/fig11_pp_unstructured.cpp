@@ -1,0 +1,48 @@
+// Figure 11 reproduction: achieved architectural efficiency of MG-CFD
+// for every (platform, variant) combination, plus the §4.4 MG-CFD PP
+// numbers (OpenSYCL+atomics 0.42; best-per-platform 0.67).
+
+#include <iostream>
+#include <vector>
+
+#include "common/figures.hpp"
+#include "common/paper_data.hpp"
+#include "core/pp_metric.hpp"
+#include "core/report.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::efficiency_matrix(std::cout, runner, /*unstructured=*/true,
+                           "Figure 11: architectural efficiency, MG-CFD",
+                           "fig11_pp_unstructured");
+
+  // PP for OpenSYCL + atomics (the one combination that worked on all
+  // platforms, paper S4.4).
+  std::vector<double> osycl_atomics_eff;
+  std::vector<double> best_eff;
+  for (PlatformId p : kAllPlatforms) {
+    const Variant oa{Model::SYCLNDRange, Toolchain::OpenSYCL,
+                     Strategy::Atomics};
+    const auto r = runner.run(AppId::MGCFD, p, oa);
+    osycl_atomics_eff.push_back(r.ok() ? r.efficiency : 0.0);
+    double best = 0.0;
+    for (const Variant& v : study::mgcfd_variants(p)) {
+      const auto rb = runner.run(AppId::MGCFD, p, v);
+      if (rb.ok()) best = std::max(best, rb.efficiency);
+    }
+    best_eff.push_back(best);
+  }
+
+  const bench::PaperAggregates paper;
+  report::Table t({"PP metric (MG-CFD)", "modeled", "paper"});
+  t.add_row({"OpenSYCL + atomics (all platforms)",
+             report::fmt(pp_metric(osycl_atomics_eff), 2),
+             report::fmt(paper.pp_mgcfd_osycl_atomics, 2)});
+  t.add_row({"best compiler+variant per platform",
+             report::fmt(pp_metric(best_eff), 2),
+             report::fmt(paper.pp_mgcfd_best, 2)});
+  t.render(std::cout);
+  return 0;
+}

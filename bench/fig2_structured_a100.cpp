@@ -1,0 +1,19 @@
+// Figure 2 reproduction: runtime of the six structured-mesh
+// applications on the A100 platform across programming-model
+// variants (see DESIGN.md experiment index).
+
+#include <iostream>
+
+#include "common/figures.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::structured_figure(
+      std::cout, runner, PlatformId::A100,
+      "Figure 2: structured-mesh runtimes, " +
+          std::string(to_string(PlatformId::A100)),
+      "fig2_structured_a100");
+  return 0;
+}

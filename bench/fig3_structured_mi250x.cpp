@@ -1,0 +1,19 @@
+// Figure 3 reproduction: runtime of the six structured-mesh
+// applications on the MI250X platform across programming-model
+// variants (see DESIGN.md experiment index).
+
+#include <iostream>
+
+#include "common/figures.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::structured_figure(
+      std::cout, runner, PlatformId::MI250X,
+      "Figure 3: structured-mesh runtimes, " +
+          std::string(to_string(PlatformId::MI250X)),
+      "fig3_structured_mi250x");
+  return 0;
+}

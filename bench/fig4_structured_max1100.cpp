@@ -1,0 +1,19 @@
+// Figure 4 reproduction: runtime of the six structured-mesh
+// applications on the Max1100 platform across programming-model
+// variants (see DESIGN.md experiment index).
+
+#include <iostream>
+
+#include "common/figures.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::structured_figure(
+      std::cout, runner, PlatformId::Max1100,
+      "Figure 4: structured-mesh runtimes, " +
+          std::string(to_string(PlatformId::Max1100)),
+      "fig4_structured_max1100");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 5 reproduction: runtime of the six structured-mesh
+// applications on the Xeon8360Y platform across programming-model
+// variants (see DESIGN.md experiment index).
+
+#include <iostream>
+
+#include "common/figures.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::structured_figure(
+      std::cout, runner, PlatformId::Xeon8360Y,
+      "Figure 5: structured-mesh runtimes, " +
+          std::string(to_string(PlatformId::Xeon8360Y)),
+      "fig5_structured_xeon");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6 reproduction: runtime of the six structured-mesh
+// applications on the GenoaX platform across programming-model
+// variants (see DESIGN.md experiment index).
+
+#include <iostream>
+
+#include "common/figures.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::structured_figure(
+      std::cout, runner, PlatformId::GenoaX,
+      "Figure 6: structured-mesh runtimes, " +
+          std::string(to_string(PlatformId::GenoaX)),
+      "fig6_structured_genoax");
+  return 0;
+}

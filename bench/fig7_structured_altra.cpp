@@ -1,0 +1,19 @@
+// Figure 7 reproduction: runtime of the six structured-mesh
+// applications on the Altra platform across programming-model
+// variants (see DESIGN.md experiment index).
+
+#include <iostream>
+
+#include "common/figures.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::structured_figure(
+      std::cout, runner, PlatformId::Altra,
+      "Figure 7: structured-mesh runtimes, " +
+          std::string(to_string(PlatformId::Altra)),
+      "fig7_structured_altra");
+  return 0;
+}

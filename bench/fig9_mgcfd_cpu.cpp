@@ -1,0 +1,20 @@
+// Figure 9 reproduction: MG-CFD (Rotor37-scale) runtimes on the three
+// CPU platforms. The failing SYCL variant/compiler combinations the
+// paper reports (internal compiler errors, crashes, incorrect results,
+// §4.3) appear as annotated gaps, exactly as in the figure.
+
+#include <iostream>
+
+#include "common/figures.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  bench::mgcfd_figure(std::cout, runner,
+                      {PlatformId::Xeon8360Y, PlatformId::GenoaX,
+                       PlatformId::Altra},
+                      "Figure 9: MG-CFD (Rotor37) on CPU architectures",
+                      "fig9_mgcfd_cpu");
+  return 0;
+}

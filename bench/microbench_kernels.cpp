@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the *functional* execution layer:
+// the host-side cost of the miniSYCL executor, the OPS backends, the
+// fiber-based barrier machinery and the OP2 strategies. These measure
+// this repository's own runtime (not the modeled platforms) and guard
+// against regressions in the simulation infrastructure itself.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/mgcfd/mesh.hpp"
+#include "op2/op2.hpp"
+#include "ops/ops.hpp"
+#include "runtime/fiber.hpp"
+#include "stream/babelstream.hpp"
+
+namespace ops = syclport::ops;
+namespace op2 = syclport::op2;
+namespace rt = syclport::rt;
+
+namespace {
+
+void BM_StreamTriad(benchmark::State& state, ops::Backend backend) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ops::Options o;
+  o.backend = backend;
+  o.record = false;
+  ops::Context ctx(o);
+  ops::Block grid(ctx, "g", 1, {n, 1, 1});
+  ops::Dat<double> a(grid, "a", 1, 0), b(grid, "b", 1, 0), c(grid, "c", 1, 0);
+  b.fill(1.0);
+  c.fill(2.0);
+  for (auto _ : state) {
+    ops::par_loop(ctx, {"triad"}, grid, ops::Range::all(grid),
+                  [](ops::ACC<double> aa, ops::ACC<double> bb,
+                     ops::ACC<double> cc) { aa(0) = bb(0) + 0.4 * cc(0); },
+                  ops::arg(a, ops::S_PT, ops::Acc::W),
+                  ops::arg(b, ops::S_PT, ops::Acc::R),
+                  ops::arg(c, ops::S_PT, ops::Acc::R));
+    benchmark::DoNotOptimize(a.at(0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 24);
+}
+
+void BM_FiberBarrierGroup(benchmark::State& state) {
+  const auto wg = static_cast<std::size_t>(state.range(0));
+  std::vector<double> scratch(wg);
+  for (auto _ : state) {
+    rt::run_barrier_group(wg, [&](std::size_t i) {
+      scratch[i] = static_cast<double>(i);
+      rt::group_barrier();
+      benchmark::DoNotOptimize(scratch[(i + 1) % wg]);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wg));
+}
+
+void BM_SyclNdRangeLaunch(benchmark::State& state) {
+  sycl::queue q;
+  std::vector<double> v(4096);
+  double* p = v.data();
+  for (auto _ : state) {
+    q.parallel_for(sycl::nd_range<1>(sycl::range<1>(4096),
+                                     sycl::range<1>(64)),
+                   [=](sycl::nd_item<1> it) {
+                     p[it.get_global_id(0)] += 1.0;
+                   });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+
+void BM_Op2FluxStrategy(benchmark::State& state, syclport::Strategy s) {
+  auto mesh = syclport::apps::mgcfd::build_rotor_mesh(16, 14, 10, 1);
+  op2::Options o;
+  o.strategy = s;
+  o.record = false;
+  op2::Context ctx(o);
+  op2::Dat<double> w(*mesh.levels[0].edges, 1, "w");
+  op2::Dat<double> f(*mesh.levels[0].nodes, 5, "f");
+  w.fill(0.5);
+  for (auto _ : state) {
+    op2::par_loop(ctx, {"flux"}, *mesh.levels[0].edges,
+                  [](const double* ww, op2::Inc<double> a,
+                     op2::Inc<double> b) {
+                    for (int c = 0; c < 5; ++c) {
+                      a.add(c, ww[0]);
+                      b.add(c, -ww[0]);
+                    }
+                  },
+                  op2::arg_direct(w, op2::Acc::R),
+                  op2::arg_inc(f, *mesh.levels[0].e2n, 0),
+                  op2::arg_inc(f, *mesh.levels[0].e2n, 1));
+    benchmark::DoNotOptimize(f.at(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mesh.fine_edges()));
+}
+
+void BM_PlanBuild(benchmark::State& state, syclport::Strategy s) {
+  auto mesh = syclport::apps::mgcfd::build_rotor_mesh(24, 20, 12, 1);
+  for (auto _ : state) {
+    auto plan = op2::build_plan(*mesh.levels[0].e2n, s, 256);
+    benchmark::DoNotOptimize(plan.nelems);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_StreamTriad, serial, ops::Backend::Serial)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_StreamTriad, threads, ops::Backend::Threads)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_StreamTriad, sycl_flat, ops::Backend::SyclFlat)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_StreamTriad, sycl_nd, ops::Backend::SyclNd)->Arg(1 << 16);
+BENCHMARK(BM_FiberBarrierGroup)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_SyclNdRangeLaunch);
+BENCHMARK_CAPTURE(BM_Op2FluxStrategy, atomics, syclport::Strategy::Atomics);
+BENCHMARK_CAPTURE(BM_Op2FluxStrategy, global, syclport::Strategy::GlobalColor);
+BENCHMARK_CAPTURE(BM_Op2FluxStrategy, hierarchical,
+                  syclport::Strategy::Hierarchical);
+BENCHMARK_CAPTURE(BM_PlanBuild, global, syclport::Strategy::GlobalColor);
+BENCHMARK_CAPTURE(BM_PlanBuild, hierarchical,
+                  syclport::Strategy::Hierarchical);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// §4.4 / §5 aggregate reproduction: the Pennycook performance-
+// portability metric per SYCL variant family on the structured apps,
+// and the paper's conclusion-level averages (best-native vs best-SYCL,
+// GPU vs CPU splits).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/figures.hpp"
+#include "common/paper_data.hpp"
+#include "core/pp_metric.hpp"
+#include "core/report.hpp"
+#include "core/statistics.hpp"
+
+using namespace syclport;
+
+namespace {
+
+/// Efficiency of variant family (model, toolchain) for app on platform;
+/// 0 when unsupported there or failed.
+double eff_of(study::StudyRunner& runner, AppId a, PlatformId p, Model m,
+              Toolchain tc) {
+  for (const Variant& v : study::structured_variants(p)) {
+    if (v.model != m || v.toolchain != tc) continue;
+    const auto r = runner.run(a, p, v);
+    return r.ok() ? r.efficiency : 0.0;
+  }
+  return 0.0;  // variant unavailable on this platform
+}
+
+/// Application-averaged PP over all six platforms for one variant
+/// family, in the paper's "ignoring failing/unavailable" sense.
+double pp_family(study::StudyRunner& runner, Model m, Toolchain tc) {
+  std::vector<double> per_app;
+  for (AppId a : kStructuredApps) {
+    std::vector<double> effs;
+    for (PlatformId p : kAllPlatforms)
+      effs.push_back(eff_of(runner, a, p, m, tc));
+    per_app.push_back(pp_supported_only(effs));
+  }
+  return stats::mean(per_app);
+}
+
+double best_eff(study::StudyRunner& runner, AppId a, PlatformId p,
+                bool sycl_only, bool native_only) {
+  double best = 0.0;
+  for (const Variant& v : study::structured_variants(p)) {
+    if (sycl_only && !v.is_sycl()) continue;
+    if (native_only && v.is_sycl()) continue;
+    const auto r = runner.run(a, p, v);
+    if (r.ok()) best = std::max(best, r.efficiency);
+  }
+  if (a == AppId::MGCFD) return best;
+  return best;
+}
+
+double mean_best(study::StudyRunner& runner,
+                 const std::vector<PlatformId>& platforms, bool sycl_only,
+                 bool native_only) {
+  std::vector<double> effs;
+  for (PlatformId p : platforms) {
+    for (AppId a : kStructuredApps)
+      effs.push_back(best_eff(runner, a, p, sycl_only, native_only));
+    // MG-CFD included in the paper's all-application averages.
+    double best = 0.0;
+    for (const Variant& v : study::mgcfd_variants(p)) {
+      if (sycl_only && !v.is_sycl()) continue;
+      if (native_only && v.is_sycl()) continue;
+      const auto r = runner.run(AppId::MGCFD, p, v);
+      if (r.ok()) best = std::max(best, r.efficiency);
+    }
+    effs.push_back(best);
+  }
+  return stats::mean(effs);
+}
+
+}  // namespace
+
+int main() {
+  study::StudyRunner runner;
+  const bench::PaperAggregates paper;
+
+  std::cout << "=== S4.4: performance-portability metric (structured) ===\n";
+  report::Table pp({"variant family", "modeled PP", "paper PP"});
+  pp.add_row({"DPC++ nd_range",
+              report::fmt(pp_family(runner, Model::SYCLNDRange,
+                                    Toolchain::DPCPP), 2),
+              report::fmt(paper.pp_dpcpp_nd, 2)});
+  pp.add_row({"OpenSYCL nd_range",
+              report::fmt(pp_family(runner, Model::SYCLNDRange,
+                                    Toolchain::OpenSYCL), 2),
+              report::fmt(paper.pp_osycl_nd, 2)});
+  pp.add_row({"DPC++ flat",
+              report::fmt(pp_family(runner, Model::SYCLFlat,
+                                    Toolchain::DPCPP), 2),
+              report::fmt(paper.pp_dpcpp_flat, 2)});
+  pp.add_row({"OpenSYCL flat",
+              report::fmt(pp_family(runner, Model::SYCLFlat,
+                                    Toolchain::OpenSYCL), 2),
+              report::fmt(paper.pp_osycl_flat, 2)});
+  pp.render(std::cout);
+
+  std::cout << "\n=== S5: conclusion-level averages (all apps) ===\n";
+  const std::vector<PlatformId> all(kAllPlatforms.begin(), kAllPlatforms.end());
+  const std::vector<PlatformId> gpus(kGpuPlatforms.begin(), kGpuPlatforms.end());
+  const std::vector<PlatformId> cpus(kCpuPlatforms.begin(), kCpuPlatforms.end());
+  report::Table t({"average of best variants", "modeled", "paper"});
+  t.add_row({"native, all platforms",
+             report::fmt_percent(mean_best(runner, all, false, true)),
+             report::fmt_percent(paper.best_native_all)});
+  t.add_row({"SYCL, all platforms",
+             report::fmt_percent(mean_best(runner, all, true, false)),
+             report::fmt_percent(paper.best_sycl_all)});
+  t.add_row({"native, GPUs",
+             report::fmt_percent(mean_best(runner, gpus, false, true)),
+             report::fmt_percent(paper.gpu_native)});
+  t.add_row({"SYCL, GPUs",
+             report::fmt_percent(mean_best(runner, gpus, true, false)),
+             report::fmt_percent(paper.gpu_best_sycl)});
+  t.add_row({"native, CPUs",
+             report::fmt_percent(mean_best(runner, cpus, false, true)),
+             report::fmt_percent(paper.cpu_native)});
+  t.add_row({"SYCL, CPUs",
+             report::fmt_percent(mean_best(runner, cpus, true, false)),
+             report::fmt_percent(paper.cpu_sycl)});
+  t.render(std::cout);
+  return 0;
+}

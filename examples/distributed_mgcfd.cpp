@@ -1,0 +1,110 @@
+// distributed_mgcfd: the full distributed-unstructured pipeline on real
+// messages - partition the rotor mesh with RCB (the PT-Scotch role),
+// localize per rank, and run an MG-CFD-style flux/update iteration with
+// halo import before each edge loop and export-add of the remote
+// increments after it. Conservation holds across ranks and the result
+// matches the shared-memory solver.
+//
+// Build & run:  ./build/examples/distributed_mgcfd
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "apps/mgcfd/mesh.hpp"
+#include "op2/dist.hpp"
+
+namespace op2 = syclport::op2;
+namespace dist = syclport::op2::dist;
+namespace mpi = syclport::mpi;
+using syclport::Strategy;
+
+namespace {
+constexpr int kIters = 5;
+
+double initial_value(int g, int c) {
+  return 1.0 + 0.05 * std::sin(0.01 * g + c);
+}
+}  // namespace
+
+int main() {
+  auto gmesh = syclport::apps::mgcfd::build_rotor_mesh(24, 20, 14, 1);
+  std::printf("rotor mesh: %zu nodes, %zu edges\n\n", gmesh.fine_nodes(),
+              gmesh.fine_edges());
+
+  // Shared-memory reference.
+  double ref_sum = 0.0;
+  {
+    op2::Context ctx{op2::Options{}};
+    op2::Dat<double> v(*gmesh.levels[0].nodes, 1, "v");
+    op2::Dat<double> d(*gmesh.levels[0].nodes, 1, "d");
+    for (std::size_t g = 0; g < gmesh.fine_nodes(); ++g)
+      v.at(g) = initial_value(static_cast<int>(g), 0);
+    for (int it = 0; it < kIters; ++it) {
+      op2::par_loop(ctx, {"relax"}, *gmesh.levels[0].edges,
+                    [](const double* a, const double* b, op2::Inc<double> da,
+                       op2::Inc<double> db) {
+                      const double f = 0.05 * (b[0] - a[0]);
+                      da.add(0, f);
+                      db.add(0, -f);
+                    },
+                    op2::arg_indirect(v, *gmesh.levels[0].e2n, 0, op2::Acc::R),
+                    op2::arg_indirect(v, *gmesh.levels[0].e2n, 1, op2::Acc::R),
+                    op2::arg_inc(d, *gmesh.levels[0].e2n, 0),
+                    op2::arg_inc(d, *gmesh.levels[0].e2n, 1));
+      for (std::size_t g = 0; g < gmesh.fine_nodes(); ++g) {
+        v.at(g) += d.at(g);
+        d.at(g) = 0.0;
+      }
+    }
+    ref_sum = v.sum();
+    std::printf("shared-memory result:  sum(v) = %.12f\n", ref_sum);
+  }
+
+  for (int nranks : {2, 4, 6}) {
+    double got = 0.0;
+    std::mutex mu;
+    mpi::run(nranks, [&](mpi::Comm& comm) {
+      dist::DistMesh dm(comm, *gmesh.levels[0].e2n, gmesh.levels[0].coords);
+      dist::DistNodeDat<double> v(dm, 1, "v"), d(dm, 1, "d");
+      v.init_owned(initial_value);
+
+      op2::Options oo;
+      oo.exec = op2::Exec::Serial;
+      oo.record = false;
+      op2::Context ctx(oo);
+      for (int it = 0; it < kIters; ++it) {
+        v.import_halo();
+        op2::par_loop(ctx, {"relax"}, dm.edges(),
+                      [](const double* a, const double* b,
+                         op2::Inc<double> da, op2::Inc<double> db) {
+                        const double f = 0.05 * (b[0] - a[0]);
+                        da.add(0, f);
+                        db.add(0, -f);
+                      },
+                      op2::arg_indirect(v.dat(), dm.e2n(), 0, op2::Acc::R),
+                      op2::arg_indirect(v.dat(), dm.e2n(), 1, op2::Acc::R),
+                      op2::arg_inc(d.dat(), dm.e2n(), 0),
+                      op2::arg_inc(d.dat(), dm.e2n(), 1));
+        d.export_add();
+        for (std::size_t i = 0; i < dm.n_owned_nodes(); ++i) {
+          v.dat().at(i) += d.dat().at(i);
+          d.dat().at(i) = 0.0;
+        }
+      }
+      const double sum = v.global_sum();
+      if (comm.rank() == 0) {
+        std::size_t halo = dm.n_halo_nodes();
+        std::printf("%d ranks:               sum(v) = %.12f   (rank-0 halo "
+                    "%zu nodes, delta %.2e)\n",
+                    comm.size(), sum, halo, std::fabs(sum - ref_sum));
+      }
+      std::lock_guard lock(mu);
+      got = sum;
+    });
+    (void)got;
+  }
+  std::printf("\nowner-compute with halo import/export-add reproduces the\n"
+              "shared-memory physics on real messages.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// portability_report: the study harness as a library - run your own
+// mini performance-portability study. Sweeps two applications over all
+// six platforms and every variant, prints the efficiency matrix and the
+// Pennycook PP metric per variant family - the paper's §4.4 analysis as
+// a reusable 60-line program.
+//
+// Build & run:  ./build/examples/portability_report
+
+#include <iostream>
+#include <vector>
+
+#include "core/pp_metric.hpp"
+#include "core/report.hpp"
+#include "study/study.hpp"
+
+using namespace syclport;
+
+int main() {
+  study::StudyRunner runner;
+  // Reduced problem sizes so the report builds in seconds.
+  runner.set_structured_size(AppId::CloverLeaf2D, {{2048, 2048, 1}, 10});
+  runner.set_structured_size(AppId::RTM, {{192, 192, 192}, 10});
+
+  const std::vector<AppId> apps{AppId::CloverLeaf2D, AppId::RTM};
+
+  report::Table t({"platform", "variant", "CloverLeaf2D", "RTM"});
+  for (PlatformId p : kAllPlatforms) {
+    for (const Variant& v : study::structured_variants(p)) {
+      std::vector<std::string> row{std::string(to_string(p)), to_string(v)};
+      for (AppId a : apps) {
+        const auto r = runner.run(a, p, v);
+        row.push_back(r.ok() ? report::fmt_percent(r.efficiency)
+                             : std::string(to_string(r.status)));
+      }
+      t.add_row(row);
+    }
+  }
+  std::cout << "architectural efficiency (fraction of STREAM Triad):\n";
+  t.render(std::cout);
+
+  std::cout << "\nPennycook PP metric per variant family:\n";
+  report::Table pp({"variant family", "PP (supported-only)"});
+  struct Fam { Model m; Toolchain tc; const char* name; };
+  for (const Fam f : {Fam{Model::SYCLNDRange, Toolchain::DPCPP, "DPC++ nd_range"},
+                      Fam{Model::SYCLNDRange, Toolchain::OpenSYCL,
+                          "OpenSYCL nd_range"},
+                      Fam{Model::SYCLFlat, Toolchain::DPCPP, "DPC++ flat"},
+                      Fam{Model::SYCLFlat, Toolchain::OpenSYCL,
+                          "OpenSYCL flat"}}) {
+    std::vector<double> per_app;
+    for (AppId a : apps) {
+      std::vector<double> effs;
+      for (PlatformId p : kAllPlatforms) {
+        double e = 0.0;
+        for (const Variant& v : study::structured_variants(p)) {
+          if (v.model != f.m || v.toolchain != f.tc) continue;
+          const auto r = runner.run(a, p, v);
+          if (r.ok()) e = r.efficiency;
+        }
+        effs.push_back(e);
+      }
+      per_app.push_back(pp_supported_only(effs));
+    }
+    pp.add_row({f.name,
+                report::fmt(0.5 * (per_app[0] + per_app[1]), 2)});
+  }
+  pp.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// tiled_heat: the OPS loop-chaining / tiling feature in action - queue
+// a chain of stencil sweeps lazily and execute them tile-by-tile so
+// intermediates stay cache-resident. Results are bit-identical to the
+// eager schedule (the fuzz suite proves it); this example also times
+// the real effect on this machine's caches.
+//
+// Build & run:  ./build/examples/tiled_heat
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/timing.hpp"
+#include "ops/ops.hpp"
+
+namespace ops = syclport::ops;
+using syclport::WallTimer;
+
+int main() {
+  const std::size_t n = 1024;
+  const int depth = 6;  // six chained radius-1 sweeps
+
+  ops::Options o;
+  o.backend = ops::Backend::Serial;
+  o.record = false;
+  ops::Context ctx(o);
+  ops::Block grid(ctx, "plate", 2, {n, n, 1});
+  std::vector<std::unique_ptr<ops::Dat<double>>> field;
+  for (int d = 0; d <= depth; ++d)
+    field.push_back(std::make_unique<ops::Dat<double>>(grid, "f", 1, 1));
+
+  auto seed = [&] {
+    for (long i = 0; i < static_cast<long>(n); ++i)
+      for (long j = 0; j < static_cast<long>(n); ++j)
+        field[0]->at(i, j) = std::sin(0.01 * i) * std::cos(0.02 * j);
+  };
+  auto smooth = [](ops::ACC<double> out, ops::ACC<double> in) {
+    out(0, 0) = 0.2 * (in(0, 0) + in(1, 0) + in(-1, 0) + in(0, 1) + in(0, -1));
+  };
+
+  auto run = [&](std::size_t tile) {
+    seed();
+    WallTimer t;
+    ops::LoopChain chain(ctx, grid);
+    for (int d = 0; d < depth; ++d)
+      chain.enqueue({"smooth"}, smooth,
+                    ops::arg(*field[static_cast<std::size_t>(d + 1)],
+                             ops::S_PT, ops::Acc::W),
+                    ops::arg(*field[static_cast<std::size_t>(d)],
+                             ops::S2D_5PT, ops::Acc::R));
+    chain.execute(tile);
+    return std::make_pair(t.milliseconds(),
+                          field[static_cast<std::size_t>(depth)]->interior_sum());
+  };
+
+  std::printf("%zu x %zu grid, chain of %d radius-1 sweeps\n\n", n, n, depth);
+  const auto [t_ref, sum_ref] = run(0);
+  std::printf("untiled (eager):   %7.2f ms   checksum %.10f\n", t_ref, sum_ref);
+  for (std::size_t tile : {16u, 32u, 64u, 128u}) {
+    const auto [t, sum] = run(tile);
+    std::printf("tile = %-4zu        %7.2f ms   checksum %.10f   (%+.1f%%)\n",
+                tile, t, sum, (t / t_ref - 1.0) * 100.0);
+    if (sum != sum_ref) std::printf("  ERROR: checksum mismatch!\n");
+  }
+  std::printf(
+      "\nEach tile keeps the whole chain's intermediates in cache (ghost\n"
+      "zones absorb the stencil skew); identical numerics, less DRAM\n"
+      "traffic - OPS's lazy-execution tiling, and the paper-§4.4 point\n"
+      "that schedules, not just kernels, are where portability ends.\n");
+  return 0;
+}

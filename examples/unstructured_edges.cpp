@@ -1,0 +1,82 @@
+// unstructured_edges: the OP2 workflow on an airfoil-style unstructured
+// problem - a damped edge-relaxation solver over the rotor-like mesh -
+// demonstrating the three race-resolution strategies of Figure 1
+// (atomics, global colouring, hierarchical colouring), their measured
+// gather locality, and their identical numerics.
+//
+// Build & run:  ./build/examples/unstructured_edges
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/mgcfd/mesh.hpp"
+#include "op2/op2.hpp"
+
+namespace op2 = syclport::op2;
+using namespace syclport;
+
+namespace {
+
+/// Edge relaxation: every edge pushes its endpoints toward each other.
+double relax(op2::Context& ctx, apps::mgcfd::MultigridMesh& mesh, int iters) {
+  auto& nodes = *mesh.levels[0].nodes;
+  auto& edges = *mesh.levels[0].edges;
+  auto& e2n = *mesh.levels[0].e2n;
+
+  op2::Dat<double> value(nodes, 1, "value");
+  op2::Dat<double> delta(nodes, 1, "delta");
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    value.at(i) = std::sin(0.01 * static_cast<double>(i));
+
+  for (int it = 0; it < iters; ++it) {
+    op2::par_loop(ctx, {"edge_relax", 4.0}, edges,
+                  [](const double* va, const double* vb, op2::Inc<double> da,
+                     op2::Inc<double> db) {
+                    const double f = 0.05 * (vb[0] - va[0]);
+                    da.add(0, f);
+                    db.add(0, -f);
+                  },
+                  op2::arg_indirect(value, e2n, 0, op2::Acc::R),
+                  op2::arg_indirect(value, e2n, 1, op2::Acc::R),
+                  op2::arg_inc(delta, e2n, 0), op2::arg_inc(delta, e2n, 1));
+    op2::par_loop(ctx, {"apply", 2.0}, nodes,
+                  [](double* v, double* d) {
+                    v[0] += d[0];
+                    d[0] = 0.0;
+                  },
+                  op2::arg_direct(value, op2::Acc::RW),
+                  op2::arg_direct(delta, op2::Acc::RW));
+  }
+  return value.sum();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("edge relaxation on the rotor-like mesh (32x28x20, deg ~14)\n\n");
+  auto mesh = apps::mgcfd::build_rotor_mesh(32, 28, 20, 1);
+  std::printf("nodes %zu, edges %zu\n\n", mesh.fine_nodes(),
+              mesh.fine_edges());
+
+  for (Strategy s : kMgcfdStrategies) {
+    op2::Options o;
+    o.strategy = s;
+    o.block_size = 256;
+    op2::Context ctx(o);
+    auto mesh_run = apps::mgcfd::build_rotor_mesh(32, 28, 20, 1);
+    const double checksum = relax(ctx, mesh_run, 10);
+
+    // Plan + locality summary, the inputs to Figure 8/9's model.
+    const auto& plan = ctx.plan_for(*mesh_run.levels[0].e2n);
+    const auto& gs = ctx.gather_for(*mesh_run.levels[0].e2n, 1, 8);
+    std::printf("%-13s checksum=%.8f  sweeps/loop=%zu  bytes/wave=%.0f\n",
+                std::string(to_string(s)).c_str(), checksum, plan.launches(),
+                gs.avg_bytes_per_wave);
+  }
+
+  std::printf(
+      "\nAll three strategies produce the same physics; they differ in\n"
+      "parallel sweeps per loop and in gather locality - exactly the\n"
+      "trade-off behind the paper's Figure 8/9 rankings.\n");
+  return 0;
+}

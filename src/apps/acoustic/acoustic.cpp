@@ -1,0 +1,106 @@
+#include "apps/acoustic/acoustic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace syclport::apps {
+
+namespace {
+constexpr float kC0 = -205.0f / 72.0f;
+constexpr float kC1 = 8.0f / 5.0f;
+constexpr float kC2 = -1.0f / 5.0f;
+constexpr float kC3 = 8.0f / 315.0f;
+constexpr float kC4 = -1.0f / 560.0f;
+constexpr double kFdFlops = 47.0;
+
+/// Sponge thickness in points; clamped for small validation grids.
+long sponge_width(long extent) { return std::max<long>(2, std::min<long>(20, extent / 6)); }
+}  // namespace
+
+RunSummary run_acoustic(const ops::Options& opt, ProblemSize ps) {
+  ops::Context ctx(opt);
+  ops::Block grid(ctx, "acoustic", 3, ps.grid);
+  ops::Dat<float> p0(grid, "p_prev", 1, 4);
+  ops::Dat<float> p1(grid, "p_cur", 1, 4);
+
+  const long nz = static_cast<long>(ps.grid[0]);
+  const long ny = static_cast<long>(ps.grid[1]);
+  const long nx = static_cast<long>(ps.grid[2]);
+  const float c2 = 0.05f;  // uniform medium, CFL-stable
+  const float damp = 0.95f;
+
+  const ops::Range interior = ops::Range::all(grid);
+  ops::Range source;
+  source.lo = {nz / 2, ny / 2, nx / 2};
+  source.hi = {nz / 2 + 1, ny / 2 + 1, nx / 2 + 1};
+
+  // Six sponge slabs (faces), each sponge_width thick.
+  const long w0 = sponge_width(nz), w1 = sponge_width(ny), w2 = sponge_width(nx);
+  std::array<ops::Range, 6> sponges;
+  for (int d = 0; d < 3; ++d) {
+    const long w = d == 0 ? w0 : d == 1 ? w1 : w2;
+    ops::Range lo = interior, hi = interior;
+    lo.hi[static_cast<std::size_t>(d)] = lo.lo[static_cast<std::size_t>(d)] + w;
+    hi.lo[static_cast<std::size_t>(d)] = hi.hi[static_cast<std::size_t>(d)] - w;
+    sponges[static_cast<std::size_t>(2 * d)] = lo;
+    sponges[static_cast<std::size_t>(2 * d + 1)] = hi;
+  }
+
+  for (int t = 0; t < ps.iters; ++t) {
+    const float wavelet = [&] {
+      const float ft = 0.3f * (static_cast<float>(t) - 5.0f);
+      return (1.0f - 2.0f * ft * ft) * std::exp(-ft * ft);
+    }();
+    ops::par_loop(ctx, {"ac_source", hw::KernelClass::Boundary, 4.0}, grid,
+                  source,
+                  [wavelet](ops::ACC<float> p) { p(0, 0, 0) += wavelet; },
+                  ops::arg(p1, ops::S_PT, ops::Acc::RW));
+
+    ops::par_loop(
+        ctx, {"ac_fd", hw::KernelClass::Interior, kFdFlops}, grid, interior,
+        [c2](ops::ACC<float> pp, ops::ACC<float> pc) {
+          const float lap =
+              3.0f * kC0 * pc(0, 0, 0) +
+              kC1 * (pc(1, 0, 0) + pc(-1, 0, 0) + pc(0, 1, 0) + pc(0, -1, 0) +
+                     pc(0, 0, 1) + pc(0, 0, -1)) +
+              kC2 * (pc(2, 0, 0) + pc(-2, 0, 0) + pc(0, 2, 0) + pc(0, -2, 0) +
+                     pc(0, 0, 2) + pc(0, 0, -2)) +
+              kC3 * (pc(3, 0, 0) + pc(-3, 0, 0) + pc(0, 3, 0) + pc(0, -3, 0) +
+                     pc(0, 0, 3) + pc(0, 0, -3)) +
+              kC4 * (pc(4, 0, 0) + pc(-4, 0, 0) + pc(0, 4, 0) + pc(0, -4, 0) +
+                     pc(0, 0, 4) + pc(0, 0, -4));
+          pp(0, 0, 0) = 2.0f * pc(0, 0, 0) - pp(0, 0, 0) + c2 * lap;
+        },
+        ops::arg(p0, ops::S_PT, ops::Acc::RW),
+        ops::arg(p1, ops::star(4, 3), ops::Acc::R));
+
+    // Absorbing layers: damp both time levels in the sponge slabs.
+    for (const auto& slab : sponges) {
+      ops::par_loop(ctx, {"ac_sponge", hw::KernelClass::Boundary, 2.0}, grid,
+                    slab,
+                    [damp](ops::ACC<float> pa, ops::ACC<float> pb) {
+                      pa(0, 0, 0) *= damp;
+                      pb(0, 0, 0) *= damp;
+                    },
+                    ops::arg(p0, ops::S_PT, ops::Acc::RW),
+                    ops::arg(p1, ops::S_PT, ops::Acc::RW));
+    }
+    std::swap(p0, p1);
+  }
+
+  RunSummary rs;
+  rs.profiles = std::move(ctx.profiles);
+  if (ctx.executing()) {
+    double energy = 0.0;
+    for (long k = 0; k < nz; ++k)
+      for (long j = 0; j < ny; ++j)
+        for (long i = 0; i < nx; ++i) {
+          const double v = static_cast<double>(p1.at(k, j, i));
+          energy += v * v;
+        }
+    rs.checksum = energy;
+  }
+  return rs;
+}
+
+}  // namespace syclport::apps

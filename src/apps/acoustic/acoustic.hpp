@@ -1,0 +1,24 @@
+#pragma once
+/// \file acoustic.hpp
+/// High-order acoustic wave propagation solver (paper §3, item 4):
+/// 8th-order FP32 finite differences like RTM, plus absorbing sponge
+/// layers on all six faces (the extra boundary-region kernels that make
+/// this code's boundary handling heavier than RTM's point source).
+
+#include "apps/common.hpp"
+#include "ops/ops.hpp"
+
+namespace syclport::apps {
+
+/// Paper configuration: 1000^3, 30 time iterations, single precision.
+[[nodiscard]] inline ProblemSize acoustic_paper() {
+  return {{1000, 1000, 1000}, 30};
+}
+
+/// Reduced configuration for functional validation runs.
+[[nodiscard]] inline ProblemSize acoustic_small() { return {{30, 30, 30}, 6}; }
+
+/// Run the acoustic solver; checksum is the final wavefield energy.
+[[nodiscard]] RunSummary run_acoustic(const ops::Options& opt, ProblemSize ps);
+
+}  // namespace syclport::apps

@@ -1,0 +1,12 @@
+#pragma once
+/// \file apps.hpp
+/// Umbrella header for the seven benchmark applications and their
+/// paper/bench/small problem sizes.
+
+#include "apps/acoustic/acoustic.hpp"        // IWYU pragma: export
+#include "apps/cloverleaf/cloverleaf2d.hpp"  // IWYU pragma: export
+#include "apps/cloverleaf/cloverleaf3d.hpp"  // IWYU pragma: export
+#include "apps/common.hpp"                   // IWYU pragma: export
+#include "apps/mgcfd/mgcfd.hpp"              // IWYU pragma: export
+#include "apps/opensbli/opensbli.hpp"        // IWYU pragma: export
+#include "apps/rtm/rtm.hpp"                  // IWYU pragma: export

@@ -1,0 +1,284 @@
+#include "apps/cloverleaf/cloverleaf2d.hpp"
+
+#include <cmath>
+
+namespace syclport::apps {
+
+namespace {
+constexpr double kGamma = 1.4;
+constexpr double kDt = 0.002;       // fixed stable step (dt kernel still runs)
+constexpr double kRhoFloor = 1e-8;
+
+using D = ops::Dat<double>;
+using A = ops::ACC<double>;
+
+/// Mirror one field into `depth` halo layers on all four sides - the
+/// CloverLeaf update_halo pattern: one boundary par_loop per side.
+void update_halo(ops::Context& ctx, ops::Block& grid, D& f, int depth) {
+  const long ny = static_cast<long>(grid.size(0));
+  const long nx = static_cast<long>(grid.size(1));
+  const ops::Stencil reach{2 * depth, 2 * depth, 0, 2};
+
+  ops::Range left{{0, -depth, 0}, {ny, 0, 1}};
+  ops::par_loop(ctx, {"halo_left", hw::KernelClass::Boundary, 0.0}, grid, left,
+                [](A a) { a(0, 0) = a(1, 0); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range right{{0, nx, 0}, {ny, nx + depth, 1}};
+  ops::par_loop(ctx, {"halo_right", hw::KernelClass::Boundary, 0.0}, grid,
+                right, [](A a) { a(0, 0) = a(-1, 0); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range bottom{{-depth, -depth, 0}, {0, nx + depth, 1}};
+  ops::par_loop(ctx, {"halo_bottom", hw::KernelClass::Boundary, 0.0}, grid,
+                bottom, [](A a) { a(0, 0) = a(0, 1); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range top{{ny, -depth, 0}, {ny + depth, nx + depth, 1}};
+  ops::par_loop(ctx, {"halo_top", hw::KernelClass::Boundary, 0.0}, grid, top,
+                [](A a) { a(0, 0) = a(0, -1); },
+                ops::arg(f, reach, ops::Acc::RW));
+}
+
+}  // namespace
+
+RunSummary run_cloverleaf2d(const ops::Options& opt, ProblemSize ps) {
+  ops::Context ctx(opt);
+  ops::Block grid(ctx, "clover2d", 2, {ps.grid[0], ps.grid[1], 1});
+  const long ny = static_cast<long>(ps.grid[0]);
+  const long nx = static_cast<long>(ps.grid[1]);
+
+  D density0(grid, "density0", 1, 2), density1(grid, "density1", 1, 2);
+  D energy0(grid, "energy0", 1, 2), energy1(grid, "energy1", 1, 2);
+  D pressure(grid, "pressure", 1, 2), viscosity(grid, "viscosity", 1, 2);
+  D soundspeed(grid, "soundspeed", 1, 2);
+  D xvel0(grid, "xvel0", 1, 2), xvel1(grid, "xvel1", 1, 2);
+  D yvel0(grid, "yvel0", 1, 2), yvel1(grid, "yvel1", 1, 2);
+  D vol_flux_x(grid, "vol_flux_x", 1, 2), vol_flux_y(grid, "vol_flux_y", 1, 2);
+  D mass_flux(grid, "mass_flux", 1, 2), ener_flux(grid, "ener_flux", 1, 2);
+  D mom_flux(grid, "mom_flux", 2, 2);
+
+  if (ctx.executing()) {
+    // Two-state energy bomb in the corner, CloverLeaf's standard setup.
+    for (long j = -2; j < ny + 2; ++j)
+      for (long i = -2; i < nx + 2; ++i) {
+        const bool hot = j < ny / 3 && i < nx / 3;
+        density0.at(j, i) = hot ? 1.0 : 0.2;
+        energy0.at(j, i) = hot ? 2.5 : 1.0;
+      }
+  }
+
+  const ops::Range interior = ops::Range::all(grid);
+  const ops::Stencil s5{1, 1, 0, 5};
+  const ops::Stencil face{1, 1, 0, 4};
+
+  RunSummary rs;
+  for (int step = 0; step < ps.iters; ++step) {
+    // --- EoS ---------------------------------------------------------------
+    ops::par_loop(ctx, {"ideal_gas", hw::KernelClass::Interior, 9.0}, grid,
+                  interior,
+                  [](A d, A e, A p, A ss) {
+                    const double rho = std::max(kRhoFloor, d(0, 0));
+                    p(0, 0) = (kGamma - 1.0) * rho * e(0, 0);
+                    ss(0, 0) = std::sqrt(kGamma * p(0, 0) / rho);
+                  },
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(energy0, ops::S_PT, ops::Acc::R),
+                  ops::arg(pressure, ops::S_PT, ops::Acc::W),
+                  ops::arg(soundspeed, ops::S_PT, ops::Acc::W));
+    update_halo(ctx, grid, pressure, 1);
+
+    // --- artificial viscosity -----------------------------------------------
+    ops::par_loop(ctx, {"viscosity", hw::KernelClass::Interior, 22.0}, grid,
+                  interior,
+                  [](A visc, A d, A xv, A yv) {
+                    const double div =
+                        (xv(1, 0) - xv(0, 0)) + (yv(0, 1) - yv(0, 0));
+                    visc(0, 0) =
+                        div < 0.0 ? 2.0 * d(0, 0) * div * div : 0.0;
+                  },
+                  ops::arg(viscosity, ops::S_PT, ops::Acc::W),
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(xvel0, face, ops::Acc::R),
+                  ops::arg(yvel0, face, ops::Acc::R));
+    update_halo(ctx, grid, viscosity, 1);
+
+    // --- dt control (reduction; fixed dt actually used) ---------------------
+    double dt_min = 1e30;
+    ops::par_loop(ctx, {"calc_dt", hw::KernelClass::Reduction, 14.0}, grid,
+                  interior,
+                  [](A ss, A xv, A yv, ops::Reducer<double> r) {
+                    const double speed = ss(0, 0) + std::fabs(xv(0, 0)) +
+                                         std::fabs(yv(0, 0));
+                    r.combine(1.0 / std::max(1e-12, speed));
+                  },
+                  ops::arg(soundspeed, ops::S_PT, ops::Acc::R),
+                  ops::arg(xvel0, ops::S_PT, ops::Acc::R),
+                  ops::arg(yvel0, ops::S_PT, ops::Acc::R),
+                  ops::reduce(dt_min, ops::RedOp::Min));
+
+    // --- PdV: compress/expand energy and density -----------------------------
+    ops::par_loop(ctx, {"pdv", hw::KernelClass::Interior, 26.0}, grid,
+                  interior,
+                  [](A d1k, A e1k, A d0, A e0, A p, A v, A xv, A yv) {
+                    const double div =
+                        (xv(1, 0) - xv(0, 0)) + (yv(0, 1) - yv(0, 0));
+                    const double rho = std::max(kRhoFloor, d0(0, 0));
+                    d1k(0, 0) = rho / (1.0 + kDt * div);
+                    e1k(0, 0) = e0(0, 0) -
+                                kDt * (p(0, 0) + v(0, 0)) * div / rho;
+                  },
+                  ops::arg(density1, ops::S_PT, ops::Acc::W),
+                  ops::arg(energy1, ops::S_PT, ops::Acc::W),
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(energy0, ops::S_PT, ops::Acc::R),
+                  ops::arg(pressure, ops::S_PT, ops::Acc::R),
+                  ops::arg(viscosity, ops::S_PT, ops::Acc::R),
+                  ops::arg(xvel0, face, ops::Acc::R),
+                  ops::arg(yvel0, face, ops::Acc::R));
+
+    // --- acceleration ---------------------------------------------------------
+    ops::par_loop(ctx, {"accelerate", hw::KernelClass::Interior, 20.0}, grid,
+                  interior,
+                  [](A xv1, A yv1, A xv0, A yv0, A d, A p, A v) {
+                    const double rho = std::max(kRhoFloor, d(0, 0));
+                    xv1(0, 0) = xv0(0, 0) -
+                                kDt * (p(0, 0) - p(-1, 0) + v(0, 0) -
+                                       v(-1, 0)) /
+                                    rho;
+                    yv1(0, 0) = yv0(0, 0) -
+                                kDt * (p(0, 0) - p(0, -1) + v(0, 0) -
+                                       v(0, -1)) /
+                                    rho;
+                  },
+                  ops::arg(xvel1, ops::S_PT, ops::Acc::W),
+                  ops::arg(yvel1, ops::S_PT, ops::Acc::W),
+                  ops::arg(xvel0, ops::S_PT, ops::Acc::R),
+                  ops::arg(yvel0, ops::S_PT, ops::Acc::R),
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(pressure, s5, ops::Acc::R),
+                  ops::arg(viscosity, s5, ops::Acc::R));
+    update_halo(ctx, grid, xvel1, 1);
+    update_halo(ctx, grid, yvel1, 1);
+
+    // --- face volume fluxes -----------------------------------------------------
+    ops::par_loop(ctx, {"flux_calc", hw::KernelClass::Interior, 8.0}, grid,
+                  interior,
+                  [](A fx, A fy, A xv0, A xv1, A yv0, A yv1) {
+                    fx(0, 0) = 0.25 * kDt * (xv0(0, 0) + xv1(0, 0));
+                    fy(0, 0) = 0.25 * kDt * (yv0(0, 0) + yv1(0, 0));
+                  },
+                  ops::arg(vol_flux_x, ops::S_PT, ops::Acc::W),
+                  ops::arg(vol_flux_y, ops::S_PT, ops::Acc::W),
+                  ops::arg(xvel0, ops::S_PT, ops::Acc::R),
+                  ops::arg(xvel1, ops::S_PT, ops::Acc::R),
+                  ops::arg(yvel0, ops::S_PT, ops::Acc::R),
+                  ops::arg(yvel1, ops::S_PT, ops::Acc::R));
+    update_halo(ctx, grid, vol_flux_x, 1);
+    update_halo(ctx, grid, vol_flux_y, 1);
+
+    // --- donor-cell advection, x then y ------------------------------------------
+    auto advect_cells = [&](D& vol_flux, int dx, int dy, const char* fname,
+                            const char* uname) {
+      ops::par_loop(ctx, {fname, hw::KernelClass::Interior, 14.0}, grid,
+                    interior,
+                    [dx, dy](A mf, A ef, A vf, A d, A e) {
+                      const double f = vf(0, 0);
+                      const int ux = f > 0.0 ? -dx : 0;
+                      const int uy = f > 0.0 ? -dy : 0;
+                      mf(0, 0) = f * d(ux, uy);
+                      ef(0, 0) = f * d(ux, uy) * e(ux, uy);
+                    },
+                    ops::arg(mass_flux, ops::S_PT, ops::Acc::W),
+                    ops::arg(ener_flux, ops::S_PT, ops::Acc::W),
+                    ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
+                    ops::arg(density1, s5, ops::Acc::R),
+                    ops::arg(energy1, s5, ops::Acc::R));
+      update_halo(ctx, grid, mass_flux, 1);
+      update_halo(ctx, grid, ener_flux, 1);
+      ops::par_loop(ctx, {uname, hw::KernelClass::Interior, 16.0}, grid,
+                    interior,
+                    [dx, dy](A d, A e, A mf, A ef) {
+                      const double dm = mf(0, 0) - mf(dx, dy);
+                      const double de = ef(0, 0) - ef(dx, dy);
+                      const double rho_new =
+                          std::max(kRhoFloor, d(0, 0) + dm);
+                      e(0, 0) = (d(0, 0) * e(0, 0) + de) / rho_new;
+                      d(0, 0) = rho_new;
+                    },
+                    ops::arg(density1, ops::S_PT, ops::Acc::RW),
+                    ops::arg(energy1, ops::S_PT, ops::Acc::RW),
+                    ops::arg(mass_flux, s5, ops::Acc::R),
+                    ops::arg(ener_flux, s5, ops::Acc::R));
+    };
+    advect_cells(vol_flux_x, 1, 0, "advec_cell_flux_x", "advec_cell_upd_x");
+    advect_cells(vol_flux_y, 0, 1, "advec_cell_flux_y", "advec_cell_upd_y");
+
+    // --- momentum advection --------------------------------------------------------
+    auto advect_momentum = [&](D& vol_flux, int dx, int dy, const char* fname,
+                               const char* uname) {
+      ops::par_loop(ctx, {fname, hw::KernelClass::Interior, 12.0}, grid,
+                    interior,
+                    [dx, dy](A mf, A vf, A xv, A yv) {
+                      const double f = vf(0, 0);
+                      const int ux = f > 0.0 ? -dx : 0;
+                      const int uy = f > 0.0 ? -dy : 0;
+                      mf.comp(0, 0, 0) = f * xv(ux, uy);
+                      mf.comp(1, 0, 0) = f * yv(ux, uy);
+                    },
+                    ops::arg(mom_flux, ops::S_PT, ops::Acc::W),
+                    ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
+                    ops::arg(xvel1, s5, ops::Acc::R),
+                    ops::arg(yvel1, s5, ops::Acc::R));
+      ops::par_loop(ctx, {uname, hw::KernelClass::Interior, 10.0}, grid,
+                    interior,
+                    [dx, dy](A xv, A yv, A mf) {
+                      xv(0, 0) += mf.comp(0, 0, 0) - mf.comp(0, dx, dy);
+                      yv(0, 0) += mf.comp(1, 0, 0) - mf.comp(1, dx, dy);
+                    },
+                    ops::arg(xvel1, ops::S_PT, ops::Acc::RW),
+                    ops::arg(yvel1, ops::S_PT, ops::Acc::RW),
+                    ops::arg(mom_flux, s5, ops::Acc::R));
+    };
+    advect_momentum(vol_flux_x, 1, 0, "advec_mom_flux_x", "advec_mom_upd_x");
+    advect_momentum(vol_flux_y, 0, 1, "advec_mom_flux_y", "advec_mom_upd_y");
+
+    // --- reset for the next step ------------------------------------------------
+    ops::par_loop(ctx, {"reset_field", hw::KernelClass::Interior, 0.0}, grid,
+                  interior,
+                  [](A d0, A e0, A xv0, A yv0, A d1k, A e1k, A xv1k, A yv1k) {
+                    d0(0, 0) = d1k(0, 0);
+                    e0(0, 0) = e1k(0, 0);
+                    xv0(0, 0) = xv1k(0, 0);
+                    yv0(0, 0) = yv1k(0, 0);
+                  },
+                  ops::arg(density0, ops::S_PT, ops::Acc::W),
+                  ops::arg(energy0, ops::S_PT, ops::Acc::W),
+                  ops::arg(xvel0, ops::S_PT, ops::Acc::W),
+                  ops::arg(yvel0, ops::S_PT, ops::Acc::W),
+                  ops::arg(density1, ops::S_PT, ops::Acc::R),
+                  ops::arg(energy1, ops::S_PT, ops::Acc::R),
+                  ops::arg(xvel1, ops::S_PT, ops::Acc::R),
+                  ops::arg(yvel1, ops::S_PT, ops::Acc::R));
+    update_halo(ctx, grid, density0, 2);
+    update_halo(ctx, grid, energy0, 2);
+    update_halo(ctx, grid, xvel0, 1);
+    update_halo(ctx, grid, yvel0, 1);
+  }
+
+  // --- field summary (mass/energy reductions, once per run) -----------------
+  double mass = 0.0, ie = 0.0;
+  ops::par_loop(ctx, {"field_summary", hw::KernelClass::Reduction, 6.0}, grid,
+                ops::Range::all(grid),
+                [](A d, A e, ops::Reducer<double> m, ops::Reducer<double> en) {
+                  m += d(0, 0);
+                  en += d(0, 0) * e(0, 0);
+                },
+                ops::arg(density0, ops::S_PT, ops::Acc::R),
+                ops::arg(energy0, ops::S_PT, ops::Acc::R),
+                ops::reduce(mass, ops::RedOp::Sum),
+                ops::reduce(ie, ops::RedOp::Sum));
+
+  rs.profiles = std::move(ctx.profiles);
+  if (ctx.executing()) rs.checksum = mass + ie;
+  return rs;
+}
+
+}  // namespace syclport::apps

@@ -1,0 +1,31 @@
+#pragma once
+/// \file cloverleaf2d.hpp
+/// CloverLeaf 2D mini-app (paper §3, item 1): compressible Eulerian
+/// hydrodynamics on a staggered structured grid. Reproduces the
+/// kernel structure that drives CloverLeaf's performance profile: an
+/// EoS kernel, artificial viscosity, a dt reduction, PdV work,
+/// acceleration, flux computation, two-sweep donor-cell advection of
+/// cell and momentum quantities, field reset, per-field halo-update
+/// boundary loops (the launch-latency-sensitive part the paper
+/// dissects), and a field-summary reduction.
+
+#include "apps/common.hpp"
+#include "ops/ops.hpp"
+
+namespace syclport::apps {
+
+/// Paper configuration: 7680^2 cells, 50 iterations, double precision.
+[[nodiscard]] inline ProblemSize cloverleaf2d_paper() {
+  return {{7680, 7680, 1}, 50};
+}
+
+/// Reduced configuration for functional validation runs.
+[[nodiscard]] inline ProblemSize cloverleaf2d_small() {
+  return {{48, 48, 1}, 4};
+}
+
+/// Run the hydro cycle; checksum combines total mass and total energy.
+[[nodiscard]] RunSummary run_cloverleaf2d(const ops::Options& opt,
+                                          ProblemSize ps);
+
+}  // namespace syclport::apps

@@ -1,0 +1,285 @@
+#include "apps/cloverleaf/cloverleaf3d.hpp"
+
+#include <cmath>
+
+namespace syclport::apps {
+
+namespace {
+constexpr double kGamma = 1.4;
+constexpr double kDt = 0.0015;
+constexpr double kRhoFloor = 1e-8;
+
+using D = ops::Dat<double>;
+using A = ops::ACC<double>;
+
+/// Mirror one field into `depth` halo layers on all six faces.
+void update_halo3d(ops::Context& ctx, ops::Block& grid, D& f, int depth) {
+  const long nz = static_cast<long>(grid.size(0));
+  const long ny = static_cast<long>(grid.size(1));
+  const long nx = static_cast<long>(grid.size(2));
+  const ops::Stencil reach{2 * depth, 2 * depth, 2 * depth, 2};
+
+  ops::Range xlo{{0, 0, -depth}, {nz, ny, 0}};
+  ops::par_loop(ctx, {"halo_xlo", hw::KernelClass::Boundary, 0.0}, grid, xlo,
+                [](A a) { a(0, 0, 0) = a(1, 0, 0); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range xhi{{0, 0, nx}, {nz, ny, nx + depth}};
+  ops::par_loop(ctx, {"halo_xhi", hw::KernelClass::Boundary, 0.0}, grid, xhi,
+                [](A a) { a(0, 0, 0) = a(-1, 0, 0); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range ylo{{0, -depth, -depth}, {nz, 0, nx + depth}};
+  ops::par_loop(ctx, {"halo_ylo", hw::KernelClass::Boundary, 0.0}, grid, ylo,
+                [](A a) { a(0, 0, 0) = a(0, 1, 0); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range yhi{{0, ny, -depth}, {nz, ny + depth, nx + depth}};
+  ops::par_loop(ctx, {"halo_yhi", hw::KernelClass::Boundary, 0.0}, grid, yhi,
+                [](A a) { a(0, 0, 0) = a(0, -1, 0); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range zlo{{-depth, -depth, -depth}, {0, ny + depth, nx + depth}};
+  ops::par_loop(ctx, {"halo_zlo", hw::KernelClass::Boundary, 0.0}, grid, zlo,
+                [](A a) { a(0, 0, 0) = a(0, 0, 1); },
+                ops::arg(f, reach, ops::Acc::RW));
+  ops::Range zhi{{nz, -depth, -depth}, {nz + depth, ny + depth, nx + depth}};
+  ops::par_loop(ctx, {"halo_zhi", hw::KernelClass::Boundary, 0.0}, grid, zhi,
+                [](A a) { a(0, 0, 0) = a(0, 0, -1); },
+                ops::arg(f, reach, ops::Acc::RW));
+}
+
+}  // namespace
+
+RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
+  ops::Context ctx(opt);
+  ops::Block grid(ctx, "clover3d", 3, ps.grid);
+  const long nz = static_cast<long>(ps.grid[0]);
+  const long ny = static_cast<long>(ps.grid[1]);
+  const long nx = static_cast<long>(ps.grid[2]);
+
+  D density0(grid, "density0", 1, 2), density1(grid, "density1", 1, 2);
+  D energy0(grid, "energy0", 1, 2), energy1(grid, "energy1", 1, 2);
+  D pressure(grid, "pressure", 1, 2), viscosity(grid, "viscosity", 1, 2);
+  D soundspeed(grid, "soundspeed", 1, 2);
+  D vel0(grid, "vel0", 3, 2), vel1(grid, "vel1", 3, 2);
+  D vol_flux(grid, "vol_flux", 3, 2);
+  D mass_flux(grid, "mass_flux", 1, 2), ener_flux(grid, "ener_flux", 1, 2);
+  D mom_flux(grid, "mom_flux", 3, 2);
+
+  if (ctx.executing()) {
+    for (long k = -2; k < nz + 2; ++k)
+      for (long j = -2; j < ny + 2; ++j)
+        for (long i = -2; i < nx + 2; ++i) {
+          const bool hot = k < nz / 3 && j < ny / 3 && i < nx / 3;
+          density0.at(k, j, i) = hot ? 1.0 : 0.2;
+          energy0.at(k, j, i) = hot ? 2.5 : 1.0;
+        }
+  }
+
+  const ops::Range interior = ops::Range::all(grid);
+  const ops::Stencil s7{1, 1, 1, 7};
+  const ops::Stencil face{1, 1, 1, 8};
+
+  for (int step = 0; step < ps.iters; ++step) {
+    ops::par_loop(ctx, {"ideal_gas", hw::KernelClass::Interior, 9.0}, grid,
+                  interior,
+                  [](A d, A e, A p, A ss) {
+                    const double rho = std::max(kRhoFloor, d(0, 0, 0));
+                    p(0, 0, 0) = (kGamma - 1.0) * rho * e(0, 0, 0);
+                    ss(0, 0, 0) = std::sqrt(kGamma * p(0, 0, 0) / rho);
+                  },
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(energy0, ops::S_PT, ops::Acc::R),
+                  ops::arg(pressure, ops::S_PT, ops::Acc::W),
+                  ops::arg(soundspeed, ops::S_PT, ops::Acc::W));
+    update_halo3d(ctx, grid, pressure, 1);
+
+    ops::par_loop(ctx, {"viscosity", hw::KernelClass::Interior, 30.0}, grid,
+                  interior,
+                  [](A visc, A d, A v) {
+                    const double div = (v.comp(0, 1, 0, 0) - v.comp(0, 0, 0, 0)) +
+                                       (v.comp(1, 0, 1, 0) - v.comp(1, 0, 0, 0)) +
+                                       (v.comp(2, 0, 0, 1) - v.comp(2, 0, 0, 0));
+                    visc(0, 0, 0) =
+                        div < 0.0 ? 2.0 * d(0, 0, 0) * div * div : 0.0;
+                  },
+                  ops::arg(viscosity, ops::S_PT, ops::Acc::W),
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(vel0, face, ops::Acc::R));
+    update_halo3d(ctx, grid, viscosity, 1);
+
+    double dt_min = 1e30;
+    ops::par_loop(ctx, {"calc_dt", hw::KernelClass::Reduction, 16.0}, grid,
+                  interior,
+                  [](A ss, A v, ops::Reducer<double> r) {
+                    const double speed = ss(0, 0, 0) +
+                                         std::fabs(v.comp(0, 0, 0, 0)) +
+                                         std::fabs(v.comp(1, 0, 0, 0)) +
+                                         std::fabs(v.comp(2, 0, 0, 0));
+                    r.combine(1.0 / std::max(1e-12, speed));
+                  },
+                  ops::arg(soundspeed, ops::S_PT, ops::Acc::R),
+                  ops::arg(vel0, ops::S_PT, ops::Acc::R),
+                  ops::reduce(dt_min, ops::RedOp::Min));
+
+    ops::par_loop(ctx, {"pdv", hw::KernelClass::Interior, 32.0}, grid,
+                  interior,
+                  [](A d1k, A e1k, A d0, A e0, A p, A vc, A v) {
+                    const double div = (v.comp(0, 1, 0, 0) - v.comp(0, 0, 0, 0)) +
+                                       (v.comp(1, 0, 1, 0) - v.comp(1, 0, 0, 0)) +
+                                       (v.comp(2, 0, 0, 1) - v.comp(2, 0, 0, 0));
+                    const double rho = std::max(kRhoFloor, d0(0, 0, 0));
+                    d1k(0, 0, 0) = rho / (1.0 + kDt * div);
+                    e1k(0, 0, 0) = e0(0, 0, 0) -
+                                   kDt * (p(0, 0, 0) + vc(0, 0, 0)) * div / rho;
+                  },
+                  ops::arg(density1, ops::S_PT, ops::Acc::W),
+                  ops::arg(energy1, ops::S_PT, ops::Acc::W),
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(energy0, ops::S_PT, ops::Acc::R),
+                  ops::arg(pressure, ops::S_PT, ops::Acc::R),
+                  ops::arg(viscosity, ops::S_PT, ops::Acc::R),
+                  ops::arg(vel0, face, ops::Acc::R));
+
+    ops::par_loop(ctx, {"accelerate", hw::KernelClass::Interior, 30.0}, grid,
+                  interior,
+                  [](A v1, A v0, A d, A p, A vc) {
+                    const double rho = std::max(kRhoFloor, d(0, 0, 0));
+                    v1.comp(0, 0, 0, 0) =
+                        v0.comp(0, 0, 0, 0) -
+                        kDt * (p(0, 0, 0) - p(-1, 0, 0) + vc(0, 0, 0) -
+                               vc(-1, 0, 0)) /
+                            rho;
+                    v1.comp(1, 0, 0, 0) =
+                        v0.comp(1, 0, 0, 0) -
+                        kDt * (p(0, 0, 0) - p(0, -1, 0) + vc(0, 0, 0) -
+                               vc(0, -1, 0)) /
+                            rho;
+                    v1.comp(2, 0, 0, 0) =
+                        v0.comp(2, 0, 0, 0) -
+                        kDt * (p(0, 0, 0) - p(0, 0, -1) + vc(0, 0, 0) -
+                               vc(0, 0, -1)) /
+                            rho;
+                  },
+                  ops::arg(vel1, ops::S_PT, ops::Acc::W),
+                  ops::arg(vel0, ops::S_PT, ops::Acc::R),
+                  ops::arg(density0, ops::S_PT, ops::Acc::R),
+                  ops::arg(pressure, s7, ops::Acc::R),
+                  ops::arg(viscosity, s7, ops::Acc::R));
+    update_halo3d(ctx, grid, vel1, 1);
+
+    ops::par_loop(ctx, {"flux_calc", hw::KernelClass::Interior, 9.0}, grid,
+                  interior,
+                  [](A f, A v0, A v1) {
+                    for (int c = 0; c < 3; ++c)
+                      f.comp(c, 0, 0, 0) =
+                          0.25 * kDt *
+                          (v0.comp(c, 0, 0, 0) + v1.comp(c, 0, 0, 0));
+                  },
+                  ops::arg(vol_flux, ops::S_PT, ops::Acc::W),
+                  ops::arg(vel0, ops::S_PT, ops::Acc::R),
+                  ops::arg(vel1, ops::S_PT, ops::Acc::R));
+    update_halo3d(ctx, grid, vol_flux, 1);
+
+    // Directional advection sweeps (x, y, z): donor-cell fluxes then
+    // a pointwise update; same two-kernel structure as 2D.
+    auto advect = [&](int c, int dx, int dy, int dz, const char* fname,
+                      const char* uname, const char* mname,
+                      const char* vname) {
+      ops::par_loop(ctx, {fname, hw::KernelClass::Interior, 16.0}, grid,
+                    interior,
+                    [c, dx, dy, dz](A mf, A ef, A vf, A d, A e) {
+                      const double f = vf.comp(c, 0, 0, 0);
+                      const int ux = f > 0.0 ? -dx : 0;
+                      const int uy = f > 0.0 ? -dy : 0;
+                      const int uz = f > 0.0 ? -dz : 0;
+                      mf(0, 0, 0) = f * d(ux, uy, uz);
+                      ef(0, 0, 0) = f * d(ux, uy, uz) * e(ux, uy, uz);
+                    },
+                    ops::arg(mass_flux, ops::S_PT, ops::Acc::W),
+                    ops::arg(ener_flux, ops::S_PT, ops::Acc::W),
+                    ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
+                    ops::arg(density1, s7, ops::Acc::R),
+                    ops::arg(energy1, s7, ops::Acc::R));
+      update_halo3d(ctx, grid, mass_flux, 1);
+      update_halo3d(ctx, grid, ener_flux, 1);
+      ops::par_loop(ctx, {uname, hw::KernelClass::Interior, 18.0}, grid,
+                    interior,
+                    [dx, dy, dz](A d, A e, A mf, A ef) {
+                      const double dm = mf(0, 0, 0) - mf(dx, dy, dz);
+                      const double de = ef(0, 0, 0) - ef(dx, dy, dz);
+                      const double rho_new =
+                          std::max(kRhoFloor, d(0, 0, 0) + dm);
+                      e(0, 0, 0) = (d(0, 0, 0) * e(0, 0, 0) + de) / rho_new;
+                      d(0, 0, 0) = rho_new;
+                    },
+                    ops::arg(density1, ops::S_PT, ops::Acc::RW),
+                    ops::arg(energy1, ops::S_PT, ops::Acc::RW),
+                    ops::arg(mass_flux, s7, ops::Acc::R),
+                    ops::arg(ener_flux, s7, ops::Acc::R));
+      // Momentum advection for all three components in this direction.
+      ops::par_loop(ctx, {mname, hw::KernelClass::Interior, 14.0}, grid,
+                    interior,
+                    [c, dx, dy, dz](A mf, A vf, A v) {
+                      const double f = vf.comp(c, 0, 0, 0);
+                      const int ux = f > 0.0 ? -dx : 0;
+                      const int uy = f > 0.0 ? -dy : 0;
+                      const int uz = f > 0.0 ? -dz : 0;
+                      for (int q = 0; q < 3; ++q)
+                        mf.comp(q, 0, 0, 0) = f * v.comp(q, ux, uy, uz);
+                    },
+                    ops::arg(mom_flux, ops::S_PT, ops::Acc::W),
+                    ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
+                    ops::arg(vel1, s7, ops::Acc::R));
+      ops::par_loop(ctx, {vname, hw::KernelClass::Interior, 9.0}, grid,
+                    interior,
+                    [dx, dy, dz](A v, A mf) {
+                      for (int q = 0; q < 3; ++q)
+                        v.comp(q, 0, 0, 0) +=
+                            mf.comp(q, 0, 0, 0) - mf.comp(q, dx, dy, dz);
+                    },
+                    ops::arg(vel1, ops::S_PT, ops::Acc::RW),
+                    ops::arg(mom_flux, s7, ops::Acc::R));
+    };
+    advect(0, 1, 0, 0, "advec_cell_flux_x", "advec_cell_upd_x",
+           "advec_mom_flux_x", "advec_mom_upd_x");
+    advect(1, 0, 1, 0, "advec_cell_flux_y", "advec_cell_upd_y",
+           "advec_mom_flux_y", "advec_mom_upd_y");
+    advect(2, 0, 0, 1, "advec_cell_flux_z", "advec_cell_upd_z",
+           "advec_mom_flux_z", "advec_mom_upd_z");
+
+    ops::par_loop(ctx, {"reset_field", hw::KernelClass::Interior, 0.0}, grid,
+                  interior,
+                  [](A d0, A e0, A v0, A d1k, A e1k, A v1k) {
+                    d0(0, 0, 0) = d1k(0, 0, 0);
+                    e0(0, 0, 0) = e1k(0, 0, 0);
+                    for (int q = 0; q < 3; ++q)
+                      v0.comp(q, 0, 0, 0) = v1k.comp(q, 0, 0, 0);
+                  },
+                  ops::arg(density0, ops::S_PT, ops::Acc::W),
+                  ops::arg(energy0, ops::S_PT, ops::Acc::W),
+                  ops::arg(vel0, ops::S_PT, ops::Acc::W),
+                  ops::arg(density1, ops::S_PT, ops::Acc::R),
+                  ops::arg(energy1, ops::S_PT, ops::Acc::R),
+                  ops::arg(vel1, ops::S_PT, ops::Acc::R));
+    update_halo3d(ctx, grid, density0, 2);
+    update_halo3d(ctx, grid, energy0, 2);
+    update_halo3d(ctx, grid, vel0, 1);
+  }
+
+  double mass = 0.0, ie = 0.0;
+  ops::par_loop(ctx, {"field_summary", hw::KernelClass::Reduction, 6.0}, grid,
+                ops::Range::all(grid),
+                [](A d, A e, ops::Reducer<double> m, ops::Reducer<double> en) {
+                  m += d(0, 0, 0);
+                  en += d(0, 0, 0) * e(0, 0, 0);
+                },
+                ops::arg(density0, ops::S_PT, ops::Acc::R),
+                ops::arg(energy0, ops::S_PT, ops::Acc::R),
+                ops::reduce(mass, ops::RedOp::Sum),
+                ops::reduce(ie, ops::RedOp::Sum));
+
+  RunSummary rs;
+  rs.profiles = std::move(ctx.profiles);
+  if (ctx.executing()) rs.checksum = mass + ie;
+  return rs;
+}
+
+}  // namespace syclport::apps

@@ -1,0 +1,35 @@
+#pragma once
+/// \file common.hpp
+/// Shared vocabulary of the benchmark applications: problem sizes, run
+/// summaries, and the registry the study harness sweeps over.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "hwmodel/loop_profile.hpp"
+
+namespace syclport::apps {
+
+/// A problem instance: grid extents (slowest dim first; unused dims 1)
+/// and time iterations.
+struct ProblemSize {
+  std::array<std::size_t, 3> grid{1, 1, 1};
+  int iters = 1;
+};
+
+/// Everything one application run yields: a validation checksum from
+/// the functional execution (0 in ModelOnly runs) and the par_loop
+/// profiles in program order, covering all iterations.
+struct RunSummary {
+  double checksum = 0.0;
+  std::vector<hw::LoopProfile> profiles;
+
+  [[nodiscard]] double useful_bytes() const {
+    double s = 0.0;
+    for (const auto& p : profiles) s += p.total_bytes();
+    return s;
+  }
+};
+
+}  // namespace syclport::apps

@@ -1,0 +1,109 @@
+#include "apps/mgcfd/mesh.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace syclport::apps::mgcfd {
+
+namespace {
+
+constexpr double kInnerRadius = 0.4;
+constexpr double kOuterRadius = 1.0;
+constexpr double kSectorAngle = 0.9;  // radians
+constexpr double kSpanLength = 0.8;
+
+std::size_t node_id(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t nj, std::size_t nk) {
+  return (i * nj + j) * nk + k;
+}
+
+Level build_level(std::size_t ni, std::size_t nj, std::size_t nk,
+                  const std::string& tag) {
+  Level lvl;
+  lvl.dims = {ni, nj, nk};
+  const std::size_t nnodes = ni * nj * nk;
+
+  // Count edges: 3 axis neighbours + 2 in-plane diagonals.
+  std::size_t nedges = 0;
+  nedges += (ni - 1) * nj * nk;                    // radial
+  nedges += ni * (nj - 1) * nk;                    // tangential
+  nedges += ni * nj * (nk - 1);                    // axial
+  nedges += (ni - 1) * (nj - 1) * nk * 2;          // diagonals
+
+  lvl.nodes = std::make_unique<op2::Set>("nodes_" + tag, nnodes);
+  lvl.edges = std::make_unique<op2::Set>("edges_" + tag, nedges);
+  lvl.e2n = std::make_unique<op2::Map>(*lvl.edges, *lvl.nodes, 2, "e2n_" + tag);
+
+  lvl.coords.resize(nnodes);
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t j = 0; j < nj; ++j)
+      for (std::size_t k = 0; k < nk; ++k) {
+        const double r = kInnerRadius + (kOuterRadius - kInnerRadius) *
+                                            static_cast<double>(i) /
+                                            static_cast<double>(ni > 1 ? ni - 1 : 1);
+        const double th = kSectorAngle * static_cast<double>(j) /
+                          static_cast<double>(nj > 1 ? nj - 1 : 1);
+        const double z = kSpanLength * static_cast<double>(k) /
+                         static_cast<double>(nk > 1 ? nk - 1 : 1);
+        lvl.coords[node_id(i, j, k, nj, nk)] = {r * std::cos(th),
+                                                r * std::sin(th), z};
+      }
+
+  // Edges in node-major order: consecutive edges share nodes, the
+  // "good ordering" that gives the atomics strategy its locality.
+  std::size_t e = 0;
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    lvl.e2n->at(e, 0) = static_cast<int>(a);
+    lvl.e2n->at(e, 1) = static_cast<int>(b);
+    ++e;
+  };
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t j = 0; j < nj; ++j)
+      for (std::size_t k = 0; k < nk; ++k) {
+        const std::size_t n = node_id(i, j, k, nj, nk);
+        if (k + 1 < nk) add_edge(n, node_id(i, j, k + 1, nj, nk));
+        if (j + 1 < nj) add_edge(n, node_id(i, j + 1, k, nj, nk));
+        if (i + 1 < ni) add_edge(n, node_id(i + 1, j, k, nj, nk));
+        if (i + 1 < ni && j + 1 < nj)
+          add_edge(n, node_id(i + 1, j + 1, k, nj, nk));
+        if (i + 1 < ni && j > 0) add_edge(n, node_id(i + 1, j - 1, k, nj, nk));
+      }
+  lvl.e2n->check();
+  return lvl;
+}
+
+}  // namespace
+
+MultigridMesh build_rotor_mesh(std::size_t ni, std::size_t nj, std::size_t nk,
+                               int nlevels) {
+  MultigridMesh mesh;
+  std::array<std::size_t, 3> d{ni, nj, nk};
+  for (int l = 0; l < nlevels; ++l) {
+    mesh.levels.push_back(build_level(d[0], d[1], d[2], std::to_string(l)));
+    if (l + 1 < nlevels) {
+      for (auto& v : d) v = std::max<std::size_t>(2, (v + 1) / 2);
+    }
+  }
+  // Fine-to-coarse maps: fine node (i,j,k) -> coarse (i/2, j/2, k/2).
+  for (int l = 1; l < nlevels; ++l) {
+    Level& fine = mesh.levels[static_cast<std::size_t>(l - 1)];
+    Level& coarse = mesh.levels[static_cast<std::size_t>(l)];
+    coarse.from_fine = std::make_unique<op2::Map>(
+        *fine.nodes, *coarse.nodes, 1, "f2c_" + std::to_string(l));
+    const auto [fi, fj, fk] = fine.dims;
+    const auto [ci, cj, ck] = coarse.dims;
+    for (std::size_t i = 0; i < fi; ++i)
+      for (std::size_t j = 0; j < fj; ++j)
+        for (std::size_t k = 0; k < fk; ++k) {
+          const std::size_t a = std::min(ci - 1, i / 2);
+          const std::size_t b = std::min(cj - 1, j / 2);
+          const std::size_t c = std::min(ck - 1, k / 2);
+          coarse.from_fine->at(node_id(i, j, k, fj, fk), 0) =
+              static_cast<int>(node_id(a, b, c, cj, ck));
+        }
+    coarse.from_fine->check();
+  }
+  return mesh;
+}
+
+}  // namespace syclport::apps::mgcfd

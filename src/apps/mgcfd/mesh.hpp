@@ -1,0 +1,48 @@
+#pragma once
+/// \file mesh.hpp
+/// Synthetic "rotor-like" unstructured mesh with a multigrid hierarchy.
+/// The paper's MG-CFD case is NASA Rotor37 (8M vertices), which is not
+/// redistributable; this generator produces the same *structural*
+/// workload (DESIGN.md §2): an extruded annulus sector of nodes with
+/// edge connectivity of degree ~14 (axial/radial/tangential plus
+/// in-plane diagonals, like a prismatic CFD mesh), lexicographic
+/// numbering (the "good mesh ordering" the atomics strategy relies on),
+/// and per-level coarsening maps for the multigrid proxy.
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "op2/op2.hpp"
+
+namespace syclport::apps::mgcfd {
+
+struct Level {
+  std::array<std::size_t, 3> dims{};  ///< (radial, tangential, axial) nodes
+  std::unique_ptr<op2::Set> nodes;
+  std::unique_ptr<op2::Set> edges;
+  std::unique_ptr<op2::Map> e2n;  ///< edges -> 2 nodes
+  /// For levels > 0: map from the *finer* level's nodes to this level's
+  /// nodes (arity 1), used by restrict/prolong.
+  std::unique_ptr<op2::Map> from_fine;
+  std::vector<std::array<double, 3>> coords;  ///< node positions
+};
+
+struct MultigridMesh {
+  std::vector<Level> levels;  ///< [0] finest
+
+  [[nodiscard]] std::size_t fine_nodes() const {
+    return levels.front().nodes->size();
+  }
+  [[nodiscard]] std::size_t fine_edges() const {
+    return levels.front().edges->size();
+  }
+};
+
+/// Build the hierarchy: level 0 has (ni x nj x nk) nodes; each coarser
+/// level halves every dimension (minimum 2). All maps are validated.
+[[nodiscard]] MultigridMesh build_rotor_mesh(std::size_t ni, std::size_t nj,
+                                             std::size_t nk, int nlevels = 3);
+
+}  // namespace syclport::apps::mgcfd

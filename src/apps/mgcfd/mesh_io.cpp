@@ -1,0 +1,127 @@
+#include "apps/mgcfd/mesh_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace syclport::apps::mgcfd {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("mesh_io: " + path + ": " + what);
+}
+
+/// Next non-comment, non-empty line.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_mesh(const std::string& path, const MultigridMesh& mesh) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out.precision(17);  // round-trip exact doubles
+  out << "syclport-mesh 1\n";
+  out << "levels " << mesh.levels.size() << "\n";
+  for (std::size_t l = 0; l < mesh.levels.size(); ++l) {
+    const Level& lvl = mesh.levels[l];
+    out << "level " << l << " dims " << lvl.dims[0] << " " << lvl.dims[1]
+        << " " << lvl.dims[2] << " nodes " << lvl.nodes->size() << " edges "
+        << lvl.edges->size() << " arity " << lvl.e2n->arity() << "\n";
+    for (const auto& c : lvl.coords)
+      out << c[0] << " " << c[1] << " " << c[2] << "\n";
+    for (std::size_t e = 0; e < lvl.edges->size(); ++e) {
+      for (int i = 0; i < lvl.e2n->arity(); ++i)
+        out << lvl.e2n->at(e, i) << (i + 1 == lvl.e2n->arity() ? "\n" : " ");
+    }
+    if (l > 0) {
+      const auto& f2c = *lvl.from_fine;
+      out << "fromfine " << f2c.from().size() << "\n";
+      for (std::size_t n = 0; n < f2c.from().size(); ++n)
+        out << f2c.at(n, 0) << "\n";
+    }
+  }
+  if (!out) fail(path, "write error");
+}
+
+MultigridMesh load_mesh(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::string line, word;
+
+  if (!next_line(in, line) || line.rfind("syclport-mesh 1", 0) != 0)
+    fail(path, "bad magic (expected 'syclport-mesh 1')");
+  if (!next_line(in, line)) fail(path, "missing levels header");
+  std::size_t nlevels = 0;
+  {
+    std::istringstream ss(line);
+    ss >> word >> nlevels;
+    if (word != "levels" || nlevels == 0) fail(path, "bad levels header");
+  }
+
+  MultigridMesh mesh;
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    if (!next_line(in, line)) fail(path, "missing level header");
+    std::istringstream ss(line);
+    std::size_t idx = 0, nnodes = 0, nedges = 0;
+    int arity = 0;
+    std::array<std::size_t, 3> dims{};
+    std::string w_level, w_dims, w_nodes, w_edges, w_arity;
+    ss >> w_level >> idx >> w_dims >> dims[0] >> dims[1] >> dims[2] >>
+        w_nodes >> nnodes >> w_edges >> nedges >> w_arity >> arity;
+    if (w_level != "level" || idx != l || w_nodes != "nodes" ||
+        w_edges != "edges" || arity < 1)
+      fail(path, "bad level header at level " + std::to_string(l));
+
+    Level lvl;
+    lvl.dims = dims;
+    lvl.nodes = std::make_unique<op2::Set>("nodes_" + std::to_string(l),
+                                           nnodes);
+    lvl.edges = std::make_unique<op2::Set>("edges_" + std::to_string(l),
+                                           nedges);
+    lvl.e2n = std::make_unique<op2::Map>(*lvl.edges, *lvl.nodes, arity,
+                                         "e2n_" + std::to_string(l));
+    lvl.coords.resize(nnodes);
+    for (std::size_t n = 0; n < nnodes; ++n) {
+      if (!next_line(in, line)) fail(path, "truncated coords");
+      std::istringstream cs(line);
+      if (!(cs >> lvl.coords[n][0] >> lvl.coords[n][1] >> lvl.coords[n][2]))
+        fail(path, "bad coord line");
+    }
+    for (std::size_t e = 0; e < nedges; ++e) {
+      if (!next_line(in, line)) fail(path, "truncated edges");
+      std::istringstream es(line);
+      for (int i = 0; i < arity; ++i)
+        if (!(es >> lvl.e2n->at(e, i))) fail(path, "bad edge line");
+    }
+    lvl.e2n->check();
+
+    if (l > 0) {
+      if (!next_line(in, line)) fail(path, "missing fromfine header");
+      std::istringstream fs(line);
+      std::size_t nfine = 0;
+      fs >> word >> nfine;
+      const std::size_t expect = mesh.levels[l - 1].nodes->size();
+      if (word != "fromfine" || nfine != expect)
+        fail(path, "bad fromfine header");
+      lvl.from_fine = std::make_unique<op2::Map>(
+          *mesh.levels[l - 1].nodes, *lvl.nodes, 1,
+          "f2c_" + std::to_string(l));
+      for (std::size_t n = 0; n < nfine; ++n) {
+        if (!next_line(in, line)) fail(path, "truncated fromfine");
+        std::istringstream ms(line);
+        if (!(ms >> lvl.from_fine->at(n, 0))) fail(path, "bad fromfine line");
+      }
+      lvl.from_fine->check();
+    }
+    mesh.levels.push_back(std::move(lvl));
+  }
+  return mesh;
+}
+
+}  // namespace syclport::apps::mgcfd

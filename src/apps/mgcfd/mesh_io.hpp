@@ -1,0 +1,29 @@
+#pragma once
+/// \file mesh_io.hpp
+/// Plain-text mesh serialization for the MG-CFD hierarchy, so meshes
+/// can be generated once, inspected, versioned and reloaded - the
+/// stand-in for reading the NASA Rotor37 case from disk, with the same
+/// downstream code path (DESIGN.md §2).
+///
+/// Format (line oriented, '#' comments allowed at line starts):
+///   syclport-mesh 1
+///   levels <L>
+///   level <l> dims <ni> <nj> <nk> nodes <N> edges <E> arity <A>
+///   <N lines: x y z>
+///   <E lines: A node ids>
+///   [for l > 0] fromfine <Nfine>
+///   <Nfine lines: coarse node id>
+
+#include <string>
+
+#include "apps/mgcfd/mesh.hpp"
+
+namespace syclport::apps::mgcfd {
+
+/// Write the full hierarchy; throws std::runtime_error on I/O failure.
+void save_mesh(const std::string& path, const MultigridMesh& mesh);
+
+/// Read a hierarchy written by save_mesh; validates all maps.
+[[nodiscard]] MultigridMesh load_mesh(const std::string& path);
+
+}  // namespace syclport::apps::mgcfd

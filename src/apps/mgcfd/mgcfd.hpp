@@ -1,0 +1,46 @@
+#pragma once
+/// \file mgcfd.hpp
+/// MG-CFD proxy (paper §3, item 5): unstructured-mesh finite-volume
+/// Euler solver with a multigrid proxy, modelled on the Rolls-Royce
+/// Hydra mini-app of Owenson et al. Per V-cycle iteration and level:
+/// a step-factor kernel (direct), an edge-based Rusanov flux kernel
+/// (indirect gather + INC scatter - the loop whose race resolution the
+/// strategies compete on), a time-step update, and restrict/prolong
+/// transfers between levels; plus a residual-RMS reduction.
+
+#include "apps/common.hpp"
+#include "apps/mgcfd/mesh.hpp"
+#include "op2/op2.hpp"
+
+namespace syclport::apps {
+
+struct MgcfdConfig {
+  std::size_t ni = 48, nj = 40, nk = 32;  ///< fine-level node grid
+  int levels = 3;
+  int iters = 25;
+};
+
+/// The paper's case: Rotor37, 8M vertices, 25 iterations (model-only
+/// scale; see DESIGN.md §2 on the mesh substitution).
+[[nodiscard]] inline MgcfdConfig mgcfd_paper() {
+  return {250, 200, 160, 3, 25};
+}
+
+/// Benchmark-scale mesh: executable on one core in seconds; large
+/// enough (~143k nodes, ~6 MB indirect footprint) that the measured
+/// gather reuse profile covers every platform's rescaled cache point.
+[[nodiscard]] inline MgcfdConfig mgcfd_bench() { return {64, 56, 40, 3, 25}; }
+
+/// Reduced configuration for functional validation runs.
+[[nodiscard]] inline MgcfdConfig mgcfd_small() { return {10, 8, 6, 3, 2}; }
+
+/// Run MG-CFD on a prebuilt mesh; checksum is total mass on the fine
+/// level (conserved by the flux kernel up to rounding).
+[[nodiscard]] RunSummary run_mgcfd(const op2::Options& opt,
+                                   mgcfd::MultigridMesh& mesh, int iters);
+
+/// Convenience: build the mesh for `cfg` and run.
+[[nodiscard]] RunSummary run_mgcfd(const op2::Options& opt,
+                                   const MgcfdConfig& cfg);
+
+}  // namespace syclport::apps

@@ -1,0 +1,227 @@
+#include "apps/opensbli/opensbli.hpp"
+
+#include <cmath>
+
+namespace syclport::apps {
+
+namespace {
+
+// State component indices (5-component dat).
+constexpr int RHO = 0, U = 1, V = 2, W = 3, P = 4;
+constexpr double kGamma = 1.4;
+constexpr double kDt = 0.004;
+constexpr double kEps = 0.05;  // artificial dissipation coefficient
+
+/// 4th-order central first derivative: (8(f+1 - f-1) - (f+2 - f-2)) / 12.
+template <typename Acc>
+double d1(const Acc& s, int c, int dx, int dy, int dz) {
+  return (8.0 * (s.comp(c, dx, dy, dz) - s.comp(c, -dx, -dy, -dz)) -
+          (s.comp(c, 2 * dx, 2 * dy, 2 * dz) -
+           s.comp(c, -2 * dx, -2 * dy, -2 * dz))) /
+         12.0;
+}
+
+/// Residual of the non-conservative compressible equations given the
+/// three directional gradients (g?[var] = d var / d dir) plus a 6-point
+/// dissipation stencil on the state.
+template <typename AccR, typename AccS>
+void residual_from_grads(const AccR& r, const AccS& s, const double gx[5],
+                         const double gy[5], const double gz[5]) {
+  const double rho = s.comp(RHO, 0, 0, 0);
+  const double u = s.comp(U, 0, 0, 0), v = s.comp(V, 0, 0, 0),
+               w = s.comp(W, 0, 0, 0);
+  const double p = s.comp(P, 0, 0, 0);
+  const double div = gx[U] + gy[V] + gz[W];
+  auto adv = [&](int c) { return u * gx[c] + v * gy[c] + w * gz[c]; };
+  auto diss = [&](int c) {
+    return kEps * (s.comp(c, 1, 0, 0) + s.comp(c, -1, 0, 0) +
+                   s.comp(c, 0, 1, 0) + s.comp(c, 0, -1, 0) +
+                   s.comp(c, 0, 0, 1) + s.comp(c, 0, 0, -1) -
+                   6.0 * s.comp(c, 0, 0, 0));
+  };
+  r.comp(RHO, 0, 0, 0) = -adv(RHO) - rho * div + diss(RHO);
+  r.comp(U, 0, 0, 0) = -adv(U) - gx[P] / rho + diss(U);
+  r.comp(V, 0, 0, 0) = -adv(V) - gy[P] / rho + diss(V);
+  r.comp(W, 0, 0, 0) = -adv(W) - gz[P] / rho + diss(W);
+  r.comp(P, 0, 0, 0) = -adv(P) - kGamma * p * div + diss(P);
+}
+
+RunSummary run_opensbli(const ops::Options& opt, ProblemSize ps,
+                        bool store_all, int rk_stages) {
+  ops::Context ctx(opt);
+  ops::Block grid(ctx, "opensbli", 3, ps.grid);
+  ops::Dat<double> state(grid, "state", 5, 2);
+  ops::Dat<double> state0(grid, "state0", 5, 0);  // RK3 stage base
+  ops::Dat<double> res(grid, "res", 5, 0);
+  // Store-All work arrays: one 5-component gradient dat per direction.
+  ops::Dat<double> gradx(grid, "gradx", 5, 0);
+  ops::Dat<double> grady(grid, "grady", 5, 0);
+  ops::Dat<double> gradz(grid, "gradz", 5, 0);
+
+  const long nz = static_cast<long>(ps.grid[0]);
+  const long ny = static_cast<long>(ps.grid[1]);
+  const long nx = static_cast<long>(ps.grid[2]);
+
+  if (ctx.executing()) {
+    // Smooth pressure/density pulse at rest (halos included so the
+    // central stencils see consistent data without explicit BC loops).
+    for (long k = -2; k < nz + 2; ++k)
+      for (long j = -2; j < ny + 2; ++j)
+        for (long i = -2; i < nx + 2; ++i) {
+          const double z = (static_cast<double>(k) / nz - 0.5);
+          const double y = (static_cast<double>(j) / ny - 0.5);
+          const double x = (static_cast<double>(i) / nx - 0.5);
+          const double bump = 0.1 * std::exp(-40.0 * (x * x + y * y + z * z));
+          state.at(k, j, i, RHO) = 1.0 + bump;
+          state.at(k, j, i, U) = 0.0;
+          state.at(k, j, i, V) = 0.0;
+          state.at(k, j, i, W) = 0.0;
+          state.at(k, j, i, P) = 1.0 + bump;
+        }
+  }
+
+  const ops::Range interior = ops::Range::all(grid);
+  const ops::Stencil sx{2, 0, 0, 5}, sy{0, 2, 0, 5}, sz{0, 0, 2, 5};
+
+  // One residual evaluation (SA: derivative sweeps + pointwise residual;
+  // SN: fused recompute). Factored so RK3 can call it per stage.
+  auto eval_residual = [&] {
+    if (store_all) {
+      // Three derivative sweeps, each storing 5 gradient components.
+      ops::par_loop(ctx, {"sbli_deriv_x", hw::KernelClass::Interior, 30.0},
+                    grid, interior,
+                    [](ops::ACC<double> g, ops::ACC<double> s) {
+                      for (int c = 0; c < 5; ++c)
+                        g.comp(c, 0, 0, 0) = d1(s, c, 1, 0, 0);
+                    },
+                    ops::arg(gradx, ops::S_PT, ops::Acc::W),
+                    ops::arg(state, sx, ops::Acc::R));
+      ops::par_loop(ctx, {"sbli_deriv_y", hw::KernelClass::Interior, 30.0},
+                    grid, interior,
+                    [](ops::ACC<double> g, ops::ACC<double> s) {
+                      for (int c = 0; c < 5; ++c)
+                        g.comp(c, 0, 0, 0) = d1(s, c, 0, 1, 0);
+                    },
+                    ops::arg(grady, ops::S_PT, ops::Acc::W),
+                    ops::arg(state, sy, ops::Acc::R));
+      ops::par_loop(ctx, {"sbli_deriv_z", hw::KernelClass::Interior, 30.0},
+                    grid, interior,
+                    [](ops::ACC<double> g, ops::ACC<double> s) {
+                      for (int c = 0; c < 5; ++c)
+                        g.comp(c, 0, 0, 0) = d1(s, c, 0, 0, 1);
+                    },
+                    ops::arg(gradz, ops::S_PT, ops::Acc::W),
+                    ops::arg(state, sz, ops::Acc::R));
+      // Pointwise residual from the stored gradients.
+      ops::par_loop(ctx, {"sbli_residual_sa", hw::KernelClass::Interior, 75.0},
+                    grid, interior,
+                    [](ops::ACC<double> r, ops::ACC<double> s,
+                       ops::ACC<double> gx, ops::ACC<double> gy,
+                       ops::ACC<double> gz) {
+                      double ax[5], ay[5], az[5];
+                      for (int c = 0; c < 5; ++c) {
+                        ax[c] = gx.comp(c, 0, 0, 0);
+                        ay[c] = gy.comp(c, 0, 0, 0);
+                        az[c] = gz.comp(c, 0, 0, 0);
+                      }
+                      residual_from_grads(r, s, ax, ay, az);
+                    },
+                    ops::arg(res, ops::S_PT, ops::Acc::W),
+                    ops::arg(state, ops::star(1, 3), ops::Acc::R),
+                    ops::arg(gradx, ops::S_PT, ops::Acc::R),
+                    ops::arg(grady, ops::S_PT, ops::Acc::R),
+                    ops::arg(gradz, ops::S_PT, ops::Acc::R));
+    } else {
+      // Store-None: recompute every derivative in one fused kernel.
+      ops::par_loop(ctx, {"sbli_residual_sn", hw::KernelClass::Interior, 190.0},
+                    grid, interior,
+                    [](ops::ACC<double> r, ops::ACC<double> s) {
+                      double ax[5], ay[5], az[5];
+                      for (int c = 0; c < 5; ++c) {
+                        ax[c] = d1(s, c, 1, 0, 0);
+                        ay[c] = d1(s, c, 0, 1, 0);
+                        az[c] = d1(s, c, 0, 0, 1);
+                      }
+                      residual_from_grads(r, s, ax, ay, az);
+                    },
+                    ops::arg(res, ops::S_PT, ops::Acc::W),
+                    ops::arg(state, ops::star(2, 3), ops::Acc::R));
+    }
+
+  };
+
+  for (int t = 0; t < ps.iters; ++t) {
+    if (rk_stages == 1) {
+      eval_residual();
+      // Forward-Euler update of the five state components.
+      ops::par_loop(ctx, {"sbli_update", hw::KernelClass::Interior, 10.0},
+                    grid, interior,
+                    [](ops::ACC<double> s, ops::ACC<double> r) {
+                      for (int c = 0; c < 5; ++c)
+                        s.comp(c, 0, 0, 0) += kDt * r.comp(c, 0, 0, 0);
+                    },
+                    ops::arg(state, ops::S_PT, ops::Acc::RW),
+                    ops::arg(res, ops::S_PT, ops::Acc::R));
+      continue;
+    }
+    // SSP-RK3 (Shu-Osher): u' = a*u0 + b*(u + dt*L(u)) per stage.
+    ops::par_loop(ctx, {"sbli_rk_store", hw::KernelClass::Interior, 0.0},
+                  grid, interior,
+                  [](ops::ACC<double> s0, ops::ACC<double> s) {
+                    for (int c = 0; c < 5; ++c)
+                      s0.comp(c, 0, 0, 0) = s.comp(c, 0, 0, 0);
+                  },
+                  ops::arg(state0, ops::S_PT, ops::Acc::W),
+                  ops::arg(state, ops::S_PT, ops::Acc::R));
+    constexpr double kA[3] = {0.0, 3.0 / 4.0, 1.0 / 3.0};
+    constexpr double kB[3] = {1.0, 1.0 / 4.0, 2.0 / 3.0};
+    for (int stage = 0; stage < 3; ++stage) {
+      eval_residual();
+      const double a = kA[stage], b = kB[stage];
+      ops::par_loop(ctx, {"sbli_rk_update", hw::KernelClass::Interior, 25.0},
+                    grid, interior,
+                    [a, b](ops::ACC<double> s, ops::ACC<double> s0,
+                           ops::ACC<double> r) {
+                      for (int c = 0; c < 5; ++c)
+                        s.comp(c, 0, 0, 0) =
+                            a * s0.comp(c, 0, 0, 0) +
+                            b * (s.comp(c, 0, 0, 0) +
+                                 kDt * r.comp(c, 0, 0, 0));
+                    },
+                    ops::arg(state, ops::S_PT, ops::Acc::RW),
+                    ops::arg(state0, ops::S_PT, ops::Acc::R),
+                    ops::arg(res, ops::S_PT, ops::Acc::R));
+    }
+  }
+
+  RunSummary rs;
+  rs.profiles = std::move(ctx.profiles);
+  if (ctx.executing()) {
+    double sum = 0.0;
+    for (long k = 0; k < nz; ++k)
+      for (long j = 0; j < ny; ++j)
+        for (long i = 0; i < nx; ++i) sum += state.at(k, j, i, RHO);
+    rs.checksum = sum;
+  }
+  return rs;
+}
+
+}  // namespace
+
+RunSummary run_opensbli_sa(const ops::Options& opt, ProblemSize ps) {
+  return run_opensbli(opt, ps, /*store_all=*/true, /*rk_stages=*/1);
+}
+
+RunSummary run_opensbli_sn(const ops::Options& opt, ProblemSize ps) {
+  return run_opensbli(opt, ps, /*store_all=*/false, /*rk_stages=*/1);
+}
+
+RunSummary run_opensbli_sa_rk3(const ops::Options& opt, ProblemSize ps) {
+  return run_opensbli(opt, ps, /*store_all=*/true, /*rk_stages=*/3);
+}
+
+RunSummary run_opensbli_sn_rk3(const ops::Options& opt, ProblemSize ps) {
+  return run_opensbli(opt, ps, /*store_all=*/false, /*rk_stages=*/3);
+}
+
+}  // namespace syclport::apps

@@ -1,0 +1,46 @@
+#pragma once
+/// \file opensbli.hpp
+/// OpenSBLI proxy (paper §3, item 2): a 3D compressible flow solver
+/// with 4th-order central differences in two formulations:
+///  - Store All (SA): three derivative kernels write 15 gradient arrays
+///    which a pointwise residual kernel then consumes - bandwidth-bound;
+///  - Store None (SN): one fused kernel recomputes all derivatives on
+///    the fly - fewer bytes, far more flops per point.
+/// Both discretize the same equations, so their results must agree to
+/// rounding - the cross-validation property test this repo uses.
+/// (Viscous terms are replaced by a small artificial dissipation; the
+/// store/recompute trade-off the paper measures is unaffected. See
+/// DESIGN.md §2.)
+
+#include "apps/common.hpp"
+#include "ops/ops.hpp"
+
+namespace syclport::apps {
+
+/// Paper configuration: 320^3, 20 time iterations, double precision.
+[[nodiscard]] inline ProblemSize opensbli_paper() {
+  return {{320, 320, 320}, 20};
+}
+
+/// Reduced configuration for functional validation runs.
+[[nodiscard]] inline ProblemSize opensbli_small() {
+  return {{20, 20, 20}, 4};
+}
+
+/// Run the Store-All / Store-None formulation; checksum is the final
+/// density interior sum (conserved up to boundary effects). The study
+/// variants use forward-Euler time stepping (one residual per
+/// iteration, matching the calibrated schedules).
+[[nodiscard]] RunSummary run_opensbli_sa(const ops::Options& opt,
+                                         ProblemSize ps);
+[[nodiscard]] RunSummary run_opensbli_sn(const ops::Options& opt,
+                                         ProblemSize ps);
+
+/// The production time scheme: 3-stage SSP Runge-Kutta (three residual
+/// evaluations per iteration plus the stage-combination kernels).
+[[nodiscard]] RunSummary run_opensbli_sa_rk3(const ops::Options& opt,
+                                             ProblemSize ps);
+[[nodiscard]] RunSummary run_opensbli_sn_rk3(const ops::Options& opt,
+                                             ProblemSize ps);
+
+}  // namespace syclport::apps

@@ -1,0 +1,25 @@
+#pragma once
+/// \file rtm.hpp
+/// RTM proxy: the forward pass of a Reverse Time Migration application
+/// (paper §3, item 3). Second-order-in-time, 8th-order-in-space FP32
+/// acoustic wave propagation with a 25-point star stencil over a
+/// precomputed squared-velocity model, plus per-step source injection.
+/// Sensitive to cache locality (9 planes must stay resident) and, under
+/// MPI, carries radius-4 halos - both effects the paper highlights.
+
+#include "apps/common.hpp"
+#include "ops/ops.hpp"
+
+namespace syclport::apps {
+
+/// Paper configuration: 320^3, 10 time iterations, single precision.
+[[nodiscard]] inline ProblemSize rtm_paper() { return {{320, 320, 320}, 10}; }
+
+/// Reduced configuration for functional validation runs.
+[[nodiscard]] inline ProblemSize rtm_small() { return {{28, 28, 28}, 6}; }
+
+/// Run the RTM forward pass; checksum is the final wavefield's interior
+/// sum of squares (finite and non-zero on a stable configuration).
+[[nodiscard]] RunSummary run_rtm(const ops::Options& opt, ProblemSize ps);
+
+}  // namespace syclport::apps

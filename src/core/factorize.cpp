@@ -1,0 +1,24 @@
+#include "core/factorize.hpp"
+
+#include <algorithm>
+
+namespace syclport {
+
+std::array<int, 3> balanced_factors(int n, int dims) {
+  std::array<int, 3> grid{1, 1, 1};
+  int r = std::max(1, n);
+  while (r > 1) {
+    int f = 2;
+    while (f * f <= r && r % f != 0) ++f;
+    if (f * f > r) f = r;
+    int* slot = &grid[0];
+    for (int d = 1; d < dims; ++d)
+      if (grid[static_cast<std::size_t>(d)] < *slot)
+        slot = &grid[static_cast<std::size_t>(d)];
+    *slot *= f;
+    r /= f;
+  }
+  return grid;
+}
+
+}  // namespace syclport

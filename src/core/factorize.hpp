@@ -1,0 +1,15 @@
+#pragma once
+/// \file factorize.hpp
+/// Near-balanced factorization of a rank count over 1-3 dimensions,
+/// shared by the MPI decomposition (minimpi) and the halo cost model
+/// (hwmodel).
+
+#include <array>
+
+namespace syclport {
+
+/// Factorize `n` into `dims` near-equal factors (product == n). Greedy:
+/// smallest prime factor goes to the currently-smallest dimension.
+[[nodiscard]] std::array<int, 3> balanced_factors(int n, int dims);
+
+}  // namespace syclport

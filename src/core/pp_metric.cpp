@@ -1,0 +1,25 @@
+#include "core/pp_metric.hpp"
+
+#include <vector>
+
+#include "core/statistics.hpp"
+
+namespace syclport {
+
+double pp_metric(std::span<const double> efficiencies) noexcept {
+  if (efficiencies.empty()) return 0.0;
+  for (double e : efficiencies)
+    if (e <= 0.0) return 0.0;
+  return stats::harmonic_mean(efficiencies);
+}
+
+double pp_supported_only(std::span<const double> efficiencies) noexcept {
+  std::vector<double> ok;
+  ok.reserve(efficiencies.size());
+  for (double e : efficiencies)
+    if (e > 0.0) ok.push_back(e);
+  if (ok.empty()) return 0.0;
+  return stats::harmonic_mean(ok);
+}
+
+}  // namespace syclport

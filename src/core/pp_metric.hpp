@@ -1,0 +1,29 @@
+#pragma once
+/// \file pp_metric.hpp
+/// Pennycook & Sewall's performance-portability metric
+/// ("Revisiting a Metric for Performance Portability", P3HPC 2021),
+/// the aggregate the paper reports in §4.4.
+///
+/// For an application a, problem p and platform set H, with e_i(a,p)
+/// the performance efficiency achieved on platform i:
+///
+///     PP(a, p, H) = |H| / sum_{i in H} 1 / e_i(a, p)
+///
+/// if a is supported (e_i > 0) on every platform in H, and 0 otherwise.
+/// The paper also quotes PP "ignoring failing/unavailable variants";
+/// pp_supported_only() implements that relaxation.
+
+#include <span>
+
+namespace syclport {
+
+/// Strict PP: harmonic mean of efficiencies over all platforms, or 0 if
+/// any efficiency is <= 0 (i.e. unsupported/failed anywhere).
+[[nodiscard]] double pp_metric(std::span<const double> efficiencies) noexcept;
+
+/// Relaxed PP over only the platforms where the variant ran correctly
+/// (efficiency > 0). Returns 0 when no platform succeeded.
+[[nodiscard]] double pp_supported_only(
+    std::span<const double> efficiencies) noexcept;
+
+}  // namespace syclport

@@ -1,0 +1,48 @@
+#pragma once
+/// \file reducer.hpp
+/// Global-reduction combiner shared by the OPS and OP2 DSLs. Atomic so
+/// every backend (threads, SYCL flat/nd, MPI+threads) can combine into
+/// one target; the *cost* differences between programming models are a
+/// hardware-model concern (see hwmodel/exec_profile.cpp).
+
+#include <atomic>
+#include <cstdint>
+
+namespace syclport {
+
+enum class RedOp : std::uint8_t { Sum, Min, Max };
+
+template <typename T>
+class Reducer {
+ public:
+  Reducer(T* target, RedOp op) : t_(target), op_(op) {}
+
+  void combine(T v) const {
+    std::atomic_ref<T> a(*t_);
+    switch (op_) {
+      case RedOp::Sum: {
+        a.fetch_add(v, std::memory_order_relaxed);
+        break;
+      }
+      case RedOp::Min: {
+        T cur = a.load(std::memory_order_relaxed);
+        while (v < cur && !a.compare_exchange_weak(cur, v)) {
+        }
+        break;
+      }
+      case RedOp::Max: {
+        T cur = a.load(std::memory_order_relaxed);
+        while (cur < v && !a.compare_exchange_weak(cur, v)) {
+        }
+        break;
+      }
+    }
+  }
+  void operator+=(T v) const { combine(v); }
+
+ private:
+  T* t_;
+  RedOp op_;
+};
+
+}  // namespace syclport

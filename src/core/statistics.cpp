@@ -1,0 +1,78 @@
+#include "core/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace syclport::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double harmonic_mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double inv = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    inv += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv;
+}
+
+double geometric_mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double weighted_mean(std::span<const double> xs,
+                     std::span<const double> ws) noexcept {
+  double num = 0.0, den = 0.0;
+  const std::size_t n = std::min(xs.size(), ws.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    num += xs[i] * ws[i];
+    den += ws[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double min(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.end());
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+}  // namespace syclport::stats

@@ -1,0 +1,70 @@
+#pragma once
+/// \file support.hpp
+/// The support-and-quirk matrix. The paper's figures contain holes:
+/// variants that failed to compile (internal compiler errors, mostly
+/// OpenSYCL on CPU MG-CFD), crashed at run time, produced incorrect
+/// results (CloverLeaf 2D with DPC++ flat and OpenSYCL on Genoa-X), or
+/// are simply unavailable (DPC++ does not target the Ampere Altra;
+/// Cray OpenMP offload fails on CloverLeaf 3D). These are empirical
+/// facts about toolchains this reproduction cannot run, so they are
+/// recorded as *data* here, and every layer that sweeps variants
+/// consults this matrix. Each entry carries the paper reference that
+/// justifies it.
+
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace syclport {
+
+/// Outcome of attempting to build + run a (platform, app, variant) cell.
+enum class Status : std::uint8_t {
+  Ok,           ///< compiled, ran, validated
+  CompileFail,  ///< did not compile (e.g. internal compiler error)
+  RuntimeCrash, ///< compiled but crashed during execution
+  Incorrect,    ///< ran to completion but produced wrong results
+  Unsupported,  ///< toolchain does not target this platform at all
+};
+
+[[nodiscard]] std::string_view to_string(Status s);
+
+/// One cell of the support matrix with its provenance.
+struct SupportEntry {
+  PlatformId platform;
+  AppId app;             ///< applies to this app...
+  bool all_apps = false; ///< ...or to every app when set
+  Variant variant;
+  bool any_strategy = false; ///< match regardless of Strategy
+  Status status = Status::Ok;
+  std::string_view paper_ref; ///< sentence in the paper this encodes
+};
+
+/// Queries the paper-derived support matrix.
+class SupportMatrix {
+ public:
+  /// The matrix encoding every failure/unavailability the paper reports.
+  static const SupportMatrix& paper();
+
+  /// Status of one experiment cell; Status::Ok unless listed.
+  [[nodiscard]] Status status(PlatformId p, AppId a, const Variant& v) const;
+
+  /// Convenience: does this cell run and validate?
+  [[nodiscard]] bool ok(PlatformId p, AppId a, const Variant& v) const {
+    return status(p, a, v) == Status::Ok;
+  }
+
+  /// All entries (for reporting / tests).
+  [[nodiscard]] const std::vector<SupportEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Build an empty (everything-works) matrix, extensible in tests.
+  SupportMatrix() = default;
+  void add(SupportEntry e) { entries_.push_back(e); }
+
+ private:
+  std::vector<SupportEntry> entries_;
+};
+
+}  // namespace syclport

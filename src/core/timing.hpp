@@ -1,0 +1,31 @@
+#pragma once
+/// \file timing.hpp
+/// Wall-clock timing for the functional-execution side of the harness.
+/// (Modeled platform runtimes come from hwmodel, not from these timers.)
+
+#include <chrono>
+
+namespace syclport {
+
+/// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace syclport

@@ -1,0 +1,95 @@
+#include "core/types.hpp"
+
+namespace syclport {
+
+std::string_view to_string(AppId a) {
+  switch (a) {
+    case AppId::CloverLeaf2D: return "CloverLeaf2D";
+    case AppId::CloverLeaf3D: return "CloverLeaf3D";
+    case AppId::OpenSBLI_SA: return "OpenSBLI-SA";
+    case AppId::OpenSBLI_SN: return "OpenSBLI-SN";
+    case AppId::RTM: return "RTM";
+    case AppId::Acoustic: return "Acoustic";
+    case AppId::MGCFD: return "MG-CFD";
+  }
+  return "?";
+}
+
+std::string_view to_string(PlatformId p) {
+  switch (p) {
+    case PlatformId::A100: return "NVIDIA A100";
+    case PlatformId::MI250X: return "AMD MI250X";
+    case PlatformId::Max1100: return "Intel Max 1100";
+    case PlatformId::Xeon8360Y: return "Xeon 8360Y";
+    case PlatformId::GenoaX: return "EPYC Genoa-X";
+    case PlatformId::Altra: return "Ampere Altra";
+  }
+  return "?";
+}
+
+std::string_view to_string(Model m) {
+  switch (m) {
+    case Model::MPI: return "MPI";
+    case Model::MPI_OpenMP: return "MPI+OpenMP";
+    case Model::OpenMP: return "OpenMP";
+    case Model::CUDA: return "CUDA";
+    case Model::HIP: return "HIP";
+    case Model::OpenMPOffload: return "OpenMP offload";
+    case Model::SYCLFlat: return "SYCL flat";
+    case Model::SYCLNDRange: return "SYCL nd_range";
+  }
+  return "?";
+}
+
+std::string_view to_string(Toolchain t) {
+  switch (t) {
+    case Toolchain::Native: return "native";
+    case Toolchain::DPCPP: return "DPC++";
+    case Toolchain::OpenSYCL: return "OpenSYCL";
+    case Toolchain::Cray: return "Cray";
+  }
+  return "?";
+}
+
+std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::None: return "none";
+    case Strategy::Atomics: return "atomics";
+    case Strategy::GlobalColor: return "global";
+    case Strategy::Hierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+std::string to_string(const Variant& v) {
+  std::string label;
+  if (v.is_sycl()) {
+    label = std::string(to_string(v.toolchain));
+    label += v.model == Model::SYCLFlat ? " flat" : " nd_range";
+  } else if (v.toolchain == Toolchain::Cray &&
+             v.model == Model::OpenMPOffload) {
+    label = "Cray OpenMP offload";
+  } else {
+    label = std::string(to_string(v.model));
+  }
+  if (v.strategy != Strategy::None) {
+    label += " [";
+    label += to_string(v.strategy);
+    label += "]";
+  }
+  return label;
+}
+
+std::optional<AppId> parse_app(std::string_view name) {
+  for (AppId a : kAllApps)
+    if (to_string(a) == name) return a;
+  return std::nullopt;
+}
+
+std::optional<PlatformId> parse_platform(std::string_view name) {
+  for (PlatformId p : kAllPlatforms)
+    if (to_string(p) == name) return p;
+  return std::nullopt;
+}
+
+}  // namespace syclport

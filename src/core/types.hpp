@@ -1,0 +1,131 @@
+#pragma once
+/// \file types.hpp
+/// Core vocabulary types shared by every subsystem of syclport: the
+/// applications, hardware platforms, programming models, toolchains and
+/// race-resolution strategies that span the study reproduced from
+/// Reguly, "Evaluating the performance portability of SYCL across CPUs
+/// and GPUs on bandwidth-bound applications" (SC-W 2023).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace syclport {
+
+/// Benchmarked applications (paper §3).
+enum class AppId : std::uint8_t {
+  CloverLeaf2D,  ///< 2D structured-mesh Eulerian hydrodynamics, FP64
+  CloverLeaf3D,  ///< 3D variant, FP64
+  OpenSBLI_SA,   ///< Navier-Stokes finite difference, Store-All, FP64
+  OpenSBLI_SN,   ///< Navier-Stokes finite difference, Store-None, FP64
+  RTM,           ///< Reverse Time Migration forward pass, 8th order, FP32
+  Acoustic,      ///< High-order acoustic wave propagation, FP32
+  MGCFD,         ///< Unstructured finite-volume Euler + multigrid, FP64
+};
+
+inline constexpr std::array kAllApps = {
+    AppId::CloverLeaf2D, AppId::CloverLeaf3D, AppId::OpenSBLI_SA,
+    AppId::OpenSBLI_SN,  AppId::RTM,          AppId::Acoustic,
+    AppId::MGCFD};
+
+inline constexpr std::array kStructuredApps = {
+    AppId::CloverLeaf2D, AppId::CloverLeaf3D, AppId::OpenSBLI_SA,
+    AppId::OpenSBLI_SN,  AppId::RTM,          AppId::Acoustic};
+
+/// Hardware platforms (paper §2, Table 1).
+enum class PlatformId : std::uint8_t {
+  A100,     ///< NVIDIA A100 40GB PCIe
+  MI250X,   ///< AMD MI250X, single GCD
+  Max1100,  ///< Intel Data Center GPU Max 1100
+  Xeon8360Y,///< Intel Xeon Platinum 8360Y, dual socket (Ice Lake)
+  GenoaX,   ///< AMD EPYC 9V33X dual socket (Genoa-X, 3D V-Cache)
+  Altra,    ///< Ampere Altra, single socket (ARM Neoverse N1)
+};
+
+inline constexpr std::array kAllPlatforms = {
+    PlatformId::A100,      PlatformId::MI250X, PlatformId::Max1100,
+    PlatformId::Xeon8360Y, PlatformId::GenoaX, PlatformId::Altra};
+
+inline constexpr std::array kGpuPlatforms = {
+    PlatformId::A100, PlatformId::MI250X, PlatformId::Max1100};
+
+inline constexpr std::array kCpuPlatforms = {
+    PlatformId::Xeon8360Y, PlatformId::GenoaX, PlatformId::Altra};
+
+/// Parallel programming models evaluated in the study.
+enum class Model : std::uint8_t {
+  MPI,           ///< pure MPI (CPU baseline)
+  MPI_OpenMP,    ///< hybrid MPI + OpenMP (CPU baseline)
+  OpenMP,        ///< plain OpenMP, used on single-NUMA CPUs (Altra)
+  CUDA,          ///< native CUDA (A100 baseline)
+  HIP,           ///< native HIP (MI250X baseline)
+  OpenMPOffload, ///< OpenMP target offload ("native" on Max 1100)
+  SYCLFlat,      ///< SYCL parallel_for(range) - runtime picks work-group
+  SYCLNDRange,   ///< SYCL parallel_for(nd_range) - tuned work-group
+};
+
+/// Compiler toolchains the study covers.
+enum class Toolchain : std::uint8_t {
+  Native,   ///< vendor compiler for the native model (nvcc/hipcc/icx/aocc/gcc)
+  DPCPP,    ///< Intel oneAPI DPC++/C++ compiler
+  OpenSYCL, ///< OpenSYCL (formerly hipSYCL)
+  Cray,     ///< Cray CCE (OpenMP offload bars on the MI250X plots)
+};
+
+/// Race-resolution strategies for unstructured-mesh indirect increments
+/// (paper §3, Figure 1).
+enum class Strategy : std::uint8_t {
+  None,         ///< no indirect increments (structured-mesh apps)
+  Atomics,      ///< per-increment atomic operations
+  GlobalColor,  ///< global edge colouring, one parallel sweep per colour
+  Hierarchical, ///< blocks coloured globally, edges coloured within blocks
+};
+
+inline constexpr std::array kMgcfdStrategies = {
+    Strategy::Atomics, Strategy::GlobalColor, Strategy::Hierarchical};
+
+/// A programming-model variant: the (model, toolchain) pair that labels
+/// one bar group in the paper's figures, plus the race-resolution
+/// strategy for unstructured applications.
+struct Variant {
+  Model model = Model::MPI;
+  Toolchain toolchain = Toolchain::Native;
+  Strategy strategy = Strategy::None;
+
+  [[nodiscard]] constexpr bool is_sycl() const noexcept {
+    return model == Model::SYCLFlat || model == Model::SYCLNDRange;
+  }
+  [[nodiscard]] constexpr bool is_native() const noexcept { return !is_sycl(); }
+  [[nodiscard]] constexpr bool uses_mpi() const noexcept {
+    return model == Model::MPI || model == Model::MPI_OpenMP;
+  }
+  friend constexpr bool operator==(const Variant&, const Variant&) = default;
+  friend constexpr auto operator<=>(const Variant&, const Variant&) = default;
+};
+
+[[nodiscard]] std::string_view to_string(AppId a);
+[[nodiscard]] std::string_view to_string(PlatformId p);
+[[nodiscard]] std::string_view to_string(Model m);
+[[nodiscard]] std::string_view to_string(Toolchain t);
+[[nodiscard]] std::string_view to_string(Strategy s);
+/// Human-readable variant label matching the paper's bar labels,
+/// e.g. "DPC++ nd_range", "OpenSYCL flat", "MPI+OpenMP", "CUDA".
+[[nodiscard]] std::string to_string(const Variant& v);
+
+[[nodiscard]] std::optional<AppId> parse_app(std::string_view name);
+[[nodiscard]] std::optional<PlatformId> parse_platform(std::string_view name);
+
+/// True when the platform is a GPU.
+[[nodiscard]] constexpr bool is_gpu(PlatformId p) noexcept {
+  return p == PlatformId::A100 || p == PlatformId::MI250X ||
+         p == PlatformId::Max1100;
+}
+
+/// True when the application is a structured-mesh (OPS) code.
+[[nodiscard]] constexpr bool is_structured(AppId a) noexcept {
+  return a != AppId::MGCFD;
+}
+
+}  // namespace syclport

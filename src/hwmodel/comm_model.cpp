@@ -1,0 +1,62 @@
+#include "hwmodel/comm_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/factorize.hpp"
+
+namespace syclport::hw {
+
+int ranks_for(PlatformId p, const Variant& v) {
+  const Platform& hw = platform(p);
+  switch (v.model) {
+    case Model::MPI:
+      return hw.cores;
+    case Model::MPI_OpenMP:
+      return std::max(1, hw.numa_domains);
+    default:
+      return 1;
+  }
+}
+
+std::array<int, 3> rank_grid(int ranks, int dims) {
+  return balanced_factors(ranks, dims);
+}
+
+CommParams comm_params(const Platform& hw) {
+  CommParams c;
+  // Wider machines pay slightly more per message (more contention).
+  c.latency_us = 0.7 + 0.004 * hw.cores;
+  return c;
+}
+
+double halo_exchange_time_s(const Platform& hw, int ranks, int dims,
+                            const std::array<std::size_t, 3>& extent,
+                            int depth, std::size_t point_bytes) {
+  if (ranks <= 1 || depth <= 0) return 0.0;
+  const auto grid = rank_grid(ranks, dims);
+  const CommParams cp = comm_params(hw);
+
+  // Busiest rank: interior rank with 2 neighbours per decomposed dim.
+  double bytes = 0.0;
+  int messages = 0;
+  for (int d = 0; d < dims; ++d) {
+    if (grid[static_cast<std::size_t>(d)] < 2) continue;
+    double face = 1.0;
+    for (int e = 0; e < dims; ++e) {
+      if (e == d) continue;
+      face *= static_cast<double>(extent[static_cast<std::size_t>(e)]) /
+              grid[static_cast<std::size_t>(e)];
+    }
+    bytes += 2.0 * face * depth * static_cast<double>(point_bytes);
+    messages += 2;
+  }
+  // Pack + copy + unpack all cross the memory system; every rank
+  // exchanges concurrently, sharing the chip's aggregate bandwidth.
+  const double agg_bw = hw.stream_bw_gbs * 1e9 * cp.bw_fraction;
+  const double wire_s = bytes * 2.0 * ranks / agg_bw;
+  const double lat_s = messages * cp.latency_us * 1e-6;
+  return lat_s + wire_s;
+}
+
+}  // namespace syclport::hw

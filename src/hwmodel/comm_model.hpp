@@ -1,0 +1,40 @@
+#pragma once
+/// \file comm_model.hpp
+/// MPI decomposition and halo-exchange cost model. Pure-MPI runs place
+/// one rank per core; hybrid MPI+OpenMP places one rank per NUMA domain
+/// with threads inside. High-order stencils (RTM, Acoustic: radius 4)
+/// make per-rank halo volume large at high rank counts - the mechanism
+/// behind MPI+OpenMP winning RTM on Genoa-X by 1.46-1.95x (paper §4.2).
+
+#include <array>
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "hwmodel/platform.hpp"
+
+namespace syclport::hw {
+
+/// Number of MPI ranks this variant runs with on this platform.
+[[nodiscard]] int ranks_for(PlatformId p, const Variant& v);
+
+/// Near-cubic (balanced) factorization of `ranks` over `dims` dimensions.
+[[nodiscard]] std::array<int, 3> rank_grid(int ranks, int dims);
+
+/// Per-exchange halo cost of a structured block decomposition:
+/// `extent` is the global grid, `depth` the halo depth (stencil radius),
+/// `elem_bytes * components` the per-point payload. Returns seconds for
+/// one full halo exchange (all ranks exchange concurrently; the cost is
+/// the busiest rank's, plus per-message latency).
+[[nodiscard]] double halo_exchange_time_s(const Platform& hw, int ranks,
+                                          int dims,
+                                          const std::array<std::size_t, 3>& extent,
+                                          int depth, std::size_t point_bytes);
+
+/// Per-message latency and effective intra-node exchange bandwidth.
+struct CommParams {
+  double latency_us = 0.9;
+  double bw_fraction = 0.35;  ///< of STREAM bandwidth, both copies counted
+};
+[[nodiscard]] CommParams comm_params(const Platform& hw);
+
+}  // namespace syclport::hw

@@ -1,0 +1,116 @@
+#include "hwmodel/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwmodel/memory_model.hpp"
+#include "hwmodel/quirks.hpp"
+
+namespace syclport::hw {
+
+double DeviceModel::vector_efficiency(const LoopProfile& lp) const {
+  if (hw_.gpu) return 1.0;  // SIMT: lanes are work-items
+  const double scalar = 1.0 / static_cast<double>(hw_.sub_group);
+  if (vectorization_fails(hw_.id, v_.toolchain, app_)) return scalar;
+  // Indirect kernels with race conditions only vectorize for
+  // conflict-free execution (pure MPI's owner-compute) or with DPC++'s
+  // vectorizer (paper §4.3).
+  if (lp.cls == KernelClass::EdgeFlux) {
+    const bool vectorizes =
+        v_.model == Model::MPI || v_.toolchain == Toolchain::DPCPP;
+    if (!vectorizes) return scalar;
+  }
+  return ep_.vec_eff;
+}
+
+double DeviceModel::gather_factor(const LoopProfile& lp) const {
+  // Interpolate the reuse-distance profile at the usable last-level
+  // cache capacity.
+  return std::max(1.0, interp_gather_curve(lp.gather_factor_at,
+                                           hw_.llc.bytes * 0.5));
+}
+
+KernelTime DeviceModel::kernel_time(const LoopProfile& lp) const {
+  KernelTime kt;
+  kt.wg = choose_workgroup(hw_, v_, lp);
+
+  // --- memory term ---------------------------------------------------------
+  const bool tuned_shape = v_.model == Model::SYCLNDRange ||
+                           v_.model == Model::CUDA || v_.model == Model::HIP;
+  const double cache_shape = tuned_shape ? ep_.nd_cache_bonus : 1.0;
+  const double mult = stencil_read_multiplier(hw_, lp, cache_shape);
+
+  // The layer-condition multiplier re-reads only the stencil-accessed
+  // arrays; point reads stream once.
+  const double read_point =
+      lp.bytes_read - lp.bytes_read_indirect - lp.bytes_read_stencil;
+  const double write_direct = lp.bytes_written - lp.bytes_written_indirect;
+  const double gather = gather_factor(lp);
+  double dram = read_point + lp.bytes_read_stencil * mult +
+                lp.bytes_read_indirect * gather + write_direct +
+                lp.bytes_written_indirect * gather + lp.map_bytes;
+  dram /= std::max(0.05, kt.wg.coalescing);
+  kt.dram_bytes = dram;
+
+  const double hit = llc_hit_probability(hw_, lp);
+  // Pure streaming kernels (<= 3 arrays, no stencil, no indirection)
+  // reach STREAM bandwidth by definition - BabelStream itself is one;
+  // real multi-array kernels sustain only app_bw_frac of it.
+  const bool streaming = lp.radius_fast == 0 && lp.radius_mid == 0 &&
+                         lp.radius_slow == 0 && lp.n_arrays <= 3 &&
+                         lp.bytes_read_indirect == 0.0 && lp.map_bytes == 0.0;
+  // Kernels with very many live stencil taps (e.g. Store-None's fused
+  // derivative recomputation, ~65 taps/point) spill registers and lose
+  // GPU occupancy, capping achievable bandwidth (paper §4.1: SN 74% vs
+  // SA 92% on the A100).
+  const double taps_per_point =
+      lp.cache_access_bytes /
+      (static_cast<double>(std::max<std::size_t>(1, lp.items())) *
+       static_cast<double>(lp.elem_bytes));
+  const double occupancy =
+      hw_.gpu && taps_per_point > 55.0 ? 0.62 : 1.0;
+  const double dram_bw = hw_.stream_bw_gbs * ep_.bw_factor * occupancy *
+                         (streaming ? 1.0 : hw_.app_bw_frac);
+  kt.mem_s = memory_time_s(hw_, dram, hit, dram_bw);
+
+  // --- compute terms ----------------------------------------------------------
+  const double vec = vector_efficiency(lp);
+  const double peak_tflops =
+      lp.elem_bytes == 8 ? hw_.fp64_tflops : hw_.fp32_tflops;
+  kt.comp_s = lp.flops / (peak_tflops * 1e12 * vec);
+  // L1/LSU ceiling: every stencil tap is a load issue; narrow FP32
+  // taps still occupy a full 8-byte lane, and on CPUs scalar code
+  // loses the vector-width advantage of wide loads.
+  const double tap_scale = lp.elem_bytes == 4 ? 2.0 : 1.0;
+  const double l1_bw =
+      hw_.l1.bw_gbs * 1e9 * (hw_.gpu ? 1.0 : vec / 0.9);
+  const double l1_s = lp.cache_access_bytes * tap_scale / l1_bw;
+  kt.comp_s = std::max(kt.comp_s, l1_s);
+
+  // --- issue term (latency-bound small loops, padding waste) ---------------
+  const double padded_items =
+      static_cast<double>(lp.items()) / std::max(1e-6, kt.wg.utilization);
+  kt.items_s = padded_items / (hw_.issue_gitems * 1e9);
+
+  // --- atomics ---------------------------------------------------------------
+  const double atomic_rate =
+      (ep_.unsafe_atomics ? hw_.atomic_gups_unsafe : hw_.atomic_gups) * 1e9;
+  // Pure MPI increments are plain stores (owner-compute, no races);
+  // the schedule is shared with the atomics strategy, so drop the cost.
+  kt.atomic_s = v_.model == Model::MPI
+                    ? 0.0
+                    : static_cast<double>(lp.atomic_updates) / atomic_rate;
+
+  // --- assembly ---------------------------------------------------------------
+  kt.launch_s = ep_.launch_us * 1e-6 * static_cast<double>(lp.launches);
+  double base = std::max({kt.mem_s, kt.comp_s, kt.items_s});
+  base *= ep_.flat_penalty;
+  base *= quirk_factor(hw_.id, v_, app_, lp.cls);
+  if (lp.reduction != ReductionKind::None && v_.is_sycl() && !hw_.gpu)
+    base *= ep_.reduction_factor;  // §4.2: SYCL CPU reductions 6-7x
+  kt.seconds = kt.launch_s + base + kt.atomic_s;
+  kt.useful_bytes = lp.total_bytes();
+  return kt;
+}
+
+}  // namespace syclport::hw

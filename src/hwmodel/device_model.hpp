@@ -1,0 +1,57 @@
+#pragma once
+/// \file device_model.hpp
+/// The kernel-time model: turns one LoopProfile into modeled seconds on
+/// a (platform, variant) pair, combining
+///   t = launch + max(T_mem, T_comp, T_items) * penalties + T_atomic
+/// with terms built from the platform descriptor, the execution
+/// profile, the work-group model, the cache model and the quirk table.
+/// See DESIGN.md §4 for the pipeline and EXPERIMENTS.md for calibration.
+
+#include "core/types.hpp"
+#include "hwmodel/exec_profile.hpp"
+#include "hwmodel/loop_profile.hpp"
+#include "hwmodel/platform.hpp"
+#include "hwmodel/workgroup.hpp"
+
+namespace syclport::hw {
+
+/// Per-kernel modeled time with its breakdown (for ablation benches).
+struct KernelTime {
+  double seconds = 0.0;
+  double launch_s = 0.0;
+  double mem_s = 0.0;
+  double comp_s = 0.0;
+  double items_s = 0.0;
+  double atomic_s = 0.0;
+  double dram_bytes = 0.0;
+  double useful_bytes = 0.0;  ///< the OPS/OP2 "transfer" numerator
+  WgChoice wg;
+};
+
+class DeviceModel {
+ public:
+  DeviceModel(PlatformId p, Variant v, AppId app)
+      : hw_(platform(p)), ep_(exec_profile(p, v)), v_(v), app_(app) {}
+
+  [[nodiscard]] KernelTime kernel_time(const LoopProfile& lp) const;
+
+  [[nodiscard]] const Platform& hw() const { return hw_; }
+  [[nodiscard]] const ExecProfile& profile() const { return ep_; }
+  [[nodiscard]] const Variant& variant() const { return v_; }
+  [[nodiscard]] AppId app() const { return app_; }
+
+ private:
+  /// Effective vectorization efficiency for this loop (0 < v <= 1).
+  [[nodiscard]] double vector_efficiency(const LoopProfile& lp) const;
+
+  /// Gather-traffic multiplier at this platform's last-level cache
+  /// capacity, interpolated from the loop's reuse-distance profile.
+  [[nodiscard]] double gather_factor(const LoopProfile& lp) const;
+
+  const Platform& hw_;
+  ExecProfile ep_;
+  Variant v_;
+  AppId app_;
+};
+
+}  // namespace syclport::hw

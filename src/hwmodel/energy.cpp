@@ -1,0 +1,29 @@
+#include "hwmodel/energy.hpp"
+
+#include <stdexcept>
+
+namespace syclport::hw {
+
+PowerSpec power_spec(PlatformId p) {
+  switch (p) {
+    case PlatformId::A100: return {250.0, 0.75};
+    case PlatformId::MI250X: return {280.0, 0.80};
+    case PlatformId::Max1100: return {300.0, 0.75};
+    case PlatformId::Xeon8360Y: return {500.0, 0.85};
+    case PlatformId::GenoaX: return {720.0, 0.85};
+    case PlatformId::Altra: return {210.0, 0.80};
+  }
+  throw std::invalid_argument("unknown platform id");
+}
+
+double run_energy_j(PlatformId p, double runtime_s) {
+  const PowerSpec ps = power_spec(p);
+  return ps.tdp_w * ps.bw_bound_frac * runtime_s;
+}
+
+double gb_per_joule(PlatformId p, double useful_bytes, double runtime_s) {
+  const double j = run_energy_j(p, runtime_s);
+  return j > 0.0 ? useful_bytes / 1e9 / j : 0.0;
+}
+
+}  // namespace syclport::hw

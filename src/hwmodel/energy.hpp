@@ -1,0 +1,32 @@
+#pragma once
+/// \file energy.hpp
+/// Board/package energy model: a first-order extension the P3HPC
+/// community commonly layers on top of runtime studies. Energy is
+/// modeled as TDP-bounded power draw over the modeled runtime, with a
+/// bandwidth-bound derate (memory-bound codes do not pull full TDP);
+/// the derived metric is useful bytes per joule - "bandwidth
+/// efficiency per watt".
+
+#include "core/types.hpp"
+
+namespace syclport::hw {
+
+/// Power envelope of one platform.
+struct PowerSpec {
+  double tdp_w = 0.0;       ///< board/package TDP (whole-node for 2S CPUs)
+  double bw_bound_frac = 1.0;///< fraction of TDP drawn by bandwidth-bound code
+};
+
+/// Vendor TDPs: A100 PCIe 250 W; MI250X 560 W per module -> 280 W/GCD;
+/// Max 1100 300 W; Xeon 8360Y 250 W x2; EPYC 9V33X ~360 W x2 (custom
+/// Azure SKU, Genoa-X class); Ampere Altra Q80 ~210 W.
+[[nodiscard]] PowerSpec power_spec(PlatformId p);
+
+/// Modeled energy (J) of a run of `runtime_s` on platform `p`.
+[[nodiscard]] double run_energy_j(PlatformId p, double runtime_s);
+
+/// Useful bytes moved per joule (GB/J) - the energy-side efficiency.
+[[nodiscard]] double gb_per_joule(PlatformId p, double useful_bytes,
+                                  double runtime_s);
+
+}  // namespace syclport::hw

@@ -1,0 +1,93 @@
+#include "hwmodel/exec_profile.hpp"
+
+namespace syclport::hw {
+
+namespace {
+
+ExecProfile gpu_profile(const Platform& hw, const Variant& v) {
+  ExecProfile e;
+  e.launch_us = hw.launch_latency_us;
+  switch (v.toolchain) {
+    case Toolchain::Native:
+      break;
+    case Toolchain::DPCPP:
+      e.launch_us *= 1.15;
+      // LLVM occasionally out-optimizes the vendor stack (paper §5:
+      // SYCL sometimes beats CUDA "due to the difference in the
+      // compiler stack").
+      e.bw_factor = hw.id == PlatformId::A100 ? 1.01 : 0.99;
+      break;
+    case Toolchain::OpenSYCL:
+      e.launch_us *= 1.15;
+      e.bw_factor = 1.0;
+      if (hw.id == PlatformId::MI250X)
+        e.unsafe_atomics = false;  // §4.3: unsafe atomics inaccessible
+      break;
+    case Toolchain::Cray:
+      e.launch_us *= 1.4;  // OpenMP offload runtime
+      e.bw_factor = 0.97;
+      break;
+  }
+  // Flat sensitivity: the Max 1100 depends most on work-group shape
+  // (§4.1: flat and OpenMP offload consistently worse, largest gap).
+  if (v.model == Model::SYCLFlat || v.model == Model::OpenMPOffload) {
+    switch (hw.id) {
+      case PlatformId::Max1100: e.flat_penalty = 1.30; break;
+      case PlatformId::MI250X: e.flat_penalty = 1.08; break;
+      default: e.flat_penalty = 1.05; break;
+    }
+  }
+  if (v.model == Model::SYCLNDRange || v.model == Model::CUDA ||
+      v.model == Model::HIP)
+    e.nd_cache_bonus = 0.70;  // hand-tuned shapes, like nd_range
+  return e;
+}
+
+ExecProfile cpu_profile(const Platform& hw, const Variant& v) {
+  ExecProfile e;
+  e.unsafe_atomics = false;  // CPUs only have generic atomics (§4.3)
+  switch (v.toolchain) {
+    case Toolchain::Native:
+    case Toolchain::Cray:
+      e.launch_us = v.model == Model::MPI ? 0.6 : hw.launch_latency_us;
+      e.vec_eff = 0.90;  // icx/aocc/gcc with forced inner-loop simd
+      e.bw_factor = v.uses_mpi() && v.model == Model::MPI
+                        ? 1.0                // rank-local first touch
+                        : hw.numa_penalty;   // threaded loops cross NUMA
+      break;
+    case Toolchain::DPCPP:
+      // Kernel launches travel through the OpenCL driver (§4.2).
+      e.launch_us = 28.0;
+      e.vec_eff = 1.0;  // best CPU vectorizer in the study (§4.2: +10%)
+      e.bw_factor = 0.93 * hw.numa_penalty;
+      e.reduction_factor = 6.5;  // §4.2: reductions 6-7x slower
+      if (hw.id == PlatformId::GenoaX) {
+        // "not optimized for this hardware ... significant overheads
+        // across the board" (§4.2): slower launches, poorer bandwidth
+        // and a vectorizer that has no Zen-4 cost model.
+        e.launch_us = 34.0;
+        e.bw_factor = 0.80 * hw.numa_penalty;
+        e.vec_eff = 0.75;
+      }
+      break;
+    case Toolchain::OpenSYCL:
+      // Maps to OpenMP at compile time: cheap launches (§4.2).
+      e.launch_us = 6.0;
+      e.vec_eff = 0.80;
+      e.bw_factor = 0.97 * hw.numa_penalty;
+      e.reduction_factor = 6.5;
+      break;
+  }
+  if (v.model == Model::SYCLFlat) e.flat_penalty = 1.04;
+  if (v.model == Model::SYCLNDRange) e.nd_cache_bonus = 0.85;
+  return e;
+}
+
+}  // namespace
+
+ExecProfile exec_profile(PlatformId p, const Variant& v) {
+  const Platform& hw = platform(p);
+  return hw.gpu ? gpu_profile(hw, v) : cpu_profile(hw, v);
+}
+
+}  // namespace syclport::hw

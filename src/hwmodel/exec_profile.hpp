@@ -1,0 +1,40 @@
+#pragma once
+/// \file exec_profile.hpp
+/// Per-(platform, variant) execution characteristics: how a programming
+/// model + toolchain behaves on a platform, independent of any specific
+/// kernel. These encode the mechanisms the paper identifies:
+///  - DPC++ on CPUs launches kernels through OpenCL drivers (large
+///    per-launch overhead, §4.2), while OpenSYCL maps to OpenMP at
+///    compile time (small overhead);
+///  - SYCL reductions on CPUs are 6-7x more expensive than OpenMP's
+///    (user binary-tree reductions had to be used, §4.2);
+///  - OpenSYCL on the MI250X cannot reach the "unsafe" fast FP atomics
+///    (§4.3);
+///  - compilers differ in vectorization capability on CPUs (§4.2, §4.4).
+
+#include "core/types.hpp"
+#include "hwmodel/platform.hpp"
+
+namespace syclport::hw {
+
+struct ExecProfile {
+  double launch_us = 1.0;       ///< host-side cost per kernel launch
+  double bw_factor = 1.0;       ///< achievable fraction of STREAM bw
+  double vec_eff = 1.0;         ///< vectorization efficiency in (0, 1]
+  double reduction_factor = 1.0;///< reduction cost multiplier vs native
+  bool unsafe_atomics = true;   ///< can the fast FP-atomic path be used?
+  /// Multiplier applied to flat-formulation kernels on top of the
+  /// work-group model (platform sensitivity to runtime-chosen shapes).
+  double flat_penalty = 1.0;
+  /// Factor on the (stencil-multiplier - 1) for tuned nd_range shapes:
+  /// tuned work-group shapes improve cache behaviour (paper §4.1 on the
+  /// Max 1100: L1/L2 hit rates improve significantly).
+  double nd_cache_bonus = 1.0;
+};
+
+/// Lookup the execution profile of `v` on `p`. Callers should consult
+/// SupportMatrix for availability; this function returns a best-effort
+/// profile even for combinations the paper marks as failing.
+[[nodiscard]] ExecProfile exec_profile(PlatformId p, const Variant& v);
+
+}  // namespace syclport::hw

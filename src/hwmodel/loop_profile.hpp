@@ -1,0 +1,136 @@
+#pragma once
+/// \file loop_profile.hpp
+/// The DSL -> hardware-model interface. Every OPS/OP2 par_loop emits one
+/// LoopProfile per invocation (or per schedule entry in model-only
+/// mode); the DeviceModel turns a profile into modeled seconds on a
+/// given (platform, variant).
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace syclport::hw {
+
+/// Cache capacities (bytes) at which gather reuse profiles are sampled;
+/// shared between the OP2 locality analyser and the device model. The
+/// low end exists because bench-scale meshes are later rescaled to the
+/// paper's 8M-vertex mesh: scaling traffic by S shrinks the effective
+/// cache by S (see StudyRunner::schedule).
+inline constexpr std::array<double, 8> kGatherCachePoints = {
+    64e3, 256e3, 1e6, 4e6, 16e6, 64e6, 256e6, 1e9};
+
+/// Log-linear interpolation of a sampled gather-factor curve at `cache`
+/// bytes (clamped to the sampled range).
+[[nodiscard]] inline double interp_gather_curve(
+    const std::array<double, kGatherCachePoints.size()>& f, double cache) {
+  const auto& pts = kGatherCachePoints;
+  if (cache <= pts.front()) return f.front();
+  if (cache >= pts.back()) return f.back();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (cache <= pts[i]) {
+      const double t = (cache <= 0 ? 0.0
+                                   : ( // log-linear in cache size
+                                         (std::log(cache) - std::log(pts[i - 1])) /
+                                         (std::log(pts[i]) - std::log(pts[i - 1]))));
+      return f[i - 1] + t * (f[i] - f[i - 1]);
+    }
+  }
+  return f.back();
+}
+
+/// Broad behavioural class of a kernel; quirk entries and model terms
+/// key off this.
+enum class KernelClass : std::uint8_t {
+  Interior,     ///< bulk structured-mesh sweep
+  Boundary,     ///< boundary-condition loop (small, latency bound)
+  Reduction,    ///< loop with a global reduction
+  EdgeFlux,     ///< unstructured indirect gather+scatter over edges
+  VertexUpdate, ///< unstructured direct loop over vertices/cells
+  MGTransfer,   ///< multigrid restrict/prolong (indirect, no conflicts)
+};
+
+enum class ReductionKind : std::uint8_t { None, BuiltIn, Tree };
+
+/// Performance-relevant facts about one parallel loop execution.
+struct LoopProfile {
+  std::string name;
+  KernelClass cls = KernelClass::Interior;
+  int dims = 1;
+  /// Iteration-space extent; index 0 slowest-varying, last used index
+  /// fastest-varying (unit stride), matching sycl::range convention.
+  std::array<std::size_t, 3> extent{1, 1, 1};
+
+  double bytes_read = 0.0;    ///< compulsory unique bytes read (footprints)
+  double bytes_written = 0.0; ///< unique bytes written
+  double flops = 0.0;         ///< total floating-point operations
+  std::size_t elem_bytes = 8; ///< 8 = FP64, 4 = FP32
+
+  /// Stencil radii by direction (0 for pointwise); drive the
+  /// layer-condition cache model.
+  int radius_fast = 0;
+  int radius_mid = 0;
+  int radius_slow = 0;
+  int n_arrays = 1;           ///< distinct arrays streamed by the sweep
+  /// Bytes of bytes_read that are accessed through a stencil with
+  /// nonzero radius (the portion the layer-condition multiplier
+  /// re-reads when the cache window does not fit).
+  double bytes_read_stencil = 0.0;
+  /// Per-grid-point payload of the stencil-read arrays (sum of
+  /// ncomp x elem over stencil args): the layer-condition window unit.
+  double stencil_point_bytes = 0.0;
+  /// Total bytes moved between registers and L1/LSU by the kernel
+  /// (every stencil tap counted): items x touches x elem. High-order
+  /// stencils become L1-bound long before DRAM saturates - the
+  /// mechanism behind RTM/Acoustic's sub-50% efficiencies (paper §4.1).
+  double cache_access_bytes = 0.0;
+
+  ReductionKind reduction = ReductionKind::None;
+
+  /// Working set of this loop (bytes); with the preceding loops touching
+  /// the same fields, determines last-level-cache reuse.
+  double working_set = 0.0;
+
+  // ---- unstructured-mesh extras (zero for structured loops) ----------
+  double map_bytes = 0.0;        ///< mapping-table bytes streamed
+  /// Portions of bytes_read / bytes_written accessed through a mapping
+  /// table (gathers/scatters); these pay the gather_line_factor.
+  double bytes_read_indirect = 0.0;
+  double bytes_written_indirect = 0.0;
+  std::size_t atomic_updates = 0;///< indirect increments done atomically
+  /// Measured gather locality: average unique cache lines touched per
+  /// sub_group-wide wave of work-items, divided by the ideal (fully
+  /// coalesced) line count. 1 = perfect locality; larger = scattered.
+  /// This is the *cold* (no-reuse) factor.
+  double gather_line_factor = 1.0;
+  /// Reuse-distance profile: the same factor assuming an LRU cache of
+  /// kGatherCachePoints[i] bytes retains recently fetched lines. The
+  /// device model interpolates at the platform's last-level cache -
+  /// this is where the paper's 91%/58%/83% L2 hit-rate separation of
+  /// the strategies comes from (§4.3).
+  std::array<double, kGatherCachePoints.size()> gather_factor_at{
+      1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  /// Number of parallel sweeps this logical loop is split into
+  /// (e.g. one per colour for global colouring): multiplies launch cost.
+  std::size_t launches = 1;
+
+  // ---- distributed-memory extras (zero when not running under MPI) ----
+  /// Halo depth exchanged before this loop (stencil radius of its reads).
+  int halo_depth = 0;
+  /// Bytes per grid point in the exchanged halos (elem size x components
+  /// summed over exchanged dats).
+  double halo_point_bytes = 0.0;
+
+  [[nodiscard]] std::size_t items() const {
+    std::size_t n = 1;
+    for (int d = 0; d < dims; ++d) n *= extent[static_cast<std::size_t>(d)];
+    return n;
+  }
+  [[nodiscard]] double total_bytes() const {
+    return bytes_read + bytes_written + map_bytes;
+  }
+};
+
+}  // namespace syclport::hw

@@ -1,0 +1,86 @@
+#include "hwmodel/memory_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace syclport::hw {
+
+namespace {
+/// Fraction of a resident working set that a following sweep actually
+/// re-uses before eviction by other traffic (calibration constant; see
+/// EXPERIMENTS.md).
+constexpr double kReuseCoeff = 0.45;
+
+/// Fraction of the last-level cache a stencil sweep can devote to its
+/// layer window (write streams, other arrays and conflict misses take
+/// the rest).
+constexpr double kUsableCacheFraction = 0.5;
+}  // namespace
+
+double stencil_read_multiplier(const Platform& hw, const LoopProfile& lp,
+                               double cache_shape_factor) {
+  if (lp.dims < 2 || (lp.radius_mid == 0 && lp.radius_slow == 0)) return 1.0;
+
+  // Payload per grid point of the stencil-read arrays (the layer
+  // window unit); fall back to n_arrays x elem for older callers.
+  const double point_bytes =
+      lp.stencil_point_bytes > 0.0
+          ? lp.stencil_point_bytes
+          : static_cast<double>(std::max(1, lp.n_arrays) * lp.elem_bytes);
+  const double fast_ext = static_cast<double>(lp.extent[static_cast<std::size_t>(lp.dims - 1)]);
+  const double mid_ext =
+      lp.dims >= 2 ? static_cast<double>(lp.extent[static_cast<std::size_t>(lp.dims - 2)]) : 1.0;
+
+  const double cache = hw.llc.bytes * kUsableCacheFraction;
+  double extra = 0.0;
+
+  if (lp.dims == 3 && lp.radius_slow > 0) {
+    // Full reuse in the slow direction needs 2r+1 planes resident.
+    const double plane = fast_ext * mid_ext * point_bytes;
+    const double need_planes = (2.0 * lp.radius_slow + 1.0) * plane;
+    if (cache < need_planes) {
+      const double deficit = 1.0 - cache / need_planes;
+      extra += 2.0 * lp.radius_slow * deficit;
+    }
+  }
+  {
+    // Reuse in the mid direction needs 2r+1 rows resident.
+    const int rm = lp.radius_mid;
+    if (rm > 0) {
+      const double row = fast_ext * point_bytes;
+      const double need_rows = (2.0 * rm + 1.0) * row *
+                               (lp.dims == 3 ? mid_ext : 1.0);
+      // For 3D the row window exists per plane being swept; scale by the
+      // number of concurrently live planes (approximated by 2r_slow+1).
+      if (cache < need_rows) {
+        const double deficit = 1.0 - cache / need_rows;
+        extra += 2.0 * rm * deficit;
+      }
+    }
+  }
+
+  const double cap =
+      (2.0 * lp.radius_slow + 1.0) * (2.0 * std::max(lp.radius_mid, 0) + 1.0);
+  return std::min(cap, 1.0 + extra * cache_shape_factor);
+}
+
+double llc_hit_probability(const Platform& hw, const LoopProfile& lp) {
+  if (lp.working_set <= 0.0) return 0.0;
+  // LRU on a cyclic sweep thrashes once the working set exceeds the
+  // capacity: full reuse below it, falling linearly to zero at 2x
+  // (pseudo-LRU keeps a protected fraction alive slightly past C).
+  const double c = hw.llc.bytes;
+  double resident = 1.0;
+  if (lp.working_set > c)
+    resident = std::max(0.0, 1.0 - (lp.working_set - c) / c);
+  return kReuseCoeff * resident;
+}
+
+double memory_time_s(const Platform& hw, double bytes, double hit,
+                     double dram_bw_gbs) {
+  const double dram = std::max(1.0, dram_bw_gbs) * 1e9;
+  const double llc = std::max(dram, hw.llc.bw_gbs * 1e9);
+  return bytes * ((1.0 - hit) / dram + hit / llc);
+}
+
+}  // namespace syclport::hw

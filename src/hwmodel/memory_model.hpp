@@ -1,0 +1,39 @@
+#pragma once
+/// \file memory_model.hpp
+/// Cache-aware memory-traffic model:
+///  - a layer-condition stencil model (Stengel et al. style): when the
+///    last-level cache cannot hold the 2r+1 planes (or rows) a stencil
+///    sweep needs, previously-fetched planes are evicted and re-read,
+///    multiplying DRAM read traffic. This is what separates RTM /
+///    Acoustic efficiency on the 16 MB MI250X from the 40 MB A100 and
+///    the 208 MB Max 1100 (paper §4.1);
+///  - an inter-sweep residency model: when a loop's working set fits
+///    (partly) in the last-level cache, repeated sweeps hit in cache and
+///    the *effective* bandwidth exceeds STREAM - the mechanism behind
+///    Genoa-X's 107% CloverLeaf 2D and 135% MG-CFD efficiencies
+///    (paper §4.2, §4.3).
+
+#include "hwmodel/loop_profile.hpp"
+#include "hwmodel/platform.hpp"
+
+namespace syclport::hw {
+
+/// Multiplier (>= 1) on compulsory read traffic from the stencil layer
+/// condition. `cache_shape_factor` scales the *excess* (mult - 1):
+/// tuned nd_range shapes improve reuse (< 1), runtime-chosen flat
+/// shapes do not (1).
+[[nodiscard]] double stencil_read_multiplier(const Platform& hw,
+                                             const LoopProfile& lp,
+                                             double cache_shape_factor = 1.0);
+
+/// Probability in [0, 1) that a byte of this loop's traffic is served
+/// from the last-level cache thanks to inter-sweep reuse.
+[[nodiscard]] double llc_hit_probability(const Platform& hw,
+                                         const LoopProfile& lp);
+
+/// Time (s) to move `dram_bytes` with hit fraction `hit` served at LLC
+/// bandwidth, the rest at `dram_bw_gbs`.
+[[nodiscard]] double memory_time_s(const Platform& hw, double bytes,
+                                   double hit, double dram_bw_gbs);
+
+}  // namespace syclport::hw

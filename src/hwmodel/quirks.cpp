@@ -1,0 +1,96 @@
+#include "hwmodel/quirks.hpp"
+
+namespace syclport::hw {
+
+namespace {
+
+std::vector<Quirk> build_quirks() {
+  using S = Quirk::Scope;
+  std::vector<Quirk> q;
+  // "The DPC++ runtime chooses very poor workgroup sizes for a few
+  // kernels, making the 2D version with the flat formulation perform
+  // very poorly" (§4.1, A100; "similar combinations" on MI250X).
+  q.push_back({S::AllGpus, {}, Toolchain::DPCPP, Model::SYCLFlat, false,
+               AppId::CloverLeaf2D, KernelClass::Interior, false, 2.8,
+               "S4.1 DPC++ flat CloverLeaf2D poor wg sizes"});
+  // "the OpenSYCL version chooses suboptimal workgroup sizes in 3D,
+  // resulting in an almost 50% slowdown" (§4.1).
+  q.push_back({S::AllGpus, {}, Toolchain::OpenSYCL, Model::SYCLFlat, false,
+               AppId::CloverLeaf3D, KernelClass::Interior, false, 1.9,
+               "S4.1 OpenSYCL flat CloverLeaf3D suboptimal wg"});
+  // "only OpenSYCL + flat underperforming due to poor workgroup size
+  // choice" on OpenSBLI (§4.1).
+  q.push_back({S::AllGpus, {}, Toolchain::OpenSYCL, Model::SYCLFlat, false,
+               AppId::OpenSBLI_SN, KernelClass::Interior, false, 1.5,
+               "S4.1 OpenSYCL flat OpenSBLI SN poor wg"});
+  q.push_back({S::AllGpus, {}, Toolchain::OpenSYCL, Model::SYCLFlat, false,
+               AppId::OpenSBLI_SA, KernelClass::Interior, false, 1.25,
+               "S4.1 OpenSYCL flat OpenSBLI SA mild wg penalty"});
+  // "For CloverLeaf 3D however, this flips around, with OpenSYCL
+  // spending up to 27% of time in boundary loops" (§4.2, Xeon).
+  q.push_back({S::One, PlatformId::Xeon8360Y, Toolchain::OpenSYCL,
+               Model::MPI, true, AppId::CloverLeaf3D, KernelClass::Boundary,
+               false, 9.0, "S4.2 OpenSYCL CloverLeaf3D boundary 27%"});
+  // DPC++ hierarchical MG-CFD on CPUs: vectorized version consistently
+  // slower than the wg-size-1 non-vectorized one (§4.3); modeled as a
+  // flat penalty on the vectorized path.
+  q.push_back({S::AllCpus, {}, Toolchain::DPCPP, Model::SYCLNDRange, false,
+               AppId::MGCFD, KernelClass::EdgeFlux, false, 1.15,
+               "S4.3 DPC++ vectorized hierarchical slower"});
+  // "On the A100, SYCL implementations for all but one parallelization
+  // outperformed native CUDA - with OpenSYCL+atomics 18% faster than
+  // CUDA+atomics" (§4.3): LLVM out-optimises nvcc on the flux kernel.
+  q.push_back({S::One, PlatformId::A100, Toolchain::OpenSYCL,
+               Model::SYCLNDRange, false, AppId::MGCFD,
+               KernelClass::EdgeFlux, false, 0.85,
+               "S4.3 OpenSYCL 18% faster than CUDA on A100"});
+  q.push_back({S::One, PlatformId::A100, Toolchain::DPCPP,
+               Model::SYCLNDRange, false, AppId::MGCFD,
+               KernelClass::EdgeFlux, false, 0.92,
+               "S4.3 SYCL outperforms native CUDA on A100"});
+  return q;
+}
+
+bool scope_matches(const Quirk& q, PlatformId p) {
+  switch (q.scope) {
+    case Quirk::Scope::AllGpus: return is_gpu(p);
+    case Quirk::Scope::AllCpus: return !is_gpu(p);
+    case Quirk::Scope::One: return q.platform == p;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<Quirk>& paper_quirks() {
+  static const std::vector<Quirk> quirks = build_quirks();
+  return quirks;
+}
+
+double quirk_factor(PlatformId p, const Variant& v, AppId app,
+                    KernelClass cls) {
+  double f = 1.0;
+  for (const Quirk& q : paper_quirks()) {
+    if (!scope_matches(q, p)) continue;
+    if (q.toolchain != v.toolchain) continue;
+    if (!q.match_any_model && q.model != v.model) continue;
+    if (q.app != app) continue;
+    if (!q.match_any_class && q.cls != cls) continue;
+    f *= q.time_factor;
+  }
+  return f;
+}
+
+bool vectorization_fails(PlatformId p, Toolchain tc, AppId app) {
+  // "OpenSBLI SN failed to vectorize across all variants" on the Altra
+  // (§4.2).
+  if (p == PlatformId::Altra && app == AppId::OpenSBLI_SN) return true;
+  // "except Acoustic, where auto-vectorization did not work for SYCL -
+  // but it did for MPI/OpenMP" (§4.2, Altra).
+  if (p == PlatformId::Altra && app == AppId::Acoustic &&
+      tc == Toolchain::OpenSYCL)
+    return true;
+  return false;
+}
+
+}  // namespace syclport::hw

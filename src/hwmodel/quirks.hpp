@@ -1,0 +1,46 @@
+#pragma once
+/// \file quirks.hpp
+/// Pathologies the paper attributes to specific toolchain heuristics on
+/// specific applications - chiefly the flat formulation's runtime
+/// work-group selection going wrong for particular kernel shapes.
+/// Like the SupportMatrix, these are empirical toolchain facts recorded
+/// as data with paper provenance, applied multiplicatively on top of the
+/// analytic model.
+
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+#include "hwmodel/loop_profile.hpp"
+
+namespace syclport::hw {
+
+struct Quirk {
+  /// Platform filter; nullopt-like: match all GPUs / all CPUs / one.
+  enum class Scope : std::uint8_t { AllGpus, AllCpus, One } scope = Scope::One;
+  PlatformId platform = PlatformId::A100;  ///< used when scope == One
+  Toolchain toolchain;
+  /// Match only this model (SYCLFlat/SYCLNDRange/...); Model::MPI used
+  /// with match_any_model = true as a wildcard.
+  Model model = Model::SYCLFlat;
+  bool match_any_model = false;
+  AppId app;
+  KernelClass cls = KernelClass::Interior;
+  bool match_any_class = false;
+  double time_factor = 1.0;  ///< multiplier on the modeled kernel time
+  std::string_view paper_ref;
+};
+
+/// The paper-derived quirk list.
+[[nodiscard]] const std::vector<Quirk>& paper_quirks();
+
+/// Combined multiplier for one kernel execution.
+[[nodiscard]] double quirk_factor(PlatformId p, const Variant& v, AppId app,
+                                  KernelClass cls);
+
+/// True when this (platform, app) combination fails to auto-vectorize
+/// regardless of toolchain/kernel (paper: OpenSBLI SN on Ampere Altra),
+/// or for the given toolchain (paper: Acoustic with OpenSYCL on Altra).
+[[nodiscard]] bool vectorization_fails(PlatformId p, Toolchain tc, AppId app);
+
+}  // namespace syclport::hw

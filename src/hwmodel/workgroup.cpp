@@ -1,0 +1,97 @@
+#include "hwmodel/workgroup.hpp"
+
+#include <algorithm>
+
+namespace syclport::hw {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Halve a desired extent until at most one partial group is padded
+/// (tuned launches never over-pad narrow loops).
+std::size_t clamp_pow2(std::size_t want, std::size_t extent) {
+  while (want > 1 && want > extent * 2) want /= 2;
+  return want;
+}
+
+}  // namespace
+
+double padding_utilization(const std::array<std::size_t, 3>& extent,
+                           const std::array<std::size_t, 3>& local, int dims) {
+  double items = 1.0, padded = 1.0;
+  for (int d = 0; d < dims; ++d) {
+    const auto e = extent[static_cast<std::size_t>(d)];
+    const auto l = std::max<std::size_t>(1, local[static_cast<std::size_t>(d)]);
+    items *= static_cast<double>(e);
+    padded *= static_cast<double>(ceil_div(e, l) * l);
+  }
+  return padded > 0.0 ? items / padded : 1.0;
+}
+
+double coalescing_factor(std::size_t local_fast, std::size_t elem_bytes,
+                         double line_bytes) {
+  const double useful = static_cast<double>(local_fast * elem_bytes);
+  if (useful >= line_bytes) return 1.0;
+  const double floor = static_cast<double>(elem_bytes) / line_bytes;
+  return std::max(floor, useful / line_bytes);
+}
+
+WgChoice choose_workgroup(const Platform& hw, const Variant& v,
+                          const LoopProfile& lp) {
+  WgChoice c;  // degenerate {1,1,1}: CPU backends iterate directly
+  if (!hw.gpu) return c;
+
+  const int dims = lp.dims;
+  const std::size_t fast = static_cast<std::size_t>(dims - 1);
+  const auto& ext = lp.extent;
+  auto set = [&](std::size_t slow, std::size_t mid, std::size_t fst) {
+    c.local = {1, 1, 1};
+    if (dims == 1) {
+      c.local[0] = fst;
+    } else if (dims == 2) {
+      c.local[0] = mid;
+      c.local[1] = fst;
+    } else {
+      c.local[0] = slow;
+      c.local[1] = mid;
+      c.local[2] = fst;
+    }
+  };
+
+  switch (v.model) {
+    case Model::SYCLFlat:
+      if (v.toolchain == Toolchain::DPCPP) {
+        // DPC++/OpenCL heuristic: a fixed 256-wide group along the
+        // fastest dimension, padding whatever does not fit. Interior
+        // loops coalesce perfectly; narrow (boundary-column) loops
+        // waste almost the whole group.
+        set(1, 1, 256);
+      } else {
+        // OpenSYCL heuristic: fixed square-ish tiles.
+        set(4, dims == 2 ? 16 : 8, dims == 1 ? 64 : dims == 2 ? 16 : 8);
+      }
+      break;
+    case Model::SYCLNDRange:
+    case Model::CUDA:
+    case Model::HIP:
+      // Tuned: one shape per application (paper §3); wide along the
+      // fastest dimension, clamped so narrow loops are not over-padded.
+      set(1, clamp_pow2(4, dims >= 2 ? ext[static_cast<std::size_t>(dims - 2)] : 1),
+          clamp_pow2(dims == 1 ? 256 : 64, ext[fast]));
+      break;
+    case Model::OpenMPOffload:
+      // Teams/threads runtime default: 128 linear along the fastest dim.
+      set(1, 1, 128);
+      break;
+    default:
+      return c;  // CPU models never launch GPU work-groups in the study
+  }
+
+  c.utilization = padding_utilization(ext, c.local, dims);
+  c.coalescing =
+      coalescing_factor(c.local[fast], lp.elem_bytes, hw.line_bytes);
+  return c;
+}
+
+}  // namespace syclport::hw

@@ -1,0 +1,50 @@
+#pragma once
+/// \file workgroup.hpp
+/// Work-group shape selection models. The study's central contrast is
+/// SYCL's flat formulation (the runtime heuristic picks the shape) vs
+/// the nd_range formulation (the programmer tunes one shape per
+/// application). This module models both:
+///  - flat: per-toolchain heuristics reproducing DPC++'s
+///    linearize-along-fastest-dim choice and OpenSYCL's fixed tiles;
+///  - nd_range: the tuned shape OPS/OP2 applications use.
+/// From the chosen shape the model derives padding utilization (wasted
+/// work-items when the shape does not divide the iteration space) and a
+/// memory-coalescing factor (partial cache-line transactions when the
+/// fastest work-group extent is narrow).
+
+#include <array>
+
+#include "core/types.hpp"
+#include "hwmodel/loop_profile.hpp"
+#include "hwmodel/platform.hpp"
+
+namespace syclport::hw {
+
+struct WgChoice {
+  /// Local shape; index 0 slowest, last used index fastest (matching
+  /// LoopProfile::extent convention).
+  std::array<std::size_t, 3> local{1, 1, 1};
+  /// items / padded-items in [0, 1]: 1 = no padding waste.
+  double utilization = 1.0;
+  /// Fraction of each memory transaction carrying useful data in
+  /// (0, 1]: 1 = fully coalesced.
+  double coalescing = 1.0;
+};
+
+/// Shape the given variant's runtime/programmer would use for `lp` on
+/// `hw`. CPU variants return a degenerate shape with utilization 1.
+[[nodiscard]] WgChoice choose_workgroup(const Platform& hw, const Variant& v,
+                                        const LoopProfile& lp);
+
+/// Padding utilization of `local` over `extent` (helper, unit-tested).
+[[nodiscard]] double padding_utilization(const std::array<std::size_t, 3>& extent,
+                                         const std::array<std::size_t, 3>& local,
+                                         int dims);
+
+/// Coalescing factor for a work-group whose fastest extent is
+/// `local_fast`, with `elem_bytes` elements and `line_bytes` transactions.
+[[nodiscard]] double coalescing_factor(std::size_t local_fast,
+                                       std::size_t elem_bytes,
+                                       double line_bytes);
+
+}  // namespace syclport::hw

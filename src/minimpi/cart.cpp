@@ -1,0 +1,42 @@
+#include "minimpi/cart.hpp"
+
+#include <stdexcept>
+
+namespace syclport::mpi {
+
+CartDecomp::CartDecomp(int rank, int nranks, int dims)
+    : rank_(rank), dims_(dims), grid_(balanced_factors(nranks, dims)) {
+  if (rank < 0 || rank >= nranks)
+    throw std::out_of_range("CartDecomp: rank outside world");
+  int rest = rank;
+  for (int d = dims - 1; d >= 0; --d) {
+    coords_[static_cast<std::size_t>(d)] =
+        rest % grid_[static_cast<std::size_t>(d)];
+    rest /= grid_[static_cast<std::size_t>(d)];
+  }
+}
+
+int CartDecomp::neighbour(int dim, int dir) const {
+  auto c = coords_;
+  c[static_cast<std::size_t>(dim)] += dir;
+  if (c[static_cast<std::size_t>(dim)] < 0 ||
+      c[static_cast<std::size_t>(dim)] >= grid_[static_cast<std::size_t>(dim)])
+    return -1;
+  int r = 0;
+  for (int d = 0; d < dims_; ++d)
+    r = r * grid_[static_cast<std::size_t>(d)] + c[static_cast<std::size_t>(d)];
+  return r;
+}
+
+std::pair<std::size_t, std::size_t> CartDecomp::owned(
+    int dim, std::size_t global) const {
+  const auto g = static_cast<std::size_t>(grid_[static_cast<std::size_t>(dim)]);
+  const auto c = static_cast<std::size_t>(coords_[static_cast<std::size_t>(dim)]);
+  const std::size_t base = global / g;
+  const std::size_t rem = global % g;
+  const std::size_t begin = c * base + std::min(c, rem);
+  const std::size_t count = base + (c < rem ? 1 : 0);
+  return {begin, begin + count};
+}
+
+}  // namespace syclport::mpi

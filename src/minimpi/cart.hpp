@@ -1,0 +1,41 @@
+#pragma once
+/// \file cart.hpp
+/// Cartesian decomposition over a mini-MPI world: rank coordinates,
+/// neighbour lookup, and per-rank sub-ranges of a global grid - the
+/// owner-compute layout OPS uses for structured meshes (paper §3).
+
+#include <array>
+#include <cstddef>
+
+#include "core/factorize.hpp"
+
+namespace syclport::mpi {
+
+class CartDecomp {
+ public:
+  /// Decompose `nranks` over `dims` dimensions; `rank` selects this
+  /// rank's coordinates (row-major over the rank grid).
+  CartDecomp(int rank, int nranks, int dims);
+
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] const std::array<int, 3>& grid() const { return grid_; }
+  [[nodiscard]] const std::array<int, 3>& coords() const { return coords_; }
+
+  /// Rank of the neighbour one step along `dim` in direction `dir`
+  /// (-1/+1); returns -1 at the domain edge (no periodic wrap).
+  [[nodiscard]] int neighbour(int dim, int dir) const;
+
+  /// Sub-range [begin, end) of `global` points owned by this rank along
+  /// `dim` (block distribution, remainder spread over leading ranks).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> owned(
+      int dim, std::size_t global) const;
+
+ private:
+  int rank_;
+  int dims_;
+  std::array<int, 3> grid_{1, 1, 1};
+  std::array<int, 3> coords_{0, 0, 0};
+};
+
+}  // namespace syclport::mpi

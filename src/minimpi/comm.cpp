@@ -1,0 +1,101 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace syclport::mpi {
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
+  if (dest < 0 || dest >= size())
+    throw std::out_of_range("mini-MPI send: bad destination rank");
+  auto& w = *world_;
+  {
+    std::lock_guard lock(w.mu);
+    w.mailboxes[static_cast<std::size_t>(dest)].push_back(
+        detail::Message{rank_, tag, {data.begin(), data.end()}});
+  }
+  w.cv.notify_all();
+}
+
+void Comm::recv_bytes(int src, int tag, std::span<std::byte> out) {
+  if (src < 0 || src >= size())
+    throw std::out_of_range("mini-MPI recv: bad source rank");
+  auto& w = *world_;
+  std::unique_lock lock(w.mu);
+  auto& box = w.mailboxes[static_cast<std::size_t>(rank_)];
+  for (;;) {
+    auto it = std::find_if(box.begin(), box.end(), [&](const auto& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != box.end()) {
+      if (it->payload.size() != out.size())
+        throw std::length_error("mini-MPI recv: size mismatch");
+      std::copy(it->payload.begin(), it->payload.end(), out.begin());
+      box.erase(it);
+      return;
+    }
+    w.cv.wait(lock);
+  }
+}
+
+void Comm::barrier() {
+  auto& w = *world_;
+  std::unique_lock lock(w.mu);
+  const std::uint64_t gen = w.barrier_generation;
+  if (++w.barrier_count == w.size) {
+    w.barrier_count = 0;
+    ++w.barrier_generation;
+    w.cv.notify_all();
+  } else {
+    w.cv.wait(lock, [&] { return w.barrier_generation != gen; });
+  }
+}
+
+void Comm::allgather_impl(const void* local, std::size_t bytes, void* out) {
+  auto& w = *world_;
+  {
+    std::lock_guard lock(w.mu);
+    if (w.gather_slots.size() != static_cast<std::size_t>(w.size))
+      w.gather_slots.resize(static_cast<std::size_t>(w.size));
+    const auto* p = static_cast<const std::byte*>(local);
+    w.gather_slots[static_cast<std::size_t>(rank_)].assign(p, p + bytes);
+  }
+  barrier();  // every slot written
+  {
+    std::lock_guard lock(w.mu);
+    auto* o = static_cast<std::byte*>(out);
+    for (int r = 0; r < w.size; ++r) {
+      const auto& slot = w.gather_slots[static_cast<std::size_t>(r)];
+      if (slot.size() != bytes)
+        throw std::length_error("mini-MPI allgather: size mismatch");
+      std::copy(slot.begin(), slot.end(), o + static_cast<std::size_t>(r) * bytes);
+    }
+  }
+  barrier();  // every slot read; safe to reuse
+}
+
+void run(int nranks, const std::function<void(Comm&)>& rank_fn) {
+  if (nranks < 1) throw std::invalid_argument("mini-MPI run: nranks < 1");
+  auto world = std::make_shared<detail::World>(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        rank_fn(comm);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Wake any rank blocked on a message that will never arrive.
+        world->cv.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace syclport::mpi

@@ -1,0 +1,164 @@
+#pragma once
+/// \file comm.hpp
+/// mini-MPI: an in-process message-passing substrate. The study's DSLs
+/// use the MPI and MPI+X execution models; this module provides real
+/// message-passing semantics (typed point-to-point sends/receives with
+/// tags, barriers, reductions, gathers) between ranks that run as
+/// threads of one process. Wire format and transport are irrelevant to
+/// the paper's results - ownership, packing and exchange *structure*
+/// are what OPS/OP2 exercise, and those are faithfully reproduced.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace syclport::mpi {
+
+/// Reduction operations supported by allreduce.
+enum class Op { Sum, Min, Max };
+
+namespace detail {
+struct Message {
+  int src;
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+/// Shared state of one communicator world.
+struct World {
+  explicit World(int n) : size(n), mailboxes(static_cast<std::size_t>(n)) {}
+
+  int size;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// mailboxes[dst] holds messages awaiting receipt, FIFO per (src,tag).
+  std::vector<std::deque<Message>> mailboxes;
+
+  // Barrier / collective state.
+  int barrier_count = 0;
+  std::uint64_t barrier_generation = 0;
+  std::vector<std::vector<std::byte>> gather_slots;
+};
+}  // namespace detail
+
+/// A rank's handle to the world: the mini-MPI equivalent of an
+/// MPI_Comm + rank id.
+class Comm {
+ public:
+  Comm(std::shared_ptr<detail::World> world, int rank)
+      : world_(std::move(world)), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_->size; }
+
+  /// Blocking typed send (buffered: copies payload and returns).
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void send(int dest, int tag, const T& scalar) {
+    send(dest, tag, std::span<const T>(&scalar, 1));
+  }
+
+  /// Blocking typed receive; message size must match exactly.
+  template <typename T>
+  void recv(int src, int tag, std::span<T> out) {
+    recv_bytes(src, tag, std::as_writable_bytes(out));
+  }
+  template <typename T>
+  void recv(int src, int tag, T& scalar) {
+    recv(src, tag, std::span<T>(&scalar, 1));
+  }
+
+  /// Paired exchange with a neighbour (send then receive, deadlock-free
+  /// because sends are buffered).
+  template <typename T>
+  void sendrecv(int peer, int tag, std::span<const T> out, std::span<T> in) {
+    send(peer, tag, out);
+    recv(peer, tag, in);
+  }
+
+  /// Non-blocking operations. Sends are buffered, so isend completes
+  /// immediately; irecv defers the matching receive until wait() - the
+  /// usual MPI contract (the receive buffer must stay alive and
+  /// untouched until the request is waited on) is therefore preserved.
+  class Request {
+   public:
+    Request() = default;
+    void wait() {
+      if (complete_) complete_();
+      complete_ = nullptr;
+    }
+    [[nodiscard]] bool pending() const { return static_cast<bool>(complete_); }
+
+   private:
+    friend class Comm;
+    explicit Request(std::function<void()> c) : complete_(std::move(c)) {}
+    std::function<void()> complete_;
+  };
+
+  template <typename T>
+  [[nodiscard]] Request isend(int dest, int tag, std::span<const T> data) {
+    send(dest, tag, data);  // buffered: completes eagerly
+    return Request{};
+  }
+
+  template <typename T>
+  [[nodiscard]] Request irecv(int src, int tag, std::span<T> out) {
+    return Request([this, src, tag, out] { recv(src, tag, out); });
+  }
+
+  static void waitall(std::span<Request> reqs) {
+    for (Request& r : reqs) r.wait();
+  }
+
+  void barrier();
+
+  /// Allreduce of a scalar (Sum/Min/Max).
+  template <typename T>
+  [[nodiscard]] T allreduce(T local, Op op) {
+    std::vector<T> all(static_cast<std::size_t>(size()));
+    allgather_impl(&local, sizeof(T), all.data());
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      switch (op) {
+        case Op::Sum: acc = acc + all[i]; break;
+        case Op::Min: acc = all[i] < acc ? all[i] : acc; break;
+        case Op::Max: acc = acc < all[i] ? all[i] : acc; break;
+      }
+    }
+    return acc;
+  }
+
+  /// Gather one value per rank to every rank.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather(T local) {
+    std::vector<T> all(static_cast<std::size_t>(size()));
+    allgather_impl(&local, sizeof(T), all.data());
+    return all;
+  }
+
+ private:
+  void send_bytes(int dest, int tag, std::span<const std::byte> data);
+  void recv_bytes(int src, int tag, std::span<std::byte> out);
+  void allgather_impl(const void* local, std::size_t bytes, void* out);
+
+  std::shared_ptr<detail::World> world_;
+  int rank_;
+};
+
+/// Launch `nranks` copies of `rank_fn` as threads sharing one world and
+/// join them all. Exceptions from any rank are rethrown (first wins).
+void run(int nranks, const std::function<void(Comm&)>& rank_fn);
+
+}  // namespace syclport::mpi

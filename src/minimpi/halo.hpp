@@ -1,0 +1,102 @@
+#pragma once
+/// \file halo.hpp
+/// Face halo exchange for rank-local structured fields with ghost
+/// layers, over the mini-MPI communicator. Pack, sendrecv, unpack -
+/// the OPS MPI backend's exchange structure (paper §3). Header-only
+/// template so any element type works.
+
+#include <span>
+#include <vector>
+
+#include "minimpi/cart.hpp"
+#include "minimpi/comm.hpp"
+
+namespace syclport::mpi {
+
+/// A rank-local field of `dims` dimensions with interior extents
+/// `local[0..dims-1]` (slowest first, fastest last) and `halo` ghost
+/// layers on every side. Storage row-major including ghosts.
+template <typename T>
+struct LocalField {
+  int dims = 2;
+  std::array<std::size_t, 3> local{1, 1, 1};
+  int halo = 1;
+  std::vector<T> data;
+
+  [[nodiscard]] std::size_t padded(int d) const {
+    return local[static_cast<std::size_t>(d)] + 2 * static_cast<std::size_t>(halo);
+  }
+  [[nodiscard]] std::size_t volume() const {
+    std::size_t v = 1;
+    for (int d = 0; d < dims; ++d) v *= padded(d);
+    return v;
+  }
+  void allocate() { data.assign(volume(), T{}); }
+
+  /// Index with coordinates relative to the interior origin: -halo ..
+  /// local[d]+halo-1 are valid.
+  [[nodiscard]] T& at(std::ptrdiff_t i, std::ptrdiff_t j = 0,
+                      std::ptrdiff_t k = 0) {
+    std::array<std::ptrdiff_t, 3> c{i, j, k};
+    std::size_t lin = 0;
+    for (int d = 0; d < dims; ++d)
+      lin = lin * padded(d) +
+            static_cast<std::size_t>(c[static_cast<std::size_t>(d)] + halo);
+    return data[lin];
+  }
+};
+
+namespace detail {
+/// Iterate a face slab of thickness `halo` at `side` (0: low, 1: high)
+/// of dimension `dim`, interior-adjacent (`ghost` false) or the ghost
+/// region itself (`ghost` true); call fn(i,j,k) for every point.
+template <typename T, typename Fn>
+void for_face(const LocalField<T>& f, int dim, int side, bool ghost, Fn&& fn) {
+  std::array<std::ptrdiff_t, 3> lo{0, 0, 0}, hi{1, 1, 1};
+  for (int d = 0; d < f.dims; ++d) {
+    lo[static_cast<std::size_t>(d)] = 0;
+    hi[static_cast<std::size_t>(d)] =
+        static_cast<std::ptrdiff_t>(f.local[static_cast<std::size_t>(d)]);
+  }
+  const auto ext = static_cast<std::ptrdiff_t>(f.local[static_cast<std::size_t>(dim)]);
+  if (side == 0) {
+    lo[static_cast<std::size_t>(dim)] = ghost ? -f.halo : 0;
+    hi[static_cast<std::size_t>(dim)] = ghost ? 0 : f.halo;
+  } else {
+    lo[static_cast<std::size_t>(dim)] = ghost ? ext : ext - f.halo;
+    hi[static_cast<std::size_t>(dim)] = ghost ? ext + f.halo : ext;
+  }
+  for (std::ptrdiff_t i = lo[0]; i < hi[0]; ++i)
+    for (std::ptrdiff_t j = lo[1]; j < hi[1]; ++j)
+      for (std::ptrdiff_t k = lo[2]; k < hi[2]; ++k) fn(i, j, k);
+}
+}  // namespace detail
+
+/// Exchange all face halos of `f` with the Cartesian neighbours.
+/// Tags encode (dim, direction) so concurrent exchanges cannot cross.
+template <typename T>
+void exchange_halos(Comm& comm, const CartDecomp& cart, LocalField<T>& f) {
+  for (int dim = 0; dim < f.dims; ++dim) {
+    for (int side = 0; side < 2; ++side) {
+      const int nb = cart.neighbour(dim, side == 0 ? -1 : +1);
+      const int send_tag = 100 + dim * 4 + side;
+      const int recv_tag = 100 + dim * 4 + (1 - side);
+      if (nb < 0) continue;
+      std::vector<T> out;
+      detail::for_face(f, dim, side, /*ghost=*/false,
+                       [&](auto i, auto j, auto k) {
+                         out.push_back(f.at(i, j, k));
+                       });
+      comm.send(nb, send_tag, std::span<const T>(out));
+      std::vector<T> in(out.size());
+      comm.recv(nb, recv_tag, std::span<T>(in));
+      std::size_t idx = 0;
+      detail::for_face(f, dim, side, /*ghost=*/true,
+                       [&](auto i, auto j, auto k) {
+                         f.at(i, j, k) = in[idx++];
+                       });
+    }
+  }
+}
+
+}  // namespace syclport::mpi

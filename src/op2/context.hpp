@@ -1,0 +1,91 @@
+#pragma once
+/// \file context.hpp
+/// OP2 execution context: race-resolution strategy, execution backend,
+/// plan cache, and the recorded loop profiles.
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/types.hpp"
+#include "hwmodel/loop_profile.hpp"
+#include "op2/locality.hpp"
+#include "op2/plan.hpp"
+#include "sycl/sycl.hpp"
+
+namespace syclport::op2 {
+
+enum class Exec : std::uint8_t {
+  Serial,   ///< reference execution, one element at a time
+  Threads,  ///< thread-pool sweeps (OpenMP-like / MPI-rank-local)
+  Sycl,     ///< sweeps routed through the miniSYCL queue
+};
+
+enum class Mode : std::uint8_t { Execute, ModelOnly };
+
+struct Options {
+  Exec exec = Exec::Threads;
+  Mode mode = Mode::Execute;
+  bool record = true;
+  Strategy strategy = Strategy::Atomics;  ///< for indirect-increment loops
+  std::size_t block_size = 256;           ///< hierarchical block size
+  std::size_t wg = 256;                   ///< work-group size for Sycl exec
+  /// Wave width for locality measurement (sub_group of the modeled GPU).
+  std::size_t wave = 64;
+};
+
+class Context {
+ public:
+  explicit Context(Options o) : opt(o) {}
+  Context() = default;
+
+  Options opt;
+  sycl::queue queue;
+  std::vector<hw::LoopProfile> profiles;
+  void clear_profiles() { profiles.clear(); }
+
+  [[nodiscard]] bool executing() const { return opt.mode == Mode::Execute; }
+
+  /// Plan for resolving conflicts through `map` under the context's
+  /// strategy; built once and cached.
+  [[nodiscard]] const Plan& plan_for(const Map& map) {
+    const auto key = std::make_tuple(static_cast<const void*>(&map),
+                                     opt.strategy, opt.block_size);
+    auto it = plans_.find(key);
+    if (it == plans_.end())
+      it = plans_
+               .emplace(key, std::make_unique<Plan>(build_plan(
+                                 map, opt.strategy, opt.block_size)))
+               .first;
+    return *it->second;
+  }
+
+  /// Cached gather-locality statistics for accessing (dim x elem_bytes)
+  /// data through `map` in the plan's execution order.
+  [[nodiscard]] const GatherStats& gather_for(const Map& map, int dim,
+                                              std::size_t elem_bytes) {
+    const auto key = std::make_tuple(static_cast<const void*>(&map),
+                                     opt.strategy, opt.block_size,
+                                     dim, elem_bytes);
+    auto it = gathers_.find(key);
+    if (it == gathers_.end()) {
+      const auto order = execution_order(plan_for(map));
+      it = gathers_
+               .emplace(key, measure_gather(map, dim, elem_bytes, order,
+                                            opt.wave))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::tuple<const void*, Strategy, std::size_t>,
+           std::unique_ptr<Plan>>
+      plans_;
+  std::map<std::tuple<const void*, Strategy, std::size_t, int, std::size_t>,
+           GatherStats>
+      gathers_;
+};
+
+}  // namespace syclport::op2

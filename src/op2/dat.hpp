@@ -1,0 +1,57 @@
+#pragma once
+/// \file dat.hpp
+/// OP2 dat: `dim` values of type T per element of a set, stored
+/// contiguously per element (AoS). In ModelOnly contexts no storage is
+/// allocated.
+
+#include <string>
+#include <vector>
+
+#include "op2/set.hpp"
+
+namespace syclport::op2 {
+
+template <typename T>
+class Dat {
+ public:
+  Dat(Set& set, int dim, std::string name, bool allocate = true)
+      : set_(&set), dim_(dim), name_(std::move(name)) {
+    if (allocate)
+      data_.assign(set.size() * static_cast<std::size_t>(dim), T{});
+  }
+
+  [[nodiscard]] Set& set() const { return *set_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool allocated() const { return !data_.empty(); }
+
+  [[nodiscard]] T* elem(std::size_t e) {
+    return data_.data() + e * static_cast<std::size_t>(dim_);
+  }
+  [[nodiscard]] const T* elem(std::size_t e) const {
+    return data_.data() + e * static_cast<std::size_t>(dim_);
+  }
+  [[nodiscard]] T& at(std::size_t e, int c = 0) {
+    return data_[e * static_cast<std::size_t>(dim_) + static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] double bytes() const {
+    return static_cast<double>(set_->size()) * dim_ * sizeof(T);
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] double sum() const {
+    double s = 0.0;
+    for (const T& v : data_) s += static_cast<double>(v);
+    return s;
+  }
+
+ private:
+  Set* set_;
+  int dim_;
+  std::string name_;
+  std::vector<T> data_;
+};
+
+}  // namespace syclport::op2

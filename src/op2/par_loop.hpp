@@ -1,0 +1,337 @@
+#pragma once
+/// \file par_loop.hpp
+/// The OP2 parallel-loop primitive for unstructured meshes. A par_loop
+/// names a kernel over a set with direct, indirect, increment and
+/// global arguments. Indirect increments race between elements sharing
+/// a mapped target; the context's Strategy resolves them (paper §3):
+///   - Atomics: one sweep, atomic adds;
+///   - GlobalColor: one sweep per colour, plain adds;
+///   - Hierarchical: one sweep per block colour; within a block,
+///     intra-colour phases (separated by work-group barriers when
+///     executing through SYCL).
+/// Every invocation records a LoopProfile including measured gather
+/// locality, the input to the hardware model's MG-CFD reproduction.
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "hwmodel/loop_profile.hpp"
+#include "op2/arg.hpp"
+#include "op2/context.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace syclport::op2 {
+
+struct Meta {
+  const char* name = "(kernel)";
+  double flops_per_elem = 0.0;
+};
+
+namespace detail {
+
+// --- kernel-side binders -----------------------------------------------------
+
+template <typename T>
+struct DirectBinder {
+  T* base;
+  int dim;
+  [[nodiscard]] T* make(std::size_t e, bool /*atomic*/) const {
+    return base + e * static_cast<std::size_t>(dim);
+  }
+};
+
+template <typename T>
+struct IndirectBinder {
+  T* base;
+  int dim;
+  const Map* map;
+  int idx;
+  [[nodiscard]] T* make(std::size_t e, bool /*atomic*/) const {
+    return base +
+           static_cast<std::size_t>(map->at(e, idx)) *
+               static_cast<std::size_t>(dim);
+  }
+};
+
+template <typename T>
+struct IncBinder {
+  T* base;
+  int dim;
+  const Map* map;
+  int idx;
+  [[nodiscard]] Inc<T> make(std::size_t e, bool atomic) const {
+    return Inc<T>(base + static_cast<std::size_t>(map->at(e, idx)) *
+                             static_cast<std::size_t>(dim),
+                  atomic);
+  }
+};
+
+template <typename T>
+struct GblBinder {
+  T* target;
+  RedOp op;
+  [[nodiscard]] Reducer<T> make(std::size_t, bool) const {
+    return Reducer<T>(target, op);
+  }
+};
+
+template <typename T>
+DirectBinder<T> make_binder(const DirectArg<T>& a, bool executing) {
+  return {executing ? a.dat->elem(0) : nullptr, a.dat->dim()};
+}
+template <typename T>
+IndirectBinder<T> make_binder(const IndirectArg<T>& a, bool executing) {
+  if (a.acc == Acc::INC)
+    throw std::invalid_argument("use arg_inc() for INC access");
+  return {executing ? a.dat->elem(0) : nullptr, a.dat->dim(), a.map, a.idx};
+}
+template <typename T>
+GblBinder<T> make_binder(const GblArg<T>& a, bool) {
+  return {a.target, a.op};
+}
+
+/// INC arguments get their own type so the kernel parameter is Inc<T>.
+template <typename T>
+struct IncArg {
+  Dat<T>* dat;
+  Map* map;
+  int idx;
+};
+template <typename T>
+IncBinder<T> make_binder(const IncArg<T>& a, bool executing) {
+  return {executing ? a.dat->elem(0) : nullptr, a.dat->dim(), a.map, a.idx};
+}
+
+// --- profile accumulation -----------------------------------------------------
+
+struct ArgInfo {
+  const void* dat_id = nullptr;
+  const Map* map = nullptr;  ///< null for direct args
+  Acc acc = Acc::R;
+  double unique_bytes = 0.0;
+  int dim = 1;
+  std::size_t elem_bytes = 8;
+  bool is_gbl = false;
+};
+
+template <typename T>
+ArgInfo arg_info(const DirectArg<T>& a) {
+  return {a.dat, nullptr, a.acc, a.dat->bytes(), a.dat->dim(), sizeof(T),
+          false};
+}
+template <typename T>
+ArgInfo arg_info(const IndirectArg<T>& a) {
+  return {a.dat, a.map, a.acc,
+          static_cast<double>(a.map->to().size()) * a.dat->dim() * sizeof(T),
+          a.dat->dim(), sizeof(T), false};
+}
+template <typename T>
+ArgInfo arg_info(const IncArg<T>& a) {
+  return {a.dat, a.map, Acc::INC,
+          static_cast<double>(a.map->to().size()) * a.dat->dim() * sizeof(T),
+          a.dat->dim(), sizeof(T), false};
+}
+template <typename T>
+ArgInfo arg_info(const GblArg<T>& a) {
+  ArgInfo i;
+  i.dat_id = a.target;
+  i.is_gbl = true;
+  return i;
+}
+
+}  // namespace detail
+
+template <typename T>
+[[nodiscard]] detail::IncArg<T> arg_inc(Dat<T>& d, Map& m, int idx) {
+  return {&d, &m, idx};
+}
+
+template <typename K, typename... Args>
+void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
+  const std::size_t n = set.size();
+  if (n == 0) return;
+
+  // Collect type-erased argument facts for profiling + scheduling.
+  std::vector<detail::ArgInfo> infos{detail::arg_info(args)...};
+  const detail::ArgInfo* conflict = nullptr;
+  for (const auto& i : infos)
+    if (i.acc == Acc::INC) {
+      if (conflict != nullptr && conflict->map != i.map)
+        throw std::invalid_argument(
+            "par_loop: INC args must share one conflict map");
+      conflict = &i;
+    }
+
+  const Plan* plan =
+      conflict != nullptr ? &ctx.plan_for(*conflict->map) : nullptr;
+
+  if (ctx.opt.record) {
+    hw::LoopProfile lp;
+    lp.name = meta.name;
+    lp.dims = 1;
+    lp.extent = {n, 1, 1};
+    lp.flops = meta.flops_per_elem * static_cast<double>(n);
+    lp.n_arrays = 0;
+    bool any_indirect = false;
+    double max_line_factor = 1.0;
+    std::vector<const void*> seen_dats;
+    std::vector<const Map*> seen_maps;
+    for (const auto& i : infos) {
+      if (i.is_gbl) {
+        lp.reduction = hw::ReductionKind::BuiltIn;
+        continue;
+      }
+      if (std::find(seen_dats.begin(), seen_dats.end(), i.dat_id) !=
+          seen_dats.end())
+        continue;  // same dat through several map columns: count once
+      seen_dats.push_back(i.dat_id);
+      lp.n_arrays += 1;
+      lp.elem_bytes = i.elem_bytes;
+      lp.working_set += i.unique_bytes;
+      const bool indirect = i.map != nullptr;
+      any_indirect |= indirect;
+      const bool reads = i.acc == Acc::R || i.acc == Acc::RW || i.acc == Acc::INC;
+      const bool writes =
+          i.acc == Acc::W || i.acc == Acc::RW || i.acc == Acc::INC;
+      if (reads) {
+        lp.bytes_read += i.unique_bytes;
+        if (indirect) lp.bytes_read_indirect += i.unique_bytes;
+      }
+      if (writes) {
+        lp.bytes_written += i.unique_bytes;
+        if (indirect) lp.bytes_written_indirect += i.unique_bytes;
+      }
+      if (indirect) {
+        if (std::find(seen_maps.begin(), seen_maps.end(), i.map) ==
+            seen_maps.end()) {
+          seen_maps.push_back(i.map);
+          lp.map_bytes += i.map->bytes();
+          lp.working_set += i.map->bytes();
+        }
+        const GatherStats& gs =
+            ctx.gather_for(*i.map, i.dim, i.elem_bytes);
+        max_line_factor = std::max(max_line_factor, gs.line_factor);
+        for (std::size_t c = 0; c < gs.factor_at.size(); ++c)
+          lp.gather_factor_at[c] =
+              std::max(lp.gather_factor_at[c], gs.factor_at[c]);
+      }
+    }
+    lp.gather_line_factor = max_line_factor;
+    if (conflict != nullptr) {
+      lp.cls = hw::KernelClass::EdgeFlux;
+      lp.launches = plan->launches();
+      if (ctx.opt.strategy == Strategy::Atomics) {
+        std::size_t incs = 0;
+        for (const auto& i : infos)
+          if (i.acc == Acc::INC)
+            incs += n * static_cast<std::size_t>(i.dim);
+        lp.atomic_updates = incs;
+      }
+    } else if (any_indirect) {
+      lp.cls = hw::KernelClass::MGTransfer;
+    } else {
+      lp.cls = lp.reduction != hw::ReductionKind::None
+                   ? hw::KernelClass::Reduction
+                   : hw::KernelClass::VertexUpdate;
+    }
+    ctx.profiles.push_back(std::move(lp));
+  }
+  if (!ctx.executing()) return;
+
+  auto binders = std::make_tuple(detail::make_binder(args, true)...);
+  const bool atomic = conflict != nullptr &&
+                      ctx.opt.strategy == Strategy::Atomics;
+  auto invoke = [&](std::size_t e) {
+    std::apply([&](const auto&... b) { kernel(b.make(e, atomic)...); },
+               binders);
+  };
+
+  // Parallel sweep over an index list (or the identity when null).
+  auto sweep = [&](const std::vector<int>* elems, std::size_t count) {
+    auto elem_at = [&](std::size_t i) {
+      return elems != nullptr ? static_cast<std::size_t>((*elems)[i]) : i;
+    };
+    switch (ctx.opt.exec) {
+      case Exec::Serial:
+        for (std::size_t i = 0; i < count; ++i) invoke(elem_at(i));
+        break;
+      case Exec::Threads:
+        rt::ThreadPool::global().parallel_for(
+            count, [&](std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) invoke(elem_at(i));
+            });
+        break;
+      case Exec::Sycl:
+        ctx.queue.parallel_for(meta.name, sycl::range<1>(count),
+                               [&](sycl::item<1> it) {
+                                 invoke(elem_at(it.get_linear_id()));
+                               });
+        break;
+    }
+  };
+
+  if (conflict == nullptr || ctx.opt.strategy == Strategy::Atomics ||
+      ctx.opt.strategy == Strategy::None) {
+    sweep(nullptr, n);
+    return;
+  }
+
+  if (ctx.opt.strategy == Strategy::GlobalColor) {
+    for (const auto& elems : plan->elements_by_colour)
+      sweep(&elems, elems.size());
+    return;
+  }
+
+  // Hierarchical: blocks of one colour run in parallel; inside a block,
+  // intra-colour phases execute in order.
+  const auto run_block_serial = [&](int blk) {
+    const std::size_t b = static_cast<std::size_t>(blk) * plan->block_size;
+    const std::size_t e_end = std::min(n, b + plan->block_size);
+    for (int c = 0; c < plan->max_intra_colours; ++c)
+      for (std::size_t e = b; e < e_end; ++e)
+        if (plan->intra_colour[e] == c) invoke(e);
+  };
+  for (const auto& blocks : plan->blocks_by_colour) {
+    switch (ctx.opt.exec) {
+      case Exec::Serial:
+        for (int blk : blocks) run_block_serial(blk);
+        break;
+      case Exec::Threads:
+        rt::ThreadPool::global().parallel_for(
+            blocks.size(), [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i)
+                run_block_serial(blocks[i]);
+            });
+        break;
+      case Exec::Sycl: {
+        // One work-group per block; barriers separate intra-colours -
+        // the GPU hierarchical execution of Figure 1 (right).
+        const std::size_t wg = std::max<std::size_t>(1, ctx.opt.wg);
+        const Plan* pl = plan;
+        const std::vector<int>* blks = &blocks;
+        const std::size_t total = n;
+        ctx.queue.parallel_for(
+            meta.name,
+            sycl::nd_range<1>(sycl::range<1>(blocks.size() * wg),
+                              sycl::range<1>(wg)),
+            [&, pl, blks, total](sycl::nd_item<1> it) {
+              const int blk = (*blks)[it.get_group(0)];
+              const std::size_t b =
+                  static_cast<std::size_t>(blk) * pl->block_size;
+              const std::size_t e_end = std::min(total, b + pl->block_size);
+              for (int c = 0; c < pl->max_intra_colours; ++c) {
+                for (std::size_t e = b + it.get_local_id(0); e < e_end;
+                     e += wg)
+                  if (pl->intra_colour[e] == c) invoke(e);
+                it.barrier();
+              }
+            });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace syclport::op2

@@ -1,0 +1,121 @@
+#include "op2/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace syclport::op2 {
+
+namespace {
+
+void rcb_recurse(std::span<const std::array<double, 3>> coords,
+                 std::vector<int>& ids, std::size_t begin, std::size_t end,
+                 int part_base, int nparts, std::vector<int>& out) {
+  if (nparts <= 1) {
+    for (std::size_t i = begin; i < end; ++i)
+      out[static_cast<std::size_t>(ids[i])] = part_base;
+    return;
+  }
+  // Widest axis of this subset's bounding box.
+  std::array<double, 3> lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& c = coords[static_cast<std::size_t>(ids[i])];
+    for (int d = 0; d < 3; ++d) {
+      lo[static_cast<std::size_t>(d)] = std::min(lo[static_cast<std::size_t>(d)], c[static_cast<std::size_t>(d)]);
+      hi[static_cast<std::size_t>(d)] = std::max(hi[static_cast<std::size_t>(d)], c[static_cast<std::size_t>(d)]);
+    }
+  }
+  int axis = 0;
+  for (int d = 1; d < 3; ++d)
+    if (hi[static_cast<std::size_t>(d)] - lo[static_cast<std::size_t>(d)] >
+        hi[static_cast<std::size_t>(axis)] - lo[static_cast<std::size_t>(axis)])
+      axis = d;
+
+  // Split the part count proportionally and the points at the matching
+  // quantile along the chosen axis.
+  const int left_parts = nparts / 2;
+  const int right_parts = nparts - left_parts;
+  const std::size_t n = end - begin;
+  const std::size_t left_n =
+      n * static_cast<std::size_t>(left_parts) / static_cast<std::size_t>(nparts);
+  auto cmp = [&](int a, int b) {
+    return coords[static_cast<std::size_t>(a)][static_cast<std::size_t>(axis)] <
+           coords[static_cast<std::size_t>(b)][static_cast<std::size_t>(axis)];
+  };
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                   ids.begin() + static_cast<std::ptrdiff_t>(begin + left_n),
+                   ids.begin() + static_cast<std::ptrdiff_t>(end), cmp);
+  rcb_recurse(coords, ids, begin, begin + left_n, part_base, left_parts, out);
+  rcb_recurse(coords, ids, begin + left_n, end, part_base + left_parts,
+              right_parts, out);
+}
+
+}  // namespace
+
+std::vector<int> rcb_partition(std::span<const std::array<double, 3>> coords,
+                               int nparts) {
+  if (nparts < 1) throw std::invalid_argument("rcb_partition: nparts < 1");
+  std::vector<int> ids(coords.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::vector<int> out(coords.size(), 0);
+  rcb_recurse(coords, ids, 0, coords.size(), 0, nparts, out);
+  return out;
+}
+
+PartitionStats analyze_partition(const Map& e2n,
+                                 std::span<const int> node_part, int nparts) {
+  if (node_part.size() != e2n.to().size())
+    throw std::invalid_argument("analyze_partition: partition size mismatch");
+  PartitionStats st;
+  st.nparts = nparts;
+  st.owned_nodes.assign(static_cast<std::size_t>(nparts), 0);
+  st.owned_elems.assign(static_cast<std::size_t>(nparts), 0);
+  st.halo_nodes.assign(static_cast<std::size_t>(nparts), 0);
+
+  for (int p : node_part) {
+    if (p < 0 || p >= nparts)
+      throw std::out_of_range("analyze_partition: bad part id");
+    ++st.owned_nodes[static_cast<std::size_t>(p)];
+  }
+
+  // Owner-compute: an element runs on the owner of its first node; any
+  // other node owned elsewhere is a halo read (counted once per part).
+  std::vector<std::unordered_set<int>> halos(static_cast<std::size_t>(nparts));
+  const std::size_t ne = e2n.from().size();
+  for (std::size_t e = 0; e < ne; ++e) {
+    const int owner = node_part[static_cast<std::size_t>(e2n.at(e, 0))];
+    ++st.owned_elems[static_cast<std::size_t>(owner)];
+    bool cut = false;
+    for (int i = 1; i < e2n.arity(); ++i) {
+      const int nd = e2n.at(e, i);
+      if (node_part[static_cast<std::size_t>(nd)] != owner) {
+        cut = true;
+        halos[static_cast<std::size_t>(owner)].insert(nd);
+      }
+    }
+    if (cut) ++st.cut_elems;
+  }
+  st.cut_fraction = ne > 0 ? static_cast<double>(st.cut_elems) /
+                                 static_cast<double>(ne)
+                           : 0.0;
+
+  double halo_frac_sum = 0.0;
+  std::size_t max_owned = 0;
+  for (int p = 0; p < nparts; ++p) {
+    st.halo_nodes[static_cast<std::size_t>(p)] =
+        halos[static_cast<std::size_t>(p)].size();
+    max_owned = std::max(max_owned, st.owned_nodes[static_cast<std::size_t>(p)]);
+    if (st.owned_nodes[static_cast<std::size_t>(p)] > 0)
+      halo_frac_sum +=
+          static_cast<double>(st.halo_nodes[static_cast<std::size_t>(p)]) /
+          static_cast<double>(st.owned_nodes[static_cast<std::size_t>(p)]);
+  }
+  const double mean_owned =
+      static_cast<double>(node_part.size()) / static_cast<double>(nparts);
+  st.max_imbalance = mean_owned > 0 ? static_cast<double>(max_owned) / mean_owned : 0.0;
+  st.avg_halo_fraction = halo_frac_sum / static_cast<double>(nparts);
+  return st;
+}
+
+}  // namespace syclport::op2

@@ -1,0 +1,76 @@
+#pragma once
+/// \file set.hpp
+/// OP2 sets and maps. A Set is a collection of mesh elements (vertices,
+/// edges, cells); a Map is a fixed-arity connectivity table between two
+/// sets (e.g. edges -> 2 cells). Maps drive indirect addressing, race
+/// detection and the colouring plans (paper §3, Figure 1).
+
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace syclport::op2 {
+
+class Set {
+ public:
+  Set(std::string name, std::size_t size) : name_(std::move(name)), size_(size) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::string name_;
+  std::size_t size_;
+};
+
+class Map {
+ public:
+  /// Uninitialized map (fill via at()); entries must be < to.size().
+  Map(Set& from, Set& to, int arity, std::string name)
+      : from_(&from),
+        to_(&to),
+        arity_(arity),
+        name_(std::move(name)),
+        data_(from.size() * static_cast<std::size_t>(arity), 0) {}
+
+  [[nodiscard]] Set& from() const { return *from_; }
+  [[nodiscard]] Set& to() const { return *to_; }
+  [[nodiscard]] int arity() const { return arity_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] int& at(std::size_t elem, int i) {
+    return data_[elem * static_cast<std::size_t>(arity_) +
+                 static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int at(std::size_t elem, int i) const {
+    return data_[elem * static_cast<std::size_t>(arity_) +
+                 static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] const int* row(std::size_t elem) const {
+    return data_.data() + elem * static_cast<std::size_t>(arity_);
+  }
+
+  /// Bytes streamed when the whole map is read once.
+  [[nodiscard]] double bytes() const {
+    return static_cast<double>(data_.size()) * sizeof(int);
+  }
+
+  /// Validate that every entry indexes into the target set.
+  void check() const {
+    for (int v : data_)
+      if (v < 0 || static_cast<std::size_t>(v) >= to_->size())
+        throw std::out_of_range("Map " + name_ + ": entry out of range");
+  }
+
+ private:
+  Set* from_;
+  Set* to_;
+  int arity_;
+  std::string name_;
+  std::vector<int> data_;
+};
+
+}  // namespace syclport::op2

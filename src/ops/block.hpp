@@ -1,0 +1,43 @@
+#pragma once
+/// \file block.hpp
+/// OPS structured block: a logical Cartesian grid that dats live on.
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "ops/context.hpp"
+
+namespace syclport::ops {
+
+class Block {
+ public:
+  /// `size` lists interior extents, slowest dimension first (so for a
+  /// 2D ny x nx grid pass {ny, nx}; x is always unit-stride).
+  Block(Context& ctx, std::string name, int dims,
+        std::array<std::size_t, 3> size)
+      : ctx_(&ctx), name_(std::move(name)), dims_(dims), size_(size) {
+    if (dims < 1 || dims > 3) throw std::invalid_argument("Block: dims 1-3");
+    for (int d = dims; d < 3; ++d) size_[static_cast<std::size_t>(d)] = 1;
+  }
+
+  [[nodiscard]] Context& ctx() const { return *ctx_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] const std::array<std::size_t, 3>& size() const { return size_; }
+  [[nodiscard]] std::size_t size(int d) const {
+    return size_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] std::size_t points() const {
+    return size_[0] * size_[1] * size_[2];
+  }
+
+ private:
+  Context* ctx_;
+  std::string name_;
+  int dims_;
+  std::array<std::size_t, 3> size_;
+};
+
+}  // namespace syclport::ops

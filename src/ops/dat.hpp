@@ -1,0 +1,126 @@
+#pragma once
+/// \file dat.hpp
+/// OPS dat: a (possibly multi-component) field over a block, stored
+/// with halo/ghost layers on every side. Layout is row-major over
+/// (slow, mid, fast) with components innermost (AoS). In ModelOnly
+/// contexts no storage is allocated - the dat only contributes its
+/// footprint metadata to the schedule.
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ops/block.hpp"
+
+namespace syclport::ops {
+
+template <typename T>
+class Dat {
+ public:
+  Dat(Block& block, std::string name, int ncomp = 1, int halo = 2)
+      : block_(&block),
+        name_(std::move(name)),
+        ncomp_(ncomp),
+        halo_(halo) {
+    for (int d = 0; d < 3; ++d)
+      padded_[static_cast<std::size_t>(d)] =
+          d < block.dims()
+              ? block.size(d) + 2 * static_cast<std::size_t>(halo_)
+              : 1;
+    if (block.ctx().executing())
+      data_.assign(padded_[0] * padded_[1] * padded_[2] *
+                       static_cast<std::size_t>(ncomp_),
+                   T{});
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Block& block() const { return *block_; }
+  [[nodiscard]] int ncomp() const { return ncomp_; }
+  [[nodiscard]] int halo() const { return halo_; }
+  [[nodiscard]] bool allocated() const { return !data_.empty(); }
+
+  /// Element strides (in T units): fastest spatial step, mid, slow.
+  [[nodiscard]] std::ptrdiff_t stride_fast() const { return ncomp_; }
+  [[nodiscard]] std::ptrdiff_t stride_mid() const {
+    return static_cast<std::ptrdiff_t>(padded_[static_cast<std::size_t>(
+               block_->dims() - 1)]) *
+           ncomp_;
+  }
+  [[nodiscard]] std::ptrdiff_t stride_slow() const {
+    // 3D: slow stride spans a full (mid x fast) plane; for lower dims
+    // the mid stride already is the slowest spatial stride.
+    return block_->dims() < 3
+               ? stride_mid()
+               : stride_mid() * static_cast<std::ptrdiff_t>(padded_[1]);
+  }
+
+  /// Pointer to the interior origin (all halo offsets applied).
+  [[nodiscard]] T* origin() {
+    assert(allocated());
+    std::ptrdiff_t off = 0;
+    const int dims = block_->dims();
+    if (dims == 1) {
+      off = halo_ * stride_fast();
+    } else if (dims == 2) {
+      off = halo_ * stride_mid() + halo_ * stride_fast();
+    } else {
+      off = halo_ * stride_slow() + halo_ * stride_mid() +
+            halo_ * stride_fast();
+    }
+    return data_.data() + off;
+  }
+
+  /// Interior-relative element access (slow, mid, fast ordering per the
+  /// block; pass only as many indices as the block has dims). Host-side
+  /// convenience for initialization and checks.
+  [[nodiscard]] T& at(std::ptrdiff_t a, std::ptrdiff_t b = 0,
+                      std::ptrdiff_t c = 0, int comp = 0) {
+    const int dims = block_->dims();
+    T* o = origin();
+    if (dims == 1) return o[a * stride_fast() + comp];
+    if (dims == 2) return o[a * stride_mid() + b * stride_fast() + comp];
+    return o[a * stride_slow() + b * stride_mid() + c * stride_fast() + comp];
+  }
+
+  /// Bytes of one interior footprint sweep (no halo): the OPS transfer
+  /// unit for this dat.
+  [[nodiscard]] double interior_bytes() const {
+    return static_cast<double>(block_->points()) * ncomp_ * sizeof(T);
+  }
+
+  /// Total allocated bytes including halos (0 when not allocated).
+  [[nodiscard]] std::size_t alloc_bytes() const {
+    return data_.size() * sizeof(T);
+  }
+
+  /// Fill the entire allocation (halos included).
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Sum over the interior (validation checksums).
+  [[nodiscard]] double interior_sum() {
+    double s = 0.0;
+    const int dims = block_->dims();
+    const auto n0 = static_cast<std::ptrdiff_t>(block_->size(0));
+    const auto n1 = dims >= 2 ? static_cast<std::ptrdiff_t>(block_->size(1)) : 1;
+    const auto n2 = dims >= 3 ? static_cast<std::ptrdiff_t>(block_->size(2)) : 1;
+    for (std::ptrdiff_t a = 0; a < n0; ++a)
+      for (std::ptrdiff_t b = 0; b < n1; ++b)
+        for (std::ptrdiff_t c = 0; c < n2; ++c)
+          for (int comp = 0; comp < ncomp_; ++comp)
+            s += static_cast<double>(dims == 1   ? at(a, 0, 0, comp)
+                                     : dims == 2 ? at(a, b, 0, comp)
+                                                 : at(a, b, c, comp));
+    return s;
+  }
+
+ private:
+  Block* block_;
+  std::string name_;
+  int ncomp_;
+  int halo_;
+  std::array<std::size_t, 3> padded_{1, 1, 1};
+  std::vector<T> data_;
+};
+
+}  // namespace syclport::ops

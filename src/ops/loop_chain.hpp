@@ -1,0 +1,146 @@
+#pragma once
+/// \file loop_chain.hpp
+/// Lazy execution with overlapped temporal tiling - the OPS
+/// "loop-chaining / tiling" optimization (Reguly et al., the lever
+/// behind the fusion headroom that bench/ablation_fusion quantifies).
+///
+/// Loops are enqueued instead of executed; execute(tile) then runs the
+/// whole chain tile-by-tile along the slowest dimension. Tile k of
+/// loop i is expanded by the summed slow-dimension radii of the loops
+/// after i (ghost-zone / overlapped tiling), so every value a later
+/// loop reads inside the tile was produced in the same tile - at the
+/// cost of redundant compute on the overlaps. Intermediate arrays then
+/// stay cache-resident across the chain instead of making DRAM round
+/// trips.
+///
+/// Restrictions (checked): full-interior ranges, and written dats must
+/// be written out-of-place (Acc::W) - overlap recomputation would
+/// corrupt in-place (RW) updates.
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "ops/par_loop.hpp"
+
+namespace syclport::ops {
+
+class LoopChain {
+ public:
+  LoopChain(Context& ctx, Block& block) : ctx_(&ctx), block_(&block) {}
+
+  /// Queue one loop. Kernel + args are captured by value; execution is
+  /// deferred to execute(). Ranges are implicitly Range::all(block).
+  template <typename K, typename... Args>
+  void enqueue(Meta meta, K kernel, Args... args) {
+    (check_arg(args), ...);
+    Queued q;
+    q.radius_slow = slow_radius(args...);
+    (collect_deps(q, args), ...);
+    // Anti-dependence check: overlapped tiles of an *earlier* loop
+    // re-read rows a *later* loop may already have overwritten in the
+    // previous tile. Such chains cannot be overlap-tiled.
+    for (const Queued& prev : queued_)
+      for (const void* w : q.writes)
+        for (const void* r : prev.reads)
+          if (w == r)
+            throw std::invalid_argument(
+                "LoopChain: write-after-read across the chain (loop "
+                "writes a dat an earlier loop reads); split the chain");
+    Context* ctx = ctx_;
+    Block* block = block_;
+    q.run = [ctx, block, meta, kernel, args...](long lo, long hi) {
+      Range r = Range::all(*block);
+      r.lo[0] = std::max(r.lo[0], lo);
+      r.hi[0] = std::min(r.hi[0], hi);
+      // Execute directly without re-recording: profile-wise a tiled
+      // chain is one logical schedule, not tiles x loops entries.
+      const bool rec = ctx->opt.record;
+      ctx->opt.record = false;
+      par_loop(*ctx, meta, *block, r, kernel, args...);
+      ctx->opt.record = rec;
+    };
+    queued_.push_back(std::move(q));
+  }
+
+  /// Number of queued loops.
+  [[nodiscard]] std::size_t size() const { return queued_.size(); }
+
+  /// Run the chain tile-by-tile along the slowest dimension with
+  /// `tile` points per tile; then clear the queue. tile == 0 executes
+  /// untiled (each loop as one full sweep), the reference schedule.
+  void execute(std::size_t tile = 0) {
+    const long extent = static_cast<long>(block_->size(0));
+    if (tile == 0 || static_cast<long>(tile) >= extent) {
+      for (auto& q : queued_) q.run(0, extent);
+      queued_.clear();
+      return;
+    }
+    // Suffix radii: expansion needed by everything after loop i.
+    const std::size_t n = queued_.size();
+    std::vector<long> expand(n, 0);
+    for (std::size_t i = n; i-- > 1;)
+      expand[i - 1] = expand[i] + queued_[i].radius_slow;
+
+    for (long t0 = 0; t0 < extent; t0 += static_cast<long>(tile)) {
+      const long t1 = std::min(extent, t0 + static_cast<long>(tile));
+      for (std::size_t i = 0; i < n; ++i)
+        queued_[i].run(t0 - expand[i], t1 + expand[i]);
+    }
+    queued_.clear();
+  }
+
+ private:
+  struct Queued {
+    int radius_slow = 0;
+    std::vector<const void*> reads;
+    std::vector<const void*> writes;
+    std::function<void(long, long)> run;
+  };
+
+  template <typename T>
+  static void collect_deps(Queued& q, const DatArg<T>& a) {
+    if (a.acc == Acc::R) q.reads.push_back(a.dat);
+    if (a.acc == Acc::W) q.writes.push_back(a.dat);
+  }
+  template <typename T>
+  static void collect_deps(Queued&, const RedArg<T>&) {}
+
+  template <typename T>
+  void check_arg(const DatArg<T>& a) const {
+    if (a.dat->block().dims() < 2)
+      throw std::invalid_argument("LoopChain: needs >= 2D blocks");
+    if (a.acc == Acc::RW)
+      throw std::invalid_argument(
+          "LoopChain: in-place (RW) dats cannot be tiled with overlap");
+  }
+  template <typename T>
+  void check_arg(const RedArg<T>&) const {
+    throw std::invalid_argument(
+        "LoopChain: reductions break tile independence; run them "
+        "outside the chain");
+  }
+
+  /// Slow-dimension read radius of this loop (max over read args).
+  template <typename... Args>
+  static int slow_radius(const Args&... args) {
+    int r = 0;
+    auto one = [&r](const auto& a) {
+      if constexpr (requires { a.st; }) {
+        if (a.acc == Acc::R) {
+          // Slowest dim: radius_z in 3D, radius_y in 2D.
+          r = std::max(r, a.dat->block().dims() == 3 ? a.st.radius_z
+                                                     : a.st.radius_y);
+        }
+      }
+    };
+    (one(args), ...);
+    return r;
+  }
+
+  Context* ctx_;
+  Block* block_;
+  std::vector<Queued> queued_;
+};
+
+}  // namespace syclport::ops

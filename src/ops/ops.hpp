@@ -1,0 +1,12 @@
+#pragma once
+/// \file ops.hpp
+/// Umbrella header for the OPS structured-mesh DSL reproduction.
+
+#include "ops/arg.hpp"            // IWYU pragma: export
+#include "ops/block.hpp"          // IWYU pragma: export
+#include "ops/context.hpp"        // IWYU pragma: export
+#include "ops/dat.hpp"            // IWYU pragma: export
+#include "ops/loop_chain.hpp"     // IWYU pragma: export
+#include "ops/par_loop.hpp"       // IWYU pragma: export
+#include "ops/stencil.hpp"        // IWYU pragma: export
+#include "ops/tree_reduction.hpp" // IWYU pragma: export

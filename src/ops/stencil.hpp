@@ -1,0 +1,52 @@
+#pragma once
+/// \file stencil.hpp
+/// OPS access stencils. A stencil declares, per dat argument of a
+/// par_loop, which relative points the kernel may touch; the DSL uses
+/// the radii both to compute transfer footprints (the paper's effective
+/// bandwidth numerator) and to drive the halo-exchange and cache
+/// models. Offsets are ordered fastest-first: (dx[, dy[, dz]]).
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace syclport::ops {
+
+struct Stencil {
+  /// Radii by direction, fastest dimension first.
+  int radius_x = 0;  ///< fastest (unit-stride)
+  int radius_y = 0;
+  int radius_z = 0;  ///< slowest (3D only)
+  /// Number of points in the stencil (affects nothing but metadata).
+  int points = 1;
+
+  [[nodiscard]] int max_radius() const {
+    return std::max({radius_x, radius_y, radius_z});
+  }
+};
+
+/// Point stencil (the written point itself).
+inline constexpr Stencil S_PT{0, 0, 0, 1};
+
+/// Standard star stencils.
+inline constexpr Stencil S2D_5PT{1, 1, 0, 5};
+inline constexpr Stencil S3D_7PT{1, 1, 1, 7};
+
+/// r-radius star in `dims` dimensions (e.g. the 8th-order 25-point
+/// star of RTM/Acoustic is star(4, 3)).
+[[nodiscard]] constexpr Stencil star(int radius, int dims) {
+  Stencil s;
+  s.radius_x = radius;
+  s.radius_y = dims >= 2 ? radius : 0;
+  s.radius_z = dims >= 3 ? radius : 0;
+  s.points = 1 + 2 * radius * dims;
+  return s;
+}
+
+/// One-sided offset stencils used by staggered-grid hydro kernels
+/// (e.g. CloverLeaf face quantities): covers offsets 0..1 per direction.
+[[nodiscard]] constexpr Stencil face2d() { return Stencil{1, 1, 0, 4}; }
+[[nodiscard]] constexpr Stencil face3d() { return Stencil{1, 1, 1, 8}; }
+
+}  // namespace syclport::ops

@@ -1,0 +1,50 @@
+#pragma once
+/// \file tree_reduction.hpp
+/// User-defined binary-tree reduction in SYCL local memory. The paper
+/// (§4.2) notes OPS had to fall back to this formulation on CPU SYCL
+/// targets because SYCL 2020 built-in reductions were unsupported
+/// (OpenSYCL) or failed to compile (DPC++); it costs 6-7x more than
+/// OpenMP reductions there. This is that exact pattern: stage into
+/// local memory, log2(wg) barrier rounds, one atomic combine per group.
+
+#include <cstddef>
+
+#include "sycl/sycl.hpp"
+
+namespace syclport::ops {
+
+namespace detail {
+template <typename T, typename Op>
+void atomic_combine(T* target, T v, Op op) {
+  sycl::atomic_ref<T> a(*target);
+  T cur = a.load();
+  while (!a.compare_exchange_strong(cur, op(cur, v))) {
+  }
+}
+}  // namespace detail
+
+/// Reduce data[0..n) with `op` (associative, commutative), combining
+/// into *result (which must be pre-initialized, typically with the
+/// identity). `wg` is the work-group size and must be a power of two.
+template <typename T, typename Op>
+void tree_reduce(sycl::queue& q, const T* data, std::size_t n, T identity,
+                 Op op, T* result, std::size_t wg = 64) {
+  if (n == 0) return;
+  const std::size_t padded = (n + wg - 1) / wg * wg;
+  sycl::local_accessor<T, 1> scratch{sycl::range<1>(wg)};
+  q.parallel_for(
+      "tree_reduce", sycl::nd_range<1>(sycl::range<1>(padded), sycl::range<1>(wg)),
+      [=](sycl::nd_item<1> it) {
+        const std::size_t g = it.get_global_id(0);
+        const std::size_t l = it.get_local_id(0);
+        scratch[l] = g < n ? data[g] : identity;
+        it.barrier();
+        for (std::size_t stride = wg / 2; stride > 0; stride /= 2) {
+          if (l < stride) scratch[l] = op(scratch[l], scratch[l + stride]);
+          it.barrier();
+        }
+        if (l == 0) detail::atomic_combine(result, scratch[0], op);
+      });
+}
+
+}  // namespace syclport::ops

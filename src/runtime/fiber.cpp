@@ -1,0 +1,115 @@
+#include "runtime/fiber.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace syclport::rt {
+
+namespace {
+thread_local Fiber* t_current_fiber = nullptr;
+
+/// Per-thread flag set while executing the fast (loop) portion of a
+/// barrier group; a barrier there violates SYCL barrier uniformity.
+thread_local bool t_fast_group_active = false;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(new char[stack_bytes]) {
+  if (getcontext(&ctx_) != 0)
+    throw std::runtime_error("Fiber: getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = &caller_;
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = t_current_fiber;
+  try {
+    self->fn_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->done_ = true;
+  // uc_link returns control to the caller context automatically.
+}
+
+bool Fiber::resume() {
+  if (done_) return false;
+  Fiber* prev = t_current_fiber;
+  t_current_fiber = this;
+  started_ = true;
+  if (swapcontext(&caller_, &ctx_) != 0)
+    throw std::runtime_error("Fiber: swapcontext failed");
+  t_current_fiber = prev;
+  if (error_) std::rethrow_exception(error_);
+  return !done_;
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current_fiber;
+  if (self == nullptr)
+    throw std::logic_error("Fiber::yield called outside a fiber");
+  if (swapcontext(&self->ctx_, &self->caller_) != 0)
+    throw std::runtime_error("Fiber: swapcontext failed");
+}
+
+bool inside_barrier_group() noexcept {
+  return t_fast_group_active || t_current_fiber != nullptr;
+}
+
+void group_barrier() {
+  if (t_current_fiber != nullptr) {
+    Fiber::yield();
+    return;
+  }
+  if (t_fast_group_active)
+    throw std::logic_error(
+        "group_barrier: non-uniform barrier (work-item 0 did not reach it)");
+  throw std::logic_error("group_barrier called outside a work-group");
+}
+
+bool run_barrier_group(std::size_t n,
+                       const std::function<void(std::size_t)>& task) {
+  if (n == 0) return false;
+
+  // Probe: work-item 0 runs as a fiber. If it never yields, the kernel
+  // has no barriers (uniformity) and the rest run as a plain loop.
+  auto probe = std::make_unique<Fiber>([&task] { task(0); });
+  if (!probe->resume()) {
+    t_fast_group_active = true;
+    try {
+      for (std::size_t i = 1; i < n; ++i) task(i);
+    } catch (...) {
+      t_fast_group_active = false;
+      throw;
+    }
+    t_fast_group_active = false;
+    return false;
+  }
+
+  // Fiber mode: probe is suspended at its first barrier; give every
+  // other work-item a fiber and round-robin until all complete.
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  fibers.reserve(n);
+  fibers.push_back(std::move(probe));
+  for (std::size_t i = 1; i < n; ++i)
+    fibers.push_back(std::make_unique<Fiber>([&task, i] { task(i); }));
+
+  // The probe already sits at its first barrier; bring every other
+  // work-item to the same point before starting full rounds, so that no
+  // fiber ever runs past barrier k before all have reached barrier k.
+  for (std::size_t i = 1; i < n; ++i) fibers[i]->resume();
+
+  bool any_live = true;
+  while (any_live) {
+    any_live = false;
+    for (auto& f : fibers)
+      if (!f->done() && f->resume()) any_live = true;
+  }
+  return true;
+}
+
+}  // namespace syclport::rt

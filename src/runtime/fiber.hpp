@@ -1,0 +1,74 @@
+#pragma once
+/// \file fiber.hpp
+/// User-level cooperative fibers built on POSIX ucontext. The miniSYCL
+/// executor uses one fiber per work-item when a kernel contains
+/// group barriers: at a barrier every fiber yields back to the group
+/// scheduler, which resumes the next work-item, giving correct SYCL
+/// barrier semantics on a CPU without compiler support (the same
+/// technique OpenCL CPU runtimes use).
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace syclport::rt {
+
+/// A single cooperatively-scheduled fiber.
+class Fiber {
+ public:
+  /// `fn` runs on the fiber's own stack when resume() is first called.
+  /// `stack_bytes` must be generous enough for the kernel's frames.
+  explicit Fiber(std::function<void()> fn, std::size_t stack_bytes = 128 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Run the fiber until it yields or finishes. Returns true while the
+  /// fiber still has work left (i.e. it yielded), false once finished.
+  /// Rethrows any exception the fiber body threw.
+  bool resume();
+
+  /// Called from inside the fiber body: suspend and return control to
+  /// the resume() caller.
+  static void yield();
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> fn_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_{};
+  ucontext_t caller_{};
+  bool started_ = false;
+  bool done_ = false;
+  std::exception_ptr error_;
+};
+
+/// Runs `n` logical work-items that may synchronise with group_barrier().
+///
+/// Work-item 0 executes first as a *probe fiber*. If it completes
+/// without hitting a barrier then - by SYCL's barrier-uniformity rule -
+/// no other work-item will either, and items 1..n-1 run as a plain
+/// loop (fast path, one fiber per group total). If the probe suspends
+/// at a barrier, the executor creates fibers for the remaining items
+/// and round-robins through the group; nothing is ever re-executed.
+/// A barrier reached by a non-probe item on the fast path violates
+/// uniformity and raises std::logic_error.
+///
+/// Returns true when the group actually used barriers (fiber mode).
+bool run_barrier_group(std::size_t n, const std::function<void(std::size_t)>& task);
+
+/// SYCL-style group barrier; callable only from inside run_barrier_group
+/// tasks (or any live Fiber, where it yields).
+void group_barrier();
+
+/// True while the calling thread is inside a run_barrier_group task.
+[[nodiscard]] bool inside_barrier_group() noexcept;
+
+}  // namespace syclport::rt

@@ -1,0 +1,104 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace syclport::rt {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(1u, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::work(unsigned /*worker_id*/) {
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job_chunks_) break;
+    try {
+      (*job_)(c);
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(unsigned worker_id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    work(worker_id);
+    {
+      std::lock_guard lock(mu_);
+      if (--pending_workers_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t nchunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (nchunks == 0) return;
+  if (threads_ == 1 || nchunks == 1) {
+    for (std::size_t c = 0; c < nchunks; ++c) fn(c);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    job_chunks_ = nchunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    pending_workers_ = threads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  work(0);
+  {
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_workers_ == 0; });
+    job_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t nchunks =
+      std::min<std::size_t>(n, static_cast<std::size_t>(threads_) * 4);
+  const std::size_t chunk = (n + nchunks - 1) / nchunks;
+  run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t b = c * chunk;
+    const std::size_t e = std::min(n, b + chunk);
+    if (b < e) fn(b, e);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SYCLPORT_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return static_cast<unsigned>(v);
+    }
+    return std::max(2u, std::thread::hardware_concurrency());
+  }());
+  return pool;
+}
+
+}  // namespace syclport::rt

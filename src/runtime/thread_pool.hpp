@@ -1,0 +1,69 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A minimal persistent thread pool used as the execution substrate for
+/// the miniSYCL SIMT executor and the OpenMP-like native backends.
+///
+/// The pool hands out chunk indices from an atomic counter (dynamic
+/// self-scheduling); the calling thread participates in the work so a
+/// pool of size 1 degenerates to serial execution without deadlock.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace syclport::rt {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (>= 1). The pool owns
+  /// `threads - 1` background threads; the submitting thread acts as
+  /// worker 0.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (including the submitting thread).
+  [[nodiscard]] unsigned size() const noexcept { return threads_; }
+
+  /// Execute `fn(chunk)` for every chunk in [0, nchunks), distributing
+  /// chunks dynamically over the workers. Blocks until all complete.
+  /// Exceptions thrown by `fn` are captured and the first one rethrown.
+  void run_chunks(std::size_t nchunks, const std::function<void(std::size_t)>& fn);
+
+  /// Convenience: split [0, n) into roughly `size()*4` ranges and call
+  /// `fn(begin, end)` for each.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// The process-wide pool. Size from SYCLPORT_THREADS env var, default
+  /// std::thread::hardware_concurrency() (min 2 so concurrency bugs in
+  /// kernels surface even on single-core CI machines).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned worker_id);
+  void work(unsigned worker_id);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_workers_ = 0;
+  bool stop_ = false;
+
+  // Current job (valid while pending_workers_ > 0).
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace syclport::rt

@@ -1,0 +1,95 @@
+#include "stream/babelstream.hpp"
+
+namespace syclport::stream {
+
+namespace {
+constexpr double kInitA = 0.1;
+constexpr double kInitB = 0.2;
+constexpr double kInitC = 0.0;
+constexpr double kScalar = 0.4;
+}  // namespace
+
+double kernel_bytes(Kernel k, std::size_t n) {
+  const double nb = static_cast<double>(n) * sizeof(double);
+  switch (k) {
+    case Kernel::Copy:
+    case Kernel::Mul:
+    case Kernel::Dot: return 2.0 * nb;
+    case Kernel::Add:
+    case Kernel::Triad: return 3.0 * nb;
+  }
+  return 0.0;
+}
+
+double expected_checksum(std::size_t n, int reps) {
+  double a = kInitA, b = kInitB, c = kInitC, dot = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    c = a;
+    b = kScalar * c;
+    c = a + b;
+    a = b + kScalar * c;
+    dot = a * b * static_cast<double>(n);
+  }
+  return static_cast<double>(n) * (a + b + c) + dot;
+}
+
+apps::RunSummary run(const ops::Options& opt, std::size_t n, int reps) {
+  ops::Context ctx(opt);
+  ops::Block grid(ctx, "stream", 1, {n, 1, 1});
+  ops::Dat<double> a(grid, "a", 1, 0), b(grid, "b", 1, 0), c(grid, "c", 1, 0);
+
+  if (ctx.executing()) {
+    a.fill(kInitA);
+    b.fill(kInitB);
+    c.fill(kInitC);
+  }
+
+  const ops::Range all = ops::Range::all(grid);
+  double dot = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    ops::par_loop(ctx, {"stream_copy", hw::KernelClass::Interior, 0.0}, grid,
+                  all,
+                  [](ops::ACC<double> cc, ops::ACC<double> aa) {
+                    cc(0) = aa(0);
+                  },
+                  ops::arg(c, ops::S_PT, ops::Acc::W),
+                  ops::arg(a, ops::S_PT, ops::Acc::R));
+    ops::par_loop(ctx, {"stream_mul", hw::KernelClass::Interior, 1.0}, grid,
+                  all,
+                  [](ops::ACC<double> bb, ops::ACC<double> cc) {
+                    bb(0) = kScalar * cc(0);
+                  },
+                  ops::arg(b, ops::S_PT, ops::Acc::W),
+                  ops::arg(c, ops::S_PT, ops::Acc::R));
+    ops::par_loop(ctx, {"stream_add", hw::KernelClass::Interior, 1.0}, grid,
+                  all,
+                  [](ops::ACC<double> cc, ops::ACC<double> aa,
+                     ops::ACC<double> bb) { cc(0) = aa(0) + bb(0); },
+                  ops::arg(c, ops::S_PT, ops::Acc::W),
+                  ops::arg(a, ops::S_PT, ops::Acc::R),
+                  ops::arg(b, ops::S_PT, ops::Acc::R));
+    ops::par_loop(ctx, {"stream_triad", hw::KernelClass::Interior, 2.0}, grid,
+                  all,
+                  [](ops::ACC<double> aa, ops::ACC<double> bb,
+                     ops::ACC<double> cc) { aa(0) = bb(0) + kScalar * cc(0); },
+                  ops::arg(a, ops::S_PT, ops::Acc::W),
+                  ops::arg(b, ops::S_PT, ops::Acc::R),
+                  ops::arg(c, ops::S_PT, ops::Acc::R));
+    dot = 0.0;
+    ops::par_loop(ctx, {"stream_dot", hw::KernelClass::Reduction, 2.0}, grid,
+                  all,
+                  [](ops::ACC<double> aa, ops::ACC<double> bb,
+                     ops::Reducer<double> sum) { sum += aa(0) * bb(0); },
+                  ops::arg(a, ops::S_PT, ops::Acc::R),
+                  ops::arg(b, ops::S_PT, ops::Acc::R),
+                  ops::reduce(dot, ops::RedOp::Sum));
+  }
+
+  apps::RunSummary rs;
+  rs.profiles = std::move(ctx.profiles);
+  if (ctx.executing())
+    rs.checksum = a.interior_sum() + b.interior_sum() + c.interior_sum() + dot;
+  return rs;
+}
+
+}  // namespace syclport::stream

@@ -1,0 +1,34 @@
+#pragma once
+/// \file babelstream.hpp
+/// BabelStream (Deakin et al.) reproduction: the Copy / Mul / Add /
+/// Triad / Dot kernels whose Triad bandwidth is the paper's Table 1 and
+/// the denominator of every architectural-efficiency number. Kernels
+/// are expressed through the OPS DSL so they run on every backend and
+/// produce LoopProfiles for the hardware model.
+
+#include "apps/common.hpp"
+#include "ops/ops.hpp"
+
+namespace syclport::stream {
+
+/// Which BabelStream kernel (Table 1 reports Triad).
+enum class Kernel : std::uint8_t { Copy, Mul, Add, Triad, Dot };
+
+/// Default array length: 2^25 doubles per array, BabelStream's default.
+inline constexpr std::size_t kDefaultN = 1u << 25;
+
+/// Run `reps` repetitions of all five kernels over arrays of `n`
+/// doubles. The checksum folds the final array contents and the dot
+/// result; profiles carry one entry per kernel execution.
+[[nodiscard]] apps::RunSummary run(const ops::Options& opt,
+                                   std::size_t n = kDefaultN, int reps = 1);
+
+/// Expected checksum for given (n, reps) - closed form, used to
+/// validate every backend (BabelStream's own self-check approach).
+[[nodiscard]] double expected_checksum(std::size_t n, int reps);
+
+/// Useful bytes moved by one execution of `k` over arrays of `n`
+/// doubles (the BabelStream bandwidth numerator).
+[[nodiscard]] double kernel_bytes(Kernel k, std::size_t n);
+
+}  // namespace syclport::stream

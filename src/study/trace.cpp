@@ -1,0 +1,93 @@
+#include "study/trace.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "hwmodel/device_model.hpp"
+
+namespace syclport::study {
+
+namespace {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* class_name(hw::KernelClass c) {
+  switch (c) {
+    case hw::KernelClass::Interior: return "interior";
+    case hw::KernelClass::Boundary: return "boundary";
+    case hw::KernelClass::Reduction: return "reduction";
+    case hw::KernelClass::EdgeFlux: return "edge_flux";
+    case hw::KernelClass::VertexUpdate: return "vertex_update";
+    case hw::KernelClass::MGTransfer: return "mg_transfer";
+  }
+  return "?";
+}
+
+void emit_loop(std::ostream& os, const hw::LoopProfile& lp,
+               const hw::DeviceModel* dm) {
+  os << "    {\"name\": \"" << escape(lp.name) << "\""
+     << ", \"class\": \"" << class_name(lp.cls) << "\""
+     << ", \"dims\": " << lp.dims
+     << ", \"extent\": [" << lp.extent[0] << ", " << lp.extent[1] << ", "
+     << lp.extent[2] << "]"
+     << ", \"bytes_read\": " << lp.bytes_read
+     << ", \"bytes_written\": " << lp.bytes_written
+     << ", \"map_bytes\": " << lp.map_bytes
+     << ", \"flops\": " << lp.flops
+     << ", \"elem_bytes\": " << lp.elem_bytes
+     << ", \"radii\": [" << lp.radius_slow << ", " << lp.radius_mid << ", "
+     << lp.radius_fast << "]"
+     << ", \"launches\": " << lp.launches
+     << ", \"atomic_updates\": " << lp.atomic_updates
+     << ", \"gather_line_factor\": " << lp.gather_line_factor
+     << ", \"working_set\": " << lp.working_set;
+  if (dm != nullptr) {
+    const hw::KernelTime kt = dm->kernel_time(lp);
+    os << ", \"modeled\": {\"seconds\": " << kt.seconds
+       << ", \"launch_s\": " << kt.launch_s << ", \"mem_s\": " << kt.mem_s
+       << ", \"comp_s\": " << kt.comp_s << ", \"items_s\": " << kt.items_s
+       << ", \"atomic_s\": " << kt.atomic_s
+       << ", \"dram_bytes\": " << kt.dram_bytes << "}";
+  }
+  os << "}";
+}
+
+bool write_impl(const std::string& path,
+                std::span<const hw::LoopProfile> profiles,
+                const hw::DeviceModel* dm) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << std::setprecision(17);
+  os << "{\n  \"loops\": [\n";
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    emit_loop(os, profiles[i], dm);
+    os << (i + 1 < profiles.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+bool write_trace_json(const std::string& path,
+                      std::span<const hw::LoopProfile> profiles) {
+  return write_impl(path, profiles, nullptr);
+}
+
+bool write_modeled_trace_json(const std::string& path,
+                              std::span<const hw::LoopProfile> profiles,
+                              PlatformId platform, const Variant& v,
+                              AppId app) {
+  const hw::DeviceModel dm(platform, v, app);
+  return write_impl(path, profiles, &dm);
+}
+
+}  // namespace syclport::study

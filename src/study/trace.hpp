@@ -1,0 +1,29 @@
+#pragma once
+/// \file trace.hpp
+/// JSON trace emission: dump an application's recorded loop schedule,
+/// and optionally the per-kernel modeled time breakdown on a chosen
+/// (platform, variant), for offline analysis/plotting. Hand-rolled
+/// writer (no JSON dependency); numbers are emitted with full
+/// precision.
+
+#include <span>
+#include <string>
+
+#include "core/types.hpp"
+#include "hwmodel/loop_profile.hpp"
+
+namespace syclport::study {
+
+/// Write the schedule as a JSON array of loop objects. Returns false on
+/// I/O failure.
+bool write_trace_json(const std::string& path,
+                      std::span<const hw::LoopProfile> profiles);
+
+/// Same, with the modeled per-kernel time breakdown for (platform, v)
+/// attached to each loop object.
+bool write_modeled_trace_json(const std::string& path,
+                              std::span<const hw::LoopProfile> profiles,
+                              PlatformId platform, const Variant& v,
+                              AppId app);
+
+}  // namespace syclport::study

@@ -1,0 +1,92 @@
+#pragma once
+/// \file atomic.hpp
+/// miniSYCL atomic_ref, a thin veneer over std::atomic_ref with the
+/// SYCL 2020 memory_order/memory_scope parameters. C++20 gives
+/// fetch_add on floating-point atomic_ref, which is exactly the
+/// hardware-FP-atomics capability the paper's atomics strategy relies
+/// on; the *throughput* difference between "safe" and "unsafe" AMD
+/// atomics is a hwmodel concern, not a functional one.
+
+#include <atomic>
+
+namespace sycl {
+
+enum class memory_order {
+  relaxed,
+  acquire,
+  release,
+  acq_rel,
+  seq_cst,
+};
+
+enum class memory_scope {
+  work_item,
+  sub_group,
+  work_group,
+  device,
+  system,
+};
+
+namespace detail {
+constexpr std::memory_order to_std(memory_order mo) {
+  switch (mo) {
+    case memory_order::relaxed: return std::memory_order_relaxed;
+    case memory_order::acquire: return std::memory_order_acquire;
+    case memory_order::release: return std::memory_order_release;
+    case memory_order::acq_rel: return std::memory_order_acq_rel;
+    case memory_order::seq_cst: return std::memory_order_seq_cst;
+  }
+  return std::memory_order_seq_cst;
+}
+}  // namespace detail
+
+template <typename T, memory_order DefaultOrder = memory_order::relaxed,
+          memory_scope DefaultScope = memory_scope::device>
+class atomic_ref {
+ public:
+  explicit atomic_ref(T& ref) : ref_(ref) {}
+
+  T fetch_add(T v, memory_order mo = DefaultOrder) const {
+    return std::atomic_ref<T>(ref_).fetch_add(v, detail::to_std(mo));
+  }
+  T fetch_sub(T v, memory_order mo = DefaultOrder) const {
+    return std::atomic_ref<T>(ref_).fetch_sub(v, detail::to_std(mo));
+  }
+  T load(memory_order mo = DefaultOrder) const {
+    return std::atomic_ref<T>(ref_).load(detail::to_std(mo));
+  }
+  void store(T v, memory_order mo = DefaultOrder) const {
+    std::atomic_ref<T>(ref_).store(v, detail::to_std(mo));
+  }
+  T exchange(T v, memory_order mo = DefaultOrder) const {
+    return std::atomic_ref<T>(ref_).exchange(v, detail::to_std(mo));
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               memory_order mo = DefaultOrder) const {
+    return std::atomic_ref<T>(ref_).compare_exchange_strong(
+        expected, desired, detail::to_std(mo));
+  }
+
+  /// Atomic minimum/maximum via CAS loops (SYCL fetch_min/fetch_max).
+  T fetch_min(T v, memory_order mo = DefaultOrder) const {
+    std::atomic_ref<T> a(ref_);
+    T cur = a.load(detail::to_std(mo));
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, detail::to_std(mo))) {
+    }
+    return cur;
+  }
+  T fetch_max(T v, memory_order mo = DefaultOrder) const {
+    std::atomic_ref<T> a(ref_);
+    T cur = a.load(detail::to_std(mo));
+    while (cur < v &&
+           !a.compare_exchange_weak(cur, v, detail::to_std(mo))) {
+    }
+    return cur;
+  }
+
+ private:
+  T& ref_;
+};
+
+}  // namespace sycl

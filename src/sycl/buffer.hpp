@@ -1,0 +1,106 @@
+#pragma once
+/// \file buffer.hpp
+/// miniSYCL buffers and accessors. Because the executor is the host,
+/// buffers reference (or own) host memory directly and accessors are
+/// thin pointer+range views; SYCL copy-back semantics degenerate to
+/// no-ops while the API shape is preserved.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sycl/range.hpp"
+
+namespace sycl {
+
+class handler;
+
+enum class access_mode { read, write, read_write };
+
+/// Accessor-construction tags, as in SYCL 2020.
+struct read_only_tag {};
+struct write_only_tag {};
+struct read_write_tag {};
+inline constexpr read_only_tag read_only{};
+inline constexpr write_only_tag write_only{};
+inline constexpr read_write_tag read_write{};
+
+template <typename T, int Dims = 1>
+class buffer {
+ public:
+  /// Buffer over existing host memory (no copy; writes are visible
+  /// immediately, equivalent to a same-context host buffer).
+  buffer(T* host_data, range<Dims> r) : data_(host_data), range_(r) {}
+
+  /// Buffer owning zero-initialized storage.
+  explicit buffer(range<Dims> r)
+      : owned_(std::make_shared<std::vector<T>>(r.size())),
+        data_(owned_->data()),
+        range_(r) {}
+
+  [[nodiscard]] range<Dims> get_range() const { return range_; }
+  [[nodiscard]] std::size_t size() const { return range_.size(); }
+  [[nodiscard]] std::size_t byte_size() const { return size() * sizeof(T); }
+
+  [[nodiscard]] T* data() const { return data_; }
+
+ private:
+  std::shared_ptr<std::vector<T>> owned_;  ///< null when wrapping host memory
+  T* data_ = nullptr;
+  range<Dims> range_;
+};
+
+template <typename T, int Dims = 1>
+class accessor {
+ public:
+  accessor(buffer<T, Dims>& buf, handler&, read_only_tag)
+      : accessor(buf, access_mode::read) {}
+  accessor(buffer<T, Dims>& buf, handler&, write_only_tag)
+      : accessor(buf, access_mode::write) {}
+  accessor(buffer<T, Dims>& buf, handler&, read_write_tag = {})
+      : accessor(buf, access_mode::read_write) {}
+
+  [[nodiscard]] T& operator[](const id<Dims>& i) const {
+    return data_[detail::linearize(i, range_)];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) const
+    requires(Dims == 1)
+  {
+    return data_[i];
+  }
+
+  [[nodiscard]] range<Dims> get_range() const { return range_; }
+  [[nodiscard]] access_mode mode() const { return mode_; }
+  [[nodiscard]] T* get_pointer() const { return data_; }
+
+ private:
+  accessor(buffer<T, Dims>& buf, access_mode m)
+      : data_(buf.data()), range_(buf.get_range()), mode_(m) {}
+
+  T* data_;
+  range<Dims> range_;
+  access_mode mode_;
+};
+
+/// Host-side accessor (outside command groups).
+template <typename T, int Dims = 1>
+class host_accessor {
+ public:
+  explicit host_accessor(buffer<T, Dims>& buf)
+      : data_(buf.data()), range_(buf.get_range()) {}
+
+  [[nodiscard]] T& operator[](const id<Dims>& i) const {
+    return data_[detail::linearize(i, range_)];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) const
+    requires(Dims == 1)
+  {
+    return data_[i];
+  }
+
+ private:
+  T* data_;
+  range<Dims> range_;
+};
+
+}  // namespace sycl

@@ -1,0 +1,21 @@
+#include "sycl/detail/local_arena.hpp"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace sycl::detail {
+
+namespace {
+thread_local std::unordered_map<const void*, std::vector<char>> t_arena;
+}
+
+void* local_alloc(const void* key, std::size_t bytes) {
+  auto [it, inserted] = t_arena.try_emplace(key);
+  if (inserted || it->second.size() < bytes) it->second.assign(bytes, 0);
+  return it->second.data();
+}
+
+void local_reset() { t_arena.clear(); }
+
+}  // namespace sycl::detail

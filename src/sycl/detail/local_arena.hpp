@@ -1,0 +1,21 @@
+#pragma once
+/// \file local_arena.hpp
+/// Thread-local backing store for sycl::local_accessor. Work-items of a
+/// work-group always execute on one OS thread (as fibers when barriers
+/// are used), so per-thread storage keyed by the accessor's control
+/// block gives correct SYCL local-memory semantics: shared within a
+/// group, reset between groups.
+
+#include <cstddef>
+
+namespace sycl::detail {
+
+/// Returns the group-local allocation for `key`, creating it
+/// zero-initialized on first use within the current group.
+void* local_alloc(const void* key, std::size_t bytes);
+
+/// Drops all group-local allocations on the calling thread; the
+/// executor calls this before each work-group starts.
+void local_reset();
+
+}  // namespace sycl::detail

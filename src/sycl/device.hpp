@@ -1,0 +1,48 @@
+#pragma once
+/// \file device.hpp
+/// miniSYCL device descriptions. All devices execute on the host thread
+/// pool; the profile fields describe the *modeled* device so that
+/// work-group size limits and runtime heuristics behave like the real
+/// target (the hwmodel layer attaches full performance descriptors).
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace sycl {
+
+/// Static description of a device as seen through the SYCL API.
+struct device_profile {
+  std::string name = "syclport host";
+  bool is_gpu = false;
+  std::size_t max_work_group_size = 1024;
+  std::size_t sub_group_size = 8;      ///< SIMD/warp width in work-items
+  std::size_t compute_units = 1;
+};
+
+class device {
+ public:
+  device() = default;
+  explicit device(device_profile p) : profile_(std::move(p)) {}
+
+  [[nodiscard]] const device_profile& profile() const { return profile_; }
+  [[nodiscard]] const std::string& name() const { return profile_.name; }
+  [[nodiscard]] bool is_gpu() const { return profile_.is_gpu; }
+  [[nodiscard]] bool is_cpu() const { return !profile_.is_gpu; }
+  [[nodiscard]] std::size_t max_work_group_size() const {
+    return profile_.max_work_group_size;
+  }
+
+  /// The default host device.
+  static device host() { return device(device_profile{}); }
+
+  /// A generic GPU-shaped device (warp width 32), useful in tests.
+  static device generic_gpu() {
+    return device(device_profile{"syclport generic gpu", true, 1024, 32, 64});
+  }
+
+ private:
+  device_profile profile_{};
+};
+
+}  // namespace sycl

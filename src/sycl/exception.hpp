@@ -1,0 +1,30 @@
+#pragma once
+/// \file exception.hpp
+/// miniSYCL error type, mirroring sycl::exception / errc.
+
+#include <stdexcept>
+#include <string>
+
+namespace sycl {
+
+enum class errc {
+  success = 0,
+  runtime,
+  kernel,
+  invalid,
+  nd_range_error,
+  feature_not_supported,
+};
+
+class exception : public std::runtime_error {
+ public:
+  exception(errc code, const std::string& what_arg)
+      : std::runtime_error(what_arg), code_(code) {}
+
+  [[nodiscard]] errc code() const noexcept { return code_; }
+
+ private:
+  errc code_;
+};
+
+}  // namespace sycl

@@ -1,0 +1,86 @@
+#pragma once
+/// \file group_algorithms.hpp
+/// SYCL 2020 group algorithms: reduce_over_group, scans, broadcast and
+/// vote functions. Implemented over per-thread exchange slots with
+/// work-group barriers, so (as in SYCL) every work-item of the group
+/// must reach each call.
+
+#include <cstddef>
+
+#include "runtime/fiber.hpp"
+#include "sycl/item.hpp"
+#include "sycl/sub_group.hpp"
+
+namespace sycl {
+
+template <typename T, int Dims, typename Op>
+[[nodiscard]] T reduce_over_group(const group<Dims>& g, T x, Op op) {
+  const std::size_t n = g.get_local_linear_range();
+  const std::size_t lid = g.caller_local_linear_id();
+  auto& slots = detail::shuffle_slots<T>(n);
+  slots[lid] = x;
+  syclport::rt::group_barrier();
+  T acc = slots[0];
+  for (std::size_t i = 1; i < n; ++i) acc = op(acc, slots[i]);
+  syclport::rt::group_barrier();
+  return acc;
+}
+
+template <typename T, int Dims>
+[[nodiscard]] T group_broadcast(const group<Dims>& g, T x,
+                                std::size_t source = 0) {
+  const std::size_t n = g.get_local_linear_range();
+  auto& slots = detail::shuffle_slots<T>(n);
+  slots[g.caller_local_linear_id()] = x;
+  syclport::rt::group_barrier();
+  const T out = slots[source];
+  syclport::rt::group_barrier();
+  return out;
+}
+
+template <typename T, int Dims, typename Op>
+[[nodiscard]] T inclusive_scan_over_group(const group<Dims>& g, T x, Op op) {
+  const std::size_t n = g.get_local_linear_range();
+  const std::size_t lid = g.caller_local_linear_id();
+  auto& slots = detail::shuffle_slots<T>(n);
+  slots[lid] = x;
+  syclport::rt::group_barrier();
+  T acc = slots[0];
+  for (std::size_t i = 1; i <= lid; ++i) acc = op(acc, slots[i]);
+  syclport::rt::group_barrier();
+  return acc;
+}
+
+template <typename T, int Dims, typename Op>
+[[nodiscard]] T exclusive_scan_over_group(const group<Dims>& g, T x, Op op,
+                                          T init = T{}) {
+  const std::size_t n = g.get_local_linear_range();
+  const std::size_t lid = g.caller_local_linear_id();
+  auto& slots = detail::shuffle_slots<T>(n);
+  slots[lid] = x;
+  syclport::rt::group_barrier();
+  T acc = init;
+  for (std::size_t i = 0; i < lid; ++i) acc = op(acc, slots[i]);
+  syclport::rt::group_barrier();
+  return acc;
+}
+
+template <int Dims>
+[[nodiscard]] bool any_of_group(const group<Dims>& g, bool pred) {
+  return reduce_over_group(g, pred ? 1 : 0,
+                           [](int a, int b) { return a | b; }) != 0;
+}
+
+template <int Dims>
+[[nodiscard]] bool all_of_group(const group<Dims>& g, bool pred) {
+  return reduce_over_group(g, pred ? 1 : 0,
+                           [](int a, int b) { return a & b; }) != 0;
+}
+
+/// Free-function group barrier, as in SYCL 2020.
+template <int Dims>
+void group_barrier(const group<Dims>&) {
+  syclport::rt::group_barrier();
+}
+
+}  // namespace sycl

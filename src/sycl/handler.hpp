@@ -1,0 +1,223 @@
+#pragma once
+/// \file handler.hpp
+/// miniSYCL command-group handler: the executor behind parallel_for.
+///
+/// - parallel_for(range)    : "flat" launch; work-items execute with no
+///   group structure. The work-group shape the real runtime would pick
+///   is *not* chosen here - it is modeled later by the compiler
+///   heuristics in hwmodel, which is precisely the flat-formulation
+///   effect (paper §3).
+/// - parallel_for(nd_range) : explicit work-group shape; groups are
+///   scheduled over the thread pool and work-items may use barriers and
+///   local memory (fiber-backed, see runtime/fiber.hpp).
+/// - reductions             : SYCL 2020 reduction objects, implemented
+///   with per-chunk/per-group partials combined under a lock.
+
+#include <atomic>
+#include <concepts>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/timing.hpp"
+#include "runtime/fiber.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sycl/detail/local_arena.hpp"
+#include "sycl/device.hpp"
+#include "sycl/exception.hpp"
+#include "sycl/item.hpp"
+#include "sycl/launch_log.hpp"
+#include "sycl/range.hpp"
+#include "sycl/reduction.hpp"
+
+namespace sycl {
+
+class queue;
+
+namespace detail {
+
+template <int Dims>
+[[nodiscard]] inline std::array<std::size_t, 3> to3(const range<Dims>& r) {
+  std::array<std::size_t, 3> out{1, 1, 1};
+  for (int d = 0; d < Dims; ++d) out[static_cast<std::size_t>(d)] = r[d];
+  return out;
+}
+
+template <typename K, int Dims>
+inline void invoke_flat(const K& k, const id<Dims>& i, const range<Dims>& r) {
+  if constexpr (std::invocable<const K&, item<Dims>>) {
+    k(item<Dims>(i, r));
+  } else {
+    static_assert(std::invocable<const K&, id<Dims>>,
+                  "kernel must accept sycl::item or sycl::id");
+    k(i);
+  }
+}
+
+}  // namespace detail
+
+class handler {
+ public:
+  explicit handler(const device& dev) : dev_(dev) {}
+
+  // --- flat parallel_for -------------------------------------------------
+  template <int Dims, typename K>
+  void parallel_for(range<Dims> r, const K& k) {
+    parallel_for("(unnamed)", r, k);
+  }
+
+  template <int Dims, typename K>
+  void parallel_for(const char* name, range<Dims> r, const K& k) {
+    syclport::WallTimer t;
+    const std::size_t total = r.size();
+    syclport::rt::ThreadPool::global().parallel_for(
+        total, [&](std::size_t b, std::size_t e) {
+          for (std::size_t lin = b; lin < e; ++lin)
+            detail::invoke_flat(k, detail::delinearize(lin, r), r);
+        });
+    log(name, Dims, detail::to3(r), std::nullopt, false, false, t.seconds());
+  }
+
+  // --- flat parallel_for with one reduction --------------------------------
+  template <int Dims, typename T, typename Op, typename K>
+  void parallel_for(range<Dims> r, reduction_descriptor<T, Op> red,
+                    const K& k) {
+    parallel_for("(unnamed)", r, red, k);
+  }
+
+  template <int Dims, typename T, typename Op, typename K>
+  void parallel_for(const char* name, range<Dims> r,
+                    reduction_descriptor<T, Op> red, const K& k) {
+    syclport::WallTimer t;
+    std::mutex mu;
+    T acc = red.identity;
+    syclport::rt::ThreadPool::global().parallel_for(
+        r.size(), [&](std::size_t b, std::size_t e) {
+          reducer<T, Op> part(red.identity, red.op);
+          for (std::size_t lin = b; lin < e; ++lin) {
+            const id<Dims> i = detail::delinearize(lin, r);
+            if constexpr (std::invocable<const K&, item<Dims>,
+                                         reducer<T, Op>&>) {
+              k(item<Dims>(i, r), part);
+            } else {
+              k(i, part);
+            }
+          }
+          std::lock_guard lock(mu);
+          acc = red.op(acc, part.value());
+        });
+    *red.target = red.op(*red.target, acc);
+    log(name, Dims, detail::to3(r), std::nullopt, false, true, t.seconds());
+  }
+
+  // --- nd_range parallel_for ----------------------------------------------
+  template <int Dims, typename K>
+  void parallel_for(nd_range<Dims> ndr, const K& k) {
+    parallel_for("(unnamed)", ndr, k);
+  }
+
+  template <int Dims, typename K>
+  void parallel_for(const char* name, nd_range<Dims> ndr, const K& k) {
+    check_nd_range(ndr);
+    syclport::WallTimer t;
+    const range<Dims> groups = ndr.get_group_range();
+    const range<Dims> local = ndr.get_local_range();
+    const range<Dims> global = ndr.get_global_range();
+    std::atomic<bool> used_barrier{false};
+    syclport::rt::ThreadPool::global().run_chunks(
+        groups.size(), [&](std::size_t g) {
+          detail::local_reset();
+          const id<Dims> gid = detail::delinearize(g, groups);
+          const bool b = syclport::rt::run_barrier_group(
+              local.size(), [&](std::size_t li) {
+                const id<Dims> lid = detail::delinearize(li, local);
+                id<Dims> glob;
+                for (int d = 0; d < Dims; ++d)
+                  glob[d] = gid[d] * local[d] + lid[d];
+                k(nd_item<Dims>(glob, lid,
+                                group<Dims>(gid, groups, local, li), global,
+                                dev_.profile().sub_group_size));
+              });
+          if (b) used_barrier.store(true, std::memory_order_relaxed);
+        });
+    log(name, Dims, detail::to3(global), detail::to3(local),
+        used_barrier.load(), false, t.seconds());
+  }
+
+  // --- nd_range parallel_for with one reduction ----------------------------
+  template <int Dims, typename T, typename Op, typename K>
+  void parallel_for(nd_range<Dims> ndr, reduction_descriptor<T, Op> red,
+                    const K& k) {
+    parallel_for("(unnamed)", ndr, red, k);
+  }
+
+  template <int Dims, typename T, typename Op, typename K>
+  void parallel_for(const char* name, nd_range<Dims> ndr,
+                    reduction_descriptor<T, Op> red, const K& k) {
+    check_nd_range(ndr);
+    syclport::WallTimer t;
+    const range<Dims> groups = ndr.get_group_range();
+    const range<Dims> local = ndr.get_local_range();
+    const range<Dims> global = ndr.get_global_range();
+    std::mutex mu;
+    T acc = red.identity;
+    std::atomic<bool> used_barrier{false};
+    syclport::rt::ThreadPool::global().run_chunks(
+        groups.size(), [&](std::size_t g) {
+          detail::local_reset();
+          const id<Dims> gid = detail::delinearize(g, groups);
+          reducer<T, Op> part(red.identity, red.op);
+          const bool b = syclport::rt::run_barrier_group(
+              local.size(), [&](std::size_t li) {
+                const id<Dims> lid = detail::delinearize(li, local);
+                id<Dims> glob;
+                for (int d = 0; d < Dims; ++d)
+                  glob[d] = gid[d] * local[d] + lid[d];
+                k(nd_item<Dims>(glob, lid,
+                                group<Dims>(gid, groups, local, li), global,
+                                dev_.profile().sub_group_size),
+                  part);
+              });
+          if (b) used_barrier.store(true, std::memory_order_relaxed);
+          std::lock_guard lock(mu);
+          acc = red.op(acc, part.value());
+        });
+    *red.target = red.op(*red.target, acc);
+    log(name, Dims, detail::to3(global), detail::to3(local),
+        used_barrier.load(), true, t.seconds());
+  }
+
+  // --- single task ----------------------------------------------------------
+  template <typename K>
+  void single_task(const K& k) {
+    syclport::WallTimer t;
+    k();
+    log("(single_task)", 1, {1, 1, 1}, std::array<std::size_t, 3>{1, 1, 1},
+        false, false, t.seconds());
+  }
+
+  /// SYCL accessor registration; dependency tracking is a no-op here.
+  template <typename Acc>
+  void require(const Acc&) {}
+
+ private:
+  template <int Dims>
+  void check_nd_range(const nd_range<Dims>& ndr) const {
+    if (ndr.get_local_range().size() > dev_.max_work_group_size())
+      throw exception(errc::nd_range_error,
+                      "work-group size exceeds device limit");
+  }
+
+  void log(const char* name, int dims, std::array<std::size_t, 3> global,
+           std::optional<std::array<std::size_t, 3>> local, bool barrier,
+           bool reduction, double secs) {
+    auto& lg = launch_log::instance();
+    if (!lg.enabled()) return;
+    lg.append(launch_record{name, dims, global, local, barrier, reduction,
+                            secs});
+  }
+
+  device dev_;
+};
+
+}  // namespace sycl

@@ -1,0 +1,10 @@
+#include "sycl/launch_log.hpp"
+
+namespace sycl {
+
+launch_log& launch_log::instance() {
+  static launch_log log;
+  return log;
+}
+
+}  // namespace sycl

@@ -1,0 +1,70 @@
+#pragma once
+/// \file launch_log.hpp
+/// Instrumentation of kernel launches. Every queue submission appends a
+/// launch_record when logging is enabled; the OPS/OP2 DSLs and the
+/// hardware model read these records to learn the actually-used
+/// work-group shape (flat launches record local=nullopt - the shape is
+/// then *chosen by the modeled compiler runtime*, which is exactly the
+/// flat-vs-nd_range effect the paper studies).
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sycl {
+
+struct launch_record {
+  std::string kernel_name;
+  int dims = 1;
+  std::array<std::size_t, 3> global{1, 1, 1};
+  std::optional<std::array<std::size_t, 3>> local;  ///< nullopt for flat
+  bool used_barrier = false;
+  bool reduction = false;
+  double host_seconds = 0.0;  ///< host wall time of the functional run
+};
+
+/// Process-wide, thread-safe launch log.
+class launch_log {
+ public:
+  static launch_log& instance();
+
+  void set_enabled(bool on) {
+    std::lock_guard lock(mu_);
+    enabled_ = on;
+  }
+  [[nodiscard]] bool enabled() const {
+    std::lock_guard lock(mu_);
+    return enabled_;
+  }
+
+  void append(launch_record rec) {
+    std::lock_guard lock(mu_);
+    if (enabled_) records_.push_back(std::move(rec));
+  }
+
+  [[nodiscard]] std::vector<launch_record> snapshot() const {
+    std::lock_guard lock(mu_);
+    return records_;
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    records_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return records_.size();
+  }
+
+ private:
+  launch_log() = default;
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::vector<launch_record> records_;
+};
+
+}  // namespace sycl

@@ -1,0 +1,50 @@
+#pragma once
+/// \file local_accessor.hpp
+/// miniSYCL local (work-group shared) memory. Backed by a thread-local
+/// arena (see detail/local_arena.hpp): all work-items of a group run on
+/// one OS thread, so allocations keyed by the accessor's shared control
+/// block are shared within a group and reset between groups, matching
+/// SYCL local-memory lifetime.
+
+#include <memory>
+
+#include "sycl/detail/local_arena.hpp"
+#include "sycl/range.hpp"
+
+namespace sycl {
+
+template <typename T, int Dims = 1>
+class local_accessor {
+ public:
+  class handler_placeholder;  // local_accessor(range, handler) in real SYCL
+
+  explicit local_accessor(range<Dims> r)
+      : key_(std::make_shared<char>()), range_(r) {}
+
+  template <typename Handler>
+  local_accessor(range<Dims> r, Handler&) : local_accessor(r) {}
+
+  [[nodiscard]] T& operator[](const id<Dims>& i) const {
+    return data()[detail::linearize(i, range_)];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) const
+    requires(Dims == 1)
+  {
+    return data()[i];
+  }
+
+  [[nodiscard]] range<Dims> get_range() const { return range_; }
+  [[nodiscard]] std::size_t size() const { return range_.size(); }
+  [[nodiscard]] T* get_pointer() const { return data(); }
+
+ private:
+  [[nodiscard]] T* data() const {
+    return static_cast<T*>(
+        detail::local_alloc(key_.get(), range_.size() * sizeof(T)));
+  }
+
+  std::shared_ptr<char> key_;  ///< identity shared by all copies
+  range<Dims> range_;
+};
+
+}  // namespace sycl

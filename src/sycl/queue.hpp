@@ -1,0 +1,79 @@
+#pragma once
+/// \file queue.hpp
+/// miniSYCL queue and event. Submission is synchronous (in-order queue
+/// semantics); events carry host wall time for the functional run.
+
+#include <cstring>
+#include <utility>
+
+#include "sycl/device.hpp"
+#include "sycl/handler.hpp"
+
+namespace sycl {
+
+class event {
+ public:
+  event() = default;
+  explicit event(double host_seconds) : host_seconds_(host_seconds) {}
+
+  /// Host wall-clock seconds spent executing the command group.
+  [[nodiscard]] double host_seconds() const { return host_seconds_; }
+
+  void wait() const {}
+
+ private:
+  double host_seconds_ = 0.0;
+};
+
+/// In-order queue over a single (modeled) device.
+class queue {
+ public:
+  queue() : dev_(device::host()) {}
+  explicit queue(device dev) : dev_(std::move(dev)) {}
+
+  [[nodiscard]] const device& get_device() const { return dev_; }
+
+  /// Submit a command group; executes synchronously.
+  template <typename CGF>
+  event submit(CGF&& cgf) {
+    syclport::WallTimer t;
+    handler h(dev_);
+    std::forward<CGF>(cgf)(h);
+    return event(t.seconds());
+  }
+
+  /// Shortcut forms, as in SYCL 2020.
+  template <typename... Args>
+  event parallel_for(Args&&... args) {
+    return submit([&](handler& h) {
+      h.parallel_for(std::forward<Args>(args)...);
+    });
+  }
+
+  template <typename K>
+  event single_task(const K& k) {
+    return submit([&](handler& h) { h.single_task(k); });
+  }
+
+  /// USM-style utility operations.
+  event memcpy(void* dst, const void* src, std::size_t bytes) {
+    syclport::WallTimer t;
+    std::memcpy(dst, src, bytes);
+    return event(t.seconds());
+  }
+
+  template <typename T>
+  event fill(T* ptr, const T& value, std::size_t count) {
+    syclport::WallTimer t;
+    for (std::size_t i = 0; i < count; ++i) ptr[i] = value;
+    return event(t.seconds());
+  }
+
+  queue& wait() { return *this; }
+  void wait_and_throw() {}
+
+ private:
+  device dev_;
+};
+
+}  // namespace sycl

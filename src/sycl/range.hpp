@@ -1,0 +1,124 @@
+#pragma once
+/// \file range.hpp
+/// miniSYCL index-space types: sycl::range, sycl::id and sycl::nd_range.
+/// This is a from-scratch implementation of the SYCL 2020 subset used by
+/// the study (see DESIGN.md §2); it executes on the host via the
+/// syclport runtime but preserves SYCL semantics, including the
+/// flat-range vs nd_range distinction at the heart of the paper.
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+
+namespace sycl {
+
+template <int Dims = 1>
+class range {
+  static_assert(Dims >= 1 && Dims <= 3, "SYCL ranges are 1-3 dimensional");
+
+ public:
+  range() = default;
+  explicit range(std::size_t d0)
+    requires(Dims == 1)
+      : v_{d0} {}
+  range(std::size_t d0, std::size_t d1)
+    requires(Dims == 2)
+      : v_{d0, d1} {}
+  range(std::size_t d0, std::size_t d1, std::size_t d2)
+    requires(Dims == 3)
+      : v_{d0, d1, d2} {}
+
+  [[nodiscard]] std::size_t get(int dim) const { return v_[static_cast<std::size_t>(dim)]; }
+  [[nodiscard]] std::size_t& operator[](int dim) { return v_[static_cast<std::size_t>(dim)]; }
+  [[nodiscard]] std::size_t operator[](int dim) const { return v_[static_cast<std::size_t>(dim)]; }
+
+  /// Total number of work-items in the range.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t s = 1;
+    for (int d = 0; d < Dims; ++d) s *= v_[static_cast<std::size_t>(d)];
+    return s;
+  }
+
+  friend bool operator==(const range&, const range&) = default;
+
+ private:
+  std::array<std::size_t, static_cast<std::size_t>(Dims)> v_{};
+};
+
+template <int Dims = 1>
+class id {
+  static_assert(Dims >= 1 && Dims <= 3);
+
+ public:
+  id() = default;
+  explicit id(std::size_t d0)
+    requires(Dims == 1)
+      : v_{d0} {}
+  id(std::size_t d0, std::size_t d1)
+    requires(Dims == 2)
+      : v_{d0, d1} {}
+  id(std::size_t d0, std::size_t d1, std::size_t d2)
+    requires(Dims == 3)
+      : v_{d0, d1, d2} {}
+
+  [[nodiscard]] std::size_t get(int dim) const { return v_[static_cast<std::size_t>(dim)]; }
+  [[nodiscard]] std::size_t& operator[](int dim) { return v_[static_cast<std::size_t>(dim)]; }
+  [[nodiscard]] std::size_t operator[](int dim) const { return v_[static_cast<std::size_t>(dim)]; }
+
+  friend bool operator==(const id&, const id&) = default;
+
+ private:
+  std::array<std::size_t, static_cast<std::size_t>(Dims)> v_{};
+};
+
+/// Global + local (work-group) shape for an nd_range launch. The local
+/// range must divide the global range exactly, as in SYCL.
+template <int Dims = 1>
+class nd_range {
+ public:
+  nd_range(range<Dims> global, range<Dims> local)
+      : global_(global), local_(local) {
+    for (int d = 0; d < Dims; ++d) {
+      if (local[d] == 0 || global[d] % local[d] != 0)
+        throw std::invalid_argument(
+            "nd_range: local range must evenly divide global range");
+    }
+  }
+
+  [[nodiscard]] range<Dims> get_global_range() const { return global_; }
+  [[nodiscard]] range<Dims> get_local_range() const { return local_; }
+  [[nodiscard]] range<Dims> get_group_range() const {
+    range<Dims> g = global_;
+    for (int d = 0; d < Dims; ++d) g[d] = global_[d] / local_[d];
+    return g;
+  }
+
+ private:
+  range<Dims> global_;
+  range<Dims> local_;
+};
+
+namespace detail {
+/// Row-major linearization (matches SYCL's linear id convention where
+/// the last dimension moves fastest).
+template <int Dims>
+[[nodiscard]] inline std::size_t linearize(const id<Dims>& i,
+                                           const range<Dims>& r) {
+  std::size_t lin = 0;
+  for (int d = 0; d < Dims; ++d) lin = lin * r[d] + i[d];
+  return lin;
+}
+
+template <int Dims>
+[[nodiscard]] inline id<Dims> delinearize(std::size_t lin,
+                                          const range<Dims>& r) {
+  id<Dims> out;
+  for (int d = Dims - 1; d >= 0; --d) {
+    out[d] = lin % r[d];
+    lin /= r[d];
+  }
+  return out;
+}
+}  // namespace detail
+
+}  // namespace sycl

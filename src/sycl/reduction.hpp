@@ -1,0 +1,95 @@
+#pragma once
+/// \file reduction.hpp
+/// miniSYCL reductions: sycl::plus/minimum/maximum function objects,
+/// known identities, the reducer visible to kernels, and the
+/// reduction() factory accepted by parallel_for. The paper contrasts
+/// these built-in reductions with user-written binary-tree reductions
+/// in local memory (OPS had to fall back to the latter on CPU SYCL);
+/// both paths exist in this codebase - the tree reduction lives in the
+/// OPS SYCL backend.
+
+#include <algorithm>
+#include <limits>
+
+namespace sycl {
+
+template <typename T = void>
+struct plus {
+  constexpr T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+template <typename T = void>
+struct minimum {
+  constexpr T operator()(const T& a, const T& b) const {
+    return b < a ? b : a;
+  }
+};
+
+template <typename T = void>
+struct maximum {
+  constexpr T operator()(const T& a, const T& b) const {
+    return a < b ? b : a;
+  }
+};
+
+/// known_identity, for the operators the study's applications use.
+template <typename Op, typename T>
+struct known_identity;
+
+template <typename T>
+struct known_identity<plus<T>, T> {
+  static constexpr T value = T{};
+};
+template <typename T>
+struct known_identity<minimum<T>, T> {
+  static constexpr T value = std::numeric_limits<T>::max();
+};
+template <typename T>
+struct known_identity<maximum<T>, T> {
+  static constexpr T value = std::numeric_limits<T>::lowest();
+};
+
+template <typename Op, typename T>
+inline constexpr T known_identity_v = known_identity<Op, T>::value;
+
+/// The per-work-item combiner handed to reduction kernels.
+template <typename T, typename Op>
+class reducer {
+ public:
+  explicit reducer(T identity, Op op = {}) : val_(identity), op_(op) {}
+
+  void combine(const T& v) { val_ = op_(val_, v); }
+  reducer& operator+=(const T& v) {
+    combine(v);
+    return *this;
+  }
+
+  [[nodiscard]] const T& value() const { return val_; }
+
+ private:
+  T val_;
+  Op op_;
+};
+
+/// Descriptor created by sycl::reduction() and consumed by the handler.
+template <typename T, typename Op>
+struct reduction_descriptor {
+  T* target;
+  Op op;
+  T identity;
+};
+
+/// SYCL 2020 reduction over a USM scalar. The final value combines the
+/// reduction result with the variable's prior content (default SYCL
+/// behaviour without initialize_to_identity).
+template <typename T, typename Op>
+[[nodiscard]] reduction_descriptor<T, Op> reduction(T* var, Op op) {
+  return {var, op, known_identity_v<Op, T>};
+}
+
+template <typename T, typename Op>
+[[nodiscard]] reduction_descriptor<T, Op> reduction(T* var, T identity, Op op) {
+  return {var, op, identity};
+}
+
+}  // namespace sycl

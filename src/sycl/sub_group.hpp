@@ -1,0 +1,87 @@
+#pragma once
+/// \file sub_group.hpp
+/// miniSYCL sub-groups: contiguous chunks of the work-group's local
+/// linear space, with the SYCL 2020 shuffle operations. Data exchange
+/// is implemented with a per-thread slot buffer synchronised by the
+/// work-group barrier, which is stronger than sub-group-only
+/// synchronisation; consequently sub-group collectives must be reached
+/// by ALL work-items of the group (group-convergent code), a constraint
+/// every kernel in this study satisfies.
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/fiber.hpp"
+#include "sycl/item.hpp"
+
+namespace sycl {
+
+namespace detail {
+/// Per-OS-thread exchange slots (work-groups never span threads).
+template <typename T>
+std::vector<T>& shuffle_slots(std::size_t n) {
+  thread_local std::vector<T> slots;
+  if (slots.size() < n) slots.resize(n);
+  return slots;
+}
+}  // namespace detail
+
+class sub_group {
+ public:
+  sub_group(std::size_t group_lid, std::size_t group_size, std::size_t sg_size)
+      : lid_(group_lid % sg_size),
+        sg_id_(group_lid / sg_size),
+        group_lid_(group_lid),
+        group_size_(group_size),
+        // The trailing sub-group may be partial.
+        size_(std::min(sg_size, group_size - sg_id_ * sg_size)) {}
+
+  [[nodiscard]] std::size_t get_local_linear_id() const { return lid_; }
+  [[nodiscard]] std::size_t get_group_linear_id() const { return sg_id_; }
+  [[nodiscard]] std::size_t get_local_linear_range() const { return size_; }
+
+  /// Value of `x` held by the sub-group work-item at `remote`; own
+  /// value when `remote` is out of range (matching CUDA shfl clamping).
+  template <typename T>
+  [[nodiscard]] T shuffle(T x, std::size_t remote) const {
+    auto& slots = detail::shuffle_slots<T>(group_size_);
+    slots[group_lid_] = x;
+    syclport::rt::group_barrier();
+    T out = x;
+    // Slot of `remote` = first slot of this sub-group + remote.
+    if (remote < size_) out = slots[group_lid_ - lid_ + remote];
+    syclport::rt::group_barrier();
+    return out;
+  }
+
+  template <typename T>
+  [[nodiscard]] T shuffle_down(T x, std::size_t delta) const {
+    return shuffle(x, lid_ + delta < size_ ? lid_ + delta : lid_);
+  }
+
+  template <typename T>
+  [[nodiscard]] T shuffle_up(T x, std::size_t delta) const {
+    return shuffle(x, lid_ >= delta ? lid_ - delta : lid_);
+  }
+
+  template <typename T>
+  [[nodiscard]] T shuffle_xor(T x, std::size_t mask) const {
+    const std::size_t remote = lid_ ^ mask;
+    return shuffle(x, remote < size_ ? remote : lid_);
+  }
+
+ private:
+  std::size_t lid_;
+  std::size_t sg_id_;
+  std::size_t group_lid_;
+  std::size_t group_size_;
+  std::size_t size_;
+};
+
+template <int Dims>
+sub_group nd_item<Dims>::get_sub_group() const {
+  return sub_group(get_local_linear_id(), get_local_range().size(),
+                   sg_size_);
+}
+
+}  // namespace sycl

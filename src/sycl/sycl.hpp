@@ -1,0 +1,21 @@
+#pragma once
+/// \file sycl.hpp
+/// Umbrella header for miniSYCL - the from-scratch implementation of
+/// the SYCL 2020 subset used by this study (DESIGN.md §2). Application
+/// and DSL code includes only this header.
+
+#include "sycl/atomic.hpp"            // IWYU pragma: export
+#include "sycl/buffer.hpp"            // IWYU pragma: export
+#include "sycl/device.hpp"            // IWYU pragma: export
+#include "sycl/exception.hpp"         // IWYU pragma: export
+#include "sycl/group_algorithms.hpp"  // IWYU pragma: export
+#include "sycl/handler.hpp"           // IWYU pragma: export
+#include "sycl/item.hpp"              // IWYU pragma: export
+#include "sycl/launch_log.hpp"        // IWYU pragma: export
+#include "sycl/local_accessor.hpp"    // IWYU pragma: export
+#include "sycl/queue.hpp"             // IWYU pragma: export
+#include "sycl/range.hpp"             // IWYU pragma: export
+#include "sycl/reduction.hpp"         // IWYU pragma: export
+#include "sycl/sub_group.hpp"         // IWYU pragma: export
+#include "sycl/usm.hpp"               // IWYU pragma: export
+#include "sycl/vec.hpp"               // IWYU pragma: export

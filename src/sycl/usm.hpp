@@ -1,0 +1,77 @@
+#pragma once
+/// \file usm.hpp
+/// miniSYCL unified shared memory. Device == host here, so every USM
+/// flavour is host memory; a registry tracks outstanding allocations so
+/// tests can assert leak-freedom (the moral equivalent of running under
+/// a USM-aware sanitizer).
+
+#include <cstddef>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+
+#include "sycl/queue.hpp"
+
+namespace sycl {
+
+namespace detail {
+class usm_registry {
+ public:
+  static usm_registry& instance() {
+    static usm_registry r;
+    return r;
+  }
+  void add(void* p, std::size_t bytes) {
+    std::lock_guard lock(mu_);
+    allocs_[p] = bytes;
+  }
+  bool remove(void* p) {
+    std::lock_guard lock(mu_);
+    return allocs_.erase(p) > 0;
+  }
+  [[nodiscard]] std::size_t outstanding() const {
+    std::lock_guard lock(mu_);
+    return allocs_.size();
+  }
+  [[nodiscard]] std::size_t outstanding_bytes() const {
+    std::lock_guard lock(mu_);
+    std::size_t total = 0;
+    for (const auto& [p, b] : allocs_) total += b;
+    return total;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<void*, std::size_t> allocs_;
+};
+}  // namespace detail
+
+template <typename T>
+[[nodiscard]] T* malloc_device(std::size_t count, const queue&) {
+  T* p = static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
+  detail::usm_registry::instance().add(p, count * sizeof(T));
+  return p;
+}
+
+template <typename T>
+[[nodiscard]] T* malloc_shared(std::size_t count, const queue& q) {
+  return malloc_device<T>(count, q);
+}
+
+template <typename T>
+[[nodiscard]] T* malloc_host(std::size_t count, const queue& q) {
+  return malloc_device<T>(count, q);
+}
+
+inline void free(void* ptr, const queue&) {
+  if (ptr == nullptr) return;
+  detail::usm_registry::instance().remove(ptr);
+  ::operator delete(ptr, std::align_val_t{64});
+}
+
+/// Number of live USM allocations (test hook).
+[[nodiscard]] inline std::size_t usm_outstanding() {
+  return detail::usm_registry::instance().outstanding();
+}
+
+}  // namespace sycl

@@ -1,0 +1,94 @@
+#pragma once
+/// \file vec.hpp
+/// miniSYCL sycl::vec<T, N>: the fixed-width vector type with
+/// element-wise arithmetic, named accessors (x/y/z/w), load/store and
+/// the common aliases (float4, double3, ...). Purely a host type here;
+/// platform vectorization is a hardware-model concern.
+
+#include <array>
+#include <cstddef>
+
+namespace sycl {
+
+template <typename T, int N>
+class vec {
+  static_assert(N >= 1 && N <= 16);
+
+ public:
+  vec() = default;
+  explicit vec(T splat) { v_.fill(splat); }
+  template <typename... Ts>
+    requires(sizeof...(Ts) == N && N > 1)
+  vec(Ts... vals) : v_{static_cast<T>(vals)...} {}
+
+  [[nodiscard]] T& operator[](int i) { return v_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const T& operator[](int i) const {
+    return v_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] T& x() { return v_[0]; }
+  [[nodiscard]] T& y() requires(N >= 2) { return v_[1]; }
+  [[nodiscard]] T& z() requires(N >= 3) { return v_[2]; }
+  [[nodiscard]] T& w() requires(N >= 4) { return v_[3]; }
+  [[nodiscard]] const T& x() const { return v_[0]; }
+  [[nodiscard]] const T& y() const requires(N >= 2) { return v_[1]; }
+  [[nodiscard]] const T& z() const requires(N >= 3) { return v_[2]; }
+  [[nodiscard]] const T& w() const requires(N >= 4) { return v_[3]; }
+
+  [[nodiscard]] static constexpr int size() { return N; }
+
+  /// Element-wise arithmetic.
+  friend vec operator+(vec a, const vec& b) { return a += b; }
+  friend vec operator-(vec a, const vec& b) { return a -= b; }
+  friend vec operator*(vec a, const vec& b) { return a *= b; }
+  friend vec operator/(vec a, const vec& b) { return a /= b; }
+  friend vec operator*(vec a, T s) { return a *= vec(s); }
+  friend vec operator*(T s, vec a) { return a *= vec(s); }
+
+  vec& operator+=(const vec& o) { return apply(o, [](T a, T b) { return a + b; }); }
+  vec& operator-=(const vec& o) { return apply(o, [](T a, T b) { return a - b; }); }
+  vec& operator*=(const vec& o) { return apply(o, [](T a, T b) { return a * b; }); }
+  vec& operator/=(const vec& o) { return apply(o, [](T a, T b) { return a / b; }); }
+
+  friend bool operator==(const vec& a, const vec& b) { return a.v_ == b.v_; }
+
+  /// Load/store from element pointers (SYCL's vec::load/store take
+  /// offsets in units of whole vectors).
+  void load(std::size_t offset, const T* ptr) {
+    for (int i = 0; i < N; ++i)
+      v_[static_cast<std::size_t>(i)] = ptr[offset * N + static_cast<std::size_t>(i)];
+  }
+  void store(std::size_t offset, T* ptr) const {
+    for (int i = 0; i < N; ++i)
+      ptr[offset * N + static_cast<std::size_t>(i)] = v_[static_cast<std::size_t>(i)];
+  }
+
+  /// Horizontal sum (convenience; dot products in the apps).
+  [[nodiscard]] T hsum() const {
+    T s{};
+    for (const T& e : v_) s += e;
+    return s;
+  }
+
+ private:
+  template <typename F>
+  vec& apply(const vec& o, F f) {
+    for (int i = 0; i < N; ++i)
+      v_[static_cast<std::size_t>(i)] =
+          f(v_[static_cast<std::size_t>(i)], o.v_[static_cast<std::size_t>(i)]);
+    return *this;
+  }
+
+  std::array<T, static_cast<std::size_t>(N)> v_{};
+};
+
+using float2 = vec<float, 2>;
+using float3 = vec<float, 3>;
+using float4 = vec<float, 4>;
+using double2 = vec<double, 2>;
+using double3 = vec<double, 3>;
+using double4 = vec<double, 4>;
+using int2 = vec<int, 2>;
+using int4 = vec<int, 4>;
+
+}  // namespace sycl

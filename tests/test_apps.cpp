@@ -1,0 +1,293 @@
+// Integration tests for the structured-mesh applications and
+// BabelStream: backend equivalence (every parallelization computes the
+// serial answer), formulation equivalence (OpenSBLI SA == SN),
+// stability/finiteness, and profile sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hpp"
+#include "stream/babelstream.hpp"
+
+namespace apps = syclport::apps;
+namespace ops = syclport::ops;
+namespace hw = syclport::hw;
+
+namespace {
+
+ops::Options backend(ops::Backend b) {
+  ops::Options o;
+  o.backend = b;
+  o.nd_local = {1, 2, 16};  // divides nothing special: exercises masking
+  return o;
+}
+
+const std::vector<ops::Backend> kBackends = {
+    ops::Backend::Serial, ops::Backend::Threads, ops::Backend::SyclFlat,
+    ops::Backend::SyclNd, ops::Backend::MPI};
+
+}  // namespace
+
+TEST(BabelStream, ChecksumMatchesClosedForm) {
+  for (int reps : {1, 3}) {
+    const auto rs = syclport::stream::run(backend(ops::Backend::Threads),
+                                          4096, reps);
+    EXPECT_NEAR(rs.checksum, syclport::stream::expected_checksum(4096, reps),
+                1e-6 * std::fabs(rs.checksum));
+  }
+}
+
+TEST(BabelStream, AllBackendsAgree) {
+  for (ops::Backend b : kBackends) {
+    const auto rs = syclport::stream::run(backend(b), 2048, 2);
+    EXPECT_NEAR(rs.checksum, syclport::stream::expected_checksum(2048, 2),
+                1e-9)
+        << static_cast<int>(b);
+  }
+}
+
+TEST(BabelStream, ProfilesCarryExpectedTraffic) {
+  const std::size_t n = 8192;
+  const auto rs = syclport::stream::run(backend(ops::Backend::Threads), n, 1);
+  ASSERT_EQ(rs.profiles.size(), 5u);
+  using syclport::stream::Kernel;
+  EXPECT_DOUBLE_EQ(rs.profiles[0].total_bytes(),
+                   syclport::stream::kernel_bytes(Kernel::Copy, n));
+  EXPECT_DOUBLE_EQ(rs.profiles[3].total_bytes(),
+                   syclport::stream::kernel_bytes(Kernel::Triad, n));
+  EXPECT_EQ(rs.profiles[4].reduction, hw::ReductionKind::BuiltIn);
+}
+
+TEST(Rtm, StableAndNonTrivial) {
+  const auto rs = apps::run_rtm(backend(ops::Backend::Threads),
+                                apps::rtm_small());
+  EXPECT_TRUE(std::isfinite(rs.checksum));
+  EXPECT_GT(rs.checksum, 0.0);  // wave energy injected
+}
+
+TEST(Rtm, BackendsMatchSerial) {
+  const double ref =
+      apps::run_rtm(backend(ops::Backend::Serial), apps::rtm_small()).checksum;
+  for (ops::Backend b : kBackends) {
+    const double got = apps::run_rtm(backend(b), apps::rtm_small()).checksum;
+    EXPECT_NEAR(got, ref, 1e-9 * std::max(1.0, std::fabs(ref)))
+        << static_cast<int>(b);
+  }
+}
+
+TEST(Rtm, ProfileShapesMatchStencil) {
+  const auto rs =
+      apps::run_rtm(backend(ops::Backend::Serial), apps::rtm_small());
+  bool found_fd = false;
+  for (const auto& p : rs.profiles) {
+    if (p.name != "rtm_fd") continue;
+    found_fd = true;
+    EXPECT_EQ(p.radius_fast, 4);
+    EXPECT_EQ(p.radius_slow, 4);
+    EXPECT_EQ(p.elem_bytes, 4u);
+    EXPECT_EQ(p.cls, hw::KernelClass::Interior);
+  }
+  EXPECT_TRUE(found_fd);
+}
+
+TEST(Acoustic, StableAndDamped) {
+  const auto rs = apps::run_acoustic(backend(ops::Backend::Threads),
+                                     apps::acoustic_small());
+  EXPECT_TRUE(std::isfinite(rs.checksum));
+  EXPECT_GT(rs.checksum, 0.0);
+}
+
+TEST(Acoustic, BackendsMatchSerial) {
+  const double ref = apps::run_acoustic(backend(ops::Backend::Serial),
+                                        apps::acoustic_small())
+                         .checksum;
+  for (ops::Backend b : kBackends) {
+    const double got =
+        apps::run_acoustic(backend(b), apps::acoustic_small()).checksum;
+    EXPECT_NEAR(got, ref, 1e-9 * std::max(1.0, std::fabs(ref)));
+  }
+}
+
+TEST(Acoustic, HasSpongeBoundaryLoops) {
+  const auto rs = apps::run_acoustic(backend(ops::Backend::Serial),
+                                     apps::acoustic_small());
+  int boundary = 0, interior = 0;
+  for (const auto& p : rs.profiles) {
+    if (p.cls == hw::KernelClass::Boundary) ++boundary;
+    if (p.cls == hw::KernelClass::Interior) ++interior;
+  }
+  EXPECT_GT(boundary, interior);  // 6 sponges + source vs 1 fd per step
+}
+
+TEST(OpenSBLI, SaAndSnAgree) {
+  // Same discretization, different storage strategy: results must match
+  // to rounding. This is the strongest cross-validation in the suite.
+  const auto sa = apps::run_opensbli_sa(backend(ops::Backend::Threads),
+                                        apps::opensbli_small());
+  const auto sn = apps::run_opensbli_sn(backend(ops::Backend::Threads),
+                                        apps::opensbli_small());
+  EXPECT_NEAR(sa.checksum, sn.checksum,
+              1e-10 * std::fabs(sa.checksum));
+}
+
+TEST(OpenSBLI, SaMovesMoreBytesSnBurnsMoreFlops) {
+  const auto sa = apps::run_opensbli_sa(backend(ops::Backend::Serial),
+                                        apps::opensbli_small());
+  const auto sn = apps::run_opensbli_sn(backend(ops::Backend::Serial),
+                                        apps::opensbli_small());
+  double sa_bytes = 0, sn_bytes = 0, sa_flops = 0, sn_flops = 0;
+  for (const auto& p : sa.profiles) {
+    sa_bytes += p.total_bytes();
+    sa_flops += p.flops;
+  }
+  for (const auto& p : sn.profiles) {
+    sn_bytes += p.total_bytes();
+    sn_flops += p.flops;
+  }
+  EXPECT_GT(sa_bytes, 1.5 * sn_bytes);
+  EXPECT_GT(sn_flops / sn_bytes, sa_flops / sa_bytes);  // intensity flips
+}
+
+TEST(OpenSBLI, BackendsMatchSerial) {
+  const double ref = apps::run_opensbli_sa(backend(ops::Backend::Serial),
+                                           apps::opensbli_small())
+                         .checksum;
+  for (ops::Backend b : kBackends) {
+    const double got =
+        apps::run_opensbli_sa(backend(b), apps::opensbli_small()).checksum;
+    EXPECT_NEAR(got, ref, 1e-9 * std::fabs(ref));
+  }
+}
+
+TEST(CloverLeaf2D, MassAndEnergyStayFinite) {
+  const auto rs = apps::run_cloverleaf2d(backend(ops::Backend::Threads),
+                                         apps::cloverleaf2d_small());
+  EXPECT_TRUE(std::isfinite(rs.checksum));
+  EXPECT_GT(rs.checksum, 0.0);
+}
+
+TEST(CloverLeaf2D, BackendsMatchSerial) {
+  const double ref = apps::run_cloverleaf2d(backend(ops::Backend::Serial),
+                                            apps::cloverleaf2d_small())
+                         .checksum;
+  for (ops::Backend b : kBackends) {
+    const double got =
+        apps::run_cloverleaf2d(backend(b), apps::cloverleaf2d_small())
+            .checksum;
+    EXPECT_NEAR(got, ref, 1e-9 * std::fabs(ref)) << static_cast<int>(b);
+  }
+}
+
+TEST(CloverLeaf2D, BoundaryLoopsPresentAndSmall) {
+  const auto rs = apps::run_cloverleaf2d(backend(ops::Backend::Serial),
+                                         apps::cloverleaf2d_small());
+  double boundary_bytes = 0.0, interior_bytes = 0.0;
+  int nboundary = 0;
+  for (const auto& p : rs.profiles) {
+    if (p.cls == hw::KernelClass::Boundary) {
+      boundary_bytes += p.total_bytes();
+      ++nboundary;
+    } else {
+      interior_bytes += p.total_bytes();
+    }
+  }
+  EXPECT_GT(nboundary, 50);  // many per-field, per-side halo loops
+  EXPECT_LT(boundary_bytes, 0.25 * interior_bytes);
+}
+
+TEST(CloverLeaf2D, HasReductionKernels) {
+  const auto rs = apps::run_cloverleaf2d(backend(ops::Backend::Serial),
+                                         apps::cloverleaf2d_small());
+  int reductions = 0;
+  for (const auto& p : rs.profiles)
+    if (p.reduction != hw::ReductionKind::None) ++reductions;
+  // calc_dt each iteration + field_summary once.
+  EXPECT_EQ(reductions, apps::cloverleaf2d_small().iters + 1);
+}
+
+TEST(CloverLeaf3D, MassAndEnergyStayFinite) {
+  const auto rs = apps::run_cloverleaf3d(backend(ops::Backend::Threads),
+                                         apps::cloverleaf3d_small());
+  EXPECT_TRUE(std::isfinite(rs.checksum));
+  EXPECT_GT(rs.checksum, 0.0);
+}
+
+TEST(CloverLeaf3D, BackendsMatchSerial) {
+  const double ref = apps::run_cloverleaf3d(backend(ops::Backend::Serial),
+                                            apps::cloverleaf3d_small())
+                         .checksum;
+  for (ops::Backend b : {ops::Backend::Threads, ops::Backend::SyclNd}) {
+    const double got =
+        apps::run_cloverleaf3d(backend(b), apps::cloverleaf3d_small())
+            .checksum;
+    EXPECT_NEAR(got, ref, 1e-9 * std::fabs(ref));
+  }
+}
+
+TEST(CloverLeaf3D, BoundaryShareExceeds2D) {
+  // Paper §4.1: 3D spends a larger fraction in boundary updates (7.8%
+  // vs 1.5% on the A100). At equal-ish footprint the boundary-to-
+  // interior byte ratio must be higher in 3D.
+  auto ratio = [](const apps::RunSummary& rs) {
+    double b = 0, i = 0;
+    for (const auto& p : rs.profiles)
+      (p.cls == hw::KernelClass::Boundary ? b : i) += p.total_bytes();
+    return b / i;
+  };
+  const auto r2 = ratio(apps::run_cloverleaf2d(backend(ops::Backend::Serial),
+                                               {{48, 48, 1}, 2}));
+  const auto r3 = ratio(apps::run_cloverleaf3d(backend(ops::Backend::Serial),
+                                               {{16, 16, 16}, 2}));
+  EXPECT_GT(r3, r2);
+}
+
+TEST(ModelOnly, PaperScaleSchedulesWithoutAllocating) {
+  // The full 7680^2 CloverLeaf and 1000^3 Acoustic schedules must be
+  // recordable in ModelOnly mode without touching memory.
+  ops::Options o = backend(ops::Backend::SyclNd);
+  o.mode = ops::Mode::ModelOnly;
+  const auto clover =
+      apps::run_cloverleaf2d(o, {{7680, 7680, 1}, 2});
+  EXPECT_GT(clover.profiles.size(), 20u);
+  EXPECT_EQ(clover.checksum, 0.0);
+  const auto ac = apps::run_acoustic(o, {{1000, 1000, 1000}, 2});
+  double bytes = 0;
+  for (const auto& p : ac.profiles) bytes += p.total_bytes();
+  EXPECT_GT(bytes, 2.0 * 8e9);  // two sweeps over ~GB-scale arrays
+}
+
+
+TEST(OpenSBLI, Rk3SaAndSnAgree) {
+  const auto sa = apps::run_opensbli_sa_rk3(backend(ops::Backend::Threads),
+                                            apps::opensbli_small());
+  const auto sn = apps::run_opensbli_sn_rk3(backend(ops::Backend::Threads),
+                                            apps::opensbli_small());
+  EXPECT_NEAR(sa.checksum, sn.checksum, 1e-10 * std::fabs(sa.checksum));
+  EXPECT_TRUE(std::isfinite(sa.checksum));
+}
+
+TEST(OpenSBLI, Rk3HasThreeResidualsPerIteration) {
+  const auto rk1 = apps::run_opensbli_sn(backend(ops::Backend::Serial),
+                                         apps::opensbli_small());
+  const auto rk3 = apps::run_opensbli_sn_rk3(backend(ops::Backend::Serial),
+                                             apps::opensbli_small());
+  auto residuals = [](const apps::RunSummary& rs) {
+    int n = 0;
+    for (const auto& p : rs.profiles)
+      if (p.name == std::string("sbli_residual_sn")) ++n;
+    return n;
+  };
+  EXPECT_EQ(residuals(rk3), 3 * residuals(rk1));
+}
+
+TEST(OpenSBLI, Rk3DiffersFromEulerButStaysClose) {
+  const double euler = apps::run_opensbli_sn(backend(ops::Backend::Serial),
+                                             apps::opensbli_small())
+                           .checksum;
+  const double rk3 = apps::run_opensbli_sn_rk3(backend(ops::Backend::Serial),
+                                               apps::opensbli_small())
+                         .checksum;
+  EXPECT_NE(euler, rk3);                       // different schemes
+  EXPECT_NEAR(euler, rk3, 1e-3 * std::fabs(euler));  // same physics
+}

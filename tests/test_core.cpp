@@ -1,0 +1,204 @@
+// Unit tests for src/core: types, statistics, PP metric, support matrix,
+// report rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/pp_metric.hpp"
+#include "core/report.hpp"
+#include "core/statistics.hpp"
+#include "core/support.hpp"
+#include "core/types.hpp"
+
+namespace sp = syclport;
+
+TEST(Types, AppNamesRoundTrip) {
+  for (sp::AppId a : sp::kAllApps) {
+    auto parsed = sp::parse_app(sp::to_string(a));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Types, PlatformNamesRoundTrip) {
+  for (sp::PlatformId p : sp::kAllPlatforms) {
+    auto parsed = sp::parse_platform(sp::to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(Types, GpuCpuPartition) {
+  int gpus = 0, cpus = 0;
+  for (sp::PlatformId p : sp::kAllPlatforms) (sp::is_gpu(p) ? gpus : cpus)++;
+  EXPECT_EQ(gpus, 3);
+  EXPECT_EQ(cpus, 3);
+}
+
+TEST(Types, VariantLabelsMatchPaperStyle) {
+  sp::Variant dpcpp_nd{sp::Model::SYCLNDRange, sp::Toolchain::DPCPP};
+  EXPECT_EQ(sp::to_string(dpcpp_nd), "DPC++ nd_range");
+  sp::Variant osycl_flat{sp::Model::SYCLFlat, sp::Toolchain::OpenSYCL};
+  EXPECT_EQ(sp::to_string(osycl_flat), "OpenSYCL flat");
+  sp::Variant mpi_omp{sp::Model::MPI_OpenMP, sp::Toolchain::Native};
+  EXPECT_EQ(sp::to_string(mpi_omp), "MPI+OpenMP");
+  sp::Variant cray{sp::Model::OpenMPOffload, sp::Toolchain::Cray};
+  EXPECT_EQ(sp::to_string(cray), "Cray OpenMP offload");
+  sp::Variant atomics{sp::Model::SYCLNDRange, sp::Toolchain::OpenSYCL,
+                      sp::Strategy::Atomics};
+  EXPECT_EQ(sp::to_string(atomics), "OpenSYCL nd_range [atomics]");
+}
+
+TEST(Statistics, MeanAndStddev) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(sp::stats::mean(xs), 5.0);
+  EXPECT_NEAR(sp::stats::stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Statistics, EmptyInputsAreZero) {
+  std::vector<double> none;
+  EXPECT_EQ(sp::stats::mean(none), 0.0);
+  EXPECT_EQ(sp::stats::stddev(none), 0.0);
+  EXPECT_EQ(sp::stats::harmonic_mean(none), 0.0);
+  EXPECT_EQ(sp::stats::geometric_mean(none), 0.0);
+  EXPECT_EQ(sp::stats::median(none), 0.0);
+}
+
+TEST(Statistics, HarmonicMeanOfEqualValues) {
+  std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(sp::stats::harmonic_mean(xs), 3.0);
+}
+
+TEST(Statistics, HarmonicLeGeometricLeArithmetic) {
+  std::vector<double> xs{0.3, 0.9, 0.5, 0.7};
+  const double h = sp::stats::harmonic_mean(xs);
+  const double g = sp::stats::geometric_mean(xs);
+  const double a = sp::stats::mean(xs);
+  EXPECT_LT(h, g);
+  EXPECT_LT(g, a);
+}
+
+TEST(Statistics, WeightedMean) {
+  std::vector<double> xs{1.0, 10.0};
+  std::vector<double> ws{9.0, 1.0};
+  EXPECT_NEAR(sp::stats::weighted_mean(xs, ws), 1.9, 1e-12);
+}
+
+TEST(Statistics, MedianOddEven) {
+  std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(sp::stats::median(odd), 3.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(sp::stats::median(even), 2.5);
+}
+
+TEST(PPMetric, HarmonicMeanWhenAllSupported) {
+  std::vector<double> eff{0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(sp::pp_metric(eff), 0.5);
+}
+
+TEST(PPMetric, ZeroWhenAnyPlatformFails) {
+  std::vector<double> eff{0.9, 0.0, 0.8};
+  EXPECT_EQ(sp::pp_metric(eff), 0.0);
+}
+
+TEST(PPMetric, SupportedOnlyIgnoresFailures) {
+  std::vector<double> eff{0.9, 0.0, 0.9};
+  EXPECT_DOUBLE_EQ(sp::pp_supported_only(eff), 0.9);
+}
+
+TEST(PPMetric, DominatedByWorstPlatform) {
+  std::vector<double> eff{1.0, 1.0, 0.1};
+  EXPECT_LT(sp::pp_metric(eff), 0.3);
+}
+
+TEST(SupportMatrix, DpcppUnavailableOnAltra) {
+  const auto& m = sp::SupportMatrix::paper();
+  sp::Variant v{sp::Model::SYCLNDRange, sp::Toolchain::DPCPP};
+  for (sp::AppId a : sp::kAllApps)
+    EXPECT_EQ(m.status(sp::PlatformId::Altra, a, v), sp::Status::Unsupported);
+}
+
+TEST(SupportMatrix, OpenSyclWorksOnAltraStructured) {
+  const auto& m = sp::SupportMatrix::paper();
+  sp::Variant v{sp::Model::SYCLNDRange, sp::Toolchain::OpenSYCL};
+  EXPECT_TRUE(m.ok(sp::PlatformId::Altra, sp::AppId::CloverLeaf2D, v));
+}
+
+TEST(SupportMatrix, GenoaXCloverLeaf2DOnlyDpcppNdRangeSycl) {
+  // Paper S4.4: "CloverLeaf 2D only working with DPC++ nd_range on Genoa-X".
+  const auto& m = sp::SupportMatrix::paper();
+  const sp::PlatformId p = sp::PlatformId::GenoaX;
+  const sp::AppId a = sp::AppId::CloverLeaf2D;
+  EXPECT_TRUE(m.ok(p, a, {sp::Model::SYCLNDRange, sp::Toolchain::DPCPP}));
+  EXPECT_FALSE(m.ok(p, a, {sp::Model::SYCLFlat, sp::Toolchain::DPCPP}));
+  EXPECT_FALSE(m.ok(p, a, {sp::Model::SYCLFlat, sp::Toolchain::OpenSYCL}));
+  EXPECT_FALSE(m.ok(p, a, {sp::Model::SYCLNDRange, sp::Toolchain::OpenSYCL}));
+}
+
+TEST(SupportMatrix, OpenSyclAtomicsWorksEverywhereForMgcfd) {
+  // Needed for the paper's PP(OpenSYCL+atomics) = 0.42 claim.
+  const auto& m = sp::SupportMatrix::paper();
+  for (sp::PlatformId p : sp::kAllPlatforms) {
+    if (p == sp::PlatformId::Altra) continue;  // DPC++ absent, OpenSYCL fine
+    EXPECT_TRUE(m.ok(p, sp::AppId::MGCFD,
+                     {sp::Model::SYCLNDRange, sp::Toolchain::OpenSYCL,
+                      sp::Strategy::Atomics}))
+        << sp::to_string(p);
+  }
+  EXPECT_TRUE(m.ok(sp::PlatformId::Altra, sp::AppId::MGCFD,
+                   {sp::Model::SYCLNDRange, sp::Toolchain::OpenSYCL,
+                    sp::Strategy::Atomics}));
+}
+
+TEST(SupportMatrix, CrayOffloadFailsOnCloverLeaf3D) {
+  const auto& m = sp::SupportMatrix::paper();
+  sp::Variant v{sp::Model::OpenMPOffload, sp::Toolchain::Cray};
+  EXPECT_EQ(m.status(sp::PlatformId::MI250X, sp::AppId::CloverLeaf3D, v),
+            sp::Status::RuntimeCrash);
+  EXPECT_TRUE(m.ok(sp::PlatformId::MI250X, sp::AppId::CloverLeaf2D, v));
+}
+
+TEST(Report, TableRendersAligned) {
+  sp::report::Table t({"app", "runtime"});
+  t.add_row({"CloverLeaf2D", "1.23"});
+  t.add_row({"RTM", "45.6"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("CloverLeaf2D"), std::string::npos);
+  EXPECT_NE(s.find("45.6"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Report, TableRejectsArityMismatch) {
+  sp::report::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, CsvEscapesCommasAndQuotes) {
+  sp::report::Table t({"name", "value"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Report, BarsRenderValuesAndNotes) {
+  std::vector<sp::report::BarGroup> groups{
+      {"CloverLeaf2D",
+       {{"CUDA", 2.0, ""}, {"DPC++ flat", 8.0, ""}, {"OpenSYCL", 0.0, "incorrect"}}}};
+  std::ostringstream os;
+  sp::report::render_bars(os, groups, "s");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("CUDA"), std::string::npos);
+  EXPECT_NE(s.find("(incorrect)"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Report, FormatHelpers) {
+  EXPECT_EQ(sp::report::fmt(1.234, 2), "1.23");
+  EXPECT_EQ(sp::report::fmt_percent(0.915, 1), "91.5%");
+}

@@ -1,0 +1,194 @@
+// Randomized property tests across the stack: arbitrary nd_range
+// shapes, random stencil footprints against the closed-form transfer
+// formula, mini-MPI message storms, fiber stress, and random loop
+// chains - the "does it hold for inputs nobody hand-picked" layer.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hwmodel/energy.hpp"
+#include "minimpi/comm.hpp"
+#include "ops/loop_chain.hpp"
+#include "ops/ops.hpp"
+#include "runtime/fiber.hpp"
+
+namespace ops = syclport::ops;
+namespace mpi = syclport::mpi;
+namespace rt = syclport::rt;
+namespace hw = syclport::hw;
+
+TEST(Fuzz, RandomNdLocalShapesNeverChangeResults) {
+  std::mt19937 rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t ny = 5 + rng() % 40;
+    const std::size_t nx = 5 + rng() % 40;
+    ops::Options nd;
+    nd.backend = ops::Backend::SyclNd;
+    nd.nd_local = {1, 1 + rng() % 7, 1 + rng() % 70};
+    auto run = [&](const ops::Options& o) {
+      ops::Context ctx(o);
+      ops::Block grid(ctx, "g", 2, {ny, nx, 1});
+      ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1);
+      for (long i = -1; i <= static_cast<long>(ny); ++i)
+        for (long j = -1; j <= static_cast<long>(nx); ++j)
+          a.at(i, j) = 0.31 * i + 0.17 * j;
+      ops::par_loop(ctx, {"k"}, grid, ops::Range::all(grid),
+                    [](ops::ACC<double> out, ops::ACC<double> in) {
+                      out(0, 0) = in(1, 0) + 2.0 * in(-1, 0) - in(0, 1);
+                    },
+                    ops::arg(b, ops::S_PT, ops::Acc::W),
+                    ops::arg(a, ops::S2D_5PT, ops::Acc::R));
+      return b.interior_sum();
+    };
+    ops::Options serial;
+    serial.backend = ops::Backend::Serial;
+    ASSERT_DOUBLE_EQ(run(nd), run(serial))
+        << "trial " << trial << " local={1," << nd.nd_local[1] << ","
+        << nd.nd_local[2] << "} grid " << ny << "x" << nx;
+  }
+}
+
+TEST(Fuzz, RandomStencilFootprintsMatchClosedForm) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t nz = 3 + rng() % 12;
+    const std::size_t ny = 3 + rng() % 12;
+    const std::size_t nx = 3 + rng() % 12;
+    const int rx = static_cast<int>(rng() % 3);
+    const int ry = static_cast<int>(rng() % 3);
+    const int rz = static_cast<int>(rng() % 3);
+    const int ncomp = 1 + static_cast<int>(rng() % 4);
+
+    ops::Options o;
+    o.backend = ops::Backend::Serial;
+    o.mode = ops::Mode::ModelOnly;
+    ops::Context ctx(o);
+    ops::Block grid(ctx, "g", 3, {nz, ny, nx});
+    ops::Dat<double> in(grid, "in", ncomp, 2), out(grid, "out", ncomp, 2);
+    ops::par_loop(ctx, {"k"}, grid, ops::Range::all(grid),
+                  [](ops::ACC<double>, ops::ACC<double>) {},
+                  ops::arg(out, ops::S_PT, ops::Acc::W),
+                  ops::arg(in, ops::Stencil{rx, ry, rz, 1}, ops::Acc::R));
+    ASSERT_EQ(ctx.profiles.size(), 1u);
+    const auto& lp = ctx.profiles[0];
+    const double read_expect = static_cast<double>(nz + 2 * rz) *
+                               (ny + 2 * ry) * (nx + 2 * rx) * ncomp * 8;
+    const double write_expect =
+        static_cast<double>(nz) * ny * nx * ncomp * 8;
+    EXPECT_DOUBLE_EQ(lp.bytes_read, read_expect) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(lp.bytes_written, write_expect);
+    EXPECT_EQ(lp.radius_fast, rx);
+    EXPECT_EQ(lp.radius_mid, ry);
+    EXPECT_EQ(lp.radius_slow, rz);
+  }
+}
+
+TEST(Fuzz, MiniMpiMessageStorm) {
+  // Every rank sends a random number of tagged messages to every other
+  // rank; all must arrive intact and in per-(src,tag) order.
+  const int nranks = 5;
+  mpi::run(nranks, [&](mpi::Comm& c) {
+    std::mt19937 rng(100 + static_cast<unsigned>(c.rank()));
+    std::vector<int> sent_counts(nranks, 0);
+    for (int dst = 0; dst < nranks; ++dst) {
+      if (dst == c.rank()) continue;
+      const int n = 1 + static_cast<int>(rng() % 20);
+      sent_counts[dst] = n;
+      for (int m = 0; m < n; ++m) {
+        const int payload = c.rank() * 10000 + m;
+        c.send(dst, /*tag=*/c.rank(), payload);
+      }
+    }
+    // Tell everyone how many to expect.
+    for (int dst = 0; dst < nranks; ++dst)
+      if (dst != c.rank()) c.send(dst, 999, sent_counts[dst]);
+    for (int src = 0; src < nranks; ++src) {
+      if (src == c.rank()) continue;
+      int expect = 0;
+      c.recv(src, 999, expect);
+      for (int m = 0; m < expect; ++m) {
+        int payload = -1;
+        c.recv(src, /*tag=*/src, payload);
+        ASSERT_EQ(payload, src * 10000 + m);  // FIFO per (src, tag)
+      }
+    }
+  });
+}
+
+TEST(Fuzz, FiberBarrierStress) {
+  // Many groups of random sizes with random barrier counts; a shared
+  // per-group counter must advance in lock step.
+  std::mt19937 rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + rng() % 50;
+    const int rounds = 1 + static_cast<int>(rng() % 6);
+    std::vector<int> progress(n, 0);
+    rt::run_barrier_group(n, [&](std::size_t i) {
+      for (int r = 0; r < rounds; ++r) {
+        progress[i] = r + 1;
+        rt::group_barrier();
+        for (std::size_t j = 0; j < n; ++j)
+          ASSERT_GE(progress[j], r + 1) << "barrier leaked";
+        rt::group_barrier();
+      }
+    });
+  }
+}
+
+TEST(Fuzz, RandomLoopChainsTiledEqualUntiled) {
+  std::mt19937 rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 12 + rng() % 20;
+    const int depth = 2 + static_cast<int>(rng() % 3);
+    const std::size_t tile = 1 + rng() % n;
+
+    ops::Options o;
+    o.backend = ops::Backend::Serial;
+    ops::Context ctx(o);
+    ops::Block grid(ctx, "g", 2, {n, n, 1});
+    std::vector<std::unique_ptr<ops::Dat<double>>> dats;
+    for (int d = 0; d <= depth; ++d)
+      dats.push_back(
+          std::make_unique<ops::Dat<double>>(grid, "d", 1, 2));
+    auto seed = [&] {
+      for (long i = -2; i <= static_cast<long>(n) + 1; ++i)
+        for (long j = -2; j <= static_cast<long>(n) + 1; ++j)
+          dats[0]->at(i, j) = 0.01 * i * j - 0.3 * i;
+      for (int d = 1; d <= depth; ++d) dats[static_cast<std::size_t>(d)]->fill(0.0);
+    };
+    auto build = [&](std::size_t t) {
+      seed();
+      ops::LoopChain chain(ctx, grid);
+      for (int d = 0; d < depth; ++d) {
+        chain.enqueue({"s"},
+                      [](ops::ACC<double> out, ops::ACC<double> in) {
+                        out(0, 0) = 0.3 * in(0, 0) + in(0, 1) - in(1, 0);
+                      },
+                      ops::arg(*dats[static_cast<std::size_t>(d + 1)],
+                               ops::S_PT, ops::Acc::W),
+                      ops::arg(*dats[static_cast<std::size_t>(d)],
+                               ops::S2D_5PT, ops::Acc::R));
+      }
+      chain.execute(t);
+      return dats[static_cast<std::size_t>(depth)]->interior_sum();
+    };
+    const double ref = build(0);
+    ASSERT_DOUBLE_EQ(build(tile), ref)
+        << "trial " << trial << " tile " << tile << " depth " << depth;
+  }
+}
+
+TEST(Fuzz, EnergyModelSanity) {
+  // Included here to keep hwmodel/energy covered: positive, monotone.
+  for (syclport::PlatformId p : syclport::kAllPlatforms) {
+    const double e1 = hw::run_energy_j(p, 1.0);
+    const double e2 = hw::run_energy_j(p, 2.0);
+    EXPECT_GT(e1, 0.0);
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+    EXPECT_GT(hw::gb_per_joule(p, 1e9, 1.0), 0.0);
+  }
+  // GPUs beat CPUs on bandwidth per watt.
+  EXPECT_GT(hw::gb_per_joule(syclport::PlatformId::A100, 1310e9, 1.0),
+            3.0 * hw::gb_per_joule(syclport::PlatformId::Xeon8360Y, 296e9, 1.0));
+}

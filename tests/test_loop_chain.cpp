@@ -1,0 +1,168 @@
+// Tests for the lazy loop-chain executor with overlapped temporal
+// tiling (ops/loop_chain.hpp): tiled execution must be bit-identical to
+// the sequential schedule for stencil chains of any depth, for every
+// tile size; invalid chains must be rejected.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ops/loop_chain.hpp"
+#include "ops/ops.hpp"
+
+namespace ops = syclport::ops;
+
+namespace {
+
+ops::Options serial() {
+  ops::Options o;
+  o.backend = ops::Backend::Serial;
+  return o;
+}
+
+/// A 3-loop producer-consumer chain: b = lap(a); c = lap(b); d = lap(c).
+/// Returns the interior sum of d.
+double run_chain(std::size_t n, std::size_t tile) {
+  ops::Context ctx(serial());
+  ops::Block grid(ctx, "g", 2, {n, n, 1});
+  ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1), c(grid, "c", 1, 1),
+      d(grid, "d", 1, 1);
+  for (long i = -1; i <= static_cast<long>(n); ++i)
+    for (long j = -1; j <= static_cast<long>(n); ++j)
+      a.at(i, j) = std::sin(0.3 * i) * std::cos(0.4 * j);
+
+  auto lap = [](ops::ACC<double> out, ops::ACC<double> in) {
+    out(0, 0) = in(0, 0) + 0.2 * (in(1, 0) + in(-1, 0) + in(0, 1) + in(0, -1) -
+                                  4.0 * in(0, 0));
+  };
+  ops::LoopChain chain(ctx, grid);
+  chain.enqueue({"l1"}, lap, ops::arg(b, ops::S_PT, ops::Acc::W),
+                ops::arg(a, ops::S2D_5PT, ops::Acc::R));
+  chain.enqueue({"l2"}, lap, ops::arg(c, ops::S_PT, ops::Acc::W),
+                ops::arg(b, ops::S2D_5PT, ops::Acc::R));
+  chain.enqueue({"l3"}, lap, ops::arg(d, ops::S_PT, ops::Acc::W),
+                ops::arg(c, ops::S2D_5PT, ops::Acc::R));
+  chain.execute(tile);
+  return d.interior_sum();
+}
+
+}  // namespace
+
+TEST(LoopChain, UntiledMatchesDirectExecution) {
+  // tile=0 (reference) must equal running par_loops directly.
+  ops::Context ctx(serial());
+  ops::Block grid(ctx, "g", 2, {16, 16, 1});
+  ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1);
+  for (long i = 0; i < 16; ++i)
+    for (long j = 0; j < 16; ++j) a.at(i, j) = i * 16.0 + j;
+
+  ops::LoopChain chain(ctx, grid);
+  chain.enqueue({"copy"},
+                [](ops::ACC<double> out, ops::ACC<double> in) {
+                  out(0, 0) = 2.0 * in(0, 0);
+                },
+                ops::arg(b, ops::S_PT, ops::Acc::W),
+                ops::arg(a, ops::S_PT, ops::Acc::R));
+  EXPECT_EQ(chain.size(), 1u);
+  chain.execute(0);
+  EXPECT_EQ(chain.size(), 0u);
+  EXPECT_DOUBLE_EQ(b.interior_sum(), 2.0 * a.interior_sum());
+}
+
+TEST(LoopChain, TiledIdenticalToSequentialForAllTileSizes) {
+  const double ref = run_chain(24, 0);
+  for (std::size_t tile : {1u, 2u, 3u, 5u, 8u, 16u, 24u, 100u}) {
+    EXPECT_DOUBLE_EQ(run_chain(24, tile), ref) << "tile=" << tile;
+  }
+}
+
+TEST(LoopChain, DeepChainWithMixedRadii) {
+  // Radius-2 then radius-1 then pointwise; expansion must accumulate.
+  ops::Context ctx(serial());
+  const std::size_t n = 20;
+  ops::Block grid(ctx, "g", 2, {n, n, 1});
+  ops::Dat<double> a(grid, "a", 1, 2), b(grid, "b", 1, 2), c(grid, "c", 1, 2),
+      d(grid, "d", 1, 2);
+  for (long i = -2; i <= static_cast<long>(n) + 1; ++i)
+    for (long j = -2; j <= static_cast<long>(n) + 1; ++j)
+      a.at(i, j) = 0.1 * i - 0.2 * j + 0.01 * i * j;
+
+  auto build_and_run = [&](std::size_t tile) {
+    b.fill(0.0);
+    c.fill(0.0);
+    d.fill(0.0);
+    ops::LoopChain chain(ctx, grid);
+    chain.enqueue({"r2"},
+                  [](ops::ACC<double> out, ops::ACC<double> in) {
+                    out(0, 0) = in(2, 0) + in(-2, 0) + in(0, 2) + in(0, -2);
+                  },
+                  ops::arg(b, ops::S_PT, ops::Acc::W),
+                  ops::arg(a, ops::star(2, 2), ops::Acc::R));
+    chain.enqueue({"r1"},
+                  [](ops::ACC<double> out, ops::ACC<double> in) {
+                    out(0, 0) = in(1, 0) - in(-1, 0) + 0.5 * in(0, 0);
+                  },
+                  ops::arg(c, ops::S_PT, ops::Acc::W),
+                  ops::arg(b, ops::S2D_5PT, ops::Acc::R));
+    chain.enqueue({"pt"},
+                  [](ops::ACC<double> out, ops::ACC<double> in) {
+                    out(0, 0) = in(0, 0) * in(0, 0);
+                  },
+                  ops::arg(d, ops::S_PT, ops::Acc::W),
+                  ops::arg(c, ops::S_PT, ops::Acc::R));
+    chain.execute(tile);
+    return d.interior_sum();
+  };
+  const double ref = build_and_run(0);
+  for (std::size_t tile : {2u, 4u, 7u, 13u}) {
+    EXPECT_DOUBLE_EQ(build_and_run(tile), ref) << "tile=" << tile;
+  }
+}
+
+TEST(LoopChain, RejectsInPlaceDats) {
+  ops::Context ctx(serial());
+  ops::Block grid(ctx, "g", 2, {8, 8, 1});
+  ops::Dat<double> a(grid, "a", 1, 1);
+  ops::LoopChain chain(ctx, grid);
+  EXPECT_THROW(chain.enqueue({"rw"}, [](ops::ACC<double> x) { x(0, 0) += 1; },
+                             ops::arg(a, ops::S_PT, ops::Acc::RW)),
+               std::invalid_argument);
+}
+
+TEST(LoopChain, RejectsReductions) {
+  ops::Context ctx(serial());
+  ops::Block grid(ctx, "g", 2, {8, 8, 1});
+  ops::Dat<double> a(grid, "a", 1, 1);
+  double s = 0.0;
+  ops::LoopChain chain(ctx, grid);
+  EXPECT_THROW(
+      chain.enqueue({"red"},
+                    [](ops::ACC<double> x, ops::Reducer<double> r) {
+                      r += x(0, 0);
+                    },
+                    ops::arg(a, ops::S_PT, ops::Acc::R),
+                    ops::reduce(s, ops::RedOp::Sum)),
+      std::invalid_argument);
+}
+
+TEST(LoopChain, RejectsWriteAfterReadAcrossChain) {
+  // b = f(a); a = g(b) - tile overlap would re-read clobbered rows of a.
+  ops::Context ctx(serial());
+  ops::Block grid(ctx, "g", 2, {8, 8, 1});
+  ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1);
+  ops::LoopChain chain(ctx, grid);
+  chain.enqueue({"f"},
+                [](ops::ACC<double> out, ops::ACC<double> in) {
+                  out(0, 0) = in(0, 1);
+                },
+                ops::arg(b, ops::S_PT, ops::Acc::W),
+                ops::arg(a, ops::S2D_5PT, ops::Acc::R));
+  EXPECT_THROW(chain.enqueue({"g"},
+                             [](ops::ACC<double> out, ops::ACC<double> in) {
+                               out(0, 0) = in(0, -1);
+                             },
+                             ops::arg(a, ops::S_PT, ops::Acc::W),
+                             ops::arg(b, ops::S2D_5PT, ops::Acc::R)),
+               std::invalid_argument);
+}

@@ -1,0 +1,377 @@
+// Unit and property tests for the OP2 unstructured-mesh DSL: maps,
+// plans (global/hierarchical colouring validity), all race-resolution
+// strategies against a serial reference, gather-locality measurement,
+// renumbering, and LoopProfile recording.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "op2/op2.hpp"
+
+namespace op2 = syclport::op2;
+namespace hw = syclport::hw;
+using syclport::Strategy;
+
+namespace {
+
+/// A ring mesh: n vertices, n edges, edge e connects v(e) and v(e+1 mod n).
+struct RingMesh {
+  op2::Set vertices;
+  op2::Set edges;
+  op2::Map e2v;
+
+  explicit RingMesh(std::size_t n)
+      : vertices("vertices", n), edges("edges", n), e2v(edges, vertices, 2, "e2v") {
+    for (std::size_t e = 0; e < n; ++e) {
+      e2v.at(e, 0) = static_cast<int>(e);
+      e2v.at(e, 1) = static_cast<int>((e + 1) % n);
+    }
+  }
+};
+
+/// A 2D grid mesh (nv = ny*nx vertices, edges connect 4-neighbours).
+struct GridMesh {
+  op2::Set vertices;
+  op2::Set edges;
+  op2::Map e2v;
+
+  static std::size_t edge_count(std::size_t ny, std::size_t nx) {
+    return ny * (nx - 1) + (ny - 1) * nx;
+  }
+
+  GridMesh(std::size_t ny, std::size_t nx)
+      : vertices("v", ny * nx),
+        edges("e", edge_count(ny, nx)),
+        e2v(edges, vertices, 2, "e2v") {
+    std::size_t e = 0;
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i + 1 < nx; ++i, ++e) {
+        e2v.at(e, 0) = static_cast<int>(j * nx + i);
+        e2v.at(e, 1) = static_cast<int>(j * nx + i + 1);
+      }
+    for (std::size_t j = 0; j + 1 < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i, ++e) {
+        e2v.at(e, 0) = static_cast<int>(j * nx + i);
+        e2v.at(e, 1) = static_cast<int>((j + 1) * nx + i);
+      }
+  }
+};
+
+op2::Options opts(Strategy s, op2::Exec x = op2::Exec::Threads,
+                  std::size_t block = 16) {
+  op2::Options o;
+  o.strategy = s;
+  o.exec = x;
+  o.block_size = block;
+  return o;
+}
+
+/// Reference: serial scatter of edge contributions to vertex sums.
+std::vector<double> serial_scatter(const op2::Map& e2v,
+                                   const std::vector<double>& edge_w) {
+  std::vector<double> out(e2v.to().size(), 0.0);
+  for (std::size_t e = 0; e < e2v.from().size(); ++e) {
+    out[static_cast<std::size_t>(e2v.at(e, 0))] += edge_w[e];
+    out[static_cast<std::size_t>(e2v.at(e, 1))] -= edge_w[e];
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Map, CheckRejectsOutOfRange) {
+  op2::Set a("a", 4), b("b", 3);
+  op2::Map m(a, b, 1, "m");
+  m.at(2, 0) = 5;
+  EXPECT_THROW(m.check(), std::out_of_range);
+  m.at(2, 0) = 2;
+  EXPECT_NO_THROW(m.check());
+}
+
+TEST(Plan, GlobalColouringValidOnRing) {
+  RingMesh mesh(10);
+  const auto plan = op2::build_plan(mesh.e2v, Strategy::GlobalColor);
+  EXPECT_TRUE(op2::validate_plan(plan, mesh.e2v));
+  // A ring of even length is 2-colourable; odd needs 3.
+  EXPECT_EQ(plan.ncolours, 2);
+  std::size_t total = 0;
+  for (const auto& c : plan.elements_by_colour) total += c.size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Plan, GlobalColouringOddRingNeedsThree) {
+  RingMesh mesh(11);
+  const auto plan = op2::build_plan(mesh.e2v, Strategy::GlobalColor);
+  EXPECT_TRUE(op2::validate_plan(plan, mesh.e2v));
+  EXPECT_EQ(plan.ncolours, 3);
+}
+
+TEST(Plan, HierarchicalValidOnGrid) {
+  GridMesh mesh(12, 12);
+  const auto plan = op2::build_plan(mesh.e2v, Strategy::Hierarchical, 16);
+  EXPECT_TRUE(op2::validate_plan(plan, mesh.e2v));
+  EXPECT_EQ(plan.nblocks, (mesh.edges.size() + 15) / 16);
+  EXPECT_GT(plan.nblock_colours, 0);
+  EXPECT_GT(plan.max_intra_colours, 0);
+  // Every element must have an intra colour.
+  for (std::size_t e = 0; e < plan.nelems; ++e)
+    EXPECT_GE(plan.intra_colour[e], 0);
+}
+
+TEST(Plan, PropertyRandomMeshesColourValidly) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t nv = 40 + static_cast<std::size_t>(rng() % 60);
+    const std::size_t ne = 2 * nv;
+    op2::Set verts("v", nv), edges("e", ne);
+    op2::Map e2v(edges, verts, 2, "e2v");
+    for (std::size_t e = 0; e < ne; ++e) {
+      const int a = static_cast<int>(rng() % nv);
+      int b = static_cast<int>(rng() % nv);
+      if (b == a) b = (b + 1) % static_cast<int>(nv);
+      e2v.at(e, 0) = a;
+      e2v.at(e, 1) = b;
+    }
+    for (Strategy s : {Strategy::GlobalColor, Strategy::Hierarchical}) {
+      const auto plan = op2::build_plan(e2v, s, 8);
+      EXPECT_TRUE(op2::validate_plan(plan, e2v)) << "trial " << trial;
+    }
+  }
+}
+
+class StrategySweep
+    : public ::testing::TestWithParam<std::tuple<Strategy, op2::Exec>> {};
+
+TEST_P(StrategySweep, ScatterMatchesSerialReference) {
+  const auto [strategy, exec] = GetParam();
+  GridMesh mesh(20, 20);
+  std::vector<double> weights(mesh.edges.size());
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& w : weights) w = dist(rng);
+
+  op2::Context ctx(opts(strategy, exec));
+  op2::Dat<double> ew(mesh.edges, 1, "w");
+  op2::Dat<double> vsum(mesh.vertices, 1, "sum");
+  for (std::size_t e = 0; e < weights.size(); ++e) ew.at(e) = weights[e];
+
+  op2::par_loop(ctx, {"scatter", 2.0}, mesh.edges,
+                [](const double* w, op2::Inc<double> v0, op2::Inc<double> v1) {
+                  v0.add(0, w[0]);
+                  v1.add(0, -w[0]);
+                },
+                op2::arg_direct(ew, op2::Acc::R),
+                op2::arg_inc(vsum, mesh.e2v, 0),
+                op2::arg_inc(vsum, mesh.e2v, 1));
+
+  const auto ref = serial_scatter(mesh.e2v, weights);
+  for (std::size_t v = 0; v < ref.size(); ++v)
+    ASSERT_NEAR(vsum.at(v), ref[v], 1e-12) << "vertex " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, StrategySweep,
+    ::testing::Combine(::testing::Values(Strategy::Atomics,
+                                         Strategy::GlobalColor,
+                                         Strategy::Hierarchical),
+                       ::testing::Values(op2::Exec::Serial, op2::Exec::Threads,
+                                         op2::Exec::Sycl)),
+    [](const auto& info) {
+      std::string name{syclport::to_string(std::get<0>(info.param))};
+      switch (std::get<1>(info.param)) {
+        case op2::Exec::Serial: name += "_serial"; break;
+        case op2::Exec::Threads: name += "_threads"; break;
+        case op2::Exec::Sycl: name += "_sycl"; break;
+      }
+      return name;
+    });
+
+TEST(ParLoop, DirectLoopAllStrategiesIdentical) {
+  RingMesh mesh(100);
+  for (Strategy s :
+       {Strategy::Atomics, Strategy::GlobalColor, Strategy::Hierarchical}) {
+    op2::Context ctx(opts(s));
+    op2::Dat<double> x(mesh.edges, 2, "x");
+    for (std::size_t e = 0; e < 100; ++e) {
+      x.at(e, 0) = 1.0;
+      x.at(e, 1) = 2.0;
+    }
+    op2::par_loop(ctx, {"double_it", 2.0}, mesh.edges,
+                  [](double* v) {
+                    v[0] *= 2.0;
+                    v[1] *= 3.0;
+                  },
+                  op2::arg_direct(x, op2::Acc::RW));
+    EXPECT_DOUBLE_EQ(x.sum(), 100.0 * (2.0 + 6.0));
+  }
+}
+
+TEST(ParLoop, IndirectReadGather) {
+  RingMesh mesh(50);
+  op2::Context ctx(opts(Strategy::Atomics));
+  op2::Dat<double> vval(mesh.vertices, 1, "v");
+  op2::Dat<double> ediff(mesh.edges, 1, "d");
+  for (std::size_t v = 0; v < 50; ++v) vval.at(v) = static_cast<double>(v);
+  op2::par_loop(ctx, {"diff", 1.0}, mesh.edges,
+                [](double* d, const double* a, const double* b) {
+                  d[0] = b[0] - a[0];
+                },
+                op2::arg_direct(ediff, op2::Acc::W),
+                op2::arg_indirect(vval, mesh.e2v, 0, op2::Acc::R),
+                op2::arg_indirect(vval, mesh.e2v, 1, op2::Acc::R));
+  // All edges have diff 1 except the wrap-around edge (0 - 49 = -49).
+  EXPECT_DOUBLE_EQ(ediff.sum(), 49.0 * 1.0 - 49.0);
+}
+
+TEST(ParLoop, GlobalReduction) {
+  RingMesh mesh(64);
+  op2::Context ctx(opts(Strategy::Atomics));
+  op2::Dat<double> w(mesh.edges, 1, "w");
+  for (std::size_t e = 0; e < 64; ++e) w.at(e) = 0.5;
+  double total = 0.0;
+  op2::par_loop(ctx, {"sum", 1.0}, mesh.edges,
+                [](const double* v, op2::Reducer<double> r) { r += v[0]; },
+                op2::arg_direct(w, op2::Acc::R),
+                op2::arg_gbl(total, op2::RedOp::Sum));
+  EXPECT_DOUBLE_EQ(total, 32.0);
+}
+
+TEST(Profiles, EdgeLoopAccountsDatsMapsOnce) {
+  GridMesh mesh(10, 10);
+  op2::Context ctx(opts(Strategy::Atomics));
+  op2::Dat<double> ew(mesh.edges, 1, "w");
+  op2::Dat<double> vres(mesh.vertices, 5, "res");
+  op2::par_loop(ctx, {"flux", 30.0}, mesh.edges,
+                [](const double* w, op2::Inc<double> a, op2::Inc<double> b) {
+                  a.add(0, w[0]);
+                  b.add(0, w[0]);
+                },
+                op2::arg_direct(ew, op2::Acc::R),
+                op2::arg_inc(vres, mesh.e2v, 0),
+                op2::arg_inc(vres, mesh.e2v, 1));
+  ASSERT_EQ(ctx.profiles.size(), 1u);
+  const auto& lp = ctx.profiles[0];
+  const double ne = static_cast<double>(mesh.edges.size());
+  const double nv = static_cast<double>(mesh.vertices.size());
+  EXPECT_DOUBLE_EQ(lp.bytes_read, ne * 8 + nv * 5 * 8);   // w + res (INC reads)
+  EXPECT_DOUBLE_EQ(lp.bytes_written, nv * 5 * 8);         // res once, not twice
+  EXPECT_DOUBLE_EQ(lp.map_bytes, ne * 2 * 4);             // e2v once
+  EXPECT_EQ(lp.cls, hw::KernelClass::EdgeFlux);
+  EXPECT_EQ(lp.atomic_updates, mesh.edges.size() * 2 * 5);
+  EXPECT_EQ(lp.launches, 1u);
+  EXPECT_GE(lp.gather_line_factor, 1.0);
+}
+
+TEST(Profiles, ColouringIncreasesLaunches) {
+  GridMesh mesh(16, 16);
+  op2::Dat<double>* dummy = nullptr;
+  (void)dummy;
+  auto launches_for = [&](Strategy s) {
+    op2::Context ctx(opts(s, op2::Exec::Serial, 16));
+    op2::Dat<double> ew(mesh.edges, 1, "w");
+    op2::Dat<double> vres(mesh.vertices, 1, "r");
+    op2::par_loop(ctx, {"flux"}, mesh.edges,
+                  [](const double* w, op2::Inc<double> a, op2::Inc<double> b) {
+                    a.add(0, w[0]);
+                    b.add(0, w[0]);
+                  },
+                  op2::arg_direct(ew, op2::Acc::R),
+                  op2::arg_inc(vres, mesh.e2v, 0),
+                  op2::arg_inc(vres, mesh.e2v, 1));
+    return ctx.profiles[0].launches;
+  };
+  EXPECT_EQ(launches_for(Strategy::Atomics), 1u);
+  EXPECT_GT(launches_for(Strategy::GlobalColor), 1u);
+  EXPECT_GT(launches_for(Strategy::Hierarchical), 1u);
+}
+
+TEST(Locality, GlobalColouringScattersGathers) {
+  // The paper's Figure-1 narrative quantified: global colouring's
+  // execution order must touch many more lines per wave than the
+  // natural (atomics) order on a well-ordered mesh.
+  GridMesh mesh(64, 64);
+  const auto atom_plan = op2::build_plan(mesh.e2v, Strategy::Atomics);
+  const auto glob_plan = op2::build_plan(mesh.e2v, Strategy::GlobalColor);
+  const auto hier_plan = op2::build_plan(mesh.e2v, Strategy::Hierarchical, 256);
+  const auto atom = op2::measure_gather(mesh.e2v, 5, 8,
+                                        op2::execution_order(atom_plan));
+  const auto glob = op2::measure_gather(mesh.e2v, 5, 8,
+                                        op2::execution_order(glob_plan));
+  const auto hier = op2::measure_gather(mesh.e2v, 5, 8,
+                                        op2::execution_order(hier_plan));
+  // On a low-degree structured grid the colour stride is small, so the
+  // contrast is modest; MG-CFD's high-degree mesh shows the paper's
+  // 11x spread (asserted in test_mgcfd.cpp). Ordering must still hold.
+  EXPECT_GT(glob.avg_bytes_per_wave, 1.25 * atom.avg_bytes_per_wave);
+  EXPECT_GE(hier.avg_bytes_per_wave, 0.95 * atom.avg_bytes_per_wave);
+  EXPECT_LE(hier.avg_bytes_per_wave, glob.avg_bytes_per_wave);
+  EXPECT_GT(glob.line_factor, atom.line_factor);
+}
+
+TEST(Renumber, OrderingImprovesLocality) {
+  // Shuffle a grid mesh's edges, then renumber by min target: locality
+  // must recover.
+  GridMesh mesh(48, 48);
+  std::mt19937 rng(3);
+  std::vector<int> shuffle(mesh.edges.size());
+  std::iota(shuffle.begin(), shuffle.end(), 0);
+  std::shuffle(shuffle.begin(), shuffle.end(), rng);
+  op2::permute_map(mesh.e2v, shuffle);
+
+  const auto plan = op2::build_plan(mesh.e2v, Strategy::Atomics);
+  const auto before =
+      op2::measure_gather(mesh.e2v, 5, 8, op2::execution_order(plan));
+  const auto perm = op2::order_by_min_target(mesh.e2v);
+  op2::permute_map(mesh.e2v, perm);
+  const auto after =
+      op2::measure_gather(mesh.e2v, 5, 8, op2::execution_order(plan));
+  EXPECT_LT(after.avg_bytes_per_wave, 0.6 * before.avg_bytes_per_wave);
+}
+
+TEST(Renumber, PermuteDatFollowsMap) {
+  RingMesh mesh(8);
+  op2::Dat<double> w(mesh.edges, 1, "w");
+  for (std::size_t e = 0; e < 8; ++e) w.at(e) = static_cast<double>(e);
+  std::vector<int> perm{7, 6, 5, 4, 3, 2, 1, 0};
+  op2::permute_dat(w, perm);
+  for (std::size_t e = 0; e < 8; ++e)
+    EXPECT_DOUBLE_EQ(w.at(e), static_cast<double>(7 - e));
+}
+
+TEST(ModelOnly, RecordsWithoutAllocatingOrRunning) {
+  GridMesh mesh(8, 8);
+  op2::Options o = opts(Strategy::GlobalColor, op2::Exec::Serial);
+  o.mode = op2::Mode::ModelOnly;
+  op2::Context ctx(o);
+  op2::Dat<double> ew(mesh.edges, 1, "w", /*allocate=*/false);
+  op2::Dat<double> vres(mesh.vertices, 1, "r", /*allocate=*/false);
+  int calls = 0;
+  op2::par_loop(ctx, {"flux"}, mesh.edges,
+                [&calls](const double*, op2::Inc<double>, op2::Inc<double>) {
+                  ++calls;
+                },
+                op2::arg_direct(ew, op2::Acc::R),
+                op2::arg_inc(vres, mesh.e2v, 0),
+                op2::arg_inc(vres, mesh.e2v, 1));
+  EXPECT_EQ(calls, 0);
+  ASSERT_EQ(ctx.profiles.size(), 1u);
+  EXPECT_GT(ctx.profiles[0].launches, 1u);  // colouring still analysed
+}
+
+TEST(ParLoop, MismatchedIncMapsRejected) {
+  GridMesh mesh(4, 4);
+  op2::Map other(mesh.edges, mesh.vertices, 2, "other");
+  for (std::size_t e = 0; e < mesh.edges.size(); ++e) {
+    other.at(e, 0) = mesh.e2v.at(e, 0);
+    other.at(e, 1) = mesh.e2v.at(e, 1);
+  }
+  op2::Context ctx(opts(Strategy::Atomics));
+  op2::Dat<double> vres(mesh.vertices, 1, "r");
+  EXPECT_THROW(
+      op2::par_loop(ctx, {"bad"}, mesh.edges,
+                    [](op2::Inc<double>, op2::Inc<double>) {},
+                    op2::arg_inc(vres, mesh.e2v, 0),
+                    op2::arg_inc(vres, other, 1)),
+      std::invalid_argument);
+}

@@ -1,0 +1,107 @@
+// Tests for the RCB partitioner and the owner-compute halo analysis
+// (the PT-Scotch substitute, DESIGN.md §2).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "apps/mgcfd/mesh.hpp"
+#include "op2/partition.hpp"
+
+namespace op2 = syclport::op2;
+
+namespace {
+
+/// Rotor mesh coordinates + edge map for partitioning tests.
+struct MeshFixture {
+  syclport::apps::mgcfd::MultigridMesh mesh =
+      syclport::apps::mgcfd::build_rotor_mesh(20, 18, 12, 1);
+  std::span<const std::array<double, 3>> coords() const {
+    return mesh.levels[0].coords;
+  }
+  const op2::Map& e2n() const { return *mesh.levels[0].e2n; }
+};
+
+}  // namespace
+
+TEST(Rcb, EveryElementAssignedInRange) {
+  MeshFixture f;
+  for (int nparts : {1, 2, 3, 7, 16}) {
+    const auto part = op2::rcb_partition(f.coords(), nparts);
+    ASSERT_EQ(part.size(), f.coords().size());
+    int seen_max = 0;
+    for (int p : part) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, nparts);
+      seen_max = std::max(seen_max, p);
+    }
+    EXPECT_EQ(seen_max, nparts - 1);  // every part non-empty (balanced)
+  }
+}
+
+TEST(Rcb, BalancedWithinTolerance) {
+  MeshFixture f;
+  for (int nparts : {2, 4, 6, 12}) {
+    const auto part = op2::rcb_partition(f.coords(), nparts);
+    const auto st = op2::analyze_partition(f.e2n(), part, nparts);
+    EXPECT_LT(st.max_imbalance, 1.1) << nparts << " parts";
+  }
+}
+
+TEST(Rcb, Deterministic) {
+  MeshFixture f;
+  const auto a = op2::rcb_partition(f.coords(), 8);
+  const auto b = op2::rcb_partition(f.coords(), 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rcb, SinglePartIsTrivial) {
+  MeshFixture f;
+  const auto part = op2::rcb_partition(f.coords(), 1);
+  for (int p : part) EXPECT_EQ(p, 0);
+  const auto st = op2::analyze_partition(f.e2n(), part, 1);
+  EXPECT_EQ(st.cut_elems, 0u);
+  EXPECT_DOUBLE_EQ(st.avg_halo_fraction, 0.0);
+}
+
+TEST(Rcb, BeatsRandomPartitionOnCutAndHalo) {
+  // The reason one uses a geometric/graph partitioner at all: far fewer
+  // cut edges and smaller halos than a random assignment.
+  MeshFixture f;
+  const int nparts = 8;
+  const auto rcb = op2::rcb_partition(f.coords(), nparts);
+  std::vector<int> random(rcb.size());
+  std::mt19937 rng(11);
+  for (auto& p : random) p = static_cast<int>(rng() % nparts);
+
+  const auto st_rcb = op2::analyze_partition(f.e2n(), rcb, nparts);
+  const auto st_rnd = op2::analyze_partition(f.e2n(), random, nparts);
+  EXPECT_LT(st_rcb.cut_fraction, 0.4 * st_rnd.cut_fraction);
+  EXPECT_LT(st_rcb.avg_halo_fraction, 0.5 * st_rnd.avg_halo_fraction);
+}
+
+TEST(Rcb, CutFractionShrinksWithFewerParts) {
+  MeshFixture f;
+  const auto p2 = op2::analyze_partition(
+      f.e2n(), op2::rcb_partition(f.coords(), 2), 2);
+  const auto p16 = op2::analyze_partition(
+      f.e2n(), op2::rcb_partition(f.coords(), 16), 16);
+  EXPECT_LT(p2.cut_fraction, p16.cut_fraction);
+}
+
+TEST(Rcb, OwnedElementsCoverSet) {
+  MeshFixture f;
+  const auto part = op2::rcb_partition(f.coords(), 6);
+  const auto st = op2::analyze_partition(f.e2n(), part, 6);
+  std::size_t total = 0;
+  for (auto n : st.owned_elems) total += n;
+  EXPECT_EQ(total, f.e2n().from().size());
+}
+
+TEST(Rcb, RejectsBadInput) {
+  MeshFixture f;
+  EXPECT_THROW(op2::rcb_partition(f.coords(), 0), std::invalid_argument);
+  std::vector<int> short_part(3, 0);
+  EXPECT_THROW(op2::analyze_partition(f.e2n(), short_part, 2),
+               std::invalid_argument);
+}

@@ -1,0 +1,338 @@
+// Unit tests for miniSYCL: ranges, flat and nd_range parallel_for,
+// barriers, local memory, reductions, atomics, buffers and USM.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sycl/sycl.hpp"
+
+TEST(Range, SizeAndIndexing) {
+  sycl::range<3> r(4, 5, 6);
+  EXPECT_EQ(r.size(), 120u);
+  EXPECT_EQ(r[0], 4u);
+  EXPECT_EQ(r[2], 6u);
+}
+
+TEST(Range, LinearizeRoundTrip) {
+  sycl::range<3> r(3, 4, 5);
+  for (std::size_t lin = 0; lin < r.size(); ++lin) {
+    auto idx = sycl::detail::delinearize(lin, r);
+    EXPECT_EQ(sycl::detail::linearize(idx, r), lin);
+  }
+}
+
+TEST(Range, LastDimensionMovesFastest) {
+  sycl::range<2> r(2, 8);
+  auto i0 = sycl::detail::delinearize(0, r);
+  auto i1 = sycl::detail::delinearize(1, r);
+  EXPECT_EQ(i0[1] + 1, i1[1]);
+  EXPECT_EQ(i0[0], i1[0]);
+}
+
+TEST(NdRange, RejectsNonDividingLocal) {
+  EXPECT_THROW(sycl::nd_range<1>(sycl::range<1>(100), sycl::range<1>(32)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sycl::nd_range<1>(sycl::range<1>(128), sycl::range<1>(32)));
+}
+
+TEST(Queue, FlatParallelForVisitsAllItems1D) {
+  sycl::queue q;
+  std::vector<int> v(1000, 0);
+  int* p = v.data();
+  q.parallel_for(sycl::range<1>(1000), [=](sycl::item<1> it) {
+    p[it.get_linear_id()] += static_cast<int>(it[0]);
+  });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Queue, FlatParallelForAcceptsIdKernel) {
+  sycl::queue q;
+  std::vector<int> v(64, 0);
+  int* p = v.data();
+  q.parallel_for(sycl::range<1>(64), [=](sycl::id<1> i) { p[i[0]] = 7; });
+  for (int x : v) EXPECT_EQ(x, 7);
+}
+
+TEST(Queue, FlatParallelFor3D) {
+  sycl::queue q;
+  const std::size_t nx = 5, ny = 6, nz = 7;
+  std::vector<int> v(nx * ny * nz, 0);
+  int* p = v.data();
+  q.parallel_for(sycl::range<3>(nx, ny, nz), [=](sycl::item<3> it) {
+    p[(it[0] * ny + it[1]) * nz + it[2]] += 1;
+  });
+  for (int x : v) EXPECT_EQ(x, 1);
+}
+
+TEST(Queue, NdRangeGlobalIdsCoverSpace) {
+  sycl::queue q;
+  const std::size_t n = 256;
+  std::vector<int> hits(n, 0);
+  int* p = hits.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(n), sycl::range<1>(32)),
+                 [=](sycl::nd_item<1> it) { p[it.get_global_id(0)] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Queue, NdRangeGroupDecomposition) {
+  sycl::queue q;
+  std::vector<int> group_of(64, -1), local_of(64, -1);
+  int* g = group_of.data();
+  int* l = local_of.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(64), sycl::range<1>(16)),
+                 [=](sycl::nd_item<1> it) {
+                   g[it.get_global_id(0)] = static_cast<int>(it.get_group(0));
+                   l[it.get_global_id(0)] =
+                       static_cast<int>(it.get_local_id(0));
+                 });
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(group_of[i], static_cast<int>(i / 16));
+    EXPECT_EQ(local_of[i], static_cast<int>(i % 16));
+  }
+}
+
+TEST(Queue, NdRange2DShape) {
+  sycl::queue q;
+  const std::size_t ny = 8, nx = 12;
+  std::vector<int> v(ny * nx, 0);
+  int* p = v.data();
+  q.parallel_for(
+      sycl::nd_range<2>(sycl::range<2>(ny, nx), sycl::range<2>(2, 4)),
+      [=](sycl::nd_item<2> it) {
+        p[it.get_global_id(0) * nx + it.get_global_id(1)] += 1;
+      });
+  for (int x : v) EXPECT_EQ(x, 1);
+}
+
+TEST(Queue, WorkGroupSizeLimitEnforced) {
+  sycl::device_profile prof;
+  prof.max_work_group_size = 64;
+  sycl::queue q{sycl::device(prof)};
+  EXPECT_THROW(
+      q.parallel_for(sycl::nd_range<1>(sycl::range<1>(256), sycl::range<1>(128)),
+                     [](sycl::nd_item<1>) {}),
+      sycl::exception);
+}
+
+TEST(Queue, BarrierAndLocalMemoryReverse) {
+  // Stage values into local memory, barrier, read back reversed.
+  sycl::queue q;
+  const std::size_t n = 128, wg = 16;
+  std::vector<int> out(n, 0);
+  int* p = out.data();
+  sycl::local_accessor<int, 1> scratch{sycl::range<1>(wg)};
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(n), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const std::size_t li = it.get_local_id(0);
+                   scratch[li] = static_cast<int>(it.get_global_id(0));
+                   it.barrier();
+                   p[it.get_global_id(0)] = scratch[wg - 1 - li];
+                 });
+  for (std::size_t g = 0; g < n / wg; ++g)
+    for (std::size_t li = 0; li < wg; ++li)
+      EXPECT_EQ(out[g * wg + li], static_cast<int>(g * wg + (wg - 1 - li)));
+}
+
+TEST(Queue, LocalMemoryIsZeroInitialisedPerGroup) {
+  sycl::queue q;
+  const std::size_t n = 64, wg = 8;
+  std::vector<int> first(n / wg, -1);
+  int* p = first.data();
+  sycl::local_accessor<int, 1> counter{sycl::range<1>(1)};
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(n), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   if (it.get_local_id(0) == 0)
+                     p[it.get_group(0)] = counter[0];  // must read 0
+                 });
+  for (int v : first) EXPECT_EQ(v, 0);
+}
+
+TEST(Reduction, FlatSum) {
+  sycl::queue q;
+  double sum = 0.0;
+  q.parallel_for(sycl::range<1>(1000),
+                 sycl::reduction(&sum, sycl::plus<double>{}),
+                 [=](sycl::item<1> it, auto& r) {
+                   r += static_cast<double>(it[0] + 1);
+                 });
+  EXPECT_DOUBLE_EQ(sum, 1000.0 * 1001.0 / 2.0);
+}
+
+TEST(Reduction, CombinesWithExistingValue) {
+  sycl::queue q;
+  double sum = 100.0;
+  q.parallel_for(sycl::range<1>(10), sycl::reduction(&sum, sycl::plus<double>{}),
+                 [=](sycl::item<1>, auto& r) { r += 1.0; });
+  EXPECT_DOUBLE_EQ(sum, 110.0);
+}
+
+TEST(Reduction, Minimum) {
+  sycl::queue q;
+  double mn = std::numeric_limits<double>::max();
+  q.parallel_for(sycl::range<1>(100),
+                 sycl::reduction(&mn, sycl::minimum<double>{}),
+                 [=](sycl::item<1> it, auto& r) {
+                   r.combine(100.0 - static_cast<double>(it[0]));
+                 });
+  EXPECT_DOUBLE_EQ(mn, 1.0);
+}
+
+TEST(Reduction, Maximum) {
+  sycl::queue q;
+  double mx = std::numeric_limits<double>::lowest();
+  q.parallel_for(sycl::range<1>(100),
+                 sycl::reduction(&mx, sycl::maximum<double>{}),
+                 [=](sycl::item<1> it, auto& r) {
+                   r.combine(static_cast<double>(it[0]));
+                 });
+  EXPECT_DOUBLE_EQ(mx, 99.0);
+}
+
+TEST(Reduction, NdRangeSum) {
+  sycl::queue q;
+  double sum = 0.0;
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(512), sycl::range<1>(64)),
+                 sycl::reduction(&sum, sycl::plus<double>{}),
+                 [=](sycl::nd_item<1>, auto& r) { r += 1.0; });
+  EXPECT_DOUBLE_EQ(sum, 512.0);
+}
+
+TEST(Reduction, TwoDimensionalIterationSpace) {
+  sycl::queue q;
+  double sum = 0.0;
+  q.parallel_for(sycl::range<2>(20, 30),
+                 sycl::reduction(&sum, sycl::plus<double>{}),
+                 [=](sycl::item<2>, auto& r) { r += 1.0; });
+  EXPECT_DOUBLE_EQ(sum, 600.0);
+}
+
+TEST(Atomics, ConcurrentFloatFetchAdd) {
+  sycl::queue q;
+  double total = 0.0;
+  double* t = &total;
+  q.parallel_for(sycl::range<1>(10000), [=](sycl::item<1>) {
+    sycl::atomic_ref<double> a(*t);
+    a.fetch_add(1.0);
+  });
+  EXPECT_DOUBLE_EQ(total, 10000.0);
+}
+
+TEST(Atomics, FetchMinMax) {
+  sycl::queue q;
+  int mn = 1 << 30, mx = -(1 << 30);
+  int* pmn = &mn;
+  int* pmx = &mx;
+  q.parallel_for(sycl::range<1>(1000), [=](sycl::item<1> it) {
+    const int v = static_cast<int>(it[0]) - 500;
+    sycl::atomic_ref<int>(*pmn).fetch_min(v);
+    sycl::atomic_ref<int>(*pmx).fetch_max(v);
+  });
+  EXPECT_EQ(mn, -500);
+  EXPECT_EQ(mx, 499);
+}
+
+TEST(Buffer, AccessorReadsAndWritesHostData) {
+  std::vector<float> host(100);
+  std::iota(host.begin(), host.end(), 0.0f);
+  sycl::queue q;
+  {
+    sycl::buffer<float, 1> buf(host.data(), sycl::range<1>(100));
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor<float, 1> acc(buf, h, sycl::read_write);
+      h.parallel_for(sycl::range<1>(100),
+                     [=](sycl::item<1> it) { acc[it.get_id()] *= 2.0f; });
+    });
+  }
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_FLOAT_EQ(host[i], 2.0f * static_cast<float>(i));
+}
+
+TEST(Buffer, OwnedBufferZeroInitialised) {
+  sycl::buffer<double, 2> buf(sycl::range<2>(4, 4));
+  sycl::host_accessor<double, 2> acc(buf);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ((acc[sycl::id<2>(i, j)]), 0.0);
+}
+
+TEST(Usm, AllocFreeTracksOutstanding) {
+  sycl::queue q;
+  const std::size_t before = sycl::usm_outstanding();
+  double* p = sycl::malloc_device<double>(256, q);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(sycl::usm_outstanding(), before + 1);
+  q.fill(p, 3.0, 256);
+  EXPECT_DOUBLE_EQ(p[255], 3.0);
+  sycl::free(p, q);
+  EXPECT_EQ(sycl::usm_outstanding(), before);
+}
+
+TEST(Usm, MemcpyCopiesBytes) {
+  sycl::queue q;
+  std::vector<int> src(64);
+  std::iota(src.begin(), src.end(), 5);
+  int* dst = sycl::malloc_shared<int>(64, q);
+  q.memcpy(dst, src.data(), 64 * sizeof(int));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(dst[static_cast<std::size_t>(i)], src[static_cast<std::size_t>(i)]);
+  sycl::free(dst, q);
+}
+
+TEST(LaunchLog, RecordsShapesAndFlatness) {
+  auto& log = sycl::launch_log::instance();
+  log.clear();
+  log.set_enabled(true);
+  sycl::queue q;
+  q.parallel_for("flat_kernel", sycl::range<2>(8, 16), [](sycl::item<2>) {});
+  q.parallel_for("nd_kernel",
+                 sycl::nd_range<2>(sycl::range<2>(8, 16), sycl::range<2>(2, 8)),
+                 [](sycl::nd_item<2>) {});
+  log.set_enabled(false);
+  auto recs = log.snapshot();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].kernel_name, "flat_kernel");
+  EXPECT_FALSE(recs[0].local.has_value());
+  EXPECT_EQ(recs[0].global[1], 16u);
+  EXPECT_EQ(recs[1].kernel_name, "nd_kernel");
+  ASSERT_TRUE(recs[1].local.has_value());
+  EXPECT_EQ((*recs[1].local)[0], 2u);
+  log.clear();
+}
+
+TEST(LaunchLog, DisabledLogRecordsNothing) {
+  auto& log = sycl::launch_log::instance();
+  log.clear();
+  sycl::queue q;
+  q.parallel_for(sycl::range<1>(8), [](sycl::item<1>) {});
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(SingleTask, Runs) {
+  sycl::queue q;
+  int x = 0;
+  q.single_task([&] { x = 9; });
+  EXPECT_EQ(x, 9);
+}
+
+// Parameterized sweep: nd_range results must be identical for any legal
+// work-group size (SYCL portability invariant the whole study rests on).
+class WorkGroupSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkGroupSweep, SaxpyIndependentOfGroupSize) {
+  const std::size_t wg = GetParam();
+  const std::size_t n = 768;  // divisible by all tested sizes
+  sycl::queue q;
+  std::vector<float> x(n, 2.0f), y(n, 1.0f);
+  float* xp = x.data();
+  float* yp = y.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(n), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const std::size_t i = it.get_global_id(0);
+                   yp[i] = 3.0f * xp[i] + yp[i];
+                 });
+  for (float v : y) EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorkGroupSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));

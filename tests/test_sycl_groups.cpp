@@ -1,0 +1,225 @@
+// Tests for the extended miniSYCL surface: group algorithms, sub-group
+// shuffles and sycl::vec.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sycl/sycl.hpp"
+
+TEST(GroupAlgorithms, ReduceOverGroup) {
+  sycl::queue q;
+  const std::size_t n = 128, wg = 32;
+  std::vector<double> out(n, 0.0);
+  double* p = out.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(n), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const double mine =
+                       static_cast<double>(it.get_local_id(0) + 1);
+                   const double total = sycl::reduce_over_group(
+                       it.get_group(), mine, sycl::plus<double>{});
+                   p[it.get_global_id(0)] = total;
+                 });
+  const double expect = 32.0 * 33.0 / 2.0;
+  for (double v : out) EXPECT_DOUBLE_EQ(v, expect);
+}
+
+TEST(GroupAlgorithms, ReduceMin) {
+  sycl::queue q;
+  const std::size_t wg = 16;
+  std::vector<double> out(wg, 0.0);
+  double* p = out.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const double mine =
+                       100.0 - static_cast<double>(it.get_local_id(0));
+                   p[it.get_local_id(0)] = sycl::reduce_over_group(
+                       it.get_group(), mine, sycl::minimum<double>{});
+                 });
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 100.0 - 15.0);
+}
+
+TEST(GroupAlgorithms, Broadcast) {
+  sycl::queue q;
+  const std::size_t wg = 8;
+  std::vector<int> out(wg, -1);
+  int* p = out.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const int mine = static_cast<int>(it.get_local_id(0)) * 7;
+                   p[it.get_local_id(0)] =
+                       sycl::group_broadcast(it.get_group(), mine, 3);
+                 });
+  for (int v : out) EXPECT_EQ(v, 21);
+}
+
+TEST(GroupAlgorithms, InclusiveAndExclusiveScan) {
+  sycl::queue q;
+  const std::size_t wg = 16;
+  std::vector<int> inc(wg), exc(wg);
+  int* pi = inc.data();
+  int* pe = exc.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const int mine = 1;
+                   const auto g = it.get_group();
+                   pi[it.get_local_id(0)] = sycl::inclusive_scan_over_group(
+                       g, mine, sycl::plus<int>{});
+                   pe[it.get_local_id(0)] = sycl::exclusive_scan_over_group(
+                       g, mine, sycl::plus<int>{});
+                 });
+  for (std::size_t i = 0; i < wg; ++i) {
+    EXPECT_EQ(inc[i], static_cast<int>(i) + 1);
+    EXPECT_EQ(exc[i], static_cast<int>(i));
+  }
+}
+
+TEST(GroupAlgorithms, VoteFunctions) {
+  sycl::queue q;
+  const std::size_t wg = 16;
+  int any_result = -1, all_result = -1;
+  int* pa = &any_result;
+  int* pl = &all_result;
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const auto g = it.get_group();
+                   const bool one_true = it.get_local_id(0) == 5;
+                   const bool a = sycl::any_of_group(g, one_true);
+                   const bool l = sycl::all_of_group(g, one_true);
+                   if (it.get_local_id(0) == 0) {
+                     *pa = a ? 1 : 0;
+                     *pl = l ? 1 : 0;
+                   }
+                 });
+  EXPECT_EQ(any_result, 1);
+  EXPECT_EQ(all_result, 0);
+}
+
+TEST(GroupAlgorithms, MultipleCallsInOneKernel) {
+  sycl::queue q;
+  const std::size_t wg = 8;
+  std::vector<double> out(wg);
+  double* p = out.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const auto g = it.get_group();
+                   const double a = sycl::reduce_over_group(
+                       g, 1.0, sycl::plus<double>{});  // 8
+                   const double b = sycl::reduce_over_group(
+                       g, a, sycl::plus<double>{});  // 64
+                   p[it.get_local_id(0)] = b;
+                 });
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 64.0);
+}
+
+TEST(SubGroup, IdsPartitionTheGroup) {
+  sycl::device_profile prof;
+  prof.sub_group_size = 8;
+  sycl::queue q{sycl::device(prof)};
+  const std::size_t wg = 32;
+  std::vector<int> sgid(wg), lid(wg), sz(wg);
+  int* pg = sgid.data();
+  int* pl = lid.data();
+  int* ps = sz.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const auto sg = it.get_sub_group();
+                   const auto i = it.get_local_id(0);
+                   pg[i] = static_cast<int>(sg.get_group_linear_id());
+                   pl[i] = static_cast<int>(sg.get_local_linear_id());
+                   ps[i] = static_cast<int>(sg.get_local_linear_range());
+                 });
+  for (std::size_t i = 0; i < wg; ++i) {
+    EXPECT_EQ(sgid[i], static_cast<int>(i / 8));
+    EXPECT_EQ(lid[i], static_cast<int>(i % 8));
+    EXPECT_EQ(sz[i], 8);
+  }
+}
+
+TEST(SubGroup, PartialTrailingSubGroup) {
+  sycl::device_profile prof;
+  prof.sub_group_size = 8;
+  sycl::queue q{sycl::device(prof)};
+  const std::size_t wg = 12;  // sub-groups of 8 and 4
+  std::vector<int> sz(wg);
+  int* ps = sz.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   ps[it.get_local_id(0)] = static_cast<int>(
+                       it.get_sub_group().get_local_linear_range());
+                 });
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(sz[i], 8);
+  for (std::size_t i = 8; i < 12; ++i) EXPECT_EQ(sz[i], 4);
+}
+
+TEST(SubGroup, ShuffleDownWithinSubGroupOnly) {
+  sycl::device_profile prof;
+  prof.sub_group_size = 4;
+  sycl::queue q{sycl::device(prof)};
+  const std::size_t wg = 8;
+  std::vector<double> out(wg);
+  double* p = out.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const auto sg = it.get_sub_group();
+                   const double mine =
+                       static_cast<double>(it.get_local_id(0));
+                   p[it.get_local_id(0)] = sg.shuffle_down(mine, 1);
+                 });
+  // Sub-group 0 holds {0,1,2,3}: shuffle_down(1) -> {1,2,3,3 (clamped)}.
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 3.0);  // no bleed from sub-group 1
+  EXPECT_DOUBLE_EQ(out[4], 5.0);
+  EXPECT_DOUBLE_EQ(out[7], 7.0);
+}
+
+TEST(SubGroup, ShuffleXorButterfly) {
+  sycl::device_profile prof;
+  prof.sub_group_size = 4;
+  sycl::queue q{sycl::device(prof)};
+  const std::size_t wg = 4;
+  std::vector<double> out(wg);
+  double* p = out.data();
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(wg), sycl::range<1>(wg)),
+                 [=](sycl::nd_item<1> it) {
+                   const auto sg = it.get_sub_group();
+                   double v = static_cast<double>(it.get_local_id(0) + 1);
+                   // Butterfly reduction: after log2(4) rounds all hold 10.
+                   v += sg.shuffle_xor(v, 1);
+                   v += sg.shuffle_xor(v, 2);
+                   p[it.get_local_id(0)] = v;
+                 });
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(Vec, ArithmeticAndAccessors) {
+  sycl::double4 a(1.0, 2.0, 3.0, 4.0);
+  sycl::double4 b(0.5);
+  auto c = a + b * 2.0;
+  EXPECT_DOUBLE_EQ(c.x(), 2.0);
+  EXPECT_DOUBLE_EQ(c.w(), 5.0);
+  EXPECT_DOUBLE_EQ((a * b).hsum(), 5.0);
+  EXPECT_EQ(sycl::float3::size(), 3);
+}
+
+TEST(Vec, LoadStoreRoundTrip) {
+  std::vector<float> data(12);
+  std::iota(data.begin(), data.end(), 0.0f);
+  sycl::float4 v;
+  v.load(1, data.data());  // elements 4..7
+  EXPECT_FLOAT_EQ(v.x(), 4.0f);
+  EXPECT_FLOAT_EQ(v.w(), 7.0f);
+  v = v * 2.0f;
+  v.store(2, data.data());  // elements 8..11
+  EXPECT_FLOAT_EQ(data[8], 8.0f);
+  EXPECT_FLOAT_EQ(data[11], 14.0f);
+}
+
+TEST(Vec, ComparisonAndSplat) {
+  sycl::int2 a(3, 3);
+  sycl::int2 b(3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE((a == sycl::int2(3, 4)));
+}
