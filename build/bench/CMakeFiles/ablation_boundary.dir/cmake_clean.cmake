@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boundary.dir/ablation_boundary.cpp.o"
+  "CMakeFiles/ablation_boundary.dir/ablation_boundary.cpp.o.d"
+  "ablation_boundary"
+  "ablation_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

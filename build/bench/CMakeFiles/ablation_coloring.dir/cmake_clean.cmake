@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coloring.dir/ablation_coloring.cpp.o"
+  "CMakeFiles/ablation_coloring.dir/ablation_coloring.cpp.o.d"
+  "ablation_coloring"
+  "ablation_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

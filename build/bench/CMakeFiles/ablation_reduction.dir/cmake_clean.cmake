@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reduction.dir/ablation_reduction.cpp.o"
+  "CMakeFiles/ablation_reduction.dir/ablation_reduction.cpp.o.d"
+  "ablation_reduction"
+  "ablation_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

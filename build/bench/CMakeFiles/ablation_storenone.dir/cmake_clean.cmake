@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storenone.dir/ablation_storenone.cpp.o"
+  "CMakeFiles/ablation_storenone.dir/ablation_storenone.cpp.o.d"
+  "ablation_storenone"
+  "ablation_storenone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storenone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

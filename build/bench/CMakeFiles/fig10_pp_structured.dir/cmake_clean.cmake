@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pp_structured.dir/fig10_pp_structured.cpp.o"
+  "CMakeFiles/fig10_pp_structured.dir/fig10_pp_structured.cpp.o.d"
+  "fig10_pp_structured"
+  "fig10_pp_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pp_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

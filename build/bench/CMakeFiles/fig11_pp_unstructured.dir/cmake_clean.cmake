@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pp_unstructured.dir/fig11_pp_unstructured.cpp.o"
+  "CMakeFiles/fig11_pp_unstructured.dir/fig11_pp_unstructured.cpp.o.d"
+  "fig11_pp_unstructured"
+  "fig11_pp_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pp_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

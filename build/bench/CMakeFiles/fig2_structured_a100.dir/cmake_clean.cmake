@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_structured_a100.dir/fig2_structured_a100.cpp.o"
+  "CMakeFiles/fig2_structured_a100.dir/fig2_structured_a100.cpp.o.d"
+  "fig2_structured_a100"
+  "fig2_structured_a100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_structured_a100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_structured_mi250x.dir/fig3_structured_mi250x.cpp.o"
+  "CMakeFiles/fig3_structured_mi250x.dir/fig3_structured_mi250x.cpp.o.d"
+  "fig3_structured_mi250x"
+  "fig3_structured_mi250x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_structured_mi250x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

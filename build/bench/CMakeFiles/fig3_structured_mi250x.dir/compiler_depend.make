@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_structured_mi250x.
+# This may be replaced when dependencies are built.

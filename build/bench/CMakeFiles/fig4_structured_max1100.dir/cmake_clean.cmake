@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_structured_max1100.dir/fig4_structured_max1100.cpp.o"
+  "CMakeFiles/fig4_structured_max1100.dir/fig4_structured_max1100.cpp.o.d"
+  "fig4_structured_max1100"
+  "fig4_structured_max1100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_structured_max1100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

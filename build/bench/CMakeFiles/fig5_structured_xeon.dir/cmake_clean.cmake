@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_structured_xeon.dir/fig5_structured_xeon.cpp.o"
+  "CMakeFiles/fig5_structured_xeon.dir/fig5_structured_xeon.cpp.o.d"
+  "fig5_structured_xeon"
+  "fig5_structured_xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_structured_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_structured_genoax.dir/fig6_structured_genoax.cpp.o"
+  "CMakeFiles/fig6_structured_genoax.dir/fig6_structured_genoax.cpp.o.d"
+  "fig6_structured_genoax"
+  "fig6_structured_genoax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_structured_genoax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

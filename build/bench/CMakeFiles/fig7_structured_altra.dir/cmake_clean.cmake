@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_structured_altra.dir/fig7_structured_altra.cpp.o"
+  "CMakeFiles/fig7_structured_altra.dir/fig7_structured_altra.cpp.o.d"
+  "fig7_structured_altra"
+  "fig7_structured_altra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_structured_altra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

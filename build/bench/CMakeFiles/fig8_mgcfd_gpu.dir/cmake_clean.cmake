@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mgcfd_gpu.dir/fig8_mgcfd_gpu.cpp.o"
+  "CMakeFiles/fig8_mgcfd_gpu.dir/fig8_mgcfd_gpu.cpp.o.d"
+  "fig8_mgcfd_gpu"
+  "fig8_mgcfd_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mgcfd_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

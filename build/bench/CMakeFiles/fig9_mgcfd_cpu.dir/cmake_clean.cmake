@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mgcfd_cpu.dir/fig9_mgcfd_cpu.cpp.o"
+  "CMakeFiles/fig9_mgcfd_cpu.dir/fig9_mgcfd_cpu.cpp.o.d"
+  "fig9_mgcfd_cpu"
+  "fig9_mgcfd_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mgcfd_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_metric_summary.dir/pp_metric_summary.cpp.o"
+  "CMakeFiles/pp_metric_summary.dir/pp_metric_summary.cpp.o.d"
+  "pp_metric_summary"
+  "pp_metric_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_metric_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_babelstream.dir/table1_babelstream.cpp.o"
+  "CMakeFiles/table1_babelstream.dir/table1_babelstream.cpp.o.d"
+  "table1_babelstream"
+  "table1_babelstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_babelstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

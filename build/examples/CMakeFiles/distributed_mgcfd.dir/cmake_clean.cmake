@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_mgcfd.dir/distributed_mgcfd.cpp.o"
+  "CMakeFiles/distributed_mgcfd.dir/distributed_mgcfd.cpp.o.d"
+  "distributed_mgcfd"
+  "distributed_mgcfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_mgcfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

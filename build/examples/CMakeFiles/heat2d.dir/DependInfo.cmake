@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/heat2d.cpp" "examples/CMakeFiles/heat2d.dir/heat2d.cpp.o" "gcc" "examples/CMakeFiles/heat2d.dir/heat2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/study.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sycl/CMakeFiles/minisycl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/syclport_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/syclport_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

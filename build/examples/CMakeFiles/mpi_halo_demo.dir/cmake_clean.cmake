@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_halo_demo.dir/mpi_halo_demo.cpp.o"
+  "CMakeFiles/mpi_halo_demo.dir/mpi_halo_demo.cpp.o.d"
+  "mpi_halo_demo"
+  "mpi_halo_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_halo_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_heat.dir/tiled_heat.cpp.o"
+  "CMakeFiles/tiled_heat.dir/tiled_heat.cpp.o.d"
+  "tiled_heat"
+  "tiled_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

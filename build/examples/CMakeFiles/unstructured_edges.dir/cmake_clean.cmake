@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unstructured_edges.dir/unstructured_edges.cpp.o"
+  "CMakeFiles/unstructured_edges.dir/unstructured_edges.cpp.o.d"
+  "unstructured_edges"
+  "unstructured_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unstructured_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("runtime")
+subdirs("sycl")
+subdirs("hwmodel")
+subdirs("minimpi")
+subdirs("ops")
+subdirs("op2")
+subdirs("stream")
+subdirs("apps")
+subdirs("study")
+subdirs("tools")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/acoustic/acoustic.cpp" "src/apps/CMakeFiles/apps.dir/acoustic/acoustic.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/acoustic/acoustic.cpp.o.d"
+  "/root/repo/src/apps/cloverleaf/cloverleaf2d.cpp" "src/apps/CMakeFiles/apps.dir/cloverleaf/cloverleaf2d.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/cloverleaf/cloverleaf2d.cpp.o.d"
+  "/root/repo/src/apps/cloverleaf/cloverleaf3d.cpp" "src/apps/CMakeFiles/apps.dir/cloverleaf/cloverleaf3d.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/cloverleaf/cloverleaf3d.cpp.o.d"
+  "/root/repo/src/apps/mgcfd/mesh.cpp" "src/apps/CMakeFiles/apps.dir/mgcfd/mesh.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/mgcfd/mesh.cpp.o.d"
+  "/root/repo/src/apps/mgcfd/mesh_io.cpp" "src/apps/CMakeFiles/apps.dir/mgcfd/mesh_io.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/mgcfd/mesh_io.cpp.o.d"
+  "/root/repo/src/apps/mgcfd/mgcfd.cpp" "src/apps/CMakeFiles/apps.dir/mgcfd/mgcfd.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/mgcfd/mgcfd.cpp.o.d"
+  "/root/repo/src/apps/opensbli/opensbli.cpp" "src/apps/CMakeFiles/apps.dir/opensbli/opensbli.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/opensbli/opensbli.cpp.o.d"
+  "/root/repo/src/apps/rtm/rtm.cpp" "src/apps/CMakeFiles/apps.dir/rtm/rtm.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/rtm/rtm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sycl/CMakeFiles/minisycl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/syclport_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/syclport_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/acoustic/acoustic.cpp.o"
+  "CMakeFiles/apps.dir/acoustic/acoustic.cpp.o.d"
+  "CMakeFiles/apps.dir/cloverleaf/cloverleaf2d.cpp.o"
+  "CMakeFiles/apps.dir/cloverleaf/cloverleaf2d.cpp.o.d"
+  "CMakeFiles/apps.dir/cloverleaf/cloverleaf3d.cpp.o"
+  "CMakeFiles/apps.dir/cloverleaf/cloverleaf3d.cpp.o.d"
+  "CMakeFiles/apps.dir/mgcfd/mesh.cpp.o"
+  "CMakeFiles/apps.dir/mgcfd/mesh.cpp.o.d"
+  "CMakeFiles/apps.dir/mgcfd/mesh_io.cpp.o"
+  "CMakeFiles/apps.dir/mgcfd/mesh_io.cpp.o.d"
+  "CMakeFiles/apps.dir/mgcfd/mgcfd.cpp.o"
+  "CMakeFiles/apps.dir/mgcfd/mgcfd.cpp.o.d"
+  "CMakeFiles/apps.dir/opensbli/opensbli.cpp.o"
+  "CMakeFiles/apps.dir/opensbli/opensbli.cpp.o.d"
+  "CMakeFiles/apps.dir/rtm/rtm.cpp.o"
+  "CMakeFiles/apps.dir/rtm/rtm.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/factorize.cpp" "src/core/CMakeFiles/syclport_core.dir/factorize.cpp.o" "gcc" "src/core/CMakeFiles/syclport_core.dir/factorize.cpp.o.d"
+  "/root/repo/src/core/pp_metric.cpp" "src/core/CMakeFiles/syclport_core.dir/pp_metric.cpp.o" "gcc" "src/core/CMakeFiles/syclport_core.dir/pp_metric.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/syclport_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/syclport_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/statistics.cpp" "src/core/CMakeFiles/syclport_core.dir/statistics.cpp.o" "gcc" "src/core/CMakeFiles/syclport_core.dir/statistics.cpp.o.d"
+  "/root/repo/src/core/support.cpp" "src/core/CMakeFiles/syclport_core.dir/support.cpp.o" "gcc" "src/core/CMakeFiles/syclport_core.dir/support.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/syclport_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/syclport_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syclport_core.dir/factorize.cpp.o"
+  "CMakeFiles/syclport_core.dir/factorize.cpp.o.d"
+  "CMakeFiles/syclport_core.dir/pp_metric.cpp.o"
+  "CMakeFiles/syclport_core.dir/pp_metric.cpp.o.d"
+  "CMakeFiles/syclport_core.dir/report.cpp.o"
+  "CMakeFiles/syclport_core.dir/report.cpp.o.d"
+  "CMakeFiles/syclport_core.dir/statistics.cpp.o"
+  "CMakeFiles/syclport_core.dir/statistics.cpp.o.d"
+  "CMakeFiles/syclport_core.dir/support.cpp.o"
+  "CMakeFiles/syclport_core.dir/support.cpp.o.d"
+  "CMakeFiles/syclport_core.dir/types.cpp.o"
+  "CMakeFiles/syclport_core.dir/types.cpp.o.d"
+  "libsyclport_core.a"
+  "libsyclport_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syclport_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/comm_model.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/comm_model.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/comm_model.cpp.o.d"
+  "/root/repo/src/hwmodel/device_model.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/device_model.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/device_model.cpp.o.d"
+  "/root/repo/src/hwmodel/energy.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/energy.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/energy.cpp.o.d"
+  "/root/repo/src/hwmodel/exec_profile.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/exec_profile.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/exec_profile.cpp.o.d"
+  "/root/repo/src/hwmodel/memory_model.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/memory_model.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/memory_model.cpp.o.d"
+  "/root/repo/src/hwmodel/platform.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/platform.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/platform.cpp.o.d"
+  "/root/repo/src/hwmodel/quirks.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/quirks.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/quirks.cpp.o.d"
+  "/root/repo/src/hwmodel/workgroup.cpp" "src/hwmodel/CMakeFiles/hwmodel.dir/workgroup.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hwmodel.dir/workgroup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/syclport_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

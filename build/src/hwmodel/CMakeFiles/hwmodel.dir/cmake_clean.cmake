@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwmodel.dir/comm_model.cpp.o"
+  "CMakeFiles/hwmodel.dir/comm_model.cpp.o.d"
+  "CMakeFiles/hwmodel.dir/device_model.cpp.o"
+  "CMakeFiles/hwmodel.dir/device_model.cpp.o.d"
+  "CMakeFiles/hwmodel.dir/energy.cpp.o"
+  "CMakeFiles/hwmodel.dir/energy.cpp.o.d"
+  "CMakeFiles/hwmodel.dir/exec_profile.cpp.o"
+  "CMakeFiles/hwmodel.dir/exec_profile.cpp.o.d"
+  "CMakeFiles/hwmodel.dir/memory_model.cpp.o"
+  "CMakeFiles/hwmodel.dir/memory_model.cpp.o.d"
+  "CMakeFiles/hwmodel.dir/platform.cpp.o"
+  "CMakeFiles/hwmodel.dir/platform.cpp.o.d"
+  "CMakeFiles/hwmodel.dir/quirks.cpp.o"
+  "CMakeFiles/hwmodel.dir/quirks.cpp.o.d"
+  "CMakeFiles/hwmodel.dir/workgroup.cpp.o"
+  "CMakeFiles/hwmodel.dir/workgroup.cpp.o.d"
+  "libhwmodel.a"
+  "libhwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2.dir/dist.cpp.o"
+  "CMakeFiles/op2.dir/dist.cpp.o.d"
+  "CMakeFiles/op2.dir/locality.cpp.o"
+  "CMakeFiles/op2.dir/locality.cpp.o.d"
+  "CMakeFiles/op2.dir/partition.cpp.o"
+  "CMakeFiles/op2.dir/partition.cpp.o.d"
+  "CMakeFiles/op2.dir/plan.cpp.o"
+  "CMakeFiles/op2.dir/plan.cpp.o.d"
+  "libop2.a"
+  "libop2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

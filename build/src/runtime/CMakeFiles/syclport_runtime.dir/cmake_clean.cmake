@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syclport_runtime.dir/fiber.cpp.o"
+  "CMakeFiles/syclport_runtime.dir/fiber.cpp.o.d"
+  "CMakeFiles/syclport_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/syclport_runtime.dir/thread_pool.cpp.o.d"
+  "libsyclport_runtime.a"
+  "libsyclport_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syclport_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsyclport_runtime.a"
+)

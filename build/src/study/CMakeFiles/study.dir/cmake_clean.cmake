@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study.dir/study.cpp.o"
+  "CMakeFiles/study.dir/study.cpp.o.d"
+  "CMakeFiles/study.dir/trace.cpp.o"
+  "CMakeFiles/study.dir/trace.cpp.o.d"
+  "libstudy.a"
+  "libstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sycl/detail/local_arena.cpp" "src/sycl/CMakeFiles/minisycl.dir/detail/local_arena.cpp.o" "gcc" "src/sycl/CMakeFiles/minisycl.dir/detail/local_arena.cpp.o.d"
+  "/root/repo/src/sycl/launch_log.cpp" "src/sycl/CMakeFiles/minisycl.dir/launch_log.cpp.o" "gcc" "src/sycl/CMakeFiles/minisycl.dir/launch_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/syclport_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/syclport_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minisycl.dir/detail/local_arena.cpp.o"
+  "CMakeFiles/minisycl.dir/detail/local_arena.cpp.o.d"
+  "CMakeFiles/minisycl.dir/launch_log.cpp.o"
+  "CMakeFiles/minisycl.dir/launch_log.cpp.o.d"
+  "libminisycl.a"
+  "libminisycl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minisycl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

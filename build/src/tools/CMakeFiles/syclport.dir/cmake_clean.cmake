@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syclport.dir/main.cpp.o"
+  "CMakeFiles/syclport.dir/main.cpp.o.d"
+  "syclport"
+  "syclport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syclport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop_chain.dir/test_loop_chain.cpp.o"
+  "CMakeFiles/test_loop_chain.dir/test_loop_chain.cpp.o.d"
+  "test_loop_chain"
+  "test_loop_chain.pdb"
+  "test_loop_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mgcfd.dir/test_mgcfd.cpp.o"
+  "CMakeFiles/test_mgcfd.dir/test_mgcfd.cpp.o.d"
+  "test_mgcfd"
+  "test_mgcfd.pdb"
+  "test_mgcfd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mgcfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2.dir/test_op2.cpp.o"
+  "CMakeFiles/test_op2.dir/test_op2.cpp.o.d"
+  "test_op2"
+  "test_op2.pdb"
+  "test_op2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

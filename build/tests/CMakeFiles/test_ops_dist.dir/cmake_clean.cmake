@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_dist.dir/test_ops_dist.cpp.o"
+  "CMakeFiles/test_ops_dist.dir/test_ops_dist.cpp.o.d"
+  "test_ops_dist"
+  "test_ops_dist.pdb"
+  "test_ops_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

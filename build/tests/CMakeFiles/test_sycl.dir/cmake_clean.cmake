@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sycl.dir/test_sycl.cpp.o"
+  "CMakeFiles/test_sycl.dir/test_sycl.cpp.o.d"
+  "test_sycl"
+  "test_sycl.pdb"
+  "test_sycl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sycl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

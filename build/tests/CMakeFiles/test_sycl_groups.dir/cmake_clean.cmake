@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sycl_groups.dir/test_sycl_groups.cpp.o"
+  "CMakeFiles/test_sycl_groups.dir/test_sycl_groups.cpp.o.d"
+  "test_sycl_groups"
+  "test_sycl_groups.pdb"
+  "test_sycl_groups[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sycl_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
