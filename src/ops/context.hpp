@@ -6,9 +6,11 @@
 
 #include <array>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "hwmodel/loop_profile.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sycl/sycl.hpp"
 
 namespace syclport::ops {
@@ -35,6 +37,12 @@ struct Options {
   std::array<std::size_t, 3> nd_local{1, 4, 64};
   /// Simulated rank count for halo accounting under MPI backends.
   int sim_ranks = 4;
+  /// Executor chunk-distribution policy for this context's loops;
+  /// nullopt = process default (SYCLPORT_SCHEDULE env, default steal).
+  std::optional<rt::Schedule> schedule;
+  /// Minimum iterations per executor chunk; nullopt = process default
+  /// (SYCLPORT_GRAIN env, default 1).
+  std::optional<std::size_t> grain;
 };
 
 class Context {

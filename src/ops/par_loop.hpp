@@ -195,6 +195,11 @@ void par_loop(Context& ctx, Meta meta, Block& block, Range r, K&& kernel,
   }
   if (!ctx.executing()) return;
 
+  // Apply the context's scheduling knobs for the duration of this loop;
+  // both the Threads backend (direct pool launches) and the SYCL
+  // backends (handler-issued launches) read them at submit time.
+  rt::ScopedLaunchParams sched_scope(ctx.opt.schedule, ctx.opt.grain);
+
   auto binders = std::make_tuple(detail::make_binder(args, true)...);
   auto invoke = [&](long i0, long i1, long i2) {
     std::apply(

@@ -11,24 +11,85 @@ thread_local Fiber* t_current_fiber = nullptr;
 /// Per-thread flag set while executing the fast (loop) portion of a
 /// barrier group; a barrier there violates SYCL barrier uniformity.
 thread_local bool t_fast_group_active = false;
+
+// --- per-thread fiber stack pool -------------------------------------------
+
+/// Only default-size stacks are recycled; odd sizes are one-offs. The cap
+/// bounds retention for kernels with very wide groups (a 1024-item group
+/// briefly needs 1024 stacks, but only kMaxPooledStacks survive it).
+constexpr std::size_t kMaxPooledStacks = 64;
+
+struct StackPool {
+  std::vector<char*> free;
+  FiberStackStats stats;
+  ~StackPool() {
+    for (char* p : free) delete[] p;
+  }
+};
+thread_local StackPool t_stack_pool;
+
+char* acquire_stack(std::size_t bytes) {
+  StackPool& pool = t_stack_pool;
+  if (bytes == kFiberStackBytes && !pool.free.empty()) {
+    char* p = pool.free.back();
+    pool.free.pop_back();
+    ++pool.stats.reused;
+    return p;
+  }
+  ++pool.stats.allocated;
+  return new char[bytes];
+}
+
+void release_stack(char* p, std::size_t bytes) noexcept {
+  StackPool& pool = t_stack_pool;
+  if (bytes == kFiberStackBytes && pool.free.size() < kMaxPooledStacks) {
+    pool.free.push_back(p);
+    return;
+  }
+  delete[] p;
+}
+
 }  // namespace
 
-Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
-    : fn_(std::move(fn)), stack_(new char[stack_bytes]) {
-  if (getcontext(&ctx_) != 0)
+FiberStackStats fiber_stack_stats() noexcept { return t_stack_pool.stats; }
+
+// --- Fiber ------------------------------------------------------------------
+
+void Fiber::init(std::size_t stack_bytes) {
+  stack_ = acquire_stack(stack_bytes);
+  stack_bytes_ = stack_bytes;
+  if (getcontext(&ctx_) != 0) {
+    release_stack(stack_, stack_bytes_);
+    stack_ = nullptr;
     throw std::runtime_error("Fiber: getcontext failed");
-  ctx_.uc_stack.ss_sp = stack_.get();
+  }
+  ctx_.uc_stack.ss_sp = stack_;
   ctx_.uc_stack.ss_size = stack_bytes;
   ctx_.uc_link = &caller_;
   makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
 }
 
-Fiber::~Fiber() = default;
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : owned_fn_(std::move(fn)) {
+  init(stack_bytes);
+}
+
+Fiber::Fiber(RawFn fn, void* ctx, std::size_t stack_bytes)
+    : raw_fn_(fn), raw_ctx_(ctx) {
+  init(stack_bytes);
+}
+
+Fiber::~Fiber() {
+  if (stack_ != nullptr) release_stack(stack_, stack_bytes_);
+}
 
 void Fiber::trampoline() {
   Fiber* self = t_current_fiber;
   try {
-    self->fn_();
+    if (self->raw_fn_ != nullptr)
+      self->raw_fn_(self->raw_ctx_);
+    else
+      self->owned_fn_();
   } catch (...) {
     self->error_ = std::current_exception();
   }
@@ -56,6 +117,8 @@ void Fiber::yield() {
     throw std::runtime_error("Fiber: swapcontext failed");
 }
 
+// --- barrier groups ---------------------------------------------------------
+
 bool inside_barrier_group() noexcept {
   return t_fast_group_active || t_current_fiber != nullptr;
 }
@@ -71,45 +134,57 @@ void group_barrier() {
   throw std::logic_error("group_barrier called outside a work-group");
 }
 
-bool run_barrier_group(std::size_t n,
-                       const std::function<void(std::size_t)>& task) {
-  if (n == 0) return false;
+namespace detail {
 
-  // Probe: work-item 0 runs as a fiber. If it never yields, the kernel
-  // has no barriers (uniformity) and the rest run as a plain loop.
-  auto probe = std::make_unique<Fiber>([&task] { task(0); });
-  if (!probe->resume()) {
-    t_fast_group_active = true;
-    try {
-      for (std::size_t i = 1; i < n; ++i) task(i);
-    } catch (...) {
-      t_fast_group_active = false;
-      throw;
-    }
-    t_fast_group_active = false;
-    return false;
-  }
+namespace {
+void probe_entry(void* p) {
+  auto* item = static_cast<BarrierProbe::Item0*>(p);
+  item->invoke(item->task, 0);
+}
+}  // namespace
 
-  // Fiber mode: probe is suspended at its first barrier; give every
-  // other work-item a fiber and round-robin until all complete.
+BarrierProbe::BarrierProbe(GroupInvoke invoke, void* task)
+    : item0_{invoke, task}, fiber_(&probe_entry, &item0_) {
+  suspended_ = fiber_.resume();
+}
+
+FastGroupGuard::FastGroupGuard() noexcept { t_fast_group_active = true; }
+FastGroupGuard::~FastGroupGuard() { t_fast_group_active = false; }
+
+bool run_barrier_group_fibers(std::size_t n, GroupInvoke invoke, void* task,
+                              BarrierProbe& probe) {
+  // The probe sits at its first barrier; give every other work-item a
+  // fiber and bring each to the same point before starting full rounds,
+  // so that no fiber ever runs past barrier k before all reached it.
+  struct Item {
+    GroupInvoke invoke;
+    void* task;
+    std::size_t i;
+  };
+  std::vector<Item> items(n);
   std::vector<std::unique_ptr<Fiber>> fibers;
-  fibers.reserve(n);
-  fibers.push_back(std::move(probe));
-  for (std::size_t i = 1; i < n; ++i)
-    fibers.push_back(std::make_unique<Fiber>([&task, i] { task(i); }));
-
-  // The probe already sits at its first barrier; bring every other
-  // work-item to the same point before starting full rounds, so that no
-  // fiber ever runs past barrier k before all have reached barrier k.
-  for (std::size_t i = 1; i < n; ++i) fibers[i]->resume();
+  fibers.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    items[i] = Item{invoke, task, i};
+    fibers.push_back(std::make_unique<Fiber>(
+        [](void* p) {
+          auto* item = static_cast<Item*>(p);
+          item->invoke(item->task, item->i);
+        },
+        &items[i]));
+    fibers.back()->resume();
+  }
 
   bool any_live = true;
   while (any_live) {
     any_live = false;
+    if (!probe.fiber().done() && probe.fiber().resume()) any_live = true;
     for (auto& f : fibers)
       if (!f->done() && f->resume()) any_live = true;
   }
   return true;
 }
+
+}  // namespace detail
 
 }  // namespace syclport::rt

@@ -6,22 +6,39 @@
 /// scheduler, which resumes the next work-item, giving correct SYCL
 /// barrier semantics on a CPU without compiler support (the same
 /// technique OpenCL CPU runtimes use).
+///
+/// Fiber stacks come from a per-thread pool: the default-size stack is
+/// recycled across groups instead of heap-allocated per fiber, so a
+/// kernel that launches thousands of barrier groups allocates a handful
+/// of stacks per worker thread in total.
 
 #include <ucontext.h>
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace syclport::rt {
 
+/// Default fiber stack size; stacks of exactly this size are pooled.
+inline constexpr std::size_t kFiberStackBytes = 128 * 1024;
+
 /// A single cooperatively-scheduled fiber.
 class Fiber {
  public:
+  using RawFn = void (*)(void*);
+
   /// `fn` runs on the fiber's own stack when resume() is first called.
   /// `stack_bytes` must be generous enough for the kernel's frames.
-  explicit Fiber(std::function<void()> fn, std::size_t stack_bytes = 128 * 1024);
+  explicit Fiber(std::function<void()> fn,
+                 std::size_t stack_bytes = kFiberStackBytes);
+
+  /// Zero-allocation form: `fn(ctx)` runs on the fiber. The callable
+  /// behind `ctx` must outlive the fiber; no std::function is built.
+  Fiber(RawFn fn, void* ctx, std::size_t stack_bytes = kFiberStackBytes);
+
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -39,10 +56,14 @@ class Fiber {
   [[nodiscard]] bool done() const noexcept { return done_; }
 
  private:
+  void init(std::size_t stack_bytes);
   static void trampoline();
 
-  std::function<void()> fn_;
-  std::unique_ptr<char[]> stack_;
+  RawFn raw_fn_ = nullptr;
+  void* raw_ctx_ = nullptr;
+  std::function<void()> owned_fn_;  ///< set only by the owning ctor
+  char* stack_ = nullptr;           ///< from the per-thread stack pool
+  std::size_t stack_bytes_ = 0;
   ucontext_t ctx_{};
   ucontext_t caller_{};
   bool started_ = false;
@@ -50,19 +71,88 @@ class Fiber {
   std::exception_ptr error_;
 };
 
+/// Cumulative counters of the calling thread's fiber stack pool
+/// (test/bench hook for verifying stack reuse).
+struct FiberStackStats {
+  std::size_t allocated = 0;  ///< stacks obtained with operator new[]
+  std::size_t reused = 0;     ///< stacks served from the pool
+};
+[[nodiscard]] FiberStackStats fiber_stack_stats() noexcept;
+
+namespace detail {
+
+/// Type-erased work-item entry: `invoke(task, i)` runs item i.
+using GroupInvoke = void (*)(void* task, std::size_t index);
+
+/// Runs work-item 0 of a barrier group on a (pooled) fiber. If the item
+/// finished without yielding the group has no barriers; otherwise the
+/// probe sits suspended at its first barrier.
+class BarrierProbe {
+ public:
+  BarrierProbe(GroupInvoke invoke, void* task);
+
+  BarrierProbe(const BarrierProbe&) = delete;
+  BarrierProbe& operator=(const BarrierProbe&) = delete;
+
+  [[nodiscard]] bool suspended() const noexcept { return suspended_; }
+  [[nodiscard]] Fiber& fiber() noexcept { return fiber_; }
+
+  struct Item0 {
+    GroupInvoke invoke;
+    void* task;
+  };
+
+ private:
+  Item0 item0_;
+  Fiber fiber_;
+  bool suspended_ = false;
+};
+
+/// RAII scope for the fast (loop) portion of a barrier group; a barrier
+/// reached inside it violates SYCL barrier uniformity.
+class FastGroupGuard {
+ public:
+  FastGroupGuard() noexcept;
+  ~FastGroupGuard();
+  FastGroupGuard(const FastGroupGuard&) = delete;
+  FastGroupGuard& operator=(const FastGroupGuard&) = delete;
+};
+
+/// Fiber-mode tail of run_barrier_group: items 1..n-1 get fibers and the
+/// group round-robins until every item completes. Always returns true.
+bool run_barrier_group_fibers(std::size_t n, GroupInvoke invoke, void* task,
+                              BarrierProbe& probe);
+
+}  // namespace detail
+
 /// Runs `n` logical work-items that may synchronise with group_barrier().
 ///
 /// Work-item 0 executes first as a *probe fiber*. If it completes
 /// without hitting a barrier then - by SYCL's barrier-uniformity rule -
 /// no other work-item will either, and items 1..n-1 run as a plain
-/// loop (fast path, one fiber per group total). If the probe suspends
-/// at a barrier, the executor creates fibers for the remaining items
-/// and round-robins through the group; nothing is ever re-executed.
-/// A barrier reached by a non-probe item on the fast path violates
-/// uniformity and raises std::logic_error.
+/// inlined loop (fast path: one pooled fiber per group total and no
+/// type-erased calls). If the probe suspends at a barrier, the executor
+/// creates fibers for the remaining items and round-robins through the
+/// group; nothing is ever re-executed. A barrier reached by a non-probe
+/// item on the fast path violates uniformity and raises std::logic_error.
 ///
 /// Returns true when the group actually used barriers (fiber mode).
-bool run_barrier_group(std::size_t n, const std::function<void(std::size_t)>& task);
+template <typename F>
+bool run_barrier_group(std::size_t n, F&& task) {
+  if (n == 0) return false;
+  using Task = std::remove_reference_t<F>;
+  const detail::GroupInvoke invoke = [](void* t, std::size_t i) {
+    (*static_cast<Task*>(t))(i);
+  };
+  void* ctx = const_cast<void*>(static_cast<const void*>(std::addressof(task)));
+  detail::BarrierProbe probe(invoke, ctx);
+  if (!probe.suspended()) {
+    detail::FastGroupGuard guard;
+    for (std::size_t i = 1; i < n; ++i) task(i);
+    return false;
+  }
+  return detail::run_barrier_group_fibers(n, invoke, ctx, probe);
+}
 
 /// SYCL-style group barrier; callable only from inside run_barrier_group
 /// tasks (or any live Fiber, where it yields).

@@ -1,21 +1,110 @@
 #pragma once
 /// \file thread_pool.hpp
-/// A minimal persistent thread pool used as the execution substrate for
-/// the miniSYCL SIMT executor and the OpenMP-like native backends.
+/// Low-overhead execution substrate for the miniSYCL SIMT executor and
+/// the OpenMP-like native backends.
 ///
-/// The pool hands out chunk indices from an atomic counter (dynamic
-/// self-scheduling); the calling thread participates in the work so a
-/// pool of size 1 degenerates to serial execution without deadlock.
+/// Three chunk-distribution policies are supported (SYCLPORT_SCHEDULE):
+///  - static  : chunks pre-split evenly over the workers, no re-balancing;
+///  - dynamic : one shared atomic counter, chunk-at-a-time self-scheduling
+///              (the original seed behaviour - every claim contends on one
+///              cache line);
+///  - steal   : per-worker chunk ranges (cache-line padded, packed into a
+///              single 64-bit word) with steal-half rebalancing - owners
+///              pop from the front of their own range, idle workers CAS
+///              half off the back of a victim's range (default).
+///
+/// Launches are zero-allocation: the templated run_chunks/parallel_for
+/// pass the callable by address through a function-pointer trampoline
+/// whose chunk loop invokes it inline - no std::function is constructed
+/// and no per-chunk type-erased call is made. The std::function overloads
+/// remain as thin wrappers for type-erased callers.
+///
+/// Workers spin briefly before parking on a condition variable so that
+/// back-to-back kernel launches (the common pattern in the apps) skip the
+/// condvar wake latency entirely.
+///
+/// The calling thread participates as worker 0, so a pool of size 1
+/// degenerates to serial execution without deadlock. A launch issued from
+/// inside a running chunk (re-entrant submission) executes inline and
+/// serially on the calling worker.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace syclport::rt {
+
+/// Chunk-distribution policy (see file comment).
+enum class Schedule : std::uint8_t { Static, Dynamic, Steal };
+
+/// Parse "static" | "dynamic" | "steal" (case-sensitive).
+[[nodiscard]] std::optional<Schedule> parse_schedule(std::string_view s) noexcept;
+[[nodiscard]] const char* to_string(Schedule s) noexcept;
+
+/// Process-wide launch configuration. Initialised on first use from the
+/// SYCLPORT_SCHEDULE and SYCLPORT_GRAIN environment variables.
+struct LaunchParams {
+  Schedule schedule = Schedule::Steal;
+  std::size_t grain = 1;  ///< minimum iterations per chunk in parallel_for
+};
+
+[[nodiscard]] LaunchParams launch_params() noexcept;
+void set_launch_params(const LaunchParams& p) noexcept;
+
+/// RAII override of the process launch params; ops::par_loop uses this to
+/// thread per-context scheduling knobs through sycl::handler, which reads
+/// the process params at submit time.
+class ScopedLaunchParams {
+ public:
+  ScopedLaunchParams(std::optional<Schedule> schedule,
+                     std::optional<std::size_t> grain) noexcept;
+  ~ScopedLaunchParams();
+  ScopedLaunchParams(const ScopedLaunchParams&) = delete;
+  ScopedLaunchParams& operator=(const ScopedLaunchParams&) = delete;
+
+ private:
+  LaunchParams saved_;
+};
+
+/// Per-launch executor counters, surfaced in sycl::launch_record so bench
+/// reports can show scheduling overhead alongside kernel time.
+struct LaunchStats {
+  Schedule schedule = Schedule::Steal;
+  std::size_t chunks = 0;         ///< chunks in the launch
+  std::size_t steals = 0;         ///< successful steal-half operations
+  std::size_t stolen_chunks = 0;  ///< chunks that migrated via stealing
+  bool parallel = false;          ///< false when the launch ran inline
+};
+
+namespace detail {
+
+/// Cancel/error state of one launch. Lives in the pool for parallel jobs
+/// and on the stack for serial (or re-entrant) ones, so a nested launch
+/// never clobbers the outer job's state.
+struct JobState {
+  std::atomic<bool> cancel{false};
+  std::mutex mu;
+  std::exception_ptr first_error;
+
+  /// Record the in-flight exception (first wins) and request cancellation
+  /// so the claim loops skip the remaining chunks.
+  void capture() noexcept {
+    cancel.store(true, std::memory_order_relaxed);
+    std::lock_guard lock(mu);
+    if (!first_error) first_error = std::current_exception();
+  }
+};
+
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -32,14 +121,43 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const noexcept { return threads_; }
 
   /// Execute `fn(chunk)` for every chunk in [0, nchunks), distributing
-  /// chunks dynamically over the workers. Blocks until all complete.
-  /// Exceptions thrown by `fn` are captured and the first one rethrown.
-  void run_chunks(std::size_t nchunks, const std::function<void(std::size_t)>& fn);
+  /// chunks over the workers per the current Schedule. Blocks until all
+  /// complete. The first exception thrown by `fn` cancels the remaining
+  /// unclaimed chunks and is rethrown. Zero-allocation: `fn` is invoked
+  /// inline from a per-claimed-range trampoline.
+  template <typename F>
+  void run_chunks(std::size_t nchunks, F&& fn) {
+    if (nchunks == 0) return;
+    using Fn = std::remove_reference_t<F>;
+    dispatch(&invoke_chunks<Fn>,
+             const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+             nchunks);
+  }
 
-  /// Convenience: split [0, n) into roughly `size()*4` ranges and call
-  /// `fn(begin, end)` for each.
+  /// Split [0, n) into grain-respecting ranges and call `fn(begin, end)`
+  /// for each (begin < end always holds).
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    const std::size_t chunk = chunk_size(n);
+    const std::size_t nchunks = (n + chunk - 1) / chunk;
+    auto body = [&fn, chunk, n](std::size_t c) {
+      const std::size_t b = c * chunk;
+      fn(b, std::min(n, b + chunk));
+    };
+    run_chunks(nchunks, body);
+  }
+
+  /// Type-erased entry points (thin wrappers over the templates above,
+  /// kept for callers that hold a std::function already).
+  void run_chunks(std::size_t nchunks,
+                  const std::function<void(std::size_t)>& fn);
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Counters of the most recent launch issued *from the calling thread*
+  /// (thread-local, so concurrent submitters never observe each other).
+  [[nodiscard]] static LaunchStats last_stats() noexcept;
 
   /// The process-wide pool. Size from SYCLPORT_THREADS env var, default
   /// std::thread::hardware_concurrency() (min 2 so concurrency bugs in
@@ -47,23 +165,69 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// One call per claimed chunk range; the templated instantiation loops
+  /// the chunks inline, checking the job's cancel flag between chunks.
+  using RangeFn = void (*)(detail::JobState& job, void* ctx, std::size_t b,
+                           std::size_t e);
+
+  template <typename Fn>
+  static void invoke_chunks(detail::JobState& job, void* ctx, std::size_t b,
+                            std::size_t e) {
+    auto& fn = *static_cast<Fn*>(ctx);
+    for (std::size_t c = b; c < e; ++c) {
+      if (job.cancel.load(std::memory_order_relaxed)) return;
+      try {
+        fn(c);
+      } catch (...) {
+        job.capture();
+      }
+    }
+  }
+
+  /// Per-worker scheduling state, padded so owner pops and thief CASes on
+  /// different workers never false-share.
+  struct alignas(64) WorkerSlot {
+    /// Unclaimed chunk range, packed begin<<32 | end (empty when
+    /// begin >= end). Owner pops the front, thieves CAS half off the back.
+    std::atomic<std::uint64_t> range{0};
+    /// Owner-private counters; read by the submitter after the join.
+    std::uint64_t steals = 0;
+    std::uint64_t stolen_chunks = 0;
+  };
+
+  void dispatch(RangeFn invoke, void* ctx, std::size_t nchunks);
+  void run_serial(RangeFn invoke, void* ctx, std::size_t nchunks,
+                  Schedule sched);
+  void submit(RangeFn invoke, void* ctx, std::size_t nchunks, Schedule sched);
+  [[nodiscard]] std::size_t chunk_size(std::size_t n) const noexcept;
+
   void worker_loop(unsigned worker_id);
   void work(unsigned worker_id);
+  bool pop_own(unsigned worker_id, std::uint32_t& b, std::uint32_t& e);
+  bool steal(unsigned worker_id, std::uint32_t& b, std::uint32_t& e);
+  bool wait_done_spin() const noexcept;
 
-  unsigned threads_;
+  const unsigned threads_;
+  std::unique_ptr<WorkerSlot[]> slots_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+
+  // Job descriptor: written by the submitter, published to the workers by
+  // the release increment of generation_.
+  RangeFn invoke_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  Schedule job_schedule_ = Schedule::Steal;
+  detail::JobState job_state_;
+
+  alignas(64) std::atomic<std::uint64_t> generation_{0};
+  alignas(64) std::atomic<std::size_t> next_chunk_{0};  ///< dynamic mode
+  alignas(64) std::atomic<unsigned> pending_workers_{0};
+  std::atomic<bool> stop_{false};
+
+  std::mutex mu_;  ///< parks idle workers (cv_start_) and submitter (cv_done_)
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  std::size_t pending_workers_ = 0;
-  bool stop_ = false;
-
-  // Current job (valid while pending_workers_ > 0).
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_chunks_ = 0;
-  std::atomic<std::size_t> next_chunk_{0};
-  std::exception_ptr first_error_;
+  std::mutex submit_mu_;  ///< serialises launches from different threads
 };
 
 }  // namespace syclport::rt

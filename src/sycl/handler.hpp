@@ -70,12 +70,15 @@ class handler {
   void parallel_for(const char* name, range<Dims> r, const K& k) {
     syclport::WallTimer t;
     const std::size_t total = r.size();
+    // Templated fast path: the lambda is dispatched inline by the pool,
+    // no std::function is constructed per launch or per chunk.
     syclport::rt::ThreadPool::global().parallel_for(
         total, [&](std::size_t b, std::size_t e) {
           for (std::size_t lin = b; lin < e; ++lin)
             detail::invoke_flat(k, detail::delinearize(lin, r), r);
         });
-    log(name, Dims, detail::to3(r), std::nullopt, false, false, t.seconds());
+    log(name, Dims, detail::to3(r), std::nullopt, false, false, t.seconds(),
+        syclport::rt::ThreadPool::last_stats());
   }
 
   // --- flat parallel_for with one reduction --------------------------------
@@ -107,7 +110,8 @@ class handler {
           acc = red.op(acc, part.value());
         });
     *red.target = red.op(*red.target, acc);
-    log(name, Dims, detail::to3(r), std::nullopt, false, true, t.seconds());
+    log(name, Dims, detail::to3(r), std::nullopt, false, true, t.seconds(),
+        syclport::rt::ThreadPool::last_stats());
   }
 
   // --- nd_range parallel_for ----------------------------------------------
@@ -141,7 +145,8 @@ class handler {
           if (b) used_barrier.store(true, std::memory_order_relaxed);
         });
     log(name, Dims, detail::to3(global), detail::to3(local),
-        used_barrier.load(), false, t.seconds());
+        used_barrier.load(), false, t.seconds(),
+        syclport::rt::ThreadPool::last_stats());
   }
 
   // --- nd_range parallel_for with one reduction ----------------------------
@@ -184,7 +189,8 @@ class handler {
         });
     *red.target = red.op(*red.target, acc);
     log(name, Dims, detail::to3(global), detail::to3(local),
-        used_barrier.load(), true, t.seconds());
+        used_barrier.load(), true, t.seconds(),
+        syclport::rt::ThreadPool::last_stats());
   }
 
   // --- single task ----------------------------------------------------------
@@ -193,7 +199,7 @@ class handler {
     syclport::WallTimer t;
     k();
     log("(single_task)", 1, {1, 1, 1}, std::array<std::size_t, 3>{1, 1, 1},
-        false, false, t.seconds());
+        false, false, t.seconds(), syclport::rt::LaunchStats{});
   }
 
   /// SYCL accessor registration; dependency tracking is a no-op here.
@@ -210,11 +216,11 @@ class handler {
 
   void log(const char* name, int dims, std::array<std::size_t, 3> global,
            std::optional<std::array<std::size_t, 3>> local, bool barrier,
-           bool reduction, double secs) {
+           bool reduction, double secs, syclport::rt::LaunchStats stats) {
     auto& lg = launch_log::instance();
     if (!lg.enabled()) return;
     lg.append(launch_record{name, dims, global, local, barrier, reduction,
-                            secs});
+                            secs, stats});
   }
 
   device dev_;

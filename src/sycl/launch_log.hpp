@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/thread_pool.hpp"
+
 namespace sycl {
 
 struct launch_record {
@@ -24,6 +26,10 @@ struct launch_record {
   bool used_barrier = false;
   bool reduction = false;
   double host_seconds = 0.0;  ///< host wall time of the functional run
+  /// Executor counters of the launch (schedule used, chunk count, steal
+  /// activity); lets bench reports separate scheduling overhead from
+  /// kernel time. Zero chunks for single_task.
+  syclport::rt::LaunchStats executor{};
 };
 
 /// Process-wide, thread-safe launch log.

@@ -1,11 +1,15 @@
-// Unit tests for the runtime substrate: thread pool scheduling and
-// fiber-based work-group barriers.
+// Unit tests for the runtime substrate: thread pool scheduling (static /
+// dynamic / work-stealing), launch params, and fiber-based work-group
+// barriers with pooled stacks.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "runtime/fiber.hpp"
@@ -62,6 +66,193 @@ TEST(ThreadPool, ReusableAcrossJobs) {
 
 TEST(ThreadPool, GlobalPoolHasAtLeastTwoWorkers) {
   EXPECT_GE(rt::ThreadPool::global().size(), 2u);
+}
+
+// --- scheduling policies and launch params ----------------------------------
+
+namespace {
+
+/// RAII helper pinning the process schedule/grain for one test.
+struct WithParams {
+  explicit WithParams(rt::Schedule s, std::size_t grain = 1)
+      : scope(s, grain) {}
+  rt::ScopedLaunchParams scope;
+};
+
+/// A little spin work so chunks are not instantaneous (volatile so the
+/// loop survives optimisation even when the result is discarded).
+double spin(int iters) {
+  volatile double x = 1.0;
+  for (int i = 0; i < iters; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+}  // namespace
+
+TEST(ThreadPool, ScheduleParsing) {
+  EXPECT_EQ(rt::parse_schedule("static"), rt::Schedule::Static);
+  EXPECT_EQ(rt::parse_schedule("dynamic"), rt::Schedule::Dynamic);
+  EXPECT_EQ(rt::parse_schedule("steal"), rt::Schedule::Steal);
+  EXPECT_FALSE(rt::parse_schedule("guided").has_value());
+  EXPECT_FALSE(rt::parse_schedule("").has_value());
+  EXPECT_STREQ(rt::to_string(rt::Schedule::Steal), "steal");
+  EXPECT_STREQ(rt::to_string(rt::Schedule::Static), "static");
+  EXPECT_STREQ(rt::to_string(rt::Schedule::Dynamic), "dynamic");
+}
+
+TEST(ThreadPool, ScopedLaunchParamsRestores) {
+  const rt::LaunchParams before = rt::launch_params();
+  {
+    rt::ScopedLaunchParams scope(rt::Schedule::Static, std::size_t{128});
+    EXPECT_EQ(rt::launch_params().schedule, rt::Schedule::Static);
+    EXPECT_EQ(rt::launch_params().grain, 128u);
+    {
+      // Partial override: only the grain changes.
+      rt::ScopedLaunchParams inner(std::nullopt, std::size_t{7});
+      EXPECT_EQ(rt::launch_params().schedule, rt::Schedule::Static);
+      EXPECT_EQ(rt::launch_params().grain, 7u);
+    }
+    EXPECT_EQ(rt::launch_params().grain, 128u);
+  }
+  EXPECT_EQ(rt::launch_params().schedule, before.schedule);
+  EXPECT_EQ(rt::launch_params().grain, before.grain);
+}
+
+TEST(ThreadPool, EveryScheduleCoversAllChunksExactlyOnce) {
+  for (const auto sched : {rt::Schedule::Static, rt::Schedule::Dynamic,
+                           rt::Schedule::Steal}) {
+    WithParams params(sched);
+    rt::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(503);
+    pool.run_chunks(503, [&](std::size_t c) { hits[c].fetch_add(1); });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << rt::to_string(sched);
+    const auto st = rt::ThreadPool::last_stats();
+    EXPECT_EQ(st.schedule, sched);
+    EXPECT_EQ(st.chunks, 503u);
+  }
+}
+
+TEST(ThreadPool, StealingRebalancesUnbalancedChunks) {
+  WithParams params(rt::Schedule::Steal);
+  rt::ThreadPool pool(4);
+  // Front-loaded work: the first workers' static shares are ~100x the
+  // last's, so idle workers must steal to finish early chunks.
+  std::vector<std::atomic<int>> hits(256);
+  pool.run_chunks(256, [&](std::size_t c) {
+    spin(c < 64 ? 20000 : 200);
+    hits[c].fetch_add(1);
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  const auto st = rt::ThreadPool::last_stats();
+  EXPECT_TRUE(st.parallel);
+  EXPECT_EQ(st.chunks, 256u);
+  // stolen_chunks never exceeds the launch's chunk count.
+  EXPECT_LE(st.stolen_chunks, 256u);
+}
+
+TEST(ThreadPool, ExceptionCancelsRemainingChunks) {
+  for (const auto sched : {rt::Schedule::Static, rt::Schedule::Dynamic,
+                           rt::Schedule::Steal}) {
+    WithParams params(sched);
+    rt::ThreadPool pool(2);
+    const std::size_t nchunks = 20000;
+    std::atomic<std::size_t> executed{0};
+    std::atomic<bool> thrown{false};
+    EXPECT_THROW(pool.run_chunks(nchunks,
+                                 [&](std::size_t) {
+                                   if (!thrown.exchange(true))
+                                     throw std::runtime_error("boom");
+                                   executed.fetch_add(1);
+                                   spin(100);
+                                 }),
+                 std::runtime_error)
+        << rt::to_string(sched);
+    // The cancel flag set by the first exception must skip (nearly all of)
+    // the remaining chunks instead of running the job to completion.
+    EXPECT_LT(executed.load(), nchunks - 1) << rt::to_string(sched);
+  }
+}
+
+TEST(ThreadPool, ExceptionUnderStealingStillPropagates) {
+  WithParams params(rt::Schedule::Steal);
+  rt::ThreadPool pool(4);
+  // Heavy head so thieves are active when the late chunk throws.
+  EXPECT_THROW(pool.run_chunks(512,
+                               [&](std::size_t c) {
+                                 if (c < 32) spin(20000);
+                                 if (c == 500)
+                                   throw std::logic_error("stolen boom");
+                               }),
+               std::logic_error);
+  // The pool must remain usable after a cancelled job.
+  std::atomic<int> n{0};
+  pool.run_chunks(64, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPool, GrainControlsMinimumChunkSize) {
+  WithParams params(rt::Schedule::Steal, 256);
+  rt::ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    std::lock_guard lock(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::size_t covered = 0;
+  for (const auto& [b, e] : ranges) {
+    ASSERT_LT(b, e);
+    covered += e - b;
+    // Every chunk except the tail must honour the 256-iteration grain.
+    if (e != 1000) {
+      EXPECT_GE(e - b, 256u);
+    }
+  }
+  EXPECT_EQ(covered, 1000u);
+}
+
+TEST(ThreadPool, MoveOnlyCallableProvesNoStdFunctionOnFastPath) {
+  // std::function requires a copyable callable; accepting a move-only
+  // lambda proves the templated launch path never constructs one.
+  rt::ThreadPool pool(3);
+  auto flag = std::make_unique<std::atomic<int>>(0);
+  std::atomic<int>* raw = flag.get();
+  auto fn = [p = std::move(flag)](std::size_t) { p->fetch_add(1); };
+  static_assert(!std::is_copy_constructible_v<decltype(fn)>);
+  pool.run_chunks(100, fn);
+  EXPECT_EQ(raw->load(), 100);
+  std::atomic<int> total{0};
+  auto fn2 = [q = std::make_unique<int>(1), &total](std::size_t b,
+                                                    std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b) * *q);
+  };
+  static_assert(!std::is_copy_constructible_v<decltype(fn2)>);
+  pool.parallel_for(1000, fn2);
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, ReentrantLaunchRunsInlineWithoutDeadlock) {
+  rt::ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.run_chunks(6, [&](std::size_t) {
+    // A launch from inside a running chunk must not block on the busy
+    // workers; it degrades to inline serial execution.
+    pool.run_chunks(10, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 60);
+}
+
+TEST(ThreadPool, RepeatedLaunchesStressAllSchedules) {
+  for (const auto sched : {rt::Schedule::Static, rt::Schedule::Dynamic,
+                           rt::Schedule::Steal}) {
+    WithParams params(sched);
+    rt::ThreadPool pool(4);
+    for (int round = 0; round < 200; ++round) {
+      std::atomic<int> n{0};
+      pool.run_chunks(17, [&](std::size_t) { n.fetch_add(1); });
+      ASSERT_EQ(n.load(), 17) << rt::to_string(sched) << " round " << round;
+    }
+  }
 }
 
 TEST(Fiber, RunsToCompletion) {
@@ -187,4 +378,51 @@ TEST(BarrierGroup, NonUniformBarrierIsAnError) {
                                        if (i == 2) rt::group_barrier();
                                      }),
                std::logic_error);
+}
+
+TEST(BarrierGroup, MoveOnlyTaskRunsWithoutStdFunction) {
+  // The templated fast path must invoke the work-item body without
+  // constructing a std::function (which would require copyability).
+  std::vector<int> out(8, 0);
+  auto guard = std::make_unique<int>(1);
+  auto task = [&out, g = std::move(guard)](std::size_t i) {
+    out[i] = static_cast<int>(i) * *g;
+  };
+  static_assert(!std::is_copy_constructible_v<decltype(task)>);
+  EXPECT_FALSE(rt::run_barrier_group(8, task));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(FiberStackPool, RepeatedGroupsReuseStacks) {
+  // Warm the pool: the first barrier group on this thread may allocate.
+  rt::run_barrier_group(4, [&](std::size_t) { rt::group_barrier(); });
+  const auto before = rt::fiber_stack_stats();
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> v(4, 0), w(4, 0);
+    rt::run_barrier_group(4, [&](std::size_t i) {
+      v[i] = static_cast<int>(i) + 1;
+      rt::group_barrier();
+      w[i] = v[(i + 1) % 4];
+    });
+    for (std::size_t i = 0; i < 4; ++i)
+      ASSERT_EQ(w[i], static_cast<int>((i + 1) % 4) + 1);
+  }
+  const auto after = rt::fiber_stack_stats();
+  // 10 rounds x 4 fibers ran entirely off recycled stacks.
+  EXPECT_EQ(after.allocated, before.allocated);
+  EXPECT_GE(after.reused, before.reused + 40);
+}
+
+TEST(FiberStackPool, FastPathGroupsUseOneFiberEach) {
+  rt::run_barrier_group(4, [&](std::size_t) {});  // warm the probe stack
+  const auto before = rt::fiber_stack_stats();
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> out(64, 0);
+    rt::run_barrier_group(64, [&](std::size_t i) {
+      out[i] = 1;
+    });
+  }
+  const auto after = rt::fiber_stack_stats();
+  EXPECT_EQ(after.allocated, before.allocated);
+  EXPECT_EQ(after.reused, before.reused + 50);  // one probe fiber per group
 }
