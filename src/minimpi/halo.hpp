@@ -72,31 +72,73 @@ void for_face(const LocalField<T>& f, int dim, int side, bool ghost, Fn&& fn) {
 }
 }  // namespace detail
 
-/// Exchange all face halos of `f` with the Cartesian neighbours.
-/// Tags encode (dim, direction) so concurrent exchanges cannot cross.
+/// A halo exchange split into its comm/compute-overlap phases.
+/// Construction eagerly packs every interior-adjacent face and posts
+/// the (buffered) sends; finish() blocks on the receives and unpacks
+/// the ghost slabs. Between the two the caller may freely *read* every
+/// interior cell and *write* cells at distance >= halo from the block
+/// faces - the packed strips were copied out at construction and the
+/// receives only write ghost cells, which are disjoint from the
+/// interior. This is what lets the OPS/OP2 dist layers run interior
+/// sweeps overlapped with the exchange (docs/queue.md).
+///
+/// Tags encode (dim, direction) so concurrent exchanges of different
+/// fields must still not interleave per peer; one in-flight exchange
+/// per (comm, field) at a time, as before.
 template <typename T>
-void exchange_halos(Comm& comm, const CartDecomp& cart, LocalField<T>& f) {
-  for (int dim = 0; dim < f.dims; ++dim) {
-    for (int side = 0; side < 2; ++side) {
-      const int nb = cart.neighbour(dim, side == 0 ? -1 : +1);
-      const int send_tag = 100 + dim * 4 + side;
-      const int recv_tag = 100 + dim * 4 + (1 - side);
-      if (nb < 0) continue;
-      std::vector<T> out;
-      detail::for_face(f, dim, side, /*ghost=*/false,
-                       [&](auto i, auto j, auto k) {
-                         out.push_back(f.at(i, j, k));
-                       });
-      comm.send(nb, send_tag, std::span<const T>(out));
-      std::vector<T> in(out.size());
-      comm.recv(nb, recv_tag, std::span<T>(in));
-      std::size_t idx = 0;
-      detail::for_face(f, dim, side, /*ghost=*/true,
-                       [&](auto i, auto j, auto k) {
-                         f.at(i, j, k) = in[idx++];
-                       });
+class HaloExchange {
+ public:
+  HaloExchange(Comm& comm, const CartDecomp& cart, LocalField<T>& f)
+      : comm_(&comm), field_(&f) {
+    for (int dim = 0; dim < f.dims; ++dim) {
+      for (int side = 0; side < 2; ++side) {
+        const int nb = cart.neighbour(dim, side == 0 ? -1 : +1);
+        if (nb < 0) continue;
+        std::vector<T> out;
+        detail::for_face(f, dim, side, /*ghost=*/false,
+                         [&](auto i, auto j, auto k) {
+                           out.push_back(f.at(i, j, k));
+                         });
+        const std::size_t count = out.size();
+        comm.send(nb, 100 + dim * 4 + side, std::span<const T>(out));
+        pending_.push_back({dim, side, nb, count});
+      }
     }
   }
+
+  HaloExchange(const HaloExchange&) = delete;
+  HaloExchange& operator=(const HaloExchange&) = delete;
+  ~HaloExchange() { finish(); }
+
+  /// Receive and unpack every pending face (idempotent).
+  void finish() {
+    for (const auto& p : pending_) {
+      std::vector<T> in(p.count);
+      comm_->recv(p.nb, 100 + p.dim * 4 + (1 - p.side), std::span<T>(in));
+      std::size_t idx = 0;
+      detail::for_face(*field_, p.dim, p.side, /*ghost=*/true,
+                       [&](auto i, auto j, auto k) {
+                         field_->at(i, j, k) = in[idx++];
+                       });
+    }
+    pending_.clear();
+  }
+
+ private:
+  struct Pending {
+    int dim, side, nb;
+    std::size_t count;
+  };
+  Comm* comm_;
+  LocalField<T>* field_;
+  std::vector<Pending> pending_;
+};
+
+/// Exchange all face halos of `f` with the Cartesian neighbours
+/// (blocking form: begin and finish back to back).
+template <typename T>
+void exchange_halos(Comm& comm, const CartDecomp& cart, LocalField<T>& f) {
+  HaloExchange<T>(comm, cart, f).finish();
 }
 
 }  // namespace syclport::mpi

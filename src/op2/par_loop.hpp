@@ -13,6 +13,7 @@
 /// locality, the input to the hardware model's MG-CFD reproduction.
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <tuple>
 #include <vector>
@@ -331,6 +332,58 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
         break;
       }
     }
+  }
+}
+
+/// par_loop over an explicit subset of `set`'s elements. The dist
+/// overlap path uses this to split owned edges into an interior sweep
+/// (run concurrently with the halo import) and a boundary sweep.
+/// Races between INC arguments are resolved by atomics only - a
+/// colouring plan would have to be rebuilt per subset, and the
+/// owner-compute pipeline this serves uses Atomics/None - so coloured
+/// strategies are rejected for parallel INC subsets. No LoopProfile is
+/// recorded: the subset is an execution detail of the enclosing loop.
+template <typename K, typename... Args>
+void par_loop_subset(Context& ctx, Meta meta, Set& set,
+                     std::span<const int> elems, K&& kernel, Args... args) {
+  if (elems.empty() || !ctx.executing()) return;
+  if (elems.size() > set.size())
+    throw std::invalid_argument("par_loop_subset: subset larger than set");
+
+  std::vector<detail::ArgInfo> infos{detail::arg_info(args)...};
+  const bool has_inc =
+      std::any_of(infos.begin(), infos.end(),
+                  [](const auto& i) { return i.acc == Acc::INC; });
+  const bool atomic = has_inc && ctx.opt.strategy == Strategy::Atomics;
+  if (has_inc && !atomic && ctx.opt.strategy != Strategy::None &&
+      ctx.opt.exec != Exec::Serial)
+    throw std::invalid_argument(
+        "par_loop_subset: INC needs Strategy::Atomics (or serial execution)");
+
+  auto binders = std::make_tuple(detail::make_binder(args, true)...);
+  auto invoke = [&](std::size_t e) {
+    std::apply([&](const auto&... b) { kernel(b.make(e, atomic)...); },
+               binders);
+  };
+
+  switch (ctx.opt.exec) {
+    case Exec::Serial:
+      for (int e : elems) invoke(static_cast<std::size_t>(e));
+      break;
+    case Exec::Threads:
+      rt::ThreadPool::global().parallel_for(
+          elems.size(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+              invoke(static_cast<std::size_t>(elems[i]));
+          });
+      break;
+    case Exec::Sycl:
+      ctx.queue.parallel_for(meta.name, sycl::range<1>(elems.size()),
+                             [&](sycl::item<1> it) {
+                               invoke(static_cast<std::size_t>(
+                                   elems[it.get_linear_id()]));
+                             });
+      break;
   }
 }
 

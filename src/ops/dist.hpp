@@ -12,17 +12,21 @@
 /// interior kernels share). Kernels receive the same ACC accessors as
 /// the shared-memory backends, so kernel code is reused verbatim.
 
+#include <algorithm>
+#include <array>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 #include <tuple>
+#include <vector>
 
 #include "core/reducer.hpp"
 #include "minimpi/cart.hpp"
 #include "minimpi/comm.hpp"
 #include "minimpi/halo.hpp"
 #include "ops/arg.hpp"
+#include "sycl/queue.hpp"
 
 namespace syclport::ops::dist {
 
@@ -36,10 +40,16 @@ class DistContext {
   [[nodiscard]] const mpi::CartDecomp& cart() const { return cart_; }
   [[nodiscard]] int dims() const { return dims_; }
 
+  /// Rank-local out-of-order queue; par_loop_overlap submits the
+  /// interior sweep through it so the sweep runs concurrently with the
+  /// halo receives on this rank's thread.
+  [[nodiscard]] sycl::queue& queue() { return queue_; }
+
  private:
   mpi::Comm* comm_;
   mpi::CartDecomp cart_;
   int dims_;
+  sycl::queue queue_;
 };
 
 /// A distributed field: the rank-local block of a global grid, with
@@ -141,21 +151,52 @@ template <typename T>
 
 namespace detail {
 
+using Fn3 =
+    std::function<void(std::ptrdiff_t, std::ptrdiff_t, std::ptrdiff_t)>;
+
+/// A half-open box [lo, hi) in rank-local interior coordinates
+/// (slowest dimension first; unused dimensions span [0, 1)).
+struct Box {
+  std::array<std::ptrdiff_t, 3> lo{0, 0, 0};
+  std::array<std::ptrdiff_t, 3> hi{1, 1, 1};
+};
+
 /// Type-erased hook so par_loop can find the iteration space (the first
 /// dat argument) without caring about T.
 struct IterSpace {
-  std::function<void(const std::function<void(std::ptrdiff_t, std::ptrdiff_t,
-                                              std::ptrdiff_t)>&)>
-      iterate;
+  std::function<void(const Fn3&)> iterate;
+  std::function<void(const Box&, const Fn3&)> iterate_box;
+  int dims = 0;
+  std::array<std::size_t, 3> local{1, 1, 1};
 };
 
 template <typename T>
 struct DatBinder {
   DistDat<T>* dat;
   bool needs_halo;
+  Acc acc = Acc::RW;
 
   void prepare() const {
     if (needs_halo) dat->exchange_halos();
+  }
+
+  /// Overlap path: post this dat's halo sends now; the matching
+  /// receive+unpack is deferred into `finishers`.
+  void begin_halo(std::vector<std::function<void()>>& finishers) const {
+    if (!needs_halo) return;
+    auto ex = std::make_shared<mpi::HaloExchange<T>>(
+        dat->ctx().comm(), dat->ctx().cart(), dat->field());
+    finishers.push_back([ex] { ex->finish(); });
+  }
+
+  /// Declare this dat's storage in a command group's footprint, so
+  /// interior commands of different ranks (different storage) stay
+  /// independent in the scheduler's DAG.
+  void declare(sycl::handler& h) const {
+    const auto mode = acc == Acc::R   ? sycl::access_mode::read
+                      : acc == Acc::W ? sycl::access_mode::write
+                                      : sycl::access_mode::read_write;
+    h.require(static_cast<const void*>(dat->field().data.data()), mode);
   }
   [[nodiscard]] ACC<T> make(std::ptrdiff_t li, std::ptrdiff_t lj,
                             std::ptrdiff_t lk) const {
@@ -178,6 +219,13 @@ struct DatBinder {
                        std::ptrdiff_t li, std::ptrdiff_t lj,
                        std::ptrdiff_t lk) { fn(li, lj, lk); });
     };
+    is.iterate_box = [](const Box& bx, const Fn3& fn) {
+      for (std::ptrdiff_t i = bx.lo[0]; i < bx.hi[0]; ++i)
+        for (std::ptrdiff_t j = bx.lo[1]; j < bx.hi[1]; ++j)
+          for (std::ptrdiff_t k = bx.lo[2]; k < bx.hi[2]; ++k) fn(i, j, k);
+    };
+    is.dims = d->field().dims;
+    is.local = d->field().local;
   }
 };
 
@@ -195,6 +243,11 @@ struct RedBinder {
     }
   }
   void prepare() const {}
+  void begin_halo(std::vector<std::function<void()>>&) const {}
+  void declare(sycl::handler& h) const {
+    h.require(static_cast<const void*>(local.get()),
+              sycl::access_mode::read_write);
+  }
   [[nodiscard]] Reducer<T> make(std::ptrdiff_t, std::ptrdiff_t,
                                 std::ptrdiff_t) const {
     return Reducer<T>(local.get(), op);
@@ -213,13 +266,32 @@ template <typename T>
 DatBinder<T> make_binder(const DistArg<T>& a) {
   const bool reads_stencil =
       (a.acc == Acc::R || a.acc == Acc::RW) && a.st.max_radius() > 0;
-  return {a.dat, reads_stencil};
+  return {a.dat, reads_stencil, a.acc};
 }
 
 template <typename T>
 RedBinder<T> make_binder(const DistRedArg<T>& a) {
   return RedBinder<T>(a.target, a.op);
 }
+
+/// Accumulate the boundary thickness the overlap split needs: the
+/// widest read stencil per dimension. Stencil radii are fastest-first
+/// while local coordinates are slowest-first, hence the flip.
+template <typename T>
+inline void accum_overlap(const DistArg<T>& a, int dims,
+                          std::array<int, 3>& rad, bool& any_halo) {
+  if (a.acc != Acc::R && a.acc != Acc::RW) return;
+  const std::array<int, 3> r{a.st.radius_x, a.st.radius_y, a.st.radius_z};
+  for (int d = 0; d < dims; ++d) {
+    auto& slot = rad[static_cast<std::size_t>(dims - 1 - d)];
+    slot = std::max(slot, r[static_cast<std::size_t>(d)]);
+  }
+  if (a.st.max_radius() > 0) any_halo = true;
+}
+
+template <typename T>
+inline void accum_overlap(const DistRedArg<T>&, int, std::array<int, 3>&,
+                          bool&) {}
 
 }  // namespace detail
 
@@ -239,6 +311,125 @@ void par_loop(DistContext& ctx, K&& kernel, Args... args) {
     std::apply([&](const auto&... b) { kernel(b.make(li, lj, lk)...); },
                binders);
   });
+  std::apply([&](const auto&... b) { (b.finish(ctx), ...); }, binders);
+}
+
+/// Distributed par_loop with halo/compute overlap: the halo sends are
+/// posted first, the sweep over points at stencil distance from the
+/// block faces is submitted as an asynchronous command on the rank's
+/// out-of-order queue, the receives are drained while it runs, and the
+/// remaining boundary shell is swept once both have completed - the
+/// classic overlapped structure of the OPS MPI backend. Point-for-point
+/// identical to par_loop (each point computes from the same inputs);
+/// cross-rank reductions may combine per-point contributions in a
+/// different order.
+///
+/// Falls back to the blocking par_loop when there is nothing to
+/// overlap (no stencil reads, or a single rank).
+template <typename K, typename... Args>
+void par_loop_overlap(DistContext& ctx, K kernel, Args... args) {
+  auto binders = std::make_tuple(detail::make_binder(args)...);
+
+  detail::IterSpace is;
+  std::apply([&](const auto&... b) { (b.offer_iter(is), ...); }, binders);
+  if (!is.iterate)
+    throw std::invalid_argument(
+        "dist::par_loop_overlap: needs at least one dat arg");
+
+  std::array<int, 3> rad{0, 0, 0};
+  bool any_halo = false;
+  (detail::accum_overlap(args, is.dims, rad, any_halo), ...);
+  if (!any_halo || ctx.comm().size() == 1) {
+    par_loop(ctx, kernel, args...);
+    return;
+  }
+
+  // Interior box: every point whose full read stencil lies in locally
+  // owned (or physical-ghost) cells, i.e. at distance >= radius from
+  // the block faces. The shell around it needs the exchanged halos.
+  std::array<std::ptrdiff_t, 3> n{1, 1, 1};
+  for (int d = 0; d < is.dims; ++d)
+    n[static_cast<std::size_t>(d)] =
+        static_cast<std::ptrdiff_t>(is.local[static_cast<std::size_t>(d)]);
+  detail::Box interior;
+  for (std::size_t d = 0; d < 3; ++d) {
+    const auto r = static_cast<std::ptrdiff_t>(rad[d]);
+    interior.lo[d] = std::min(r, n[d]);
+    interior.hi[d] = std::max(n[d] - r, interior.lo[d]);
+  }
+
+  // 1. Post all halo sends (packs eagerly; receives deferred).
+  std::vector<std::function<void()>> finishers;
+  std::apply([&](const auto&... b) { (b.begin_halo(finishers), ...); },
+             binders);
+
+  auto sweep_interior = [&] {
+    is.iterate_box(interior, [&](std::ptrdiff_t li, std::ptrdiff_t lj,
+                                 std::ptrdiff_t lk) {
+      std::apply([&](const auto&... b) { kernel(b.make(li, lj, lk)...); },
+                 binders);
+    });
+  };
+
+  if (sycl::detail::Scheduler::concurrency_available()) {
+    // 2. Interior sweep as an asynchronous command. Footprints are
+    // declared per dat, so ranks' interior commands are independent in
+    // the scheduler's DAG and genuinely run concurrently.
+    sycl::event ev = ctx.queue().submit([&](sycl::handler& h) {
+      std::apply([&](const auto&... b) { (b.declare(h), ...); }, binders);
+      h.single_task(
+          [binders, kernel, iterate_box = is.iterate_box, interior]() {
+            iterate_box(interior, [&](std::ptrdiff_t li, std::ptrdiff_t lj,
+                                      std::ptrdiff_t lk) {
+              std::apply(
+                  [&](const auto&... b) { kernel(b.make(li, lj, lk)...); },
+                  binders);
+            });
+          });
+    });
+
+    // 3. Drain the receives on the rank thread while the interior runs
+    // - the unpack writes only ghost cells, disjoint from every
+    // interior read at distance >= radius.
+    for (auto& fin : finishers) fin();
+
+    // 4. Join the interior command (rethrows kernel exceptions).
+    ev.wait();
+  } else {
+    // Single hardware thread: a worker handoff buys no wall-clock
+    // overlap, so keep the overlap ordering (sends in flight during the
+    // interior sweep) but run the sweep on this thread.
+    sweep_interior();
+    for (auto& fin : finishers) fin();
+  }
+
+  // 5. Boundary shell, onion-peeled so every point runs exactly once:
+  // for dimension d, the low/high slabs restrict earlier dimensions to
+  // the interior band and leave later ones full.
+  for (int d = 0; d < is.dims; ++d) {
+    for (int side = 0; side < 2; ++side) {
+      detail::Box slab;
+      for (std::size_t dd = 0; dd < 3; ++dd) {
+        if (static_cast<int>(dd) < d) {
+          slab.lo[dd] = interior.lo[dd];
+          slab.hi[dd] = interior.hi[dd];
+        } else if (static_cast<int>(dd) == d) {
+          slab.lo[dd] = side == 0 ? 0 : interior.hi[dd];
+          slab.hi[dd] = side == 0 ? interior.lo[dd] : n[dd];
+        } else {
+          slab.lo[dd] = 0;
+          slab.hi[dd] = n[dd];
+        }
+      }
+      is.iterate_box(slab, [&](std::ptrdiff_t li, std::ptrdiff_t lj,
+                               std::ptrdiff_t lk) {
+        std::apply([&](const auto&... b) { kernel(b.make(li, lj, lk)...); },
+                   binders);
+      });
+    }
+  }
+
+  // 6. Cross-rank reduction combines (collective).
   std::apply([&](const auto&... b) { (b.finish(ctx), ...); }, binders);
 }
 

@@ -68,6 +68,10 @@ constexpr std::uint32_t range_end(std::uint64_t r) noexcept {
 /// the outer job, and blocking on them would deadlock).
 thread_local const ThreadPool* t_active_pool = nullptr;
 
+/// Set while a ScopedSerialExecution is alive on this thread; forces
+/// launches from this thread onto the serial path.
+thread_local bool t_force_serial = false;
+
 /// Stats of the most recent launch issued from this thread.
 thread_local LaunchStats t_last_stats{};
 
@@ -129,6 +133,15 @@ ScopedLaunchParams::ScopedLaunchParams(std::optional<Schedule> schedule,
 }
 
 ScopedLaunchParams::~ScopedLaunchParams() { set_launch_params(saved_); }
+
+ScopedSerialExecution::ScopedSerialExecution() noexcept
+    : saved_(t_force_serial) {
+  t_force_serial = true;
+}
+
+ScopedSerialExecution::~ScopedSerialExecution() { t_force_serial = saved_; }
+
+bool serial_execution_forced() noexcept { return t_force_serial; }
 
 // --- pool lifecycle ---------------------------------------------------------
 
@@ -268,7 +281,8 @@ void ThreadPool::dispatch(RangeFn invoke, void* ctx, std::size_t nchunks) {
   // the shared counter for (absurdly) larger launches.
   if (nchunks > 0xffffffffull && sched != Schedule::Dynamic)
     sched = Schedule::Dynamic;
-  if (threads_ == 1 || nchunks == 1 || t_active_pool == this) {
+  if (threads_ == 1 || nchunks == 1 || t_active_pool == this ||
+      t_force_serial) {
     run_serial(invoke, ctx, nchunks, sched);
     return;
   }

@@ -75,6 +75,26 @@ class ScopedLaunchParams {
   LaunchParams saved_;
 };
 
+/// RAII: while alive, every launch issued *from this thread* runs
+/// serially on it, as if the pool had one worker. The miniSYCL command
+/// scheduler wraps kernels of concurrently-executing command groups in
+/// this so independent commands share the machine instead of each
+/// trying to fan out over the same pool (and deadlocking on the
+/// blocking submit mutex). Nests; restores the previous state.
+class ScopedSerialExecution {
+ public:
+  ScopedSerialExecution() noexcept;
+  ~ScopedSerialExecution();
+  ScopedSerialExecution(const ScopedSerialExecution&) = delete;
+  ScopedSerialExecution& operator=(const ScopedSerialExecution&) = delete;
+
+ private:
+  bool saved_;
+};
+
+/// True while a ScopedSerialExecution is alive on the calling thread.
+[[nodiscard]] bool serial_execution_forced() noexcept;
+
 /// Per-launch executor counters, surfaced in sycl::launch_record so bench
 /// reports can show scheduling overhead alongside kernel time.
 struct LaunchStats {

@@ -1,0 +1,19 @@
+#pragma once
+/// \file access.hpp
+/// Access modes and accessor tags. Split out of buffer.hpp so the
+/// dependency scheduler (detail/scheduler.hpp) can name access_mode
+/// without pulling in buffers.
+
+namespace sycl {
+
+enum class access_mode { read, write, read_write };
+
+/// Accessor-construction tags, as in SYCL 2020.
+struct read_only_tag {};
+struct write_only_tag {};
+struct read_write_tag {};
+inline constexpr read_only_tag read_only{};
+inline constexpr write_only_tag write_only{};
+inline constexpr read_write_tag read_write{};
+
+}  // namespace sycl

@@ -4,26 +4,24 @@
 /// buffers reference (or own) host memory directly and accessors are
 /// thin pointer+range views; SYCL copy-back semantics degenerate to
 /// no-ops while the API shape is preserved.
+///
+/// What is *not* a no-op anymore: constructing an accessor inside a
+/// command group registers (base pointer, access_mode) with the
+/// handler, which is how the out-of-order queue derives its dependency
+/// DAG; and buffer destruction / host_accessor construction are host
+/// synchronization points that block until no in-flight command still
+/// references the storage (SYCL 2020 buffer semantics).
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "sycl/access.hpp"
+#include "sycl/detail/scheduler.hpp"
+#include "sycl/handler.hpp"
 #include "sycl/range.hpp"
 
 namespace sycl {
-
-class handler;
-
-enum class access_mode { read, write, read_write };
-
-/// Accessor-construction tags, as in SYCL 2020.
-struct read_only_tag {};
-struct write_only_tag {};
-struct read_write_tag {};
-inline constexpr read_only_tag read_only{};
-inline constexpr write_only_tag write_only{};
-inline constexpr read_write_tag read_write{};
 
 template <typename T, int Dims = 1>
 class buffer {
@@ -37,6 +35,16 @@ class buffer {
       : owned_(std::make_shared<std::vector<T>>(r.size())),
         data_(owned_->data()),
         range_(r) {}
+
+  buffer(const buffer&) = default;
+  buffer& operator=(const buffer&) = default;
+
+  /// Destruction waits for every in-flight command that accesses this
+  /// buffer's storage - the point where SYCL guarantees writes are
+  /// visible to the host.
+  ~buffer() {
+    if (data_ != nullptr) detail::sync_host_access(data_);
+  }
 
   [[nodiscard]] range<Dims> get_range() const { return range_; }
   [[nodiscard]] std::size_t size() const { return range_.size(); }
@@ -53,12 +61,12 @@ class buffer {
 template <typename T, int Dims = 1>
 class accessor {
  public:
-  accessor(buffer<T, Dims>& buf, handler&, read_only_tag)
-      : accessor(buf, access_mode::read) {}
-  accessor(buffer<T, Dims>& buf, handler&, write_only_tag)
-      : accessor(buf, access_mode::write) {}
-  accessor(buffer<T, Dims>& buf, handler&, read_write_tag = {})
-      : accessor(buf, access_mode::read_write) {}
+  accessor(buffer<T, Dims>& buf, handler& h, read_only_tag)
+      : accessor(buf, h, access_mode::read) {}
+  accessor(buffer<T, Dims>& buf, handler& h, write_only_tag)
+      : accessor(buf, h, access_mode::write) {}
+  accessor(buffer<T, Dims>& buf, handler& h, read_write_tag = {})
+      : accessor(buf, h, access_mode::read_write) {}
 
   [[nodiscard]] T& operator[](const id<Dims>& i) const {
     return data_[detail::linearize(i, range_)];
@@ -74,20 +82,26 @@ class accessor {
   [[nodiscard]] T* get_pointer() const { return data_; }
 
  private:
-  accessor(buffer<T, Dims>& buf, access_mode m)
-      : data_(buf.data()), range_(buf.get_range()), mode_(m) {}
+  accessor(buffer<T, Dims>& buf, handler& h, access_mode m)
+      : data_(buf.data()), range_(buf.get_range()), mode_(m) {
+    h.require(static_cast<const void*>(data_), mode_);
+  }
 
   T* data_;
   range<Dims> range_;
   access_mode mode_;
 };
 
-/// Host-side accessor (outside command groups).
+/// Host-side accessor (outside command groups). Construction is a
+/// synchronization point: it blocks until no in-flight command still
+/// references the buffer's storage.
 template <typename T, int Dims = 1>
 class host_accessor {
  public:
   explicit host_accessor(buffer<T, Dims>& buf)
-      : data_(buf.data()), range_(buf.get_range()) {}
+      : data_(buf.data()), range_(buf.get_range()) {
+    detail::sync_host_access(data_);
+  }
 
   [[nodiscard]] T& operator[](const id<Dims>& i) const {
     return data_[detail::linearize(i, range_)];

@@ -1,0 +1,292 @@
+#include "sycl/detail/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "runtime/thread_pool.hpp"
+#include "sycl/launch_log.hpp"
+
+namespace sycl::detail {
+
+namespace {
+
+/// The command the calling thread is currently executing, if any. Used
+/// to exclude a command from its own synchronization points and to
+/// detect worker-context host syncs (which must not block on sibling
+/// commands - see the file comment in scheduler.hpp).
+thread_local const Command* t_current_command = nullptr;
+
+[[nodiscard]] unsigned worker_count_from_env() {
+  if (const char* env = std::getenv("SYCLPORT_QUEUE_WORKERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  // Enough workers that independent commands overlap, few enough that
+  // they do not crowd out the kernel thread pool; min 2 keeps the
+  // concurrency visible on single-core CI machines.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::clamp(hw, 2u, 8u);
+}
+
+}  // namespace
+
+std::uint64_t next_queue_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Scheduler& Scheduler::instance() {
+  static Scheduler s;
+  return s;
+}
+
+Scheduler::Scheduler()
+    : nworkers_(worker_count_from_env()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Scheduler::~Scheduler() {
+  wait_all();
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+double Scheduler::now() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+bool Scheduler::on_worker() noexcept { return t_current_command != nullptr; }
+
+bool Scheduler::concurrency_available() noexcept {
+  // Read the override on every call (not cached): tests flip it between
+  // cases to exercise both overlap strategies in one process.
+  if (const char* env = std::getenv("SYCLPORT_OVERLAP")) {
+    const std::string_view v(env);
+    if (v == "queue") return true;
+    if (v == "inline") return false;
+  }
+  return std::thread::hardware_concurrency() > 1;
+}
+
+void Scheduler::start_workers_locked() {
+  // Touch the singletons commands use while running *before* the first
+  // worker exists: function-local statics are destroyed in reverse
+  // construction order, so this guarantees the kernel pool and the
+  // launch log outlive every command the destructor may still drain.
+  syclport::rt::ThreadPool::global();
+  launch_log::instance();
+  workers_.reserve(nworkers_);
+  for (unsigned i = 0; i < nworkers_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  started_ = true;
+}
+
+void Scheduler::submit(std::shared_ptr<Command> cmd) {
+  cmd->profile.submit_seconds = now();
+  std::lock_guard lock(mu_);
+  if (stop_) {  // static-destruction stragglers run inline
+    for (auto& a : cmd->actions) a();
+    cmd->done_.store(true, std::memory_order_release);
+    return;
+  }
+  if (!started_) start_workers_locked();
+  for (const auto& f : inflight_) {
+    bool dep = false;
+    for (const auto& a : cmd->accesses) {
+      for (const auto& b : f->accesses)
+        if (access_conflict(a, b)) {
+          dep = true;
+          break;
+        }
+      if (dep) break;
+    }
+    if (!dep)
+      for (const auto& e : cmd->explicit_deps)
+        if (e.get() == f.get()) {
+          dep = true;
+          break;
+        }
+    if (dep) {
+      f->dependents.push_back(cmd);
+      ++cmd->unmet;
+    }
+  }
+  cmd->explicit_deps.clear();  // retired deps contribute no edges
+  cmd->profile.dep_edges = cmd->unmet;
+  inflight_.push_back(cmd);
+  inflight_count_.store(inflight_.size(), std::memory_order_release);
+  if (cmd->unmet == 0) {
+    ready_.push_back(std::move(cmd));
+    cv_work_.notify_one();
+  }
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+    if (stop_) return;
+    auto cmd = std::move(ready_.front());
+    ready_.pop_front();
+    // A command alone on the scheduler may fan its kernels out over the
+    // whole pool; with siblings running (or queued), each command runs
+    // its kernels serially so commands overlap *each other* instead of
+    // fighting over the pool's blocking submit path.
+    const bool solo = ready_.empty() && running_ == 0;
+    ++running_;
+    lock.unlock();
+    run_command(*cmd, solo);
+    lock.lock();
+    --running_;
+    retire_locked(cmd);
+  }
+}
+
+void Scheduler::run_command(Command& cmd, bool solo) {
+  const Command* prev = t_current_command;
+  t_current_command = &cmd;
+  cmd.profile.start_seconds = now();
+  cmd.profile.pool_parallel = solo;
+  try {
+    if (solo) {
+      for (auto& a : cmd.actions) a();
+    } else {
+      syclport::rt::ScopedSerialExecution serial;
+      for (auto& a : cmd.actions) a();
+    }
+  } catch (...) {
+    cmd.error = std::current_exception();
+  }
+  cmd.profile.end_seconds = now();
+  t_current_command = prev;
+  auto& lg = launch_log::instance();
+  if (lg.enabled())
+    lg.append_command(command_record{cmd.name, cmd.queue_id, cmd.profile});
+}
+
+void Scheduler::retire_locked(const std::shared_ptr<Command>& cmd) {
+  cmd->done_.store(true, std::memory_order_release);
+  if (cmd->error)
+    errors_.push_back({cmd.get(), cmd->queue_id, cmd->error});
+  for (auto& dep : cmd->dependents)
+    if (--dep->unmet == 0) {
+      ready_.push_back(dep);
+      cv_work_.notify_one();
+    }
+  cmd->dependents.clear();
+  std::erase(inflight_, cmd);
+  inflight_count_.store(inflight_.size(), std::memory_order_release);
+  cv_done_.notify_all();
+}
+
+bool Scheduler::help_one_locked(std::unique_lock<std::mutex>& lock) {
+  if (ready_.empty()) return false;
+  auto cmd = std::move(ready_.front());
+  ready_.pop_front();
+  const bool solo = ready_.empty() && running_ == 0;
+  ++running_;
+  lock.unlock();
+  run_command(*cmd, solo);
+  lock.lock();
+  --running_;
+  retire_locked(cmd);
+  return true;
+}
+
+template <typename Pred>
+void Scheduler::wait_helping(std::unique_lock<std::mutex>& lock, Pred&& pred) {
+  for (;;) {
+    if (pred()) return;
+    // Run ready work on this thread instead of sleeping: the awaited
+    // command (or one of its predecessors) may be among it, and every
+    // command helped is one fewer worker handoff.
+    if (help_one_locked(lock)) continue;
+    cv_done_.wait(lock, [&] { return pred() || !ready_.empty(); });
+  }
+}
+
+void Scheduler::wait_queue(std::uint64_t queue_id) {
+  std::unique_lock lock(mu_);
+  wait_helping(lock, [&] {
+    return std::none_of(inflight_.begin(), inflight_.end(),
+                        [&](const auto& f) {
+                          return f->queue_id == queue_id &&
+                                 f.get() != t_current_command;
+                        });
+  });
+}
+
+void Scheduler::wait_all() {
+  std::unique_lock lock(mu_);
+  wait_helping(lock, [&] {
+    return std::none_of(
+        inflight_.begin(), inflight_.end(),
+        [&](const auto& f) { return f.get() != t_current_command; });
+  });
+}
+
+void Scheduler::wait_address(const void* ptr) {
+  std::unique_lock lock(mu_);
+  wait_helping(lock, [&] {
+    return std::none_of(inflight_.begin(), inflight_.end(), [&](const auto& f) {
+      if (f.get() == t_current_command) return false;
+      for (const auto& a : f->accesses)
+        if (a.ptr == ptr) return true;
+      return false;
+    });
+  });
+}
+
+void Scheduler::wait_conflicts(const std::vector<AccessRecord>& accesses) {
+  // From a worker this is a no-op: the enclosing command was already
+  // ordered at submit, and blocking on a sibling command here could
+  // deadlock (the sibling may be doing the same).
+  if (on_worker()) return;
+  std::unique_lock lock(mu_);
+  wait_helping(lock, [&] {
+    return std::none_of(inflight_.begin(), inflight_.end(), [&](const auto& f) {
+      if (accesses.empty()) return true;  // undeclared: conflicts with all
+      for (const auto& a : accesses)
+        for (const auto& b : f->accesses)
+          if (access_conflict(a, b)) return true;
+      return false;
+    });
+  });
+}
+
+void Scheduler::wait_command(const std::shared_ptr<Command>& cmd) {
+  if (!cmd || cmd->done() || cmd.get() == t_current_command) return;
+  std::unique_lock lock(mu_);
+  wait_helping(lock, [&] { return cmd->done(); });
+}
+
+std::exception_ptr Scheduler::consume_error(const Command* cmd) {
+  std::lock_guard lock(mu_);
+  for (auto it = errors_.begin(); it != errors_.end(); ++it)
+    if (it->cmd == cmd) {
+      std::exception_ptr e = it->error;
+      errors_.erase(it);
+      return e;
+    }
+  return nullptr;
+}
+
+std::vector<std::exception_ptr> Scheduler::consume_queue_errors(
+    std::uint64_t queue_id) {
+  std::lock_guard lock(mu_);
+  std::vector<std::exception_ptr> out;
+  std::erase_if(errors_, [&](const StoredError& se) {
+    if (se.queue_id != queue_id) return false;
+    out.push_back(se.error);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace sycl::detail

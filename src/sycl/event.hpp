@@ -1,0 +1,62 @@
+#pragma once
+/// \file event.hpp
+/// miniSYCL event. A synchronous submission (in-order queue, or an
+/// out-of-order queue command group with no declared footprint) yields
+/// a completed event carrying its host wall time; an asynchronous one
+/// wraps the scheduled Command, and wait() becomes a real
+/// synchronization point that also rethrows the kernel's exception.
+
+#include <memory>
+#include <utility>
+
+#include "sycl/detail/scheduler.hpp"
+
+namespace sycl {
+
+class event {
+ public:
+  /// An already-complete event (default construction, sync submits).
+  event() = default;
+  explicit event(double host_seconds) : host_seconds_(host_seconds) {}
+  /// An event tracking an in-flight command.
+  explicit event(std::shared_ptr<detail::Command> cmd)
+      : cmd_(std::move(cmd)) {}
+
+  /// Block until the command completes. If its kernels threw, the first
+  /// exception is rethrown here (consuming it: later waits and
+  /// queue::wait_and_throw will not see it again).
+  void wait() const {
+    if (!cmd_) return;
+    auto& s = detail::Scheduler::instance();
+    s.wait_command(cmd_);
+    if (auto e = s.consume_error(cmd_.get())) std::rethrow_exception(e);
+  }
+
+  /// Host wall-clock seconds spent executing the command group (waits
+  /// for completion first; does not consume a stored exception).
+  [[nodiscard]] double host_seconds() const {
+    if (!cmd_) return host_seconds_;
+    detail::Scheduler::instance().wait_command(cmd_);
+    return cmd_->profile.end_seconds - cmd_->profile.start_seconds;
+  }
+
+  /// Scheduling timestamps / DAG counters (waits for completion first).
+  /// Synchronous events report an empty profile.
+  [[nodiscard]] detail::CommandProfile profile() const {
+    if (!cmd_) return detail::CommandProfile{};
+    detail::Scheduler::instance().wait_command(cmd_);
+    return cmd_->profile;
+  }
+
+  /// The underlying command, if this event is asynchronous
+  /// (implementation detail, used by handler::depends_on).
+  [[nodiscard]] const std::shared_ptr<detail::Command>& command() const {
+    return cmd_;
+  }
+
+ private:
+  std::shared_ptr<detail::Command> cmd_;
+  double host_seconds_ = 0.0;
+};
+
+}  // namespace sycl

@@ -1,9 +1,16 @@
 #pragma once
 /// \file exception.hpp
-/// miniSYCL error type, mirroring sycl::exception / errc.
+/// miniSYCL error types: sycl::exception / errc, plus the SYCL 2020
+/// asynchronous-error surface (exception_list, async_handler) used by
+/// the out-of-order queue to report kernel exceptions captured on
+/// scheduler workers.
 
+#include <cstddef>
+#include <exception>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace sycl {
 
@@ -26,5 +33,26 @@ class exception : public std::runtime_error {
  private:
   errc code_;
 };
+
+/// Batch of asynchronous (kernel) exceptions, as in SYCL 2020. Handed
+/// to the queue's async_handler by wait_and_throw / throw_asynchronous.
+class exception_list {
+ public:
+  using value_type = std::exception_ptr;
+  using iterator = std::vector<std::exception_ptr>::const_iterator;
+  using const_iterator = iterator;
+
+  [[nodiscard]] std::size_t size() const noexcept { return list_.size(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return list_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return list_.end(); }
+
+  void push_back(std::exception_ptr e) { list_.push_back(std::move(e)); }
+
+ private:
+  std::vector<std::exception_ptr> list_;
+};
+
+/// Receives captured kernel exceptions at queue synchronization points.
+using async_handler = std::function<void(exception_list)>;
 
 }  // namespace sycl

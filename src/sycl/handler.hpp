@@ -12,18 +12,34 @@
 ///   local memory (fiber-backed, see runtime/fiber.hpp).
 /// - reductions             : SYCL 2020 reduction objects, implemented
 ///   with per-chunk/per-group partials combined under a lock.
+///
+/// The handler runs in one of two modes (docs/queue.md):
+/// - immediate: kernels execute inline at the point of the
+///   parallel_for call, preceded by a conservative wait on conflicting
+///   in-flight commands. Zero-allocation - this is the seed behaviour
+///   and the hot path of the queue shortcuts and in_order queues.
+/// - deferred: kernels are *recorded* (captured by value) together
+///   with the accessor footprint; queue::submit turns the recording
+///   into a scheduler Command so independent command groups execute
+///   concurrently. nd_range validation still happens at record time,
+///   so ill-formed launches throw synchronously in both modes.
 
 #include <atomic>
 #include <concepts>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/timing.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sycl/access.hpp"
 #include "sycl/detail/local_arena.hpp"
+#include "sycl/detail/scheduler.hpp"
 #include "sycl/device.hpp"
+#include "sycl/event.hpp"
 #include "sycl/exception.hpp"
 #include "sycl/item.hpp"
 #include "sycl/launch_log.hpp"
@@ -54,11 +70,137 @@ inline void invoke_flat(const K& k, const id<Dims>& i, const range<Dims>& r) {
   }
 }
 
+inline void log_launch(const char* name, int dims,
+                       std::array<std::size_t, 3> global,
+                       std::optional<std::array<std::size_t, 3>> local,
+                       bool barrier, bool reduction, double secs,
+                       syclport::rt::LaunchStats stats) {
+  auto& lg = launch_log::instance();
+  if (!lg.enabled()) return;
+  lg.append(launch_record{name, dims, global, local, barrier, reduction, secs,
+                          stats});
+}
+
+// --- kernel execution bodies, shared by both handler modes -----------------
+
+template <int Dims, typename K>
+void exec_flat(const device&, const char* name, const range<Dims>& r,
+               const K& k) {
+  syclport::WallTimer t;
+  const std::size_t total = r.size();
+  // Templated fast path: the lambda is dispatched inline by the pool,
+  // no std::function is constructed per launch or per chunk.
+  syclport::rt::ThreadPool::global().parallel_for(
+      total, [&](std::size_t b, std::size_t e) {
+        for (std::size_t lin = b; lin < e; ++lin)
+          invoke_flat(k, delinearize(lin, r), r);
+      });
+  log_launch(name, Dims, to3(r), std::nullopt, false, false, t.seconds(),
+             syclport::rt::ThreadPool::last_stats());
+}
+
+template <int Dims, typename T, typename Op, typename K>
+void exec_flat_reduce(const device&, const char* name, const range<Dims>& r,
+                      const reduction_descriptor<T, Op>& red, const K& k) {
+  syclport::WallTimer t;
+  std::mutex mu;
+  T acc = red.identity;
+  syclport::rt::ThreadPool::global().parallel_for(
+      r.size(), [&](std::size_t b, std::size_t e) {
+        reducer<T, Op> part(red.identity, red.op);
+        for (std::size_t lin = b; lin < e; ++lin) {
+          const id<Dims> i = delinearize(lin, r);
+          if constexpr (std::invocable<const K&, item<Dims>, reducer<T, Op>&>) {
+            k(item<Dims>(i, r), part);
+          } else {
+            k(i, part);
+          }
+        }
+        std::lock_guard lock(mu);
+        acc = red.op(acc, part.value());
+      });
+  *red.target = red.op(*red.target, acc);
+  log_launch(name, Dims, to3(r), std::nullopt, false, true, t.seconds(),
+             syclport::rt::ThreadPool::last_stats());
+}
+
+template <int Dims, typename K>
+void exec_nd(const device& dev, const char* name, const nd_range<Dims>& ndr,
+             const K& k) {
+  syclport::WallTimer t;
+  const range<Dims> groups = ndr.get_group_range();
+  const range<Dims> local = ndr.get_local_range();
+  const range<Dims> global = ndr.get_global_range();
+  std::atomic<bool> used_barrier{false};
+  syclport::rt::ThreadPool::global().run_chunks(
+      groups.size(), [&](std::size_t g) {
+        local_reset();
+        const id<Dims> gid = delinearize(g, groups);
+        const bool b = syclport::rt::run_barrier_group(
+            local.size(), [&](std::size_t li) {
+              const id<Dims> lid = delinearize(li, local);
+              id<Dims> glob;
+              for (int d = 0; d < Dims; ++d)
+                glob[d] = gid[d] * local[d] + lid[d];
+              k(nd_item<Dims>(glob, lid, group<Dims>(gid, groups, local, li),
+                              global, dev.profile().sub_group_size));
+            });
+        if (b) used_barrier.store(true, std::memory_order_relaxed);
+      });
+  log_launch(name, Dims, to3(global), to3(local), used_barrier.load(), false,
+             t.seconds(), syclport::rt::ThreadPool::last_stats());
+}
+
+template <int Dims, typename T, typename Op, typename K>
+void exec_nd_reduce(const device& dev, const char* name,
+                    const nd_range<Dims>& ndr,
+                    const reduction_descriptor<T, Op>& red, const K& k) {
+  syclport::WallTimer t;
+  const range<Dims> groups = ndr.get_group_range();
+  const range<Dims> local = ndr.get_local_range();
+  const range<Dims> global = ndr.get_global_range();
+  std::mutex mu;
+  T acc = red.identity;
+  std::atomic<bool> used_barrier{false};
+  syclport::rt::ThreadPool::global().run_chunks(
+      groups.size(), [&](std::size_t g) {
+        local_reset();
+        const id<Dims> gid = delinearize(g, groups);
+        reducer<T, Op> part(red.identity, red.op);
+        const bool b = syclport::rt::run_barrier_group(
+            local.size(), [&](std::size_t li) {
+              const id<Dims> lid = delinearize(li, local);
+              id<Dims> glob;
+              for (int d = 0; d < Dims; ++d)
+                glob[d] = gid[d] * local[d] + lid[d];
+              k(nd_item<Dims>(glob, lid, group<Dims>(gid, groups, local, li),
+                              global, dev.profile().sub_group_size),
+                part);
+            });
+        if (b) used_barrier.store(true, std::memory_order_relaxed);
+        std::lock_guard lock(mu);
+        acc = red.op(acc, part.value());
+      });
+  *red.target = red.op(*red.target, acc);
+  log_launch(name, Dims, to3(global), to3(local), used_barrier.load(), true,
+             t.seconds(), syclport::rt::ThreadPool::last_stats());
+}
+
+template <typename K>
+void exec_single(const device&, const K& k) {
+  syclport::WallTimer t;
+  k();
+  log_launch("(single_task)", 1, {1, 1, 1},
+             std::array<std::size_t, 3>{1, 1, 1}, false, false, t.seconds(),
+             syclport::rt::LaunchStats{});
+}
+
 }  // namespace detail
 
 class handler {
  public:
-  explicit handler(const device& dev) : dev_(dev) {}
+  explicit handler(const device& dev, bool deferred = false)
+      : dev_(dev), deferred_(deferred) {}
 
   // --- flat parallel_for -------------------------------------------------
   template <int Dims, typename K>
@@ -68,17 +210,14 @@ class handler {
 
   template <int Dims, typename K>
   void parallel_for(const char* name, range<Dims> r, const K& k) {
-    syclport::WallTimer t;
-    const std::size_t total = r.size();
-    // Templated fast path: the lambda is dispatched inline by the pool,
-    // no std::function is constructed per launch or per chunk.
-    syclport::rt::ThreadPool::global().parallel_for(
-        total, [&](std::size_t b, std::size_t e) {
-          for (std::size_t lin = b; lin < e; ++lin)
-            detail::invoke_flat(k, detail::delinearize(lin, r), r);
-        });
-    log(name, Dims, detail::to3(r), std::nullopt, false, false, t.seconds(),
-        syclport::rt::ThreadPool::last_stats());
+    if (!deferred_) {
+      sync_immediate();
+      detail::exec_flat(dev_, name, r, k);
+      return;
+    }
+    record(name, [dev = dev_, name, r, k] {
+      detail::exec_flat(dev, name, r, k);
+    });
   }
 
   // --- flat parallel_for with one reduction --------------------------------
@@ -91,27 +230,15 @@ class handler {
   template <int Dims, typename T, typename Op, typename K>
   void parallel_for(const char* name, range<Dims> r,
                     reduction_descriptor<T, Op> red, const K& k) {
-    syclport::WallTimer t;
-    std::mutex mu;
-    T acc = red.identity;
-    syclport::rt::ThreadPool::global().parallel_for(
-        r.size(), [&](std::size_t b, std::size_t e) {
-          reducer<T, Op> part(red.identity, red.op);
-          for (std::size_t lin = b; lin < e; ++lin) {
-            const id<Dims> i = detail::delinearize(lin, r);
-            if constexpr (std::invocable<const K&, item<Dims>,
-                                         reducer<T, Op>&>) {
-              k(item<Dims>(i, r), part);
-            } else {
-              k(i, part);
-            }
-          }
-          std::lock_guard lock(mu);
-          acc = red.op(acc, part.value());
-        });
-    *red.target = red.op(*red.target, acc);
-    log(name, Dims, detail::to3(r), std::nullopt, false, true, t.seconds(),
-        syclport::rt::ThreadPool::last_stats());
+    if (!deferred_) {
+      sync_immediate();
+      detail::exec_flat_reduce(dev_, name, r, red, k);
+      return;
+    }
+    register_access(red.target, access_mode::read_write);
+    record(name, [dev = dev_, name, r, red, k] {
+      detail::exec_flat_reduce(dev, name, r, red, k);
+    });
   }
 
   // --- nd_range parallel_for ----------------------------------------------
@@ -123,30 +250,14 @@ class handler {
   template <int Dims, typename K>
   void parallel_for(const char* name, nd_range<Dims> ndr, const K& k) {
     check_nd_range(ndr);
-    syclport::WallTimer t;
-    const range<Dims> groups = ndr.get_group_range();
-    const range<Dims> local = ndr.get_local_range();
-    const range<Dims> global = ndr.get_global_range();
-    std::atomic<bool> used_barrier{false};
-    syclport::rt::ThreadPool::global().run_chunks(
-        groups.size(), [&](std::size_t g) {
-          detail::local_reset();
-          const id<Dims> gid = detail::delinearize(g, groups);
-          const bool b = syclport::rt::run_barrier_group(
-              local.size(), [&](std::size_t li) {
-                const id<Dims> lid = detail::delinearize(li, local);
-                id<Dims> glob;
-                for (int d = 0; d < Dims; ++d)
-                  glob[d] = gid[d] * local[d] + lid[d];
-                k(nd_item<Dims>(glob, lid,
-                                group<Dims>(gid, groups, local, li), global,
-                                dev_.profile().sub_group_size));
-              });
-          if (b) used_barrier.store(true, std::memory_order_relaxed);
-        });
-    log(name, Dims, detail::to3(global), detail::to3(local),
-        used_barrier.load(), false, t.seconds(),
-        syclport::rt::ThreadPool::last_stats());
+    if (!deferred_) {
+      sync_immediate();
+      detail::exec_nd(dev_, name, ndr, k);
+      return;
+    }
+    record(name, [dev = dev_, name, ndr, k] {
+      detail::exec_nd(dev, name, ndr, k);
+    });
   }
 
   // --- nd_range parallel_for with one reduction ----------------------------
@@ -160,53 +271,59 @@ class handler {
   void parallel_for(const char* name, nd_range<Dims> ndr,
                     reduction_descriptor<T, Op> red, const K& k) {
     check_nd_range(ndr);
-    syclport::WallTimer t;
-    const range<Dims> groups = ndr.get_group_range();
-    const range<Dims> local = ndr.get_local_range();
-    const range<Dims> global = ndr.get_global_range();
-    std::mutex mu;
-    T acc = red.identity;
-    std::atomic<bool> used_barrier{false};
-    syclport::rt::ThreadPool::global().run_chunks(
-        groups.size(), [&](std::size_t g) {
-          detail::local_reset();
-          const id<Dims> gid = detail::delinearize(g, groups);
-          reducer<T, Op> part(red.identity, red.op);
-          const bool b = syclport::rt::run_barrier_group(
-              local.size(), [&](std::size_t li) {
-                const id<Dims> lid = detail::delinearize(li, local);
-                id<Dims> glob;
-                for (int d = 0; d < Dims; ++d)
-                  glob[d] = gid[d] * local[d] + lid[d];
-                k(nd_item<Dims>(glob, lid,
-                                group<Dims>(gid, groups, local, li), global,
-                                dev_.profile().sub_group_size),
-                  part);
-              });
-          if (b) used_barrier.store(true, std::memory_order_relaxed);
-          std::lock_guard lock(mu);
-          acc = red.op(acc, part.value());
-        });
-    *red.target = red.op(*red.target, acc);
-    log(name, Dims, detail::to3(global), detail::to3(local),
-        used_barrier.load(), true, t.seconds(),
-        syclport::rt::ThreadPool::last_stats());
+    if (!deferred_) {
+      sync_immediate();
+      detail::exec_nd_reduce(dev_, name, ndr, red, k);
+      return;
+    }
+    register_access(red.target, access_mode::read_write);
+    record(name, [dev = dev_, name, ndr, red, k] {
+      detail::exec_nd_reduce(dev, name, ndr, red, k);
+    });
   }
 
   // --- single task ----------------------------------------------------------
   template <typename K>
   void single_task(const K& k) {
-    syclport::WallTimer t;
-    k();
-    log("(single_task)", 1, {1, 1, 1}, std::array<std::size_t, 3>{1, 1, 1},
-        false, false, t.seconds(), syclport::rt::LaunchStats{});
+    if (!deferred_) {
+      sync_immediate();
+      detail::exec_single(dev_, k);
+      return;
+    }
+    record("(single_task)", [dev = dev_, k] { detail::exec_single(dev, k); });
   }
 
-  /// SYCL accessor registration; dependency tracking is a no-op here.
+  /// Accessor registration: records (base pointer, access_mode) in the
+  /// command group's footprint, from which queue::submit derives
+  /// RAW/WAR/WAW edges. Buffer accessors call this from their
+  /// constructors; SYCL code may also call it explicitly.
   template <typename Acc>
-  void require(const Acc&) {}
+  void require(const Acc& acc) {
+    register_access(acc.get_pointer(), acc.mode());
+  }
+
+  /// Footprint declaration for raw (USM / wrapped host) memory, which
+  /// has no accessor to speak for it. The DSL overlap paths use this to
+  /// declare per-dat footprints so commands from different minimpi
+  /// ranks stay independent.
+  void require(const void* ptr, access_mode mode) {
+    register_access(ptr, mode);
+  }
+
+  /// Explicit command ordering, as in SYCL 2020. On the immediate path
+  /// the event is simply waited for here.
+  void depends_on(const event& e) {
+    if (!deferred_) {
+      if (e.command()) detail::Scheduler::instance().wait_command(e.command());
+      return;
+    }
+    if (e.command()) deps_.push_back(e.command());
+    explicit_deps_ = true;
+  }
 
  private:
+  friend class queue;
+
   template <int Dims>
   void check_nd_range(const nd_range<Dims>& ndr) const {
     if (ndr.get_local_range().size() > dev_.max_work_group_size())
@@ -214,16 +331,37 @@ class handler {
                       "work-group size exceeds device limit");
   }
 
-  void log(const char* name, int dims, std::array<std::size_t, 3> global,
-           std::optional<std::array<std::size_t, 3>> local, bool barrier,
-           bool reduction, double secs, syclport::rt::LaunchStats stats) {
-    auto& lg = launch_log::instance();
-    if (!lg.enabled()) return;
-    lg.append(launch_record{name, dims, global, local, barrier, reduction,
-                            secs, stats});
+  void register_access(const void* ptr, access_mode mode) {
+    if (ptr == nullptr) return;
+    for (auto& a : accesses_) {
+      if (a.ptr != ptr) continue;
+      if (a.mode != mode) a.mode = access_mode::read_write;
+      return;
+    }
+    accesses_.push_back({ptr, mode});
+  }
+
+  /// Conservative pre-step of immediate execution: block until no
+  /// in-flight command conflicts with this command group's footprint
+  /// (with no footprint declared, until the scheduler is idle).
+  void sync_immediate() const {
+    auto& s = detail::Scheduler::instance();
+    if (s.active()) s.wait_conflicts(accesses_);
+  }
+
+  template <typename Fn>
+  void record(const char* name, Fn&& fn) {
+    if (!name_) name_ = name;
+    actions_.push_back(std::forward<Fn>(fn));
   }
 
   device dev_;
+  bool deferred_ = false;
+  bool explicit_deps_ = false;  ///< depends_on was called (even if retired)
+  const char* name_ = nullptr;  ///< first recorded kernel name
+  std::vector<std::function<void()>> actions_;
+  std::vector<detail::AccessRecord> accesses_;
+  std::vector<std::shared_ptr<detail::Command>> deps_;
 };
 
 }  // namespace sycl

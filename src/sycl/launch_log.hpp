@@ -6,15 +6,29 @@
 /// work-group shape (flat launches record local=nullopt - the shape is
 /// then *chosen by the modeled compiler runtime*, which is exactly the
 /// flat-vs-nd_range effect the paper studies).
+///
+/// The out-of-order scheduler additionally appends one command_record
+/// per asynchronous command group, carrying submit/start/end
+/// timestamps and the number of dependency edges derived at submit -
+/// the per-kernel scheduling overhead the paper discusses, made
+/// measurable (bench/ablation_async.cpp).
+///
+/// Thread safety: kernels of independent command groups execute
+/// concurrently on scheduler workers, so every record path takes the
+/// log mutex; the enabled() fast path is a lock-free atomic load so
+/// disabled logging costs the hot path nothing.
 
 #include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
+#include "sycl/detail/scheduler.hpp"
 
 namespace sycl {
 
@@ -32,6 +46,13 @@ struct launch_record {
   syclport::rt::LaunchStats executor{};
 };
 
+/// One asynchronous command group as the scheduler saw it.
+struct command_record {
+  std::string name;
+  std::uint64_t queue_id = 0;
+  detail::CommandProfile profile;  ///< timestamps + dep_edges + pool use
+};
+
 /// Process-wide, thread-safe launch log.
 class launch_log {
  public:
@@ -39,16 +60,22 @@ class launch_log {
 
   void set_enabled(bool on) {
     std::lock_guard lock(mu_);
-    enabled_ = on;
+    enabled_.store(on, std::memory_order_relaxed);
   }
   [[nodiscard]] bool enabled() const {
-    std::lock_guard lock(mu_);
-    return enabled_;
+    return enabled_.load(std::memory_order_relaxed);
   }
 
   void append(launch_record rec) {
     std::lock_guard lock(mu_);
-    if (enabled_) records_.push_back(std::move(rec));
+    if (enabled_.load(std::memory_order_relaxed))
+      records_.push_back(std::move(rec));
+  }
+
+  void append_command(command_record rec) {
+    std::lock_guard lock(mu_);
+    if (enabled_.load(std::memory_order_relaxed))
+      commands_.push_back(std::move(rec));
   }
 
   [[nodiscard]] std::vector<launch_record> snapshot() const {
@@ -56,9 +83,15 @@ class launch_log {
     return records_;
   }
 
+  [[nodiscard]] std::vector<command_record> commands_snapshot() const {
+    std::lock_guard lock(mu_);
+    return commands_;
+  }
+
   void clear() {
     std::lock_guard lock(mu_);
     records_.clear();
+    commands_.clear();
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -66,11 +99,17 @@ class launch_log {
     return records_.size();
   }
 
+  [[nodiscard]] std::size_t commands_size() const {
+    std::lock_guard lock(mu_);
+    return commands_.size();
+  }
+
  private:
   launch_log() = default;
   mutable std::mutex mu_;
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   std::vector<launch_record> records_;
+  std::vector<command_record> commands_;
 };
 
 }  // namespace sycl

@@ -1,0 +1,38 @@
+#pragma once
+/// \file property.hpp
+/// Queue properties. Only property::queue::in_order is meaningful here:
+/// it degrades the out-of-order scheduler (detail/scheduler.hpp) to the
+/// synchronous in-order semantics the seed implementation had.
+
+#include <type_traits>
+
+namespace sycl {
+
+namespace property::queue {
+/// Commands on this queue execute synchronously in submission order.
+struct in_order {};
+}  // namespace property::queue
+
+template <typename P>
+struct is_property : std::false_type {};
+template <>
+struct is_property<property::queue::in_order> : std::true_type {};
+
+class property_list {
+ public:
+  property_list() = default;
+
+  template <typename... Props>
+    requires(is_property<Props>::value && ...)
+  property_list(Props... props) {  // NOLINT(*-explicit-constructor)
+    (set(props), ...);
+  }
+
+  [[nodiscard]] bool has_in_order() const noexcept { return in_order_; }
+
+ private:
+  void set(property::queue::in_order) noexcept { in_order_ = true; }
+  bool in_order_ = false;
+};
+
+}  // namespace sycl

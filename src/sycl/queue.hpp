@@ -1,62 +1,100 @@
 #pragma once
 /// \file queue.hpp
-/// miniSYCL queue and event. Submission is synchronous (in-order queue
-/// semantics); events carry host wall time for the functional run.
+/// miniSYCL queue. By default the queue is out-of-order, as in SYCL
+/// 2020: submit() records the command group, derives dependency edges
+/// from its accessor footprint (and explicit depends_on events), and
+/// hands it to the process-wide scheduler so independent command
+/// groups execute concurrently. Synchronization points - event::wait,
+/// queue::wait, buffer destruction, host accessors - are real.
+///
+/// Degenerate cases that keep the seed's synchronous semantics:
+/// - a queue constructed with property::queue::in_order;
+/// - a command group that declares *no* footprint (no accessors, no
+///   require(), no depends_on): the runtime cannot know what it
+///   touches, so it conservatively waits for the scheduler to drain
+///   and runs inline. The queue shortcuts (q.parallel_for,
+///   q.single_task) take this path with zero per-launch allocation -
+///   the DSL hot path is unchanged from the seed.
+///
+/// Kernel exceptions on the asynchronous path are captured per
+/// command: event::wait() rethrows them; queue::wait_and_throw()
+/// drains them, either into the async_handler passed at queue
+/// construction (SYCL 2020) or by rethrowing the first.
 
 #include <cstring>
+#include <memory>
 #include <utility>
 
+#include "sycl/detail/scheduler.hpp"
 #include "sycl/device.hpp"
+#include "sycl/event.hpp"
+#include "sycl/exception.hpp"
 #include "sycl/handler.hpp"
+#include "sycl/property.hpp"
 
 namespace sycl {
 
-class event {
- public:
-  event() = default;
-  explicit event(double host_seconds) : host_seconds_(host_seconds) {}
-
-  /// Host wall-clock seconds spent executing the command group.
-  [[nodiscard]] double host_seconds() const { return host_seconds_; }
-
-  void wait() const {}
-
- private:
-  double host_seconds_ = 0.0;
-};
-
-/// In-order queue over a single (modeled) device.
 class queue {
  public:
-  queue() : dev_(device::host()) {}
-  explicit queue(device dev) : dev_(std::move(dev)) {}
+  queue() : queue(device::host(), property_list{}) {}
+  explicit queue(device dev) : queue(std::move(dev), property_list{}) {}
+  explicit queue(const property_list& props)
+      : queue(device::host(), props) {}
+  queue(device dev, const property_list& props)
+      : dev_(std::move(dev)),
+        in_order_(props.has_in_order()),
+        qid_(detail::next_queue_id()) {}
+  explicit queue(async_handler h, const property_list& props = {})
+      : queue(device::host(), std::move(h), props) {}
+  queue(device dev, async_handler h, const property_list& props = {})
+      : dev_(std::move(dev)),
+        handler_(std::move(h)),
+        in_order_(props.has_in_order()),
+        qid_(detail::next_queue_id()) {}
 
   [[nodiscard]] const device& get_device() const { return dev_; }
+  [[nodiscard]] bool is_in_order() const { return in_order_; }
 
-  /// Submit a command group; executes synchronously.
+  /// Submit a command group. Executes synchronously on in_order queues
+  /// and for footprint-less command groups; otherwise records a
+  /// scheduler command and returns an event tracking it.
   template <typename CGF>
   event submit(CGF&& cgf) {
-    syclport::WallTimer t;
-    handler h(dev_);
+    if (in_order_) {
+      syclport::WallTimer t;
+      handler h(dev_, /*deferred=*/false);
+      std::forward<CGF>(cgf)(h);
+      return event(t.seconds());
+    }
+    handler h(dev_, /*deferred=*/true);
     std::forward<CGF>(cgf)(h);
-    return event(t.seconds());
+    return finalize(h);
   }
 
-  /// Shortcut forms, as in SYCL 2020.
+  /// Shortcut forms, as in SYCL 2020. Executed immediately (there is no
+  /// accessor footprint a shortcut could declare), preceded by a
+  /// conservative wait on in-flight commands; zero-allocation.
   template <typename... Args>
   event parallel_for(Args&&... args) {
-    return submit([&](handler& h) {
-      h.parallel_for(std::forward<Args>(args)...);
-    });
+    syclport::WallTimer t;
+    handler h(dev_, /*deferred=*/false);
+    h.parallel_for(std::forward<Args>(args)...);
+    return event(t.seconds());
   }
 
   template <typename K>
   event single_task(const K& k) {
-    return submit([&](handler& h) { h.single_task(k); });
+    syclport::WallTimer t;
+    handler h(dev_, /*deferred=*/false);
+    h.single_task(k);
+    return event(t.seconds());
   }
 
-  /// USM-style utility operations.
+  /// USM-style utility operations. Synchronous, but wait only on
+  /// in-flight commands that conflict with the declared src/dst
+  /// footprint.
   event memcpy(void* dst, const void* src, std::size_t bytes) {
+    sync_footprint({{dst, access_mode::write}, {src, access_mode::read}});
     syclport::WallTimer t;
     std::memcpy(dst, src, bytes);
     return event(t.seconds());
@@ -64,16 +102,69 @@ class queue {
 
   template <typename T>
   event fill(T* ptr, const T& value, std::size_t count) {
+    sync_footprint({{ptr, access_mode::write}});
     syclport::WallTimer t;
     for (std::size_t i = 0; i < count; ++i) ptr[i] = value;
     return event(t.seconds());
   }
 
-  queue& wait() { return *this; }
-  void wait_and_throw() {}
+  /// Block until every command submitted to this queue has completed.
+  queue& wait() {
+    auto& s = detail::Scheduler::instance();
+    if (s.active()) s.wait_queue(qid_);
+    return *this;
+  }
+
+  /// wait(), then surface captured kernel exceptions: all of them to
+  /// the async_handler if one was given at construction, otherwise the
+  /// first is rethrown (the rest are dropped, as in SYCL).
+  void wait_and_throw() {
+    wait();
+    throw_asynchronous();
+  }
+
+  /// Surface captured kernel exceptions without waiting first.
+  void throw_asynchronous() {
+    auto errs = detail::Scheduler::instance().consume_queue_errors(qid_);
+    if (errs.empty()) return;
+    if (handler_) {
+      exception_list list;
+      for (auto& e : errs) list.push_back(std::move(e));
+      handler_(std::move(list));
+      return;
+    }
+    std::rethrow_exception(errs.front());
+  }
 
  private:
+  event finalize(handler& h) {
+    if (h.accesses_.empty() && !h.explicit_deps_) {
+      // Undeclared footprint: the scheduler cannot place this command
+      // in the DAG, so drain in-flight work and run inline.
+      h.sync_immediate();
+      syclport::WallTimer t;
+      for (auto& a : h.actions_) a();
+      return event(t.seconds());
+    }
+    auto cmd = std::make_shared<detail::Command>();
+    cmd->name = h.name_ ? h.name_ : "(command)";
+    cmd->actions = std::move(h.actions_);
+    cmd->accesses = std::move(h.accesses_);
+    cmd->explicit_deps = std::move(h.deps_);
+    cmd->queue_id = qid_;
+    detail::Scheduler::instance().submit(cmd);
+    return event(std::move(cmd));
+  }
+
+  void sync_footprint(const std::vector<detail::AccessRecord>& accs) {
+    auto& s = detail::Scheduler::instance();
+    if (s.active()) s.wait_conflicts(accs);
+  }
+
   device dev_;
+  async_handler handler_;
+  bool in_order_ = false;
+  std::uint64_t qid_ = 0;
 };
 
 }  // namespace sycl

@@ -4,15 +4,18 @@
 /// the SYCL 2020 subset used by this study (DESIGN.md §2). Application
 /// and DSL code includes only this header.
 
+#include "sycl/access.hpp"            // IWYU pragma: export
 #include "sycl/atomic.hpp"            // IWYU pragma: export
 #include "sycl/buffer.hpp"            // IWYU pragma: export
 #include "sycl/device.hpp"            // IWYU pragma: export
+#include "sycl/event.hpp"             // IWYU pragma: export
 #include "sycl/exception.hpp"         // IWYU pragma: export
 #include "sycl/group_algorithms.hpp"  // IWYU pragma: export
 #include "sycl/handler.hpp"           // IWYU pragma: export
 #include "sycl/item.hpp"              // IWYU pragma: export
 #include "sycl/launch_log.hpp"        // IWYU pragma: export
 #include "sycl/local_accessor.hpp"    // IWYU pragma: export
+#include "sycl/property.hpp"          // IWYU pragma: export
 #include "sycl/queue.hpp"             // IWYU pragma: export
 #include "sycl/range.hpp"             // IWYU pragma: export
 #include "sycl/reduction.hpp"         // IWYU pragma: export

@@ -65,6 +65,9 @@ template <typename T>
 
 inline void free(void* ptr, const queue&) {
   if (ptr == nullptr) return;
+  // Freeing USM is a synchronization point for commands that declared
+  // this allocation in their footprint (via handler::require).
+  detail::sync_host_access(ptr);
   detail::usm_registry::instance().remove(ptr);
   ::operator delete(ptr, std::align_val_t{64});
 }

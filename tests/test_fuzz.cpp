@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <vector>
 
 #include "hwmodel/energy.hpp"
 #include "minimpi/comm.hpp"
 #include "ops/loop_chain.hpp"
 #include "ops/ops.hpp"
 #include "runtime/fiber.hpp"
+#include "sycl/sycl.hpp"
 
 namespace ops = syclport::ops;
 namespace mpi = syclport::mpi;
@@ -191,4 +194,86 @@ TEST(Fuzz, EnergyModelSanity) {
   // GPUs beat CPUs on bandwidth per watt.
   EXPECT_GT(hw::gb_per_joule(syclport::PlatformId::A100, 1310e9, 1.0),
             3.0 * hw::gb_per_joule(syclport::PlatformId::Xeon8360Y, 296e9, 1.0));
+}
+
+// ---------------------------------------------------------------------
+// Out-of-order queue: random command-group chains with random footprints
+// must produce bit-for-bit the same buffers as in-order execution - the
+// dependency DAG may only reorder commands that commute.
+
+TEST(Fuzz, RandomCommandChainsMatchInOrderExecution) {
+  constexpr std::size_t kN = 128;
+  constexpr int kBuffers = 4;
+  struct Use {
+    int buf;
+    sycl::access_mode mode;
+  };
+  struct Cmd {
+    std::vector<Use> uses;
+    bool wait_event;
+  };
+  for (unsigned seed : {11u, 23u, 47u, 91u, 2024u}) {
+    std::mt19937 rng(seed);
+    std::vector<Cmd> cmds;
+    for (int c = 0; c < 48; ++c) {
+      Cmd cmd;
+      const int k = 1 + static_cast<int>(rng() % 3);
+      std::vector<int> picked;
+      while (static_cast<int>(picked.size()) < k) {
+        const int b = static_cast<int>(rng() % kBuffers);
+        if (std::find(picked.begin(), picked.end(), b) == picked.end())
+          picked.push_back(b);
+      }
+      for (int b : picked)
+        cmd.uses.push_back({b, static_cast<sycl::access_mode>(rng() % 3)});
+      cmd.wait_event = (rng() % 8) == 0;
+      cmds.push_back(std::move(cmd));
+    }
+
+    auto run = [&](sycl::queue q) {
+      std::vector<std::vector<long long>> bufs(
+          kBuffers, std::vector<long long>(kN));
+      for (int b = 0; b < kBuffers; ++b)
+        for (std::size_t i = 0; i < kN; ++i)
+          bufs[static_cast<std::size_t>(b)][i] =
+              b * 1000 + static_cast<long long>(i);
+      std::vector<long long*> ptr;
+      for (auto& v : bufs) ptr.push_back(v.data());
+      int tag = 0;
+      for (const auto& cmd : cmds) {
+        sycl::event ev = q.submit([&](sycl::handler& h) {
+          for (const auto& u : cmd.uses)
+            h.require(ptr[static_cast<std::size_t>(u.buf)], u.mode);
+          h.parallel_for(
+              sycl::range<1>(kN),
+              [uses = cmd.uses, ps = ptr, tag](sycl::id<1> it) {
+                const auto i = it[0];
+                // Reads first, then writes: deterministic regardless of
+                // the order uses were listed in.
+                long long sum = 0;
+                for (const auto& u : uses)
+                  if (u.mode != sycl::access_mode::write)
+                    sum += ps[static_cast<std::size_t>(u.buf)][i];
+                for (const auto& u : uses) {
+                  if (u.mode == sycl::access_mode::read) continue;
+                  long long* out = ps[static_cast<std::size_t>(u.buf)];
+                  const long long base =
+                      u.mode == sycl::access_mode::write ? 0 : out[i];
+                  out[i] = base * 3 + sum + tag * 17 +
+                           static_cast<long long>(i);
+                }
+              });
+        });
+        if (cmd.wait_event) ev.wait();
+        ++tag;
+      }
+      q.wait();
+      return bufs;
+    };
+
+    const auto ooo = run(sycl::queue{});
+    const auto ordered = run(sycl::queue{
+        sycl::property_list{sycl::property::queue::in_order{}}});
+    EXPECT_EQ(ooo, ordered) << "seed " << seed;
+  }
 }

@@ -314,3 +314,57 @@ TEST(Comm, WaitallCompletesManyRequests) {
     EXPECT_EQ(in, prev * 7);
   });
 }
+
+TEST(Halo, SplitExchangeOverlapsInteriorMutation) {
+  // Begin/finish split: the sends are packed at construction, so
+  // mutating the interior between the two phases must not corrupt what
+  // the neighbours receive, and finish() must fill the ghosts with the
+  // *pre-begin* face values.
+  const int nranks = 4;
+  const std::size_t ng = 8;
+  mpi::run(nranks, [&](mpi::Comm& comm) {
+    mpi::CartDecomp cart(comm.rank(), nranks, 2);
+    const auto own0 = cart.owned(0, ng);
+    const auto own1 = cart.owned(1, ng);
+    mpi::LocalField<double> f;
+    f.dims = 2;
+    f.local = {own0.second - own0.first, own1.second - own1.first, 1};
+    f.halo = 1;
+    f.allocate();
+    auto value = [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+      return 100.0 * (static_cast<double>(own0.first) +
+                      static_cast<double>(i)) +
+             static_cast<double>(own1.first) + static_cast<double>(j);
+    };
+    for (std::size_t i = 0; i < f.local[0]; ++i)
+      for (std::size_t j = 0; j < f.local[1]; ++j)
+        f.at(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j)) =
+            value(static_cast<std::ptrdiff_t>(i),
+                  static_cast<std::ptrdiff_t>(j));
+
+    mpi::HaloExchange<double> ex(comm, cart, f);
+    // Overlap window: clobber the whole interior.
+    for (std::size_t i = 0; i < f.local[0]; ++i)
+      for (std::size_t j = 0; j < f.local[1]; ++j)
+        f.at(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j)) =
+            -999.0;
+    ex.finish();
+
+    // Ghosts hold the neighbour's original (pre-begin) face values,
+    // which extend the global numbering across the block boundary.
+    const auto ni = static_cast<std::ptrdiff_t>(f.local[0]);
+    const auto nj = static_cast<std::ptrdiff_t>(f.local[1]);
+    if (cart.neighbour(0, -1) >= 0)
+      for (std::ptrdiff_t j = 0; j < nj; ++j)
+        EXPECT_DOUBLE_EQ(f.at(-1, j), value(-1, j));
+    if (cart.neighbour(0, +1) >= 0)
+      for (std::ptrdiff_t j = 0; j < nj; ++j)
+        EXPECT_DOUBLE_EQ(f.at(ni, j), value(ni, j));
+    if (cart.neighbour(1, -1) >= 0)
+      for (std::ptrdiff_t i = 0; i < ni; ++i)
+        EXPECT_DOUBLE_EQ(f.at(i, -1), value(i, -1));
+    if (cart.neighbour(1, +1) >= 0)
+      for (std::ptrdiff_t i = 0; i < ni; ++i)
+        EXPECT_DOUBLE_EQ(f.at(i, nj), value(i, nj));
+  });
+}

@@ -426,3 +426,23 @@ TEST(FiberStackPool, FastPathGroupsUseOneFiberEach) {
   EXPECT_EQ(after.allocated, before.allocated);
   EXPECT_EQ(after.reused, before.reused + 50);  // one probe fiber per group
 }
+
+TEST(ThreadPool, ScopedSerialExecutionForcesInlineRuns) {
+  auto& pool = rt::ThreadPool::global();
+  std::atomic<std::size_t> n{0};
+  {
+    rt::ScopedSerialExecution serial;
+    EXPECT_TRUE(rt::serial_execution_forced());
+    pool.parallel_for(10'000, [&](std::size_t b, std::size_t e) {
+      n.fetch_add(e - b, std::memory_order_relaxed);
+    });
+    EXPECT_FALSE(rt::ThreadPool::last_stats().parallel);
+    {
+      rt::ScopedSerialExecution nested;
+      EXPECT_TRUE(rt::serial_execution_forced());
+    }
+    EXPECT_TRUE(rt::serial_execution_forced());  // nesting restores
+  }
+  EXPECT_FALSE(rt::serial_execution_forced());
+  EXPECT_EQ(n.load(), 10'000u);
+}

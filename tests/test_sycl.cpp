@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sycl/sycl.hpp"
@@ -336,3 +340,287 @@ TEST_P(WorkGroupSweep, SaxpyIndependentOfGroupSize) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, WorkGroupSweep,
                          ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+// ---------------------------------------------------------------------
+// Out-of-order queue: accessor-derived dependency DAG, real
+// synchronization points, asynchronous error capture.
+
+namespace {
+
+/// Declare a raw allocation in a command group's footprint.
+void touch(sycl::handler& h, const void* p, sycl::access_mode m) {
+  h.require(p, m);
+}
+
+}  // namespace
+
+TEST(OutOfOrder, RawChainExecutesInSubmissionOrder) {
+  sycl::queue q;
+  std::vector<int> v(64, 0);
+  int* p = v.data();
+  // write -> read-modify -> read-modify: each step depends on the last.
+  q.submit([&](sycl::handler& h) {
+    touch(h, p, sycl::access_mode::write);
+    h.parallel_for(sycl::range<1>(v.size()),
+                   [p](sycl::id<1> i) { p[i[0]] = 1; });
+  });
+  for (int step = 0; step < 4; ++step) {
+    q.submit([&](sycl::handler& h) {
+      touch(h, p, sycl::access_mode::read_write);
+      h.parallel_for(sycl::range<1>(v.size()),
+                     [p](sycl::id<1> i) { p[i[0]] = 2 * p[i[0]] + 1; });
+    });
+  }
+  q.wait();
+  // 1 -> 3 -> 7 -> 15 -> 31: any reordering gives a different value.
+  for (int x : v) EXPECT_EQ(x, 31);
+}
+
+TEST(OutOfOrder, IndependentCommandsRunConcurrently) {
+  // Two commands with disjoint footprints must be in flight at the same
+  // time: each raises its flag and then waits (with a deadline) to see
+  // the other's. A serializing scheduler times out on both.
+  sycl::queue q;
+  int a = 0, b = 0;
+  std::atomic<bool> fa{false}, fb{false};
+  std::atomic<bool> saw_a{false}, saw_b{false};
+  auto handshake = [](std::atomic<bool>& mine, std::atomic<bool>& other,
+                      std::atomic<bool>& saw) {
+    mine.store(true);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (other.load()) {
+        saw.store(true);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  };
+  q.submit([&](sycl::handler& h) {
+    touch(h, &a, sycl::access_mode::write);
+    h.single_task([&] { handshake(fa, fb, saw_a); });
+  });
+  q.submit([&](sycl::handler& h) {
+    touch(h, &b, sycl::access_mode::write);
+    h.single_task([&] { handshake(fb, fa, saw_b); });
+  });
+  q.wait();
+  EXPECT_TRUE(saw_a.load());
+  EXPECT_TRUE(saw_b.load());
+}
+
+TEST(OutOfOrder, WarHazardDefersWriterUntilReaderFinishes) {
+  sycl::queue q;
+  std::vector<int> src(256);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<int> copy(src.size(), -1);
+  int* sp = src.data();
+  int* cp = copy.data();
+  // Slow reader: copies src while stalling, so an unordered writer
+  // would race it and corrupt the copy.
+  q.submit([&](sycl::handler& h) {
+    touch(h, sp, sycl::access_mode::read);
+    touch(h, cp, sycl::access_mode::write);
+    h.single_task([sp, cp, n = src.size()] {
+      for (std::size_t i = 0; i < n; ++i) {
+        cp[i] = sp[i];
+        if (i % 64 == 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  });
+  // Writer conflicts (WAR) and must wait for the reader.
+  q.submit([&](sycl::handler& h) {
+    touch(h, sp, sycl::access_mode::write);
+    h.parallel_for(sycl::range<1>(src.size()),
+                   [sp](sycl::id<1> i) { sp[i[0]] = -7; });
+  });
+  q.wait();
+  for (std::size_t i = 0; i < copy.size(); ++i)
+    EXPECT_EQ(copy[i], static_cast<int>(i)) << "reader saw the writer";
+  for (int x : src) EXPECT_EQ(x, -7);
+}
+
+TEST(OutOfOrder, AccessorsDeriveTheFootprint) {
+  // Same RAW chain, but the footprint comes from buffer accessors
+  // instead of explicit require() calls.
+  std::vector<float> host(128, 0.0f);
+  {
+    sycl::buffer<float, 1> buf(host.data(), sycl::range<1>(host.size()));
+    sycl::queue q;
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor out(buf, h, sycl::write_only);
+      h.parallel_for(sycl::range<1>(host.size()),
+                     [out](sycl::id<1> i) { out[i[0]] = 2.0f; });
+    });
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor io(buf, h, sycl::read_write);
+      h.parallel_for(sycl::range<1>(host.size()),
+                     [io](sycl::id<1> i) { io[i[0]] += 3.0f; });
+    });
+    // Buffer destruction is a synchronization point: no q.wait() needed.
+  }
+  for (float x : host) EXPECT_FLOAT_EQ(x, 5.0f);
+}
+
+TEST(OutOfOrder, HostAccessorSynchronizes) {
+  std::vector<int> host(64, 0);
+  sycl::buffer<int, 1> buf(host.data(), sycl::range<1>(host.size()));
+  sycl::queue q;
+  q.submit([&](sycl::handler& h) {
+    sycl::accessor out(buf, h, sycl::write_only);
+    h.single_task([out, n = host.size()] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      for (std::size_t i = 0; i < n; ++i) out[i] = 9;
+    });
+  });
+  sycl::host_accessor ha(buf);
+  for (std::size_t i = 0; i < host.size(); ++i) EXPECT_EQ(ha[i], 9);
+}
+
+TEST(OutOfOrder, UndeclaredFootprintRunsSynchronously) {
+  // A command group with no accessors / require / depends_on cannot be
+  // placed in the DAG; it must have run by the time submit returns.
+  sycl::queue q;
+  int x = 0;
+  q.submit([&](sycl::handler& h) { h.single_task([&x] { x = 42; }); });
+  EXPECT_EQ(x, 42);
+}
+
+TEST(OutOfOrder, InOrderPropertyKeepsSynchronousSemantics) {
+  sycl::queue q(sycl::property_list{sycl::property::queue::in_order{}});
+  EXPECT_TRUE(q.is_in_order());
+  int x = 0;
+  q.submit([&](sycl::handler& h) {
+    h.require(&x, sycl::access_mode::write);
+    h.single_task([&x] { x = 7; });
+  });
+  EXPECT_EQ(x, 7);  // visible immediately: no wait() was issued
+
+  sycl::queue ooo;
+  EXPECT_FALSE(ooo.is_in_order());
+}
+
+TEST(OutOfOrder, EventWaitRethrowsKernelException) {
+  sycl::queue q;
+  int x = 0;
+  sycl::event ev = q.submit([&](sycl::handler& h) {
+    h.require(&x, sycl::access_mode::write);
+    h.single_task([] { throw std::runtime_error("boom"); });
+  });
+  EXPECT_THROW(ev.wait(), std::runtime_error);
+  // Consumed: the queue has nothing left to surface.
+  EXPECT_NO_THROW(q.wait_and_throw());
+}
+
+TEST(OutOfOrder, WaitAndThrowRethrowsWithoutHandler) {
+  sycl::queue q;
+  int x = 0;
+  q.submit([&](sycl::handler& h) {
+    h.require(&x, sycl::access_mode::write);
+    h.single_task([] { throw std::logic_error("async"); });
+  });
+  EXPECT_THROW(q.wait_and_throw(), std::logic_error);
+}
+
+TEST(OutOfOrder, AsyncHandlerReceivesExceptionList) {
+  std::size_t delivered = 0;
+  std::string what;
+  sycl::queue q([&](sycl::exception_list l) {
+    delivered = l.size();
+    for (auto& e : l) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const std::exception& ex) {
+        what = ex.what();
+      }
+    }
+  });
+  int x = 0;
+  q.submit([&](sycl::handler& h) {
+    h.require(&x, sycl::access_mode::write);
+    h.single_task([] { throw std::runtime_error("handled"); });
+  });
+  EXPECT_NO_THROW(q.wait_and_throw());
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(what, "handled");
+}
+
+TEST(OutOfOrder, DependsOnOrdersDisjointFootprints) {
+  // Two commands with unrelated footprints, ordered only by the event:
+  // the second copies what the first (slowly) produced.
+  sycl::queue q;
+  int* src = sycl::malloc_shared<int>(64, q);
+  int* dst = sycl::malloc_shared<int>(64, q);
+  sycl::event first = q.submit([&](sycl::handler& h) {
+    h.require(src, sycl::access_mode::write);
+    h.single_task([src] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      for (int i = 0; i < 64; ++i) src[i] = i * i;
+    });
+  });
+  q.submit([&](sycl::handler& h) {
+    h.require(dst, sycl::access_mode::write);
+    h.depends_on(first);
+    h.single_task([src, dst] {
+      for (int i = 0; i < 64; ++i) dst[i] = src[i];
+    });
+  });
+  q.wait();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(dst[i], i * i);
+  sycl::free(src, q);
+  sycl::free(dst, q);
+}
+
+TEST(OutOfOrder, CommandRecordsCarryDagAndTimestamps) {
+  auto& log = sycl::launch_log::instance();
+  log.clear();
+  log.set_enabled(true);
+  sycl::queue q;
+  std::vector<double> v(32, 0.0);
+  double* p = v.data();
+  q.submit([&](sycl::handler& h) {
+    touch(h, p, sycl::access_mode::write);
+    h.single_task([p] { p[0] = 1.0; });
+  });
+  q.submit([&](sycl::handler& h) {
+    touch(h, p, sycl::access_mode::read_write);
+    h.single_task([p] { p[0] += 1.0; });
+  });
+  q.wait();
+  log.set_enabled(false);
+  const auto cmds = log.commands_snapshot();
+  log.clear();
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].profile.dep_edges, 0u);
+  EXPECT_EQ(cmds[1].profile.dep_edges, 1u);  // the RAW edge
+  for (const auto& c : cmds) {
+    EXPECT_GE(c.profile.start_seconds, c.profile.submit_seconds);
+    EXPECT_GE(c.profile.end_seconds, c.profile.start_seconds);
+  }
+  EXPECT_EQ(cmds[0].queue_id, cmds[1].queue_id);
+  EXPECT_EQ(v[0], 2.0);
+}
+
+TEST(OutOfOrder, QueueWaitScopesToTheQueue) {
+  // wait() on one queue must not be confused by another queue's
+  // commands; both drain correctly regardless.
+  sycl::queue q1, q2;
+  int a = 0, b = 0;
+  q1.submit([&](sycl::handler& h) {
+    h.require(&a, sycl::access_mode::write);
+    h.single_task([&a] { a = 1; });
+  });
+  q2.submit([&](sycl::handler& h) {
+    h.require(&b, sycl::access_mode::write);
+    h.single_task([&b] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      b = 2;
+    });
+  });
+  q1.wait();
+  EXPECT_EQ(a, 1);
+  q2.wait();
+  EXPECT_EQ(b, 2);
+}
