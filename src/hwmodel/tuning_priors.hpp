@@ -1,0 +1,31 @@
+#pragma once
+/// \file tuning_priors.hpp
+/// Bridge from the analytic hardware model to the online autotuner:
+/// turn the calibrated Platform descriptor closest to the host into
+/// rt::autotune::Priors, so the successive-halving search starts from
+/// the configurations the model already predicts to be competitive
+/// (schedule ordering, cache-sized grains, work-group totals) instead
+/// of a blind grid.
+
+#include "hwmodel/platform.hpp"
+#include "runtime/autotune/config.hpp"
+
+namespace syclport::hw {
+
+/// The calibrated CPU platform whose core count is nearest the host's
+/// (the runtime executes on the host CPU; GPU descriptors only shape
+/// nd_range priors indirectly through their shared work-group totals).
+[[nodiscard]] const Platform& nearest_host_platform();
+
+/// Priors derived from `p`: schedule order (NUMA-penalized platforms
+/// prefer Steal, single-domain ones Static), grain seeds sized so a
+/// chunk's triad footprint sits in L1 / in a per-core LLC share, and
+/// the study's work-group totals.
+[[nodiscard]] rt::autotune::Priors tuning_priors(const Platform& p);
+
+/// Install tuning_priors(nearest_host_platform()) into
+/// rt::autotune::Autotuner::instance(), once per process. Called from
+/// the ops/op2 entry points; cheap after the first call.
+void seed_autotuner_priors();
+
+}  // namespace syclport::hw

@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <tuple>
 #include <vector>
 
@@ -33,6 +34,10 @@ struct Options {
   std::size_t wg = 256;                   ///< work-group size for Sycl exec
   /// Wave width for locality measurement (sub_group of the modeled GPU).
   std::size_t wave = 64;
+  /// Online autotuner override for this context's loops: true/false
+  /// forces tuning on/off regardless of SYCLPORT_TUNE; nullopt defers
+  /// to the env mode. See docs/tuning.md.
+  std::optional<bool> tune;
 };
 
 class Context {

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "hwmodel/loop_profile.hpp"
+#include "hwmodel/tuning_priors.hpp"
 #include "op2/arg.hpp"
 #include "op2/context.hpp"
+#include "runtime/autotune/autotune.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace syclport::op2 {
@@ -240,6 +242,18 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
     ctx.profiles.push_back(std::move(lp));
   }
   if (!ctx.executing()) return;
+
+  // Tuning scope for the whole loop (all colour sweeps share it): the
+  // autotuner serves schedule x grain for this kernel's site unless
+  // tuning is off. The handler-level scope inside Exec::Sycl sweeps
+  // defers to this one.
+  hw::seed_autotuner_priors();
+  rt::autotune::ScopedTune tune_override(ctx.opt.tune);
+  rt::autotune::Site site;
+  site.name = meta.name;
+  site.global = {n, 1, 1};
+  site.axes = rt::autotune::kScheduleGrain;
+  rt::autotune::TunedLaunchParams sched_scope(site);
 
   auto binders = std::make_tuple(detail::make_binder(args, true)...);
   const bool atomic = conflict != nullptr &&

@@ -18,6 +18,7 @@
 /// corrupt in-place (RW) updates.
 
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -69,8 +70,30 @@ class LoopChain {
   /// Run the chain tile-by-tile along the slowest dimension with
   /// `tile` points per tile; then clear the queue. tile == 0 executes
   /// untiled (each loop as one full sweep), the reference schedule.
-  void execute(std::size_t tile = 0) {
+  /// With no explicit tile (nullopt) and tuning enabled, the autotuner
+  /// picks the depth for this chain's site (kTile axis) and learns from
+  /// the chain's wall time; otherwise nullopt behaves like 0.
+  void execute(std::optional<std::size_t> tile_opt = std::nullopt) {
     const long extent = static_cast<long>(block_->size(0));
+    std::optional<rt::autotune::TunedLaunchParams> tuned;
+    std::size_t tile = tile_opt.value_or(0);
+    if (!tile_opt) {
+      hw::seed_autotuner_priors();
+      rt::autotune::ScopedTune tune_override(ctx_->opt.tune);
+      if (rt::autotune::current_phase() == rt::autotune::Phase::None &&
+          rt::autotune::Autotuner::instance().enabled()) {
+        rt::autotune::Site site;
+        site.name = "(loop_chain)";
+        site.dims = block_->dims();
+        for (int d = 0; d < site.dims; ++d)
+          site.global[static_cast<std::size_t>(d)] = block_->size(d);
+        site.axes = rt::autotune::kTile;
+        tuned.emplace(site);  // scope spans the whole chain execution
+        if (tuned->phase() != rt::autotune::Phase::None &&
+            tuned->config().tile)
+          tile = *tuned->config().tile;
+      }
+    }
     if (tile == 0 || static_cast<long>(tile) >= extent) {
       for (auto& q : queued_) q.run(0, extent);
       queued_.clear();

@@ -17,9 +17,11 @@
 #include <tuple>
 
 #include "hwmodel/loop_profile.hpp"
+#include "hwmodel/tuning_priors.hpp"
 #include "ops/arg.hpp"
 #include "ops/block.hpp"
 #include "ops/context.hpp"
+#include "runtime/autotune/autotune.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace syclport::ops {
@@ -195,10 +197,26 @@ void par_loop(Context& ctx, Meta meta, Block& block, Range r, K&& kernel,
   }
   if (!ctx.executing()) return;
 
-  // Apply the context's scheduling knobs for the duration of this loop;
-  // both the Threads backend (direct pool launches) and the SYCL
-  // backends (handler-issued launches) read them at submit time.
-  rt::ScopedLaunchParams sched_scope(ctx.opt.schedule, ctx.opt.grain);
+  // Apply this loop's launch parameters for its duration. Explicit
+  // Options::schedule/grain always win; otherwise, when tuning is on
+  // (SYCLPORT_TUNE or Options::tune), the autotuner serves the
+  // schedule x grain - and for SyclNd also the work-group shape - for
+  // this kernel's site, measuring the loop's wall time as feedback.
+  // Both the Threads backend (direct pool launches) and the SYCL
+  // backends (handler-issued launches) read the params at submit time;
+  // the handler's own per-launch tuning scope defers to this one.
+  hw::seed_autotuner_priors();
+  rt::autotune::ScopedTune tune_override(ctx.opt.tune);
+  rt::autotune::Site site;
+  site.name = meta.name;
+  site.dims = dims;
+  site.global = ext;
+  site.nd = ctx.opt.backend == Backend::SyclNd;
+  site.axes = rt::autotune::kScheduleGrain |
+              (site.nd ? rt::autotune::kWorkGroup : 0u);
+  site.max_wg = ctx.queue.get_device().max_work_group_size();
+  rt::autotune::TunedLaunchParams sched_scope(site, ctx.opt.schedule,
+                                              ctx.opt.grain);
 
   auto binders = std::make_tuple(detail::make_binder(args, true)...);
   auto invoke = [&](long i0, long i1, long i2) {
@@ -261,11 +279,17 @@ void par_loop(Context& ctx, Meta meta, Block& block, Range r, K&& kernel,
       // mask the overhang inside the kernel, as generated OPS SYCL does.
       // nd_local is stored slow..fast for 3D; align it with this loop's
       // dimensionality (a 2D loop uses the (mid, fast) entries, a 1D
-      // loop the fast entry only).
+      // loop the fast entry only). When the autotuner serves this loop
+      // its decided shape replaces the hand-tuned Options::nd_local.
+      const std::array<std::size_t, 3>& shape =
+          sched_scope.phase() != rt::autotune::Phase::None &&
+                  sched_scope.config().local
+              ? *sched_scope.config().local
+              : ctx.opt.nd_local;
       std::array<std::size_t, 3> local{1, 1, 1};
       for (int d = 0; d < dims; ++d)
         local[static_cast<std::size_t>(d)] = std::max<std::size_t>(
-            1, ctx.opt.nd_local[static_cast<std::size_t>(3 - dims + d)]);
+            1, shape[static_cast<std::size_t>(3 - dims + d)]);
       auto padded = ext;
       for (int d = 0; d < dims; ++d) {
         const auto l = local[static_cast<std::size_t>(d)];

@@ -1,0 +1,506 @@
+#include "runtime/autotune/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/factorize.hpp"
+#include "runtime/autotune/cache.hpp"
+#include "runtime/autotune/fingerprint.hpp"
+#include "runtime/env.hpp"
+
+namespace syclport::rt::autotune {
+
+namespace {
+
+/// Successive halving: each round the surviving candidates get twice
+/// the measurements, capped here (min-of-8 is a stable statistic for
+/// microsecond launches without stretching exploration).
+constexpr int kMaxRunsPerCandidate = 8;
+
+/// Innermost tuning scope on this thread (launch_log reads it; nested
+/// TunedLaunchParams become passthrough while one is active).
+struct ActiveScope {
+  Phase phase = Phase::None;
+  const Config* cfg = nullptr;
+};
+thread_local ActiveScope t_scope;
+
+/// ScopedTune override (ops/op2 Options::tune passthrough).
+thread_local std::optional<bool> t_tune_override;
+
+[[nodiscard]] Autotuner::Mode mode_from_env() {
+  static constexpr std::string_view allowed[] = {"off", "on", "force"};
+  if (const auto i = env::get_choice("SYCLPORT_TUNE", allowed))
+    return static_cast<Autotuner::Mode>(*i);
+  return Autotuner::Mode::Off;
+}
+
+[[nodiscard]] std::string cache_path_from_env() {
+  if (const auto p = env::get("SYCLPORT_TUNE_CACHE")) return std::string(*p);
+  return ".syclport_tune.json";
+}
+
+void append_token(std::string& out, const char* key, const std::string& val) {
+  if (!out.empty()) out += ' ';
+  out += key;
+  out += '=';
+  out += val;
+}
+
+// --- candidate generation ---------------------------------------------------
+
+/// nd_range local-shape candidates: for each prior work-group total, a
+/// fastest-dimension-only shape (coalescing-friendly) and a
+/// near-balanced factorization (core/factorize; cache-block-friendly),
+/// deduplicated and clamped to the device ceiling. Shapes are stored
+/// slowest-first in the trailing `dims` entries, the ops nd_local
+/// layout.
+[[nodiscard]] std::vector<std::array<std::size_t, 3>> shape_candidates(
+    const Site& site, const Priors& priors) {
+  std::vector<std::array<std::size_t, 3>> out;
+  auto push = [&](std::array<std::size_t, 3> s) {
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  };
+  for (std::size_t total : priors.wg_totals) {
+    total = std::clamp<std::size_t>(total, 1, site.max_wg);
+    std::array<std::size_t, 3> flat{1, 1, 1};
+    flat[2] = total;
+    push(flat);
+    if (site.dims > 1) {
+      const auto f = syclport::balanced_factors(static_cast<int>(total),
+                                                site.dims);
+      std::array<std::size_t, 3> bal{1, 1, 1};
+      // balanced_factors fills [0, dims); map ascending onto the
+      // trailing entries so the largest factor lands fastest.
+      std::array<int, 3> sorted = f;
+      for (int i = 1; i < site.dims; ++i)  // tiny fixed-size sort
+        for (int j = i; j > 0 && sorted[static_cast<std::size_t>(j - 1)] >
+                                     sorted[static_cast<std::size_t>(j)];
+             --j)
+          std::swap(sorted[static_cast<std::size_t>(j - 1)],
+                    sorted[static_cast<std::size_t>(j)]);
+      for (int d = 0; d < site.dims; ++d)
+        bal[static_cast<std::size_t>(3 - site.dims + d)] =
+            static_cast<std::size_t>(sorted[static_cast<std::size_t>(d)]);
+      push(bal);
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<Config> make_candidates(const Site& site,
+                                                  const Priors& priors) {
+  std::vector<Config> set{Config{}};
+  auto cross = [&](auto&& expand) {
+    std::vector<Config> next;
+    for (const Config& c : set) expand(c, next);
+    if (!next.empty()) set = std::move(next);
+  };
+
+  if (site.axes & kScheduleGrain) {
+    // Grain only matters for range-splitting launches; nd_range sites
+    // schedule whole groups, so vary schedule alone there.
+    std::vector<std::size_t> grains{1};
+    if (!(site.axes & kWorkGroup)) {
+      for (const std::size_t g : priors.grains)
+        if (g > 1 && g * 2 <= site.total() &&
+            std::find(grains.begin(), grains.end(), g) == grains.end())
+          grains.push_back(g);
+    }
+    cross([&](const Config& c, std::vector<Config>& next) {
+      for (const Schedule s : priors.schedule_order)
+        for (const std::size_t g : grains) {
+          Config d = c;
+          d.schedule = s;
+          d.grain = g;
+          next.push_back(d);
+        }
+    });
+  }
+  if (site.axes & kWorkGroup) {
+    const auto shapes = shape_candidates(site, priors);
+    cross([&](const Config& c, std::vector<Config>& next) {
+      for (const auto& s : shapes) {
+        Config d = c;
+        d.local = s;
+        next.push_back(d);
+      }
+    });
+  }
+  if (site.axes & kOverlap) {
+    cross([&](const Config& c, std::vector<Config>& next) {
+      for (const bool q : {true, false}) {
+        Config d = c;
+        d.overlap_queue = q;
+        next.push_back(d);
+      }
+    });
+  }
+  if (site.axes & kTile) {
+    std::vector<std::size_t> tiles{0};
+    for (const std::size_t t : priors.tiles)
+      if (t > 0 && t < site.global[0] &&
+          std::find(tiles.begin(), tiles.end(), t) == tiles.end())
+        tiles.push_back(t);
+    cross([&](const Config& c, std::vector<Config>& next) {
+      for (const std::size_t t : tiles) {
+        Config d = c;
+        d.tile = t;
+        next.push_back(d);
+      }
+    });
+  }
+  return set;
+}
+
+}  // namespace
+
+// --- Config / Site ----------------------------------------------------------
+
+const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::None: return "none";
+    case Phase::Exploring: return "exploring";
+    case Phase::Exploiting: return "exploiting";
+  }
+  return "?";
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  if (schedule) append_token(out, "schedule", rt::to_string(*schedule));
+  if (grain) append_token(out, "grain", std::to_string(*grain));
+  if (local) {
+    append_token(out, "local",
+                 std::to_string((*local)[0]) + "x" +
+                     std::to_string((*local)[1]) + "x" +
+                     std::to_string((*local)[2]));
+  }
+  if (overlap_queue)
+    append_token(out, "overlap", *overlap_queue ? "queue" : "inline");
+  if (tile) append_token(out, "tile", std::to_string(*tile));
+  return out;
+}
+
+std::optional<Config> Config::parse(std::string_view s) {
+  Config cfg;
+  auto parse_size = [](std::string_view v) -> std::optional<std::size_t> {
+    if (v.empty()) return std::nullopt;
+    std::size_t out = 0;
+    for (const char ch : v) {
+      if (ch < '0' || ch > '9') return std::nullopt;
+      out = out * 10 + static_cast<std::size_t>(ch - '0');
+    }
+    return out;
+  };
+  while (!s.empty()) {
+    const auto sp = s.find(' ');
+    const std::string_view tok = s.substr(0, sp);
+    s = sp == std::string_view::npos ? std::string_view{} : s.substr(sp + 1);
+    if (tok.empty()) continue;
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "schedule") {
+      const auto sched = parse_schedule(val);
+      if (!sched) return std::nullopt;
+      cfg.schedule = *sched;
+    } else if (key == "grain") {
+      const auto g = parse_size(val);
+      if (!g) return std::nullopt;
+      cfg.grain = *g;
+    } else if (key == "local") {
+      std::array<std::size_t, 3> shape{1, 1, 1};
+      std::string_view rest = val;
+      for (int d = 0; d < 3; ++d) {
+        const auto x = rest.find('x');
+        const bool last = d == 2;
+        if (last != (x == std::string_view::npos)) return std::nullopt;
+        const auto piece = parse_size(last ? rest : rest.substr(0, x));
+        if (!piece || *piece == 0) return std::nullopt;
+        shape[static_cast<std::size_t>(d)] = *piece;
+        if (!last) rest = rest.substr(x + 1);
+      }
+      cfg.local = shape;
+    } else if (key == "overlap") {
+      if (val == "queue") cfg.overlap_queue = true;
+      else if (val == "inline") cfg.overlap_queue = false;
+      else return std::nullopt;
+    } else if (key == "tile") {
+      const auto t = parse_size(val);
+      if (!t) return std::nullopt;
+      cfg.tile = *t;
+    } else {
+      return std::nullopt;  // unknown axis: treat the entry as corrupt
+    }
+  }
+  return cfg;
+}
+
+std::size_t Site::total() const noexcept {
+  std::size_t t = 1;
+  for (int d = 0; d < dims; ++d) t *= global[static_cast<std::size_t>(d)];
+  return std::max<std::size_t>(1, t);
+}
+
+std::string Site::key() const {
+  // Sanitize the kernel name: the cache format is line/space delimited.
+  std::string n(name != nullptr ? name : "(kernel)");
+  for (char& c : n)
+    if (c == ' ' || c == '"' || c == '|') c = '_';
+  int fp_class = 0;
+  for (std::size_t t = total(); t > 1; t >>= 1) ++fp_class;
+  std::string out = n;
+  out += '|';
+  out += std::to_string(dims);
+  out += '|';
+  out += std::to_string(global[0]);
+  out += 'x';
+  out += std::to_string(global[1]);
+  out += 'x';
+  out += std::to_string(global[2]);
+  out += nd ? "|nd" : "|flat";
+  out += "|fp";
+  out += std::to_string(fp_class);
+  return out;
+}
+
+// --- Autotuner --------------------------------------------------------------
+
+Autotuner& Autotuner::instance() {
+  static Autotuner tuner(mode_from_env(), std::string{}, cache_path_from_env());
+  return tuner;
+}
+
+Autotuner::Autotuner(Mode mode, std::string fingerprint, std::string cache_path)
+    : mode_(mode),
+      fingerprint_(std::move(fingerprint)),
+      cache_path_(std::move(cache_path)) {}
+
+bool Autotuner::enabled() const noexcept {
+  if (t_tune_override) return *t_tune_override;
+  return mode_ != Mode::Off;
+}
+
+const std::string& Autotuner::fingerprint() {
+  std::lock_guard lock(mu_);
+  if (fingerprint_.empty()) fingerprint_ = device_fingerprint();
+  return fingerprint_;
+}
+
+void Autotuner::ensure_loaded_locked() {
+  if (loaded_) return;
+  loaded_ = true;
+  if (fingerprint_.empty()) fingerprint_ = device_fingerprint();
+  if (cache_path_.empty()) return;
+  const auto data = read_cache(cache_path_);
+  if (!data) return;
+  if (data->fingerprint != fingerprint_) return;  // other machine: re-tune
+  cached_ = data->entries;
+}
+
+Autotuner::Decision Autotuner::decide(const Site& site) {
+  if (!enabled()) return {};
+  std::lock_guard lock(mu_);
+  ensure_loaded_locked();
+
+  const std::string key = site.key();
+  auto [it, inserted] = index_.try_emplace(key, static_cast<std::uint32_t>(
+                                                    states_.size()));
+  if (inserted) {
+    auto st = std::make_unique<KeyState>();
+    st->key = key;
+    if (mode_ != Mode::Force) {
+      const auto hit =
+          std::find_if(cached_.begin(), cached_.end(),
+                       [&](const auto& e) { return e.first == key; });
+      if (hit != cached_.end()) {
+        st->decided = true;
+        st->from_cache = true;
+        st->best = hit->second;
+      }
+    }
+    if (!st->decided) {
+      auto cands = make_candidates(site, priors_);
+      if (cands.size() <= 1) {
+        // Degenerate space: nothing to race, lock in immediately.
+        st->decided = true;
+        st->best = cands.empty() ? Config{} : cands.front();
+      } else {
+        st->all.reserve(cands.size());
+        for (auto& c : cands) st->all.push_back({std::move(c), 1e30, 0, 0});
+        st->alive.resize(st->all.size());
+        for (std::uint32_t i = 0; i < st->alive.size(); ++i) st->alive[i] = i;
+      }
+    }
+    states_.push_back(std::move(st));
+  }
+  const auto key_id = it->second;
+  KeyState& st = *states_[key_id];
+  if (st.decided) return {Phase::Exploiting, st.best, key_id, 0};
+
+  // Least-assigned surviving candidate next: round-robin coverage, and
+  // unreported launches (exceptions, in-flight concurrency) never
+  // starve the round.
+  std::uint32_t pick = st.alive.front();
+  for (const std::uint32_t i : st.alive)
+    if (st.all[i].assigned < st.all[pick].assigned) pick = i;
+  ++st.all[pick].assigned;
+  ++explored_;
+  return {Phase::Exploring, st.all[pick].cfg, key_id, pick};
+}
+
+void Autotuner::report(const Decision& d, double seconds) {
+  if (d.phase != Phase::Exploring) return;
+  std::lock_guard lock(mu_);
+  if (d.key_id >= states_.size()) return;
+  KeyState& st = *states_[d.key_id];
+  if (st.decided || d.candidate >= st.all.size()) return;
+  Candidate& c = st.all[d.candidate];
+  c.best_s = std::min(c.best_s, seconds);
+  const bool alive = std::find(st.alive.begin(), st.alive.end(),
+                               d.candidate) != st.alive.end();
+  if (!alive) return;  // measurement of an already-dropped candidate
+  ++c.runs;
+  advance_round_locked(st);
+}
+
+void Autotuner::advance_round_locked(KeyState& st) {
+  const bool round_done =
+      std::all_of(st.alive.begin(), st.alive.end(), [&](std::uint32_t i) {
+        return st.all[i].runs >= st.runs_per_cand;
+      });
+  if (!round_done) return;
+  std::sort(st.alive.begin(), st.alive.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return st.all[a].best_s < st.all[b].best_s;
+            });
+  if (st.alive.size() > 1) st.alive.resize((st.alive.size() + 1) / 2);
+  if (st.alive.size() == 1) {
+    st.decided = true;
+    st.best = st.all[st.alive.front()].cfg;
+    st.best_s = st.all[st.alive.front()].best_s;
+    save_locked();
+    return;
+  }
+  st.runs_per_cand = std::min(st.runs_per_cand * 2, kMaxRunsPerCandidate);
+  for (const std::uint32_t i : st.alive) {
+    st.all[i].runs = 0;
+    st.all[i].assigned = 0;
+  }
+}
+
+std::optional<Config> Autotuner::best(const Site& site) const {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(site.key());
+  if (it == index_.end() || !states_[it->second]->decided) return std::nullopt;
+  return states_[it->second]->best;
+}
+
+bool Autotuner::converged(const Site& site) const {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(site.key());
+  return it != index_.end() && states_[it->second]->decided;
+}
+
+std::uint64_t Autotuner::explored_launches() const {
+  std::lock_guard lock(mu_);
+  return explored_;
+}
+
+void Autotuner::set_priors(const Priors& p) {
+  std::lock_guard lock(mu_);
+  priors_ = p;
+}
+
+bool Autotuner::save() const {
+  std::lock_guard lock(mu_);
+  return save_locked();
+}
+
+bool Autotuner::save_locked() const {
+  if (cache_path_.empty()) return false;
+  CacheData data;
+  data.fingerprint = fingerprint_;
+  data.entries = cached_;  // keep entries for kernels this run never saw
+  for (const auto& st : states_) {
+    if (!st->decided) continue;
+    auto it = std::find_if(data.entries.begin(), data.entries.end(),
+                           [&](const auto& e) { return e.first == st->key; });
+    if (it != data.entries.end())
+      it->second = st->best;
+    else
+      data.entries.emplace_back(st->key, st->best);
+  }
+  return write_cache(cache_path_, data);
+}
+
+void Autotuner::reset(Mode mode, std::string fingerprint,
+                      std::string cache_path) {
+  std::lock_guard lock(mu_);
+  mode_ = mode;
+  fingerprint_ = std::move(fingerprint);
+  cache_path_ = std::move(cache_path);
+  loaded_ = false;
+  states_.clear();
+  index_.clear();
+  cached_.clear();
+  explored_ = 0;
+}
+
+// --- scopes -----------------------------------------------------------------
+
+ScopedTune::ScopedTune(std::optional<bool> enable) noexcept
+    : saved_(t_tune_override) {
+  if (enable) t_tune_override = enable;
+}
+
+ScopedTune::~ScopedTune() { t_tune_override = saved_; }
+
+Phase current_phase() noexcept { return t_scope.phase; }
+const Config* current_config() noexcept { return t_scope.cfg; }
+
+TunedLaunchParams::TunedLaunchParams(const Site& site,
+                                     std::optional<Schedule> schedule,
+                                     std::optional<std::size_t> grain)
+    : saved_(launch_params()) {
+  LaunchParams p = saved_;
+  if (schedule) p.schedule = *schedule;
+  if (grain) p.grain = *grain;
+  auto& tuner = Autotuner::instance();
+  if (t_scope.phase == Phase::None && tuner.enabled()) {
+    Site s = site;
+    // Explicit caller overrides pin the schedule/grain axis.
+    if (schedule || grain) s.axes &= ~kScheduleGrain;
+    if (s.axes != 0) {
+      decision_ = tuner.decide(s);
+      if (decision_.phase != Phase::None) {
+        if (decision_.config.schedule) p.schedule = *decision_.config.schedule;
+        if (decision_.config.grain) p.grain = *decision_.config.grain;
+        owns_scope_ = true;
+        t_scope = {decision_.phase, &decision_.config};
+        uncaught_ = std::uncaught_exceptions();
+        t0_ = std::chrono::steady_clock::now();
+      }
+    }
+  }
+  set_launch_params(p);
+}
+
+TunedLaunchParams::~TunedLaunchParams() {
+  if (owns_scope_) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    t_scope = {};
+    // A scope unwinding through an exception measured a failed launch;
+    // feeding it to the race would reward early-throwing configs.
+    if (std::uncaught_exceptions() == uncaught_)
+      Autotuner::instance().report(decision_, seconds);
+  }
+  set_launch_params(saved_);
+}
+
+}  // namespace syclport::rt::autotune

@@ -1,0 +1,77 @@
+#include "runtime/autotune/cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace syclport::rt::autotune {
+
+namespace {
+
+/// Extract the value of `"field": "..."` from one line; nullopt when
+/// the field is absent. Values never contain quotes (keys and configs
+/// are built from identifier-ish characters only).
+[[nodiscard]] std::optional<std::string> quoted_field(const std::string& line,
+                                                      std::string_view field) {
+  std::string probe = "\"";
+  probe += field;
+  probe += "\": \"";
+  const auto at = line.find(probe);
+  if (at == std::string::npos) return std::nullopt;
+  const auto begin = at + probe.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+bool write_cache(const std::string& path, const CacheData& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << "{ \"syclport_tune_cache\": 1,\n";
+    out << "  \"fingerprint\": \"" << data.fingerprint << "\",\n";
+    out << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < data.entries.size(); ++i) {
+      const auto& [key, cfg] = data.entries[i];
+      out << "    { \"key\": \"" << key << "\", \"config\": \""
+          << cfg.to_string() << "\" }"
+          << (i + 1 < data.entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out.flush()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CacheData> read_cache(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  CacheData data;
+  bool saw_header = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"syclport_tune_cache\"") != std::string::npos)
+      saw_header = true;
+    if (auto fp = quoted_field(line, "fingerprint")) {
+      data.fingerprint = std::move(*fp);
+      continue;
+    }
+    const auto key = quoted_field(line, "key");
+    if (!key) continue;
+    const auto cfg_text = quoted_field(line, "config");
+    if (!cfg_text) continue;
+    if (auto cfg = Config::parse(*cfg_text))
+      data.entries.emplace_back(std::move(*key), std::move(*cfg));
+  }
+  if (!saw_header) return std::nullopt;
+  return data;
+}
+
+}  // namespace syclport::rt::autotune

@@ -1,0 +1,33 @@
+#pragma once
+/// \file autotune/cache.hpp
+/// Persistent tuning cache: winning configurations keyed by kernel
+/// identity, guarded by a device fingerprint. The file is flat,
+/// line-oriented JSON (one kernel entry per line) so it is both
+/// readable as JSON and parseable with nothing but line scans - no
+/// JSON library in the runtime. docs/tuning.md specifies the format.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/autotune/config.hpp"
+
+namespace syclport::rt::autotune {
+
+struct CacheData {
+  std::string fingerprint;
+  std::vector<std::pair<std::string, Config>> entries;  ///< key -> winner
+};
+
+/// Write `data` to `path` (atomically: temp file + rename). Returns
+/// false on I/O failure.
+bool write_cache(const std::string& path, const CacheData& data);
+
+/// Read `path`. nullopt when the file is missing or structurally
+/// unreadable; entries with unparseable configs are dropped
+/// individually. Fingerprint checking is the caller's job (a mismatch
+/// is a valid file for some other machine).
+[[nodiscard]] std::optional<CacheData> read_cache(const std::string& path);
+
+}  // namespace syclport::rt::autotune

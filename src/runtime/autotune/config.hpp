@@ -1,0 +1,95 @@
+#pragma once
+/// \file autotune/config.hpp
+/// Identity and configuration types of the online autotuner.
+///
+/// A Site names one tunable launch site: kernel name, dimensionality,
+/// global shape and formulation (flat vs nd_range), plus the set of
+/// axes the call site can act on. Its key() is the stable identity the
+/// tuner and the persistent cache use - the same fields launch_log
+/// records per launch, plus a footprint class bucketing the iteration
+/// count so the key survives cosmetic renames of equal-sized launches.
+///
+/// A Config is one point in the search space. Every axis is optional:
+/// a site only receives values for the axes it declared, and the cache
+/// round-trips exactly the axes that were tuned.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "runtime/thread_pool.hpp"
+
+namespace syclport::rt::autotune {
+
+/// How a launch was served by the tuner (recorded in sycl::launch_log).
+enum class Phase : std::uint8_t {
+  None,        ///< tuner off / site not tuned
+  Exploring,   ///< a search candidate served this launch
+  Exploiting,  ///< the locked-in winner served this launch
+};
+
+[[nodiscard]] const char* to_string(Phase p) noexcept;
+
+/// Tunable axes, bitmask. A site declares the union of knobs its
+/// lowering actually consumes.
+enum Axis : unsigned {
+  kScheduleGrain = 1u << 0,  ///< executor Schedule x grain (thread pool)
+  kWorkGroup = 1u << 1,      ///< nd_range local shape (SyclNd lowering)
+  kOverlap = 1u << 2,        ///< halo/compute overlap strategy (dist)
+  kTile = 1u << 3,           ///< LoopChain slow-dimension tile depth
+};
+
+/// One candidate (or winning) configuration. Axes a site did not
+/// declare stay nullopt and must not be acted on.
+struct Config {
+  std::optional<Schedule> schedule;
+  std::optional<std::size_t> grain;
+  /// nd_range local shape, slowest dimension first (LoopProfile layout).
+  std::optional<std::array<std::size_t, 3>> local;
+  /// true = submit through the out-of-order queue, false = inline.
+  std::optional<bool> overlap_queue;
+  /// LoopChain tile depth; 0 = untiled reference schedule.
+  std::optional<std::size_t> tile;
+
+  /// Space-separated `axis=value` rendering, the cache wire format.
+  [[nodiscard]] std::string to_string() const;
+  /// Inverse of to_string(); nullopt on any malformed token.
+  [[nodiscard]] static std::optional<Config> parse(std::string_view s);
+
+  [[nodiscard]] bool operator==(const Config&) const = default;
+};
+
+/// Stable identity of a tunable launch site.
+struct Site {
+  const char* name = "(kernel)";
+  int dims = 1;
+  std::array<std::size_t, 3> global{1, 1, 1};
+  bool nd = false;        ///< nd_range formulation (kWorkGroup meaningful)
+  unsigned axes = kScheduleGrain;
+  std::size_t max_wg = 1024;  ///< device work-group ceiling (shape clamp)
+
+  /// `name|dims|g0xg1xg2|flat/nd|fpN` - N = floor(log2(total items)),
+  /// the footprint class.
+  [[nodiscard]] std::string key() const;
+  /// Total iteration count (product of the used global extents).
+  [[nodiscard]] std::size_t total() const noexcept;
+};
+
+/// Search-space priors. Defaults reproduce the PR 1/PR 2 findings
+/// (steal-half first, power-of-two grains); hwmodel refines them from
+/// the platform descriptor closest to the host (hwmodel/tuning_priors).
+struct Priors {
+  std::array<Schedule, 3> schedule_order{Schedule::Steal, Schedule::Static,
+                                         Schedule::Dynamic};
+  /// Grain seeds; 0 entries are dropped, the value 1 is always tried.
+  std::array<std::size_t, 3> grains{1, 1024, 16384};
+  /// Work-group totals the shape candidates are built from.
+  std::array<std::size_t, 2> wg_totals{64, 256};
+  /// LoopChain tile seeds (0 = untiled is always included).
+  std::array<std::size_t, 3> tiles{8, 32, 128};
+};
+
+}  // namespace syclport::rt::autotune

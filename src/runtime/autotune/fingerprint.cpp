@@ -1,0 +1,89 @@
+#include "runtime/autotune/fingerprint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "runtime/thread_pool.hpp"
+
+namespace syclport::rt::autotune {
+
+namespace {
+
+/// Data-cache size via sysconf where available, 0 (= "unknown", still a
+/// stable value) elsewhere.
+[[nodiscard]] long cache_bytes(int level) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const int name = level == 1   ? _SC_LEVEL1_DCACHE_SIZE
+                   : level == 2 ? _SC_LEVEL2_CACHE_SIZE
+                                : _SC_LEVEL3_CACHE_SIZE;
+  const long v = ::sysconf(name);
+  return v > 0 ? v : 0;
+#else
+  (void)level;
+  return 0;
+#endif
+}
+
+/// One BabelStream Triad sweep over the pool; best of `reps`.
+[[nodiscard]] double measure_triad_gbs() {
+  // 3 x 8 MiB: comfortably past every studied LLC without making the
+  // one-time measurement slow.
+  const std::size_t n = std::size_t{1} << 20;
+  std::vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  auto& pool = ThreadPool::global();
+  auto sweep = [&] {
+    pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + 0.4 * c[i];
+    });
+  };
+  sweep();  // first touch + pool warm-up
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sweep();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::min(best, s);
+  }
+  return 3.0 * static_cast<double>(n) * sizeof(double) / best / 1e9;
+}
+
+struct Fingerprint {
+  std::string text;
+  double triad_gbs = 0.0;
+};
+
+[[nodiscard]] const Fingerprint& fingerprint() {
+  static const Fingerprint fp = [] {
+    Fingerprint f;
+    f.triad_gbs = measure_triad_gbs();
+    const long triad_log2 =
+        std::lround(std::log2(std::max(f.triad_gbs, 1e-3)));
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "cores=%u;l1d=%ld;l2=%ld;llc=%ld;triad_log2=%ld",
+                  std::max(1u, std::thread::hardware_concurrency()),
+                  cache_bytes(1), cache_bytes(2), cache_bytes(3), triad_log2);
+    f.text = buf;
+    return f;
+  }();
+  return fp;
+}
+
+}  // namespace
+
+const std::string& device_fingerprint() { return fingerprint().text; }
+
+double fingerprint_triad_gbs() { return fingerprint().triad_gbs; }
+
+}  // namespace syclport::rt::autotune

@@ -1,0 +1,29 @@
+#pragma once
+/// \file autotune/fingerprint.hpp
+/// Device fingerprint for the persistent tuning cache. A winning
+/// configuration is only as portable as the machine it was measured on
+/// (the paper's central point), so cached tunings are keyed by a
+/// fingerprint of the executing device: logical core count, data-cache
+/// sizes, and a measured BabelStream-style Triad bandwidth.
+///
+/// The Triad measurement sweeps a[i] = b[i] + s*c[i] over arrays far
+/// larger than the LLC through the process thread pool - the same
+/// kernel whose measured bandwidth anchors Table 1 (src/stream) -
+/// and is quantized to whole log2(GB/s) steps so run-to-run noise
+/// cannot invalidate the cache, while a move to a machine with
+/// materially different bandwidth does.
+
+#include <string>
+
+namespace syclport::rt::autotune {
+
+/// The cached process fingerprint, e.g.
+/// `cores=8;l1d=32768;l2=1048576;llc=16777216;triad_log2=4`.
+/// First call measures Triad (a few milliseconds); later calls return
+/// the cached string.
+[[nodiscard]] const std::string& device_fingerprint();
+
+/// The raw Triad measurement behind the fingerprint, in GB/s.
+[[nodiscard]] double fingerprint_triad_gbs();
+
+}  // namespace syclport::rt::autotune

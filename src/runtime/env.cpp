@@ -1,0 +1,78 @@
+#include "runtime/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace syclport::rt::env {
+
+namespace {
+
+std::mutex g_warn_mu;
+std::vector<std::string> g_warned;
+
+[[nodiscard]] bool should_warn(const char* name) {
+  std::lock_guard lock(g_warn_mu);
+  for (const auto& w : g_warned)
+    if (w == name) return false;
+  g_warned.emplace_back(name);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string_view> get(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string_view(v);
+}
+
+void warn_invalid(const char* name, std::string_view value,
+                  std::string_view expected) {
+  if (!should_warn(name)) return;
+  std::fprintf(stderr,
+               "syclport: warning: ignoring invalid %s='%.*s' (expected %.*s)\n",
+               name, static_cast<int>(value.size()), value.data(),
+               static_cast<int>(expected.size()), expected.data());
+}
+
+std::optional<long> get_long(const char* name, long min, long max) {
+  const auto raw = get(name);
+  if (!raw) return std::nullopt;
+  const std::string value(*raw);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  const bool whole = end != nullptr && *end == '\0' && !value.empty();
+  if (!whole || errno == ERANGE || v < min || v > max) {
+    char expected[64];
+    std::snprintf(expected, sizeof expected, "integer in [%ld, %ld]", min, max);
+    warn_invalid(name, value, expected);
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::size_t> get_choice(
+    const char* name, std::span<const std::string_view> allowed) {
+  const auto raw = get(name);
+  if (!raw) return std::nullopt;
+  for (std::size_t i = 0; i < allowed.size(); ++i)
+    if (*raw == allowed[i]) return i;
+  std::string expected = "one of";
+  for (const auto& a : allowed) {
+    expected += ' ';
+    expected += a;
+  }
+  warn_invalid(name, *raw, expected);
+  return std::nullopt;
+}
+
+void reset_warnings_for_testing() {
+  std::lock_guard lock(g_warn_mu);
+  g_warned.clear();
+}
+
+}  // namespace syclport::rt::env

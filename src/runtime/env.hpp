@@ -1,0 +1,41 @@
+#pragma once
+/// \file env.hpp
+/// Hardened parsing of the SYCLPORT_* environment knobs. Every knob in
+/// the runtime goes through these helpers so malformed input behaves
+/// the same everywhere: the value is rejected deterministically (the
+/// built-in default wins) and a single warning per variable is printed
+/// to stderr - never silent, never partial (no atoi-style "12abc"
+/// prefixes).
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace syclport::rt::env {
+
+/// Raw lookup (nullopt when the variable is unset).
+[[nodiscard]] std::optional<std::string_view> get(const char* name);
+
+/// Parse an integer knob. The whole value must be a base-10 integer in
+/// [min, max]; anything else (empty, trailing junk, out of range)
+/// warns once and returns nullopt.
+[[nodiscard]] std::optional<long> get_long(const char* name, long min,
+                                           long max);
+
+/// Parse an enumerated knob: the value must equal one of `allowed`
+/// (case-sensitive, matching the documented spellings). Returns the
+/// index into `allowed`, or nullopt (warn once) on anything else.
+[[nodiscard]] std::optional<std::size_t> get_choice(
+    const char* name, std::span<const std::string_view> allowed);
+
+/// Report a malformed value for a knob whose parsing lives elsewhere.
+/// Prints `syclport: warning: ignoring invalid NAME='value' (expected
+/// <expected>)` to stderr, once per variable per process.
+void warn_invalid(const char* name, std::string_view value,
+                  std::string_view expected);
+
+/// Testing hook: forget which variables have already warned so a test
+/// can observe the warning deterministically.
+void reset_warnings_for_testing();
+
+}  // namespace syclport::rt::env

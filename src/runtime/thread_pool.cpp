@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
+
+#include "runtime/env.hpp"
 
 namespace syclport::rt {
 
@@ -82,15 +85,15 @@ std::atomic<std::size_t> g_grain{1};
 std::once_flag g_params_once;
 
 void init_params_from_env() {
-  if (const char* env = std::getenv("SYCLPORT_SCHEDULE")) {
-    if (const auto s = parse_schedule(env))
+  if (const auto v = env::get("SYCLPORT_SCHEDULE")) {
+    if (const auto s = parse_schedule(*v))
       g_schedule.store(*s, std::memory_order_relaxed);
+    else
+      env::warn_invalid("SYCLPORT_SCHEDULE", *v, "static|dynamic|steal");
   }
-  if (const char* env = std::getenv("SYCLPORT_GRAIN")) {
-    const long v = std::atol(env);
-    if (v >= 1)
-      g_grain.store(static_cast<std::size_t>(v), std::memory_order_relaxed);
-  }
+  if (const auto v = env::get_long("SYCLPORT_GRAIN", 1,
+                                   std::numeric_limits<long>::max()))
+    g_grain.store(static_cast<std::size_t>(*v), std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -370,10 +373,8 @@ LaunchStats ThreadPool::last_stats() noexcept { return t_last_stats; }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("SYCLPORT_THREADS")) {
-      const int v = std::atoi(env);
-      if (v >= 1) return static_cast<unsigned>(v);
-    }
+    if (const auto v = env::get_long("SYCLPORT_THREADS", 1, 4096))
+      return static_cast<unsigned>(*v);
     return std::max(2u, std::thread::hardware_concurrency());
   }());
   return pool;

@@ -1,9 +1,9 @@
 #include "sycl/detail/scheduler.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <string_view>
 
+#include "runtime/env.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sycl/launch_log.hpp"
 
@@ -17,11 +17,21 @@ namespace {
 /// commands - see the file comment in scheduler.hpp).
 thread_local const Command* t_current_command = nullptr;
 
+/// Retired commands are compacted out of inflight_ every this many
+/// retirements (or when the scheduler drains) instead of one O(n)
+/// erase per retire - the bulk of the per-launch DAG bookkeeping cost
+/// measured by bench/ablation_async.
+constexpr std::size_t kRetireEpoch = 32;
+
+/// Free-list ceiling; beyond it released commands go back to the heap
+/// (a burst of thousands of in-flight commands should not pin its
+/// high-water memory forever).
+constexpr std::size_t kPoolMax = 256;
+
 [[nodiscard]] unsigned worker_count_from_env() {
-  if (const char* env = std::getenv("SYCLPORT_QUEUE_WORKERS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<unsigned>(v);
-  }
+  if (const auto v =
+          syclport::rt::env::get_long("SYCLPORT_QUEUE_WORKERS", 1, 1024))
+    return static_cast<unsigned>(*v);
   // Enough workers that independent commands overlap, few enough that
   // they do not crowd out the kernel thread pool; min 2 keeps the
   // concurrency visible on single-core CI machines.
@@ -29,7 +39,42 @@ thread_local const Command* t_current_command = nullptr;
   return std::clamp(hw, 2u, 8u);
 }
 
+/// Command free list. Deleters of live commands hold the pool through a
+/// shared_ptr, so a command released during static destruction still
+/// has a pool to return to regardless of destruction order.
+struct CommandPool {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Command>> free;
+};
+
+[[nodiscard]] const std::shared_ptr<CommandPool>& command_pool() {
+  static const std::shared_ptr<CommandPool> pool =
+      std::make_shared<CommandPool>();
+  return pool;
+}
+
 }  // namespace
+
+std::shared_ptr<Command> acquire_command() {
+  const auto& pool = command_pool();
+  std::unique_ptr<Command> node;
+  {
+    std::lock_guard lock(pool->mu);
+    if (!pool->free.empty()) {
+      node = std::move(pool->free.back());
+      pool->free.pop_back();
+    }
+  }
+  if (!node) node = std::make_unique<Command>();
+  return {node.release(), [pool](Command* c) {
+            c->reset_for_reuse();
+            std::lock_guard lock(pool->mu);
+            if (pool->free.size() < kPoolMax)
+              pool->free.emplace_back(c);
+            else
+              delete c;
+          }};
+}
 
 std::uint64_t next_queue_id() noexcept {
   static std::atomic<std::uint64_t> next{1};
@@ -66,10 +111,10 @@ bool Scheduler::on_worker() noexcept { return t_current_command != nullptr; }
 bool Scheduler::concurrency_available() noexcept {
   // Read the override on every call (not cached): tests flip it between
   // cases to exercise both overlap strategies in one process.
-  if (const char* env = std::getenv("SYCLPORT_OVERLAP")) {
-    const std::string_view v(env);
-    if (v == "queue") return true;
-    if (v == "inline") return false;
+  if (const auto v = syclport::rt::env::get("SYCLPORT_OVERLAP")) {
+    if (*v == "queue") return true;
+    if (*v == "inline") return false;
+    syclport::rt::env::warn_invalid("SYCLPORT_OVERLAP", *v, "queue|inline");
   }
   return std::thread::hardware_concurrency() > 1;
 }
@@ -97,6 +142,7 @@ void Scheduler::submit(std::shared_ptr<Command> cmd) {
   }
   if (!started_) start_workers_locked();
   for (const auto& f : inflight_) {
+    if (f->done()) continue;  // retired, awaiting the next epoch sweep
     bool dep = false;
     for (const auto& a : cmd->accesses) {
       for (const auto& b : f->accesses)
@@ -120,7 +166,7 @@ void Scheduler::submit(std::shared_ptr<Command> cmd) {
   cmd->explicit_deps.clear();  // retired deps contribute no edges
   cmd->profile.dep_edges = cmd->unmet;
   inflight_.push_back(cmd);
-  inflight_count_.store(inflight_.size(), std::memory_order_release);
+  inflight_count_.fetch_add(1, std::memory_order_release);
   if (cmd->unmet == 0) {
     ready_.push_back(std::move(cmd));
     cv_work_.notify_one();
@@ -180,8 +226,18 @@ void Scheduler::retire_locked(const std::shared_ptr<Command>& cmd) {
       cv_work_.notify_one();
     }
   cmd->dependents.clear();
-  std::erase(inflight_, cmd);
-  inflight_count_.store(inflight_.size(), std::memory_order_release);
+  // Epoch retirement: leave the node in inflight_ (scans skip done()
+  // commands) and compact in bulk - one O(n) sweep amortized over
+  // kRetireEpoch retirements instead of an O(n) erase on every one.
+  const std::size_t live =
+      inflight_count_.fetch_sub(1, std::memory_order_release) - 1;
+  if (live == 0) {
+    inflight_.clear();  // drained: every node is done, release them all
+    retired_since_sweep_ = 0;
+  } else if (++retired_since_sweep_ >= kRetireEpoch) {
+    std::erase_if(inflight_, [](const auto& f) { return f->done(); });
+    retired_since_sweep_ = 0;
+  }
   cv_done_.notify_all();
 }
 
@@ -216,7 +272,7 @@ void Scheduler::wait_queue(std::uint64_t queue_id) {
   wait_helping(lock, [&] {
     return std::none_of(inflight_.begin(), inflight_.end(),
                         [&](const auto& f) {
-                          return f->queue_id == queue_id &&
+                          return !f->done() && f->queue_id == queue_id &&
                                  f.get() != t_current_command;
                         });
   });
@@ -225,9 +281,10 @@ void Scheduler::wait_queue(std::uint64_t queue_id) {
 void Scheduler::wait_all() {
   std::unique_lock lock(mu_);
   wait_helping(lock, [&] {
-    return std::none_of(
-        inflight_.begin(), inflight_.end(),
-        [&](const auto& f) { return f.get() != t_current_command; });
+    return std::none_of(inflight_.begin(), inflight_.end(),
+                        [&](const auto& f) {
+                          return !f->done() && f.get() != t_current_command;
+                        });
   });
 }
 
@@ -235,7 +292,7 @@ void Scheduler::wait_address(const void* ptr) {
   std::unique_lock lock(mu_);
   wait_helping(lock, [&] {
     return std::none_of(inflight_.begin(), inflight_.end(), [&](const auto& f) {
-      if (f.get() == t_current_command) return false;
+      if (f->done() || f.get() == t_current_command) return false;
       for (const auto& a : f->accesses)
         if (a.ptr == ptr) return true;
       return false;
@@ -251,6 +308,7 @@ void Scheduler::wait_conflicts(const std::vector<AccessRecord>& accesses) {
   std::unique_lock lock(mu_);
   wait_helping(lock, [&] {
     return std::none_of(inflight_.begin(), inflight_.end(), [&](const auto& f) {
+      if (f->done()) return false;
       if (accesses.empty()) return true;  // undeclared: conflicts with all
       for (const auto& a : accesses)
         for (const auto& b : f->accesses)

@@ -92,6 +92,23 @@ class Command {
 
  private:
   friend class Scheduler;
+  friend std::shared_ptr<Command> acquire_command();
+  /// Return the node to its pooled state: clear the per-submission
+  /// payload but keep every vector's capacity, so a recycled command
+  /// records its actions and footprint without allocating.
+  void reset_for_reuse() noexcept {
+    name = "(command)";
+    actions.clear();
+    accesses.clear();
+    explicit_deps.clear();
+    dependents.clear();
+    queue_id = 0;
+    profile = CommandProfile{};
+    unmet = 0;
+    error = nullptr;
+    done_.store(false, std::memory_order_relaxed);
+  }
+
   unsigned unmet = 0;  ///< unretired predecessors (guarded by Scheduler::mu_)
   std::vector<std::shared_ptr<Command>> dependents;
   std::exception_ptr error;
@@ -100,6 +117,13 @@ class Command {
 
 /// Monotonic queue identities (each sycl::queue gets one; copies share it).
 [[nodiscard]] std::uint64_t next_queue_id() noexcept;
+
+/// A Command node from the process-wide free list (or freshly allocated
+/// when the list is empty). When the last reference drops, the node -
+/// including the capacity of its actions/footprint vectors - goes back
+/// to the list instead of the heap, making the steady-state submit path
+/// allocation-free in command bookkeeping.
+[[nodiscard]] std::shared_ptr<Command> acquire_command();
 
 class Scheduler {
  public:
@@ -179,7 +203,12 @@ class Scheduler {
   mutable std::mutex mu_;
   std::condition_variable cv_work_;  ///< wakes workers on ready commands
   std::condition_variable cv_done_;  ///< wakes host sync points on retire
+  /// In-flight commands plus retired stragglers awaiting the next epoch
+  /// sweep: retire_locked() only marks commands done (O(1)); the O(n)
+  /// compaction runs every kRetireEpoch retirements (or when the
+  /// scheduler drains). Every scan of this list must skip done() nodes.
   std::vector<std::shared_ptr<Command>> inflight_;
+  std::size_t retired_since_sweep_ = 0;
   std::deque<std::shared_ptr<Command>> ready_;
   std::vector<StoredError> errors_;
   std::vector<std::thread> workers_;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/timing.hpp"
+#include "runtime/autotune/autotune.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sycl/access.hpp"
@@ -77,8 +78,38 @@ inline void log_launch(const char* name, int dims,
                        syclport::rt::LaunchStats stats) {
   auto& lg = launch_log::instance();
   if (!lg.enabled()) return;
-  lg.append(launch_record{name, dims, global, local, barrier, reduction, secs,
-                          stats});
+  launch_record rec;
+  rec.kernel_name = name;
+  rec.dims = dims;
+  rec.global = global;
+  rec.local = local;
+  rec.used_barrier = barrier;
+  rec.reduction = reduction;
+  rec.host_seconds = secs;
+  rec.executor = stats;
+  // Which autotuner configuration served this launch (the innermost
+  // tuning scope on this thread), and whether it was a search candidate
+  // or the locked-in winner.
+  rec.tune_phase = syclport::rt::autotune::current_phase();
+  if (const auto* cfg = syclport::rt::autotune::current_config())
+    rec.tune_config = cfg->to_string();
+  lg.append(std::move(rec));
+}
+
+/// Handler-level tuning site for one exec_* body: schedule x grain only
+/// (the shape of an nd_range launch is the caller's contract, and flat
+/// launches have no shape here by design). No-ops when an outer DSL
+/// scope (ops/op2 par_loop, LoopChain) already owns tuning for this
+/// launch.
+[[nodiscard]] inline syclport::rt::autotune::Site exec_site(
+    const char* name, int dims, std::array<std::size_t, 3> global, bool nd) {
+  syclport::rt::autotune::Site s;
+  s.name = name;
+  s.dims = dims;
+  s.global = global;
+  s.nd = nd;
+  s.axes = syclport::rt::autotune::kScheduleGrain;
+  return s;
 }
 
 // --- kernel execution bodies, shared by both handler modes -----------------
@@ -86,6 +117,8 @@ inline void log_launch(const char* name, int dims,
 template <int Dims, typename K>
 void exec_flat(const device&, const char* name, const range<Dims>& r,
                const K& k) {
+  syclport::rt::autotune::TunedLaunchParams tuned(
+      exec_site(name, Dims, to3(r), false));
   syclport::WallTimer t;
   const std::size_t total = r.size();
   // Templated fast path: the lambda is dispatched inline by the pool,
@@ -102,6 +135,8 @@ void exec_flat(const device&, const char* name, const range<Dims>& r,
 template <int Dims, typename T, typename Op, typename K>
 void exec_flat_reduce(const device&, const char* name, const range<Dims>& r,
                       const reduction_descriptor<T, Op>& red, const K& k) {
+  syclport::rt::autotune::TunedLaunchParams tuned(
+      exec_site(name, Dims, to3(r), false));
   syclport::WallTimer t;
   std::mutex mu;
   T acc = red.identity;
@@ -127,6 +162,8 @@ void exec_flat_reduce(const device&, const char* name, const range<Dims>& r,
 template <int Dims, typename K>
 void exec_nd(const device& dev, const char* name, const nd_range<Dims>& ndr,
              const K& k) {
+  syclport::rt::autotune::TunedLaunchParams tuned(
+      exec_site(name, Dims, to3(ndr.get_global_range()), true));
   syclport::WallTimer t;
   const range<Dims> groups = ndr.get_group_range();
   const range<Dims> local = ndr.get_local_range();
@@ -155,6 +192,8 @@ template <int Dims, typename T, typename Op, typename K>
 void exec_nd_reduce(const device& dev, const char* name,
                     const nd_range<Dims>& ndr,
                     const reduction_descriptor<T, Op>& red, const K& k) {
+  syclport::rt::autotune::TunedLaunchParams tuned(
+      exec_site(name, Dims, to3(ndr.get_global_range()), true));
   syclport::WallTimer t;
   const range<Dims> groups = ndr.get_group_range();
   const range<Dims> local = ndr.get_local_range();
@@ -200,7 +239,12 @@ void exec_single(const device&, const K& k) {
 class handler {
  public:
   explicit handler(const device& dev, bool deferred = false)
-      : dev_(dev), deferred_(deferred) {}
+      : dev_(dev), deferred_(deferred) {
+    // Deferred command groups record straight into a pooled Command
+    // node: in steady state the actions/footprint vectors below are
+    // recycled capacity, so a submit allocates nothing for bookkeeping.
+    if (deferred_) cmd_ = detail::acquire_command();
+  }
 
   // --- flat parallel_for -------------------------------------------------
   template <int Dims, typename K>
@@ -317,7 +361,7 @@ class handler {
       if (e.command()) detail::Scheduler::instance().wait_command(e.command());
       return;
     }
-    if (e.command()) deps_.push_back(e.command());
+    if (e.command()) cmd_->explicit_deps.push_back(e.command());
     explicit_deps_ = true;
   }
 
@@ -333,12 +377,13 @@ class handler {
 
   void register_access(const void* ptr, access_mode mode) {
     if (ptr == nullptr) return;
-    for (auto& a : accesses_) {
+    auto& accs = deferred_ ? cmd_->accesses : accesses_;
+    for (auto& a : accs) {
       if (a.ptr != ptr) continue;
       if (a.mode != mode) a.mode = access_mode::read_write;
       return;
     }
-    accesses_.push_back({ptr, mode});
+    accs.push_back({ptr, mode});
   }
 
   /// Conservative pre-step of immediate execution: block until no
@@ -352,16 +397,19 @@ class handler {
   template <typename Fn>
   void record(const char* name, Fn&& fn) {
     if (!name_) name_ = name;
-    actions_.push_back(std::forward<Fn>(fn));
+    cmd_->actions.push_back(std::forward<Fn>(fn));
   }
 
   device dev_;
   bool deferred_ = false;
   bool explicit_deps_ = false;  ///< depends_on was called (even if retired)
   const char* name_ = nullptr;  ///< first recorded kernel name
-  std::vector<std::function<void()>> actions_;
+  /// Deferred mode only: the pooled command this group records into
+  /// (actions, footprint, explicit deps). Null on the immediate path,
+  /// which stays allocation-free.
+  std::shared_ptr<detail::Command> cmd_;
+  /// Immediate mode only: footprint for the conservative pre-wait.
   std::vector<detail::AccessRecord> accesses_;
-  std::vector<std::shared_ptr<detail::Command>> deps_;
 };
 
 }  // namespace sycl

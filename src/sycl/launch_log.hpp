@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/autotune/config.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sycl/detail/scheduler.hpp"
 
@@ -44,6 +45,14 @@ struct launch_record {
   /// activity); lets bench reports separate scheduling overhead from
   /// kernel time. Zero chunks for single_task.
   syclport::rt::LaunchStats executor{};
+  /// How the autotuner served this launch: None when tuning is off or
+  /// the site is not tunable, Exploring while a search candidate ran,
+  /// Exploiting once the winner is locked in. tune_config is the
+  /// serving Config's wire rendering ("" for None) - together these
+  /// make warm-run verification ("zero explored launches") a log query.
+  syclport::rt::autotune::Phase tune_phase =
+      syclport::rt::autotune::Phase::None;
+  std::string tune_config;
 };
 
 /// One asynchronous command group as the scheduler saw it.

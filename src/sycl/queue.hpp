@@ -138,19 +138,17 @@ class queue {
 
  private:
   event finalize(handler& h) {
-    if (h.accesses_.empty() && !h.explicit_deps_) {
+    auto cmd = std::move(h.cmd_);
+    if (cmd->accesses.empty() && !h.explicit_deps_) {
       // Undeclared footprint: the scheduler cannot place this command
-      // in the DAG, so drain in-flight work and run inline.
+      // in the DAG, so drain in-flight work and run inline. The pooled
+      // node goes straight back to the free list.
       h.sync_immediate();
       syclport::WallTimer t;
-      for (auto& a : h.actions_) a();
+      for (auto& a : cmd->actions) a();
       return event(t.seconds());
     }
-    auto cmd = std::make_shared<detail::Command>();
     cmd->name = h.name_ ? h.name_ : "(command)";
-    cmd->actions = std::move(h.actions_);
-    cmd->accesses = std::move(h.accesses_);
-    cmd->explicit_deps = std::move(h.deps_);
     cmd->queue_id = qid_;
     detail::Scheduler::instance().submit(cmd);
     return event(std::move(cmd));

@@ -1,0 +1,327 @@
+// Tests for the online autotuner (runtime/autotune): config/site/cache
+// round-trips, successive-halving convergence, fingerprint guarding,
+// tuned-vs-untuned determinism, hardened env parsing, and exploration
+// thread safety under the out-of-order queue (the Autotune suite runs
+// under the TSan preset).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ops/ops.hpp"
+#include "runtime/autotune/autotune.hpp"
+#include "runtime/autotune/cache.hpp"
+#include "runtime/env.hpp"
+#include "sycl/sycl.hpp"
+
+namespace at = syclport::rt::autotune;
+namespace env = syclport::rt::env;
+namespace ops = syclport::ops;
+namespace rt = syclport::rt;
+
+namespace {
+
+at::Site sched_site(const char* name = "k") {
+  at::Site s;
+  s.name = name;
+  s.dims = 1;
+  s.global = {1u << 16, 1, 1};
+  s.axes = at::kScheduleGrain;
+  return s;
+}
+
+/// Deterministic synthetic cost: static beats dynamic beats steal,
+/// grain 1024 beats 1 beats 16384. The unique minimum is
+/// {static, 1024}.
+double synthetic_cost(const at::Config& c) {
+  double t = 1e-3;
+  if (c.schedule == rt::Schedule::Dynamic) t *= 2.0;
+  if (c.schedule == rt::Schedule::Steal) t *= 3.0;
+  if (c.grain == 1u) t *= 1.5;
+  if (c.grain == 16384u) t *= 2.5;
+  return t;
+}
+
+/// Drive a tuner to convergence on `site` against the synthetic cost.
+void drive(at::Autotuner& tuner, const at::Site& site) {
+  for (int i = 0; i < 10000 && !tuner.converged(site); ++i) {
+    const auto d = tuner.decide(site);
+    tuner.report(d, synthetic_cost(d.config));
+  }
+}
+
+/// Restore the process-wide tuner to "off" when a test ends, so the
+/// suites sharing the binary stay independent.
+struct GlobalTunerGuard {
+  ~GlobalTunerGuard() {
+    at::Autotuner::instance().reset(at::Autotuner::Mode::Off, "", "");
+  }
+};
+
+}  // namespace
+
+TEST(Autotune, ConfigToStringParseRoundTrip) {
+  at::Config c;
+  c.schedule = rt::Schedule::Steal;
+  c.grain = 4096;
+  c.local = {{1, 4, 64}};
+  c.overlap_queue = true;
+  c.tile = 32;
+  const auto back = at::Config::parse(c.to_string());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, c);
+
+  at::Config sparse;  // only the axes a site declared are set
+  sparse.tile = 0;
+  const auto sback = at::Config::parse(sparse.to_string());
+  ASSERT_TRUE(sback.has_value());
+  EXPECT_EQ(*sback, sparse);
+
+  EXPECT_FALSE(at::Config::parse("schedule=warp").has_value());
+  EXPECT_FALSE(at::Config::parse("grain=12abc").has_value());
+  EXPECT_FALSE(at::Config::parse("local=8x8").has_value());
+  EXPECT_FALSE(at::Config::parse("bogus=1").has_value());
+}
+
+TEST(Autotune, SiteKeyIsStableAndSanitized) {
+  at::Site s = sched_site("jacobi step");
+  const std::string key = s.key();
+  EXPECT_EQ(key, s.key()) << "key must be deterministic";
+  EXPECT_EQ(key.find(' '), std::string::npos)
+      << "spaces must be sanitized (cache format is line-oriented)";
+  EXPECT_NE(key.find("jacobi_step"), std::string::npos);
+  EXPECT_NE(key.find("|flat|"), std::string::npos);
+
+  // The footprint class buckets the iteration count: same shape class,
+  // same key; a different formulation or extent class changes it.
+  at::Site nd = s;
+  nd.nd = true;
+  EXPECT_NE(s.key(), nd.key());
+  at::Site big = s;
+  big.global = {1u << 20, 1, 1};
+  EXPECT_NE(s.key(), big.key());
+}
+
+TEST(Autotune, CacheRoundTripAndMalformedEntries) {
+  const std::string path = "test_autotune_cache_rt.json";
+  at::CacheData data;
+  data.fingerprint = "cores=8;l1d=32768;l2=1048576;llc=16777216;triad_log2=4";
+  at::Config a;
+  a.schedule = rt::Schedule::Static;
+  a.grain = 1024;
+  at::Config b;
+  b.local = {{1, 8, 32}};
+  b.overlap_queue = false;
+  data.entries = {{"k1|1|65536x1x1|flat|fp16", a},
+                  {"k2|2|512x512x1|nd|fp18", b}};
+  ASSERT_TRUE(at::write_cache(path, data));
+
+  const auto back = at::read_cache(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->fingerprint, data.fingerprint);
+  ASSERT_EQ(back->entries.size(), 2u);
+  EXPECT_EQ(back->entries[0].first, data.entries[0].first);
+  EXPECT_EQ(back->entries[0].second, a);
+  EXPECT_EQ(back->entries[1].second, b);
+
+  // Unparseable configs are dropped individually, not fatally.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("    { \"key\": \"k3|1|8x1x1|flat|fp3\", \"config\": "
+               "\"schedule=warp\" },\n",
+               f);
+    std::fclose(f);
+  }
+  const auto again = at::read_cache(path);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->entries.size(), 2u);
+
+  EXPECT_FALSE(at::read_cache("does_not_exist.json").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Autotune, SuccessiveHalvingConvergesToFastestCandidate) {
+  at::Autotuner tuner(at::Autotuner::Mode::On, "fp-test", "");
+  const at::Site site = sched_site();
+  EXPECT_FALSE(tuner.converged(site));
+  drive(tuner, site);
+  ASSERT_TRUE(tuner.converged(site));
+  const auto best = tuner.best(site);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->schedule, rt::Schedule::Static);
+  EXPECT_EQ(best->grain, 1024u);
+  EXPECT_GT(tuner.explored_launches(), 0u);
+}
+
+TEST(Autotune, CachedWinnerSkipsSearch) {
+  const std::string path = "test_autotune_cache_warm.json";
+  std::remove(path.c_str());
+  const at::Site site = sched_site();
+  {
+    at::Autotuner cold(at::Autotuner::Mode::On, "fp-warm", path);
+    drive(cold, site);
+    ASSERT_TRUE(cold.converged(site));
+  }
+  at::Autotuner warm(at::Autotuner::Mode::On, "fp-warm", path);
+  const auto d = warm.decide(site);
+  EXPECT_EQ(d.phase, at::Phase::Exploiting)
+      << "a cache hit must serve the winner from the first launch";
+  EXPECT_EQ(d.config.schedule, rt::Schedule::Static);
+  EXPECT_EQ(d.config.grain, 1024u);
+  EXPECT_EQ(warm.explored_launches(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Autotune, FingerprintMismatchRetunes) {
+  const std::string path = "test_autotune_cache_fp.json";
+  std::remove(path.c_str());
+  const at::Site site = sched_site();
+  {
+    at::Autotuner cold(at::Autotuner::Mode::On, "fp-machine-a", path);
+    drive(cold, site);
+  }
+  at::Autotuner other(at::Autotuner::Mode::On, "fp-machine-b", path);
+  const auto d = other.decide(site);
+  EXPECT_EQ(d.phase, at::Phase::Exploring)
+      << "another machine's winners must not be trusted";
+  std::remove(path.c_str());
+}
+
+TEST(Autotune, ForceModeReExploresDespiteValidCache) {
+  const std::string path = "test_autotune_cache_force.json";
+  std::remove(path.c_str());
+  const at::Site site = sched_site();
+  {
+    at::Autotuner cold(at::Autotuner::Mode::On, "fp-force", path);
+    drive(cold, site);
+  }
+  at::Autotuner force(at::Autotuner::Mode::Force, "fp-force", path);
+  const auto d = force.decide(site);
+  EXPECT_EQ(d.phase, at::Phase::Exploring);
+  drive(force, site);
+  EXPECT_TRUE(force.converged(site));
+  std::remove(path.c_str());
+}
+
+TEST(Autotune, TunedRunIsNumericallyIdenticalToUntuned) {
+  GlobalTunerGuard guard;
+  at::Autotuner::instance().reset(at::Autotuner::Mode::On, "fp-det", "");
+
+  const std::size_t n = 48;
+  auto sweep_sum = [&](std::optional<bool> tune, int iters) {
+    ops::Options o;
+    o.backend = ops::Backend::Threads;
+    o.tune = tune;
+    o.record = false;
+    ops::Context ctx(o);
+    ops::Block grid(ctx, "g", 2, {n, n, 1});
+    ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1);
+    for (long i = -1; i <= static_cast<long>(n); ++i)
+      for (long j = -1; j <= static_cast<long>(n); ++j)
+        a.at(i, j) = 0.25 * static_cast<double>(i) -
+                     0.125 * static_cast<double>(j);
+    double sum = 0.0;
+    for (int it = 0; it < iters; ++it) {
+      ops::par_loop(ctx, {"det_sweep"}, grid, ops::Range::all(grid),
+                    [](ops::ACC<double> out, ops::ACC<double> in) {
+                      out(0, 0) = in(0, 0) + 0.2 * (in(1, 0) + in(-1, 0) +
+                                                    in(0, 1) + in(0, -1));
+                    },
+                    ops::arg(b, ops::S_PT, ops::Acc::W),
+                    ops::arg(a, ops::S2D_5PT, ops::Acc::R));
+      const double s = b.interior_sum();
+      if (it == 0) sum = s;
+      // Every iteration - whichever candidate served it - must produce
+      // bit-identical results: the tuner only moves work distribution.
+      EXPECT_EQ(s, sum) << "iteration " << it;
+    }
+    return sum;
+  };
+
+  const double untuned = sweep_sum(false, 1);
+  const double tuned = sweep_sum(true, 80);  // spans explore + exploit
+  EXPECT_EQ(tuned, untuned);
+}
+
+TEST(Autotune, ExplorationIsThreadSafeUnderOutOfOrderQueue) {
+  GlobalTunerGuard guard;
+  at::Autotuner::instance().reset(at::Autotuner::Mode::On, "fp-mt", "");
+
+  // Concurrent deferred command groups with disjoint footprints all
+  // tune the same handler-level site; decide()/report() race across
+  // scheduler workers and submitting threads (TSan-checked).
+  constexpr int kThreads = 4;
+  constexpr int kSubmitsPerThread = 24;
+  constexpr std::size_t kElems = 2048;
+  std::vector<std::vector<double>> bufs(
+      kThreads, std::vector<double>(kElems, 0.0));
+  {
+    sycl::queue q;  // out-of-order
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        double* p = bufs[static_cast<std::size_t>(t)].data();
+        for (int s = 0; s < kSubmitsPerThread; ++s) {
+          q.submit([&](sycl::handler& h) {
+            h.require(p, sycl::access_mode::read_write);
+            h.parallel_for(sycl::range<1>(kElems), [p](sycl::id<1> i) {
+              p[i[0]] += 1.0;
+            });
+          });
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    q.wait();
+  }
+  for (const auto& buf : bufs)
+    for (const double v : buf)
+      EXPECT_EQ(v, static_cast<double>(kSubmitsPerThread));
+}
+
+TEST(EnvParse, RejectsMalformedIntegersDeterministically) {
+  env::reset_warnings_for_testing();
+  ::setenv("SYCLPORT_TEST_KNOB", "12abc", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(env::get_long("SYCLPORT_TEST_KNOB", 1, 4096).has_value());
+  // Warn-once: the second failed parse must stay silent.
+  EXPECT_FALSE(env::get_long("SYCLPORT_TEST_KNOB", 1, 4096).has_value());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("SYCLPORT_TEST_KNOB"), std::string::npos);
+  EXPECT_EQ(err.find("SYCLPORT_TEST_KNOB", err.find("SYCLPORT_TEST_KNOB") + 1),
+            std::string::npos)
+      << "must warn exactly once per variable";
+
+  ::setenv("SYCLPORT_TEST_KNOB", "9999999", 1);  // out of range
+  env::reset_warnings_for_testing();
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(env::get_long("SYCLPORT_TEST_KNOB", 1, 4096).has_value());
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("SYCLPORT_TEST_KNOB"),
+            std::string::npos);
+
+  ::setenv("SYCLPORT_TEST_KNOB", "64", 1);
+  EXPECT_EQ(env::get_long("SYCLPORT_TEST_KNOB", 1, 4096), 64);
+  ::unsetenv("SYCLPORT_TEST_KNOB");
+  EXPECT_FALSE(env::get_long("SYCLPORT_TEST_KNOB", 1, 4096).has_value());
+}
+
+TEST(EnvParse, ChoiceKnobsMatchDocumentedSpellingsOnly) {
+  env::reset_warnings_for_testing();
+  constexpr std::string_view kChoices[] = {"off", "on", "force"};
+  ::setenv("SYCLPORT_TEST_MODE", "on", 1);
+  EXPECT_EQ(env::get_choice("SYCLPORT_TEST_MODE", kChoices), 1u);
+  ::setenv("SYCLPORT_TEST_MODE", "ON", 1);  // case-sensitive by contract
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(env::get_choice("SYCLPORT_TEST_MODE", kChoices).has_value());
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("SYCLPORT_TEST_MODE"),
+            std::string::npos);
+  ::unsetenv("SYCLPORT_TEST_MODE");
+  EXPECT_FALSE(env::get_choice("SYCLPORT_TEST_MODE", kChoices).has_value());
+}

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "ops/loop_chain.hpp"
 #include "ops/ops.hpp"
+#include "runtime/autotune/autotune.hpp"
 
 namespace ops = syclport::ops;
 
@@ -118,6 +120,89 @@ TEST(LoopChain, DeepChainWithMixedRadii) {
   for (std::size_t tile : {2u, 4u, 7u, 13u}) {
     EXPECT_DOUBLE_EQ(build_and_run(tile), ref) << "tile=" << tile;
   }
+}
+
+TEST(LoopChain, TileLargerThanExtentRunsUntiled) {
+  // tile >= extent must collapse to the single-sweep reference
+  // schedule - no overlap expansion, bit-identical result.
+  const double ref = run_chain(12, 0);
+  EXPECT_DOUBLE_EQ(run_chain(12, 12), ref);    // exactly one tile
+  EXPECT_DOUBLE_EQ(run_chain(12, 13), ref);    // first tile covers all
+  EXPECT_DOUBLE_EQ(run_chain(12, 1000), ref);  // tile >> extent
+}
+
+TEST(LoopChain, RadiusZeroChainNeedsNoExpansion) {
+  // A chain of pointwise loops has zero slow radius everywhere; every
+  // tiling must match the reference exactly (expansion stays 0).
+  ops::Context ctx(serial());
+  const std::size_t n = 10;
+  ops::Block grid(ctx, "g", 2, {n, n, 1});
+  ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1), c(grid, "c", 1, 1);
+  for (long i = 0; i < static_cast<long>(n); ++i)
+    for (long j = 0; j < static_cast<long>(n); ++j)
+      a.at(i, j) = 1.0 + 0.5 * static_cast<double>(i * 10 + j);
+
+  auto build_and_run = [&](std::size_t tile) {
+    b.fill(0.0);
+    c.fill(0.0);
+    ops::LoopChain chain(ctx, grid);
+    chain.enqueue({"sq"},
+                  [](ops::ACC<double> out, ops::ACC<double> in) {
+                    out(0, 0) = in(0, 0) * in(0, 0);
+                  },
+                  ops::arg(b, ops::S_PT, ops::Acc::W),
+                  ops::arg(a, ops::S_PT, ops::Acc::R));
+    chain.enqueue({"half"},
+                  [](ops::ACC<double> out, ops::ACC<double> in) {
+                    out(0, 0) = 0.5 * in(0, 0);
+                  },
+                  ops::arg(c, ops::S_PT, ops::Acc::W),
+                  ops::arg(b, ops::S_PT, ops::Acc::R));
+    chain.execute(tile);
+    return c.interior_sum();
+  };
+  const double ref = build_and_run(0);
+  for (std::size_t tile : {1u, 3u, 10u}) {
+    EXPECT_DOUBLE_EQ(build_and_run(tile), ref) << "tile=" << tile;
+  }
+}
+
+TEST(LoopChain, AutotunedExecutePicksTileAndStaysExact) {
+  // execute() with no explicit tile hands the depth to the autotuner;
+  // whatever it explores, every chain run must stay bit-identical to
+  // the reference schedule.
+  namespace at = syclport::rt::autotune;
+  at::Autotuner::instance().reset(at::Autotuner::Mode::On, "fp-chain", "");
+
+  const std::size_t n = 24;
+  ops::Options o = serial();
+  o.tune = true;
+  ops::Context ctx(o);
+  ops::Block grid(ctx, "g", 2, {n, n, 1});
+  ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1), c(grid, "c", 1, 1);
+  for (long i = -1; i <= static_cast<long>(n); ++i)
+    for (long j = -1; j <= static_cast<long>(n); ++j)
+      a.at(i, j) = std::sin(0.2 * i) + std::cos(0.3 * j);
+
+  auto lap = [](ops::ACC<double> out, ops::ACC<double> in) {
+    out(0, 0) = 0.25 * (in(1, 0) + in(-1, 0) + in(0, 1) + in(0, -1));
+  };
+  auto run_once = [&](std::optional<std::size_t> tile) {
+    b.fill(0.0);
+    c.fill(0.0);
+    ops::LoopChain chain(ctx, grid);
+    chain.enqueue({"t1"}, lap, ops::arg(b, ops::S_PT, ops::Acc::W),
+                  ops::arg(a, ops::S2D_5PT, ops::Acc::R));
+    chain.enqueue({"t2"}, lap, ops::arg(c, ops::S_PT, ops::Acc::W),
+                  ops::arg(b, ops::S2D_5PT, ops::Acc::R));
+    chain.execute(tile);
+    return c.interior_sum();
+  };
+  const double ref = run_once(0);
+  for (int i = 0; i < 40; ++i)  // spans explore + exploit rounds
+    EXPECT_DOUBLE_EQ(run_once(std::nullopt), ref) << "run " << i;
+
+  at::Autotuner::instance().reset(at::Autotuner::Mode::Off, "", "");
 }
 
 TEST(LoopChain, RejectsInPlaceDats) {
