@@ -83,4 +83,19 @@ double memory_time_s(const Platform& hw, double bytes, double hit,
   return bytes * ((1.0 - hit) / dram + hit / llc);
 }
 
+double store_traffic_factor(bool write_allocate, bool streaming_stores) {
+  // Write-allocate turns every store stream into fetch + writeback;
+  // non-temporal stores (or a no-write-allocate policy) write once.
+  return (write_allocate && !streaming_stores) ? 2.0 : 1.0;
+}
+
+double first_touch_bandwidth_factor(const Platform& hw,
+                                    bool parallel_first_touch) {
+  if (parallel_first_touch || hw.numa_domains <= 1) return 1.0;
+  // Serial touch commits every page on the toucher's domain: remote
+  // cores then stream across the interconnect, the same imperfect-
+  // placement throttle the descriptor models as numa_penalty.
+  return std::clamp(hw.numa_penalty, 0.05, 1.0);
+}
+
 }  // namespace syclport::hw

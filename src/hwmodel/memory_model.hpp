@@ -36,4 +36,22 @@ namespace syclport::hw {
 [[nodiscard]] double memory_time_s(const Platform& hw, double bytes,
                                    double hit, double dram_bw_gbs);
 
+/// Multiplier (>= 1) on a kernel's *store* traffic from the
+/// write-allocate policy: a cached store to a never-read line costs a
+/// read-for-ownership on top of the writeback (2x), avoided by
+/// streaming (non-temporal) stores or read-before-write reuse.
+/// `write_allocate` describes the platform's policy for plain stores;
+/// `streaming_stores` whether the code path emits NT stores.
+[[nodiscard]] double store_traffic_factor(bool write_allocate,
+                                          bool streaming_stores);
+
+/// Fraction (0, 1] of STREAM bandwidth a bandwidth-bound sweep reaches
+/// given how its pages were placed: parallel first-touch reaches the
+/// platform's full figure (factor 1), serial touch concentrates every
+/// page on one NUMA domain and is throttled to the platform's modeled
+/// `numa_penalty` (1 on single-domain parts, where placement cannot
+/// hurt).
+[[nodiscard]] double first_touch_bandwidth_factor(const Platform& hw,
+                                                  bool parallel_first_touch);
+
 }  // namespace syclport::hw

@@ -68,6 +68,15 @@ rt::autotune::Priors tuning_priors(const Platform& p) {
   // LoopChain tile depths: shallow, the cache-model sweet spot
   // (llc-resident planes), and deep.
   pr.tiles = {8, 32, 128};
+
+  // First-touch order (kFirstTouch axis): on multi-domain parts (or
+  // ones with a modeled first-touch penalty) parallel placement is the
+  // expected winner, so try it first; on single-domain parts the two
+  // should tie and serial touch - which skips the pool fan-out - leads.
+  if (p.numa_domains > 1 || p.numa_penalty < 1.0)
+    pr.first_touch_order = {true, false};
+  else
+    pr.first_touch_order = {false, true};
   return pr;
 }
 

@@ -3,11 +3,14 @@
 /// OP2 dat: `dim` values of type T per element of a set, stored
 /// contiguously per element (AoS). In ModelOnly contexts no storage is
 /// allocated.
+///
+/// Storage is an rt::mem::Array: pooled allocation, parallel
+/// streaming-zero initialization, huge pages above the threshold.
 
 #include <string>
-#include <vector>
 
 #include "op2/set.hpp"
+#include "runtime/mem/array.hpp"
 
 namespace syclport::op2 {
 
@@ -17,7 +20,7 @@ class Dat {
   Dat(Set& set, int dim, std::string name, bool allocate = true)
       : set_(&set), dim_(dim), name_(std::move(name)) {
     if (allocate)
-      data_.assign(set.size() * static_cast<std::size_t>(dim), T{});
+      data_ = rt::mem::Array<T>(set.size() * static_cast<std::size_t>(dim));
   }
 
   [[nodiscard]] Set& set() const { return *set_; }
@@ -39,7 +42,8 @@ class Dat {
     return static_cast<double>(set_->size()) * dim_ * sizeof(T);
   }
 
-  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  /// Parallel streaming-store fill of the whole dat.
+  void fill(T v) { data_.fill(v); }
 
   [[nodiscard]] double sum() const {
     double s = 0.0;
@@ -51,7 +55,7 @@ class Dat {
   Set* set_;
   int dim_;
   std::string name_;
-  std::vector<T> data_;
+  rt::mem::Array<T> data_;
 };
 
 }  // namespace syclport::op2

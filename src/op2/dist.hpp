@@ -225,7 +225,9 @@ namespace detail {
 [[nodiscard]] inline sycl::access_mode to_mode(Acc a) {
   switch (a) {
     case Acc::R: return sycl::access_mode::read;
-    case Acc::W: return sycl::access_mode::write;
+    // OP2 W args are not read before written: discard_write (conflicts
+    // exactly like write, additionally marks a pure write stream).
+    case Acc::W: return sycl::access_mode::discard_write;
     default: return sycl::access_mode::read_write;  // RW, INC
   }
 }

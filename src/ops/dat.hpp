@@ -5,13 +5,17 @@
 /// (slow, mid, fast) with components innermost (AoS). In ModelOnly
 /// contexts no storage is allocated - the dat only contributes its
 /// footprint metadata to the schedule.
+///
+/// Storage is an rt::mem::Array: pooled allocation, parallel
+/// streaming-zero initialization (first-touched by the workers that
+/// will stream the field), huge pages above the threshold.
 
 #include <cassert>
 #include <cstddef>
 #include <string>
-#include <vector>
 
 #include "ops/block.hpp"
+#include "runtime/mem/array.hpp"
 
 namespace syclport::ops {
 
@@ -29,9 +33,8 @@ class Dat {
               ? block.size(d) + 2 * static_cast<std::size_t>(halo_)
               : 1;
     if (block.ctx().executing())
-      data_.assign(padded_[0] * padded_[1] * padded_[2] *
-                       static_cast<std::size_t>(ncomp_),
-                   T{});
+      data_ = rt::mem::Array<T>(padded_[0] * padded_[1] * padded_[2] *
+                                static_cast<std::size_t>(ncomp_));
   }
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -94,8 +97,9 @@ class Dat {
     return data_.size() * sizeof(T);
   }
 
-  /// Fill the entire allocation (halos included).
-  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  /// Fill the entire allocation (halos included) via the parallel
+  /// streaming-store path.
+  void fill(T v) { data_.fill(v); }
 
   /// Sum over the interior (validation checksums).
   [[nodiscard]] double interior_sum() {
@@ -120,7 +124,7 @@ class Dat {
   int ncomp_;
   int halo_;
   std::array<std::size_t, 3> padded_{1, 1, 1};
-  std::vector<T> data_;
+  rt::mem::Array<T> data_;
 };
 
 }  // namespace syclport::ops

@@ -196,8 +196,11 @@ struct DatBinder {
   /// interior commands of different ranks (different storage) stay
   /// independent in the scheduler's DAG.
   void declare(sycl::handler& h) const {
+    // Acc::W is OPS write semantics: not read before written, so it
+    // registers as discard_write (same conflict behaviour as write,
+    // but marks a pure write stream for the executor).
     const auto mode = acc == Acc::R   ? sycl::access_mode::read
-                      : acc == Acc::W ? sycl::access_mode::write
+                      : acc == Acc::W ? sycl::access_mode::discard_write
                                       : sycl::access_mode::read_write;
     h.require(static_cast<const void*>(dat->field().data.data()), mode);
   }

@@ -87,7 +87,11 @@ class LoopChain {
         site.dims = block_->dims();
         for (int d = 0; d < site.dims; ++d)
           site.global[static_cast<std::size_t>(d)] = block_->size(d);
-        site.axes = rt::autotune::kTile;
+        // Tile depth plus the mem subsystem's first-touch mode: the
+        // chain scope is the one tuned region that allocates inside
+        // itself (tile temporaries, lazily materialized buffers), so
+        // racing parallel vs serial placement here is meaningful.
+        site.axes = rt::autotune::kTile | rt::autotune::kFirstTouch;
         tuned.emplace(site);  // scope spans the whole chain execution
         if (tuned->phase() != rt::autotune::Phase::None &&
             tuned->config().tile)

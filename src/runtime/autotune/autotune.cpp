@@ -8,6 +8,7 @@
 #include "runtime/autotune/cache.hpp"
 #include "runtime/autotune/fingerprint.hpp"
 #include "runtime/env.hpp"
+#include "runtime/mem/mem.hpp"
 
 namespace syclport::rt::autotune {
 
@@ -151,6 +152,15 @@ void append_token(std::string& out, const char* key, const std::string& val) {
       }
     });
   }
+  if (site.axes & kFirstTouch) {
+    cross([&](const Config& c, std::vector<Config>& next) {
+      for (const bool ft : priors.first_touch_order) {
+        Config d = c;
+        d.first_touch = ft;
+        next.push_back(d);
+      }
+    });
+  }
   return set;
 }
 
@@ -180,6 +190,8 @@ std::string Config::to_string() const {
   if (overlap_queue)
     append_token(out, "overlap", *overlap_queue ? "queue" : "inline");
   if (tile) append_token(out, "tile", std::to_string(*tile));
+  if (first_touch)
+    append_token(out, "first_touch", *first_touch ? "on" : "off");
   return out;
 }
 
@@ -232,6 +244,10 @@ std::optional<Config> Config::parse(std::string_view s) {
       const auto t = parse_size(val);
       if (!t) return std::nullopt;
       cfg.tile = *t;
+    } else if (key == "first_touch") {
+      if (val == "on") cfg.first_touch = true;
+      else if (val == "off") cfg.first_touch = false;
+      else return std::nullopt;
     } else {
       return std::nullopt;  // unknown axis: treat the entry as corrupt
     }
@@ -479,6 +495,15 @@ TunedLaunchParams::TunedLaunchParams(const Site& site,
       if (decision_.phase != Phase::None) {
         if (decision_.config.schedule) p.schedule = *decision_.config.schedule;
         if (decision_.config.grain) p.grain = *decision_.config.grain;
+        if (decision_.config.first_touch) {
+          // The decided first-touch mode governs allocations made
+          // inside the scope (LoopChain temporaries, lazy buffer
+          // materialization) via the mem subsystem's thread-local
+          // override.
+          saved_ft_ = mem::first_touch_override();
+          mem::set_first_touch_override(*decision_.config.first_touch);
+          ft_set_ = true;
+        }
         owns_scope_ = true;
         t_scope = {decision_.phase, &decision_.config};
         uncaught_ = std::uncaught_exceptions();
@@ -490,6 +515,7 @@ TunedLaunchParams::TunedLaunchParams(const Site& site,
 }
 
 TunedLaunchParams::~TunedLaunchParams() {
+  if (ft_set_) mem::set_first_touch_override(saved_ft_);
   if (owns_scope_) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)

@@ -190,6 +190,10 @@ class TunedLaunchParams {
   LaunchParams saved_;
   Autotuner::Decision decision_;
   bool owns_scope_ = false;
+  /// First-touch override state (kFirstTouch axis): previous value of
+  /// the rt::mem thread-local, restored by the destructor.
+  std::optional<bool> saved_ft_;
+  bool ft_set_ = false;
   int uncaught_ = 0;
   std::chrono::steady_clock::time_point t0_;
 };

@@ -40,6 +40,7 @@ enum Axis : unsigned {
   kWorkGroup = 1u << 1,      ///< nd_range local shape (SyclNd lowering)
   kOverlap = 1u << 2,        ///< halo/compute overlap strategy (dist)
   kTile = 1u << 3,           ///< LoopChain slow-dimension tile depth
+  kFirstTouch = 1u << 4,     ///< rt::mem parallel first-touch on/off
 };
 
 /// One candidate (or winning) configuration. Axes a site did not
@@ -53,6 +54,9 @@ struct Config {
   std::optional<bool> overlap_queue;
   /// LoopChain tile depth; 0 = untiled reference schedule.
   std::optional<std::size_t> tile;
+  /// rt::mem parallel first-touch for allocations made inside the
+  /// tuned scope (true = parallel placement, false = serial).
+  std::optional<bool> first_touch;
 
   /// Space-separated `axis=value` rendering, the cache wire format.
   [[nodiscard]] std::string to_string() const;
@@ -90,6 +94,10 @@ struct Priors {
   std::array<std::size_t, 2> wg_totals{64, 256};
   /// LoopChain tile seeds (0 = untiled is always included).
   std::array<std::size_t, 3> tiles{8, 32, 128};
+  /// First-touch candidate order: parallel placement first on NUMA
+  /// platforms (hwmodel flips this on single-domain descriptors where
+  /// serial touch can win by leaving placement to the OS).
+  std::array<bool, 2> first_touch_order{true, false};
 };
 
 }  // namespace syclport::rt::autotune

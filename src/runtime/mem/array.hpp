@@ -1,0 +1,96 @@
+#pragma once
+/// \file array.hpp
+/// Fixed-size device-storage array on the mem subsystem: the drop-in
+/// replacement for the std::vector<T> backing of OPS/OP2 dats. Unlike
+/// vector it never serial-value-initialises - construction goes through
+/// mem::alloc, so pages are either first-touched in parallel (Zero) or
+/// left to the first writer (Uninit). Restricted to trivially copyable
+/// element types, which is all a dat ever stores.
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/mem/mem.hpp"
+#include "runtime/mem/stream.hpp"
+
+namespace syclport::rt::mem {
+
+struct uninit_t {
+  explicit uninit_t() = default;
+};
+/// Tag: allocate without touching - for storage the caller fully
+/// overwrites before reading (discard_write semantics).
+inline constexpr uninit_t uninit{};
+
+template <typename T>
+class Array {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "mem::Array is for trivially copyable device data");
+
+ public:
+  Array() = default;
+
+  /// Zero-initialised storage for `n` elements (parallel streaming
+  /// zero; the pages are first-touched by the workers that zero them).
+  explicit Array(std::size_t n)
+      : data_(n ? static_cast<T*>(alloc(n * sizeof(T), Init::Zero)) : nullptr),
+        size_(n) {}
+
+  /// Uninitialised storage: pages are committed lazily by whoever
+  /// writes first.
+  Array(std::size_t n, uninit_t)
+      : data_(n ? static_cast<T*>(alloc(n * sizeof(T), Init::None)) : nullptr),
+        size_(n) {}
+
+  Array(Array&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)) {}
+
+  Array& operator=(Array&& o) noexcept {
+    if (this != &o) {
+      dealloc(data_);
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+
+  Array(const Array&) = delete;
+  Array& operator=(const Array&) = delete;
+
+  ~Array() { dealloc(data_); }
+
+  /// Replace the contents with `n` copies of `v` (parallel streaming
+  /// fill; reallocates only when the size changes).
+  void assign(std::size_t n, T v) {
+    if (n != size_) *this = Array(n, uninit);
+    fill(v);
+  }
+
+  /// Set every element to `v` via the streaming-store fill path.
+  void fill(T v) {
+    if (size_ != 0) parallel_fill(data_, size_, v);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace syclport::rt::mem

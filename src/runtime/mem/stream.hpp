@@ -1,0 +1,167 @@
+#pragma once
+/// \file stream.hpp
+/// Non-temporal (streaming) store helpers for the bandwidth-bound fill
+/// and copy paths. A cached store to a line the kernel will never read
+/// first costs a read-for-ownership: the line is fetched from memory
+/// just to be overwritten, turning a pure write stream into write +
+/// hidden read traffic. Non-temporal stores bypass the cache and the
+/// RFO, which is why BabelStream-style fills/copies care.
+///
+/// The fast path is gated three ways: compile-time ISA support
+/// (SSE2 + x86-64), the SYCLPORT_STREAM_STORES knob, and natural
+/// alignment of the destination. Every helper degrades to the plain
+/// cached loop when any gate fails, so callers never need a fallback.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "runtime/mem/mem.hpp"
+#include "runtime/thread_pool.hpp"
+
+#if defined(__SSE2__) && defined(__x86_64__)
+#include <emmintrin.h>
+#define SYCLPORT_NT_STORES 1
+#endif
+
+namespace syclport::rt::mem {
+
+/// True when this build can emit non-temporal stores at all.
+[[nodiscard]] constexpr bool stream_stores_supported() noexcept {
+#if defined(SYCLPORT_NT_STORES)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Store `v` to `*dst` bypassing the cache when the ISA allows it and
+/// the value is a naturally-aligned 4- or 8-byte scalar; plain store
+/// otherwise. The caller must issue stream_fence() before other
+/// threads read the data.
+template <typename T>
+inline void stream_store(T* dst, T v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+#if defined(SYCLPORT_NT_STORES)
+  if constexpr (sizeof(T) == 8 && alignof(T) == 8) {
+    _mm_stream_si64(reinterpret_cast<long long*>(dst),
+                    std::bit_cast<long long>(v));
+    return;
+  } else if constexpr (sizeof(T) == 4 && alignof(T) == 4) {
+    _mm_stream_si32(reinterpret_cast<int*>(dst), std::bit_cast<int>(v));
+    return;
+  }
+#endif
+  *dst = v;
+}
+
+/// Order non-temporal stores before subsequent loads/stores become
+/// visible. No-op on builds without the NT path.
+inline void stream_fence() noexcept {
+#if defined(SYCLPORT_NT_STORES)
+  _mm_sfence();
+#endif
+}
+
+namespace detail {
+
+/// Whether the NT path applies to this destination: knob on, ISA
+/// present, scalar streamable, pointer naturally aligned.
+template <typename T>
+[[nodiscard]] inline bool nt_eligible(const T* dst) noexcept {
+  if constexpr (!stream_stores_supported() ||
+                !(sizeof(T) == 8 || sizeof(T) == 4)) {
+    return false;
+  } else {
+    return stream_stores_active() &&
+           reinterpret_cast<std::uintptr_t>(dst) % sizeof(T) == 0;
+  }
+}
+
+}  // namespace detail
+
+/// Fill `[dst, dst+n)` with `v` on the calling thread, streaming when
+/// eligible.
+template <typename T>
+inline void fill_serial(T* dst, std::size_t n, T v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (detail::nt_eligible(dst)) {
+    for (std::size_t i = 0; i < n; ++i) stream_store(dst + i, v);
+    stream_fence();
+  } else {
+    std::fill(dst, dst + n, v);
+  }
+}
+
+/// Copy `bytes` from `src` to `dst` (non-overlapping) on the calling
+/// thread, streaming the stores in 8-byte words when both pointers are
+/// 8-byte aligned; memcpy tail/fallback otherwise.
+inline void copy_serial(void* dst, const void* src, std::size_t bytes) noexcept {
+  auto* d8 = static_cast<std::uint64_t*>(dst);
+  const auto* s8 = static_cast<const std::uint64_t*>(src);
+  if (detail::nt_eligible(d8) &&
+      reinterpret_cast<std::uintptr_t>(src) % 8 == 0) {
+    const std::size_t words = bytes / 8;
+    for (std::size_t i = 0; i < words; ++i) {
+      std::uint64_t w;
+      std::memcpy(&w, s8 + i, 8);
+      stream_store(d8 + i, w);
+    }
+    stream_fence();
+    if (const std::size_t tail = bytes % 8; tail != 0)
+      std::memcpy(d8 + words, s8 + words, tail);
+  } else {
+    std::memcpy(dst, src, bytes);
+  }
+}
+
+namespace detail {
+/// Below this many bytes the pool fan-out costs more than it saves.
+inline constexpr std::size_t kParallelBytesThreshold = 256u << 10;
+}  // namespace detail
+
+/// Fill `[dst, dst+n)` with `v` across the thread-pool workers under a
+/// static schedule (the placement-preserving topology), streaming when
+/// eligible. Small fills run serially on the caller. Records the
+/// traffic in MemStats::stream_fill_bytes.
+template <typename T>
+inline void parallel_fill(T* dst, std::size_t n, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  detail::note_stream_fill(n * sizeof(T));
+  if (n * sizeof(T) < detail::kParallelBytesThreshold ||
+      serial_execution_forced()) {
+    fill_serial(dst, n, v);
+    return;
+  }
+  ScopedLaunchParams params(Schedule::Static, std::nullopt);
+  ThreadPool::global().parallel_for(
+      n, [&](std::size_t b, std::size_t e) { fill_serial(dst + b, e - b, v); });
+}
+
+/// Copy `bytes` from `src` to `dst` (non-overlapping) across the
+/// thread-pool workers under a static schedule, streaming when
+/// eligible. Records the traffic in MemStats::stream_copy_bytes.
+inline void parallel_copy(void* dst, const void* src, std::size_t bytes) {
+  detail::note_stream_copy(bytes);
+  if (bytes < detail::kParallelBytesThreshold || serial_execution_forced()) {
+    copy_serial(dst, src, bytes);
+    return;
+  }
+  ScopedLaunchParams params(Schedule::Static, std::nullopt);
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  // Chunk on 64-byte boundaries so every sub-copy keeps the base
+  // alignment and stays on the NT path.
+  const std::size_t lines = bytes / 64;
+  ThreadPool::global().parallel_for(lines, [&](std::size_t b, std::size_t e) {
+    copy_serial(d + b * 64, s + b * 64, (e - b) * 64);
+  });
+  if (const std::size_t tail = bytes % 64; tail != 0)
+    copy_serial(d + lines * 64, s + lines * 64, tail);
+}
+
+}  // namespace syclport::rt::mem

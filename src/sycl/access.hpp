@@ -6,7 +6,12 @@
 
 namespace sycl {
 
-enum class access_mode { read, write, read_write };
+/// `discard_write` is a write whose author promises not to read prior
+/// contents (SYCL 2020 expresses it as write + property::no_init). The
+/// scheduler treats it exactly like write - any non-read mode conflicts
+/// - but the memory subsystem uses it to skip materialising buffer
+/// storage and to route eligible fills through streaming stores.
+enum class access_mode { read, write, read_write, discard_write };
 
 /// Accessor-construction tags, as in SYCL 2020.
 struct read_only_tag {};
@@ -15,5 +20,10 @@ struct read_write_tag {};
 inline constexpr read_only_tag read_only{};
 inline constexpr write_only_tag write_only{};
 inline constexpr read_write_tag read_write{};
+
+/// SYCL 2020 property::no_init analogue, passed alongside write_only:
+/// `accessor a(buf, h, sycl::write_only, sycl::no_init)`.
+struct no_init_tag {};
+inline constexpr no_init_tag no_init{};
 
 }  // namespace sycl

@@ -11,17 +11,66 @@
 /// DAG; and buffer destruction / host_accessor construction are host
 /// synchronization points that block until no in-flight command still
 /// references the storage (SYCL 2020 buffer semantics).
+///
+/// Owned storage comes from the rt::mem subsystem, not std::vector:
+/// allocation is pooled and *lazily initialized*. The zero fill that
+/// SYCL requires happens at the first accessor that could observe it -
+/// in parallel, with streaming stores, first-touched by the pool
+/// workers - and is skipped entirely when that first accessor is
+/// `write_only, no_init` (access_mode::discard_write), in which case
+/// the kernel's own writes place the pages.
 
 #include <cstddef>
 #include <memory>
-#include <vector>
+#include <mutex>
 
+#include "runtime/mem/mem.hpp"
 #include "sycl/access.hpp"
 #include "sycl/detail/scheduler.hpp"
 #include "sycl/handler.hpp"
 #include "sycl/range.hpp"
 
 namespace sycl {
+namespace detail {
+
+/// Shared owned-buffer backing store: a pooled, initially-untouched
+/// allocation plus a once-flag deciding how it gets initialized. All
+/// copies of a buffer share one of these.
+class buffer_storage {
+ public:
+  explicit buffer_storage(std::size_t bytes)
+      : ptr_(syclport::rt::mem::alloc(bytes, syclport::rt::mem::Init::None)),
+        bytes_(bytes) {}
+
+  ~buffer_storage() { syclport::rt::mem::dealloc(ptr_); }
+
+  buffer_storage(const buffer_storage&) = delete;
+  buffer_storage& operator=(const buffer_storage&) = delete;
+
+  [[nodiscard]] void* ptr() const noexcept { return ptr_; }
+
+  /// Zero the storage if nothing has initialized it yet (parallel
+  /// streaming zero; the fill is also the first touch).
+  void ensure_zeroed() {
+    std::call_once(init_, [this] {
+      syclport::rt::mem::zero_fill(ptr_, bytes_);
+    });
+  }
+
+  /// Declare the storage initialized without touching it - the
+  /// discard_write path, where the first kernel overwrites everything
+  /// it will ever read.
+  void mark_initialized() {
+    std::call_once(init_, [] {});
+  }
+
+ private:
+  void* ptr_;
+  std::size_t bytes_;
+  std::once_flag init_;
+};
+
+}  // namespace detail
 
 template <typename T, int Dims = 1>
 class buffer {
@@ -30,10 +79,12 @@ class buffer {
   /// immediately, equivalent to a same-context host buffer).
   buffer(T* host_data, range<Dims> r) : data_(host_data), range_(r) {}
 
-  /// Buffer owning zero-initialized storage.
+  /// Buffer owning storage that reads as zero. The allocation is
+  /// pooled and untouched here; the zero materializes at the first
+  /// accessor that could read it (and never, for discard_write).
   explicit buffer(range<Dims> r)
-      : owned_(std::make_shared<std::vector<T>>(r.size())),
-        data_(owned_->data()),
+      : owned_(std::make_shared<detail::buffer_storage>(r.size() * sizeof(T))),
+        data_(static_cast<T*>(owned_->ptr())),
         range_(r) {}
 
   buffer(const buffer&) = default;
@@ -50,10 +101,28 @@ class buffer {
   [[nodiscard]] std::size_t size() const { return range_.size(); }
   [[nodiscard]] std::size_t byte_size() const { return size() * sizeof(T); }
 
-  [[nodiscard]] T* data() const { return data_; }
+  /// Host escape hatch to the storage. Materializes the zero fill
+  /// first so callers see the documented zero-initialized contents.
+  [[nodiscard]] T* data() const {
+    ensure_initialized();
+    return data_;
+  }
+
+  /// Internal (accessor) entry points -------------------------------
+  /// Raw pointer with no initialization side effect.
+  [[nodiscard]] T* device_ptr() const noexcept { return data_; }
+  /// Force the zero fill (any accessor that may read or partially
+  /// write).
+  void ensure_initialized() const {
+    if (owned_) owned_->ensure_zeroed();
+  }
+  /// Suppress the zero fill forever (first accessor is discard_write).
+  void mark_initialized() const {
+    if (owned_) owned_->mark_initialized();
+  }
 
  private:
-  std::shared_ptr<std::vector<T>> owned_;  ///< null when wrapping host memory
+  std::shared_ptr<detail::buffer_storage> owned_;  ///< null when wrapping
   T* data_ = nullptr;
   range<Dims> range_;
 };
@@ -65,6 +134,12 @@ class accessor {
       : accessor(buf, h, access_mode::read) {}
   accessor(buffer<T, Dims>& buf, handler& h, write_only_tag)
       : accessor(buf, h, access_mode::write) {}
+  /// SYCL 2020 `sycl::write_only, sycl::no_init`: the kernel promises
+  /// to overwrite everything it reads, so the buffer's lazy zero fill
+  /// is skipped and the footprint registers as discard_write.
+  accessor(buffer<T, Dims>& buf, handler& h, write_only_tag, no_init_tag)
+      : accessor(buf, h, access_mode::discard_write) {}
+
   accessor(buffer<T, Dims>& buf, handler& h, read_write_tag = {})
       : accessor(buf, h, access_mode::read_write) {}
 
@@ -83,7 +158,14 @@ class accessor {
 
  private:
   accessor(buffer<T, Dims>& buf, handler& h, access_mode m)
-      : data_(buf.data()), range_(buf.get_range()), mode_(m) {
+      : data_(buf.device_ptr()), range_(buf.get_range()), mode_(m) {
+    // A plain `write` accessor may cover only part of the range, so the
+    // unwritten remainder must still read as zero; only discard_write
+    // may skip the fill.
+    if (m == access_mode::discard_write)
+      buf.mark_initialized();
+    else
+      buf.ensure_initialized();
     h.require(static_cast<const void*>(data_), mode_);
   }
 
@@ -99,7 +181,8 @@ template <typename T, int Dims = 1>
 class host_accessor {
  public:
   explicit host_accessor(buffer<T, Dims>& buf)
-      : data_(buf.data()), range_(buf.get_range()) {
+      : data_(buf.device_ptr()), range_(buf.get_range()) {
+    buf.ensure_initialized();
     detail::sync_host_access(data_);
   }
 

@@ -28,13 +28,16 @@
 #include <concepts>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/timing.hpp"
 #include "runtime/autotune/autotune.hpp"
 #include "runtime/fiber.hpp"
+#include "runtime/mem/stream.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sycl/access.hpp"
 #include "sycl/detail/local_arena.hpp"
@@ -75,7 +78,8 @@ inline void log_launch(const char* name, int dims,
                        std::array<std::size_t, 3> global,
                        std::optional<std::array<std::size_t, 3>> local,
                        bool barrier, bool reduction, double secs,
-                       syclport::rt::LaunchStats stats) {
+                       syclport::rt::LaunchStats stats,
+                       bool streaming = false) {
   auto& lg = launch_log::instance();
   if (!lg.enabled()) return;
   launch_record rec;
@@ -87,6 +91,7 @@ inline void log_launch(const char* name, int dims,
   rec.reduction = reduction;
   rec.host_seconds = secs;
   rec.executor = stats;
+  rec.streaming = streaming;
   // Which autotuner configuration served this launch (the innermost
   // tuning scope on this thread), and whether it was a search candidate
   // or the locked-in winner.
@@ -116,7 +121,16 @@ inline void log_launch(const char* name, int dims,
 
 template <int Dims, typename K>
 void exec_flat(const device&, const char* name, const range<Dims>& r,
-               const K& k) {
+               const K& k, bool streaming = false) {
+  // Streaming launch: every written accessor is discard_write, i.e. a
+  // pure write stream (BabelStream-style fills/copies). Pin the static
+  // schedule so the worker-to-range map matches the first-touch page
+  // placement the mem subsystem established at allocation. The pin is
+  // taken *before* the tuning scope, so an active autotuner (which may
+  // be racing the first-touch axis itself) still overrides it.
+  std::optional<syclport::rt::ScopedLaunchParams> pin;
+  if (streaming)
+    pin.emplace(syclport::rt::Schedule::Static, std::nullopt);
   syclport::rt::autotune::TunedLaunchParams tuned(
       exec_site(name, Dims, to3(r), false));
   syclport::WallTimer t;
@@ -129,7 +143,7 @@ void exec_flat(const device&, const char* name, const range<Dims>& r,
           invoke_flat(k, delinearize(lin, r), r);
       });
   log_launch(name, Dims, to3(r), std::nullopt, false, false, t.seconds(),
-             syclport::rt::ThreadPool::last_stats());
+             syclport::rt::ThreadPool::last_stats(), streaming);
 }
 
 template <int Dims, typename T, typename Op, typename K>
@@ -254,13 +268,17 @@ class handler {
 
   template <int Dims, typename K>
   void parallel_for(const char* name, range<Dims> r, const K& k) {
+    // The streaming decision is made here, once the command group's
+    // accessors have all registered (they are constructed before the
+    // parallel_for call inside the CGF).
+    const bool streaming = discard_only_writes();
     if (!deferred_) {
       sync_immediate();
-      detail::exec_flat(dev_, name, r, k);
+      detail::exec_flat(dev_, name, r, k, streaming);
       return;
     }
-    record(name, [dev = dev_, name, r, k] {
-      detail::exec_flat(dev, name, r, k);
+    record(name, [dev = dev_, name, r, k, streaming] {
+      detail::exec_flat(dev, name, r, k, streaming);
     });
   }
 
@@ -337,6 +355,86 @@ class handler {
     record("(single_task)", [dev = dev_, k] { detail::exec_single(dev, k); });
   }
 
+  // --- explicit memory operations (SYCL 2020 handler::fill/copy) ----------
+  /// Fill the accessor's range through the streaming-store path:
+  /// non-temporal stores fanned out over the pool under a static
+  /// schedule. The accessor's constructor already registered the
+  /// footprint (use write_only + no_init to also skip the buffer's
+  /// lazy zero fill).
+  template <typename Acc, typename T>
+    requires requires(const Acc& a) {
+      a.get_pointer();
+      a.get_range();
+    }
+  void fill(Acc acc, const T& value) {
+    using Elem = std::remove_reference_t<decltype(*acc.get_pointer())>;
+    Elem* ptr = acc.get_pointer();
+    const std::size_t n = acc.get_range().size();
+    const Elem v = static_cast<Elem>(value);
+    if (!deferred_) {
+      sync_immediate();
+      syclport::rt::mem::parallel_fill(ptr, n, v);
+      return;
+    }
+    record("(fill)", [ptr, n, v] { syclport::rt::mem::parallel_fill(ptr, n, v); });
+  }
+
+  /// Accessor-to-accessor copy (dst must be at least src-sized), again
+  /// through the streaming-store path.
+  template <typename SrcAcc, typename DstAcc>
+    requires requires(const SrcAcc& s, const DstAcc& d) {
+      s.get_pointer();
+      d.get_pointer();
+    }
+  void copy(SrcAcc src, DstAcc dst) {
+    using Elem = std::remove_reference_t<decltype(*src.get_pointer())>;
+    const Elem* sp = src.get_pointer();
+    Elem* dp = dst.get_pointer();
+    const std::size_t bytes = src.get_range().size() * sizeof(Elem);
+    if (!deferred_) {
+      sync_immediate();
+      syclport::rt::mem::parallel_copy(dp, sp, bytes);
+      return;
+    }
+    record("(copy)", [dp, sp, bytes] {
+      syclport::rt::mem::parallel_copy(dp, sp, bytes);
+    });
+  }
+
+  /// Host-to-accessor copy.
+  template <typename T, typename DstAcc>
+    requires requires(const DstAcc& d) { d.get_pointer(); }
+  void copy(const T* src, DstAcc dst) {
+    register_access(src, access_mode::read);
+    T* dp = dst.get_pointer();
+    const std::size_t bytes = dst.get_range().size() * sizeof(T);
+    if (!deferred_) {
+      sync_immediate();
+      syclport::rt::mem::parallel_copy(dp, src, bytes);
+      return;
+    }
+    record("(copy)", [dp, src, bytes] {
+      syclport::rt::mem::parallel_copy(dp, src, bytes);
+    });
+  }
+
+  /// Accessor-to-host copy.
+  template <typename SrcAcc, typename T>
+    requires requires(const SrcAcc& s) { s.get_pointer(); }
+  void copy(SrcAcc src, T* dst) {
+    register_access(dst, access_mode::write);
+    const T* sp = src.get_pointer();
+    const std::size_t bytes = src.get_range().size() * sizeof(T);
+    if (!deferred_) {
+      sync_immediate();
+      syclport::rt::mem::parallel_copy(dst, sp, bytes);
+      return;
+    }
+    record("(copy)", [dst, sp, bytes] {
+      syclport::rt::mem::parallel_copy(dst, sp, bytes);
+    });
+  }
+
   /// Accessor registration: records (base pointer, access_mode) in the
   /// command group's footprint, from which queue::submit derives
   /// RAW/WAR/WAW edges. Buffer accessors call this from their
@@ -380,10 +478,28 @@ class handler {
     auto& accs = deferred_ ? cmd_->accesses : accesses_;
     for (auto& a : accs) {
       if (a.ptr != ptr) continue;
+      // Mixed modes on one pointer collapse to read_write - the
+      // conservative superset (it also voids any discard promise).
       if (a.mode != mode) a.mode = access_mode::read_write;
       return;
     }
     accs.push_back({ptr, mode});
+  }
+
+  /// True when the footprint writes at least one accessor and every
+  /// written accessor is discard_write: a pure write stream with no
+  /// dependence on prior contents, eligible for the streaming launch
+  /// path in exec_flat.
+  [[nodiscard]] bool discard_only_writes() const {
+    const auto& accs = deferred_ ? cmd_->accesses : accesses_;
+    bool any = false;
+    for (const auto& a : accs) {
+      if (a.mode == access_mode::discard_write)
+        any = true;
+      else if (a.mode != access_mode::read)
+        return false;
+    }
+    return any;
   }
 
   /// Conservative pre-step of immediate execution: block until no

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "runtime/autotune/config.hpp"
+#include "runtime/mem/mem.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sycl/detail/scheduler.hpp"
 
@@ -53,6 +54,11 @@ struct launch_record {
   syclport::rt::autotune::Phase tune_phase =
       syclport::rt::autotune::Phase::None;
   std::string tune_config;
+  /// True when the launch took the streaming path: every written
+  /// accessor was discard_write, so the executor pinned the
+  /// placement-preserving static schedule (unless the tuner overrode
+  /// it).
+  bool streaming = false;
 };
 
 /// One asynchronous command group as the scheduler saw it.
@@ -111,6 +117,14 @@ class launch_log {
   [[nodiscard]] std::size_t commands_size() const {
     std::lock_guard lock(mu_);
     return commands_.size();
+  }
+
+  /// Allocation/page-placement telemetry alongside the launch records:
+  /// pool hit rate, bytes first-touched, huge-page coverage, streaming
+  /// fill/copy traffic (cumulative process-wide counters from the
+  /// rt::mem subsystem).
+  [[nodiscard]] static syclport::rt::mem::MemStats memory_stats() {
+    return syclport::rt::mem::stats();
   }
 
  private:

@@ -25,6 +25,7 @@
 #include <memory>
 #include <utility>
 
+#include "runtime/mem/stream.hpp"
 #include "sycl/detail/scheduler.hpp"
 #include "sycl/device.hpp"
 #include "sycl/event.hpp"
@@ -92,19 +93,23 @@ class queue {
 
   /// USM-style utility operations. Synchronous, but wait only on
   /// in-flight commands that conflict with the declared src/dst
-  /// footprint.
+  /// footprint. Both are pure-write streams over dst, so they go
+  /// through the rt::mem streaming-store paths: non-temporal stores
+  /// (no read-for-ownership traffic) fanned out over the thread pool
+  /// under a placement-preserving static schedule.
   event memcpy(void* dst, const void* src, std::size_t bytes) {
-    sync_footprint({{dst, access_mode::write}, {src, access_mode::read}});
+    sync_footprint({{dst, access_mode::discard_write},
+                    {src, access_mode::read}});
     syclport::WallTimer t;
-    std::memcpy(dst, src, bytes);
+    syclport::rt::mem::parallel_copy(dst, src, bytes);
     return event(t.seconds());
   }
 
   template <typename T>
   event fill(T* ptr, const T& value, std::size_t count) {
-    sync_footprint({{ptr, access_mode::write}});
+    sync_footprint({{ptr, access_mode::discard_write}});
     syclport::WallTimer t;
-    for (std::size_t i = 0; i < count; ++i) ptr[i] = value;
+    syclport::rt::mem::parallel_fill(ptr, count, value);
     return event(t.seconds());
   }
 

@@ -4,12 +4,22 @@
 /// flavour is host memory; a registry tracks outstanding allocations so
 /// tests can assert leak-freedom (the moral equivalent of running under
 /// a USM-aware sanitizer).
+///
+/// Allocation routes through rt::mem: pooled size classes, parallel
+/// first-touch page placement, and the huge-page path for large counts.
+/// The subsystem records the alignment it chose per block, so free
+/// pairs the exact allocation parameters regardless of which path
+/// (64-byte or 2 MiB huge) served the request - the alignment
+/// round-trip lives in one place instead of being repeated at every
+/// call site. All three flavours (device/shared/host) honour the same
+/// >= 64-byte alignment.
 
 #include <cstddef>
 #include <mutex>
 #include <new>
 #include <unordered_map>
 
+#include "runtime/mem/mem.hpp"
 #include "sycl/queue.hpp"
 
 namespace sycl {
@@ -23,32 +33,43 @@ class usm_registry {
   }
   void add(void* p, std::size_t bytes) {
     std::lock_guard lock(mu_);
-    allocs_[p] = bytes;
+    auto [it, inserted] = allocs_.emplace(p, bytes);
+    if (!inserted) {
+      // Re-registering a recycled pointer: replace the stale entry.
+      total_bytes_ -= it->second;
+      it->second = bytes;
+    }
+    total_bytes_ += bytes;
   }
   bool remove(void* p) {
     std::lock_guard lock(mu_);
-    return allocs_.erase(p) > 0;
+    auto it = allocs_.find(p);
+    if (it == allocs_.end()) return false;
+    total_bytes_ -= it->second;
+    allocs_.erase(it);
+    return true;
   }
   [[nodiscard]] std::size_t outstanding() const {
     std::lock_guard lock(mu_);
     return allocs_.size();
   }
+  /// Running total maintained in add/remove - O(1), no scan.
   [[nodiscard]] std::size_t outstanding_bytes() const {
     std::lock_guard lock(mu_);
-    std::size_t total = 0;
-    for (const auto& [p, b] : allocs_) total += b;
-    return total;
+    return total_bytes_;
   }
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<void*, std::size_t> allocs_;
+  std::size_t total_bytes_ = 0;
 };
 }  // namespace detail
 
 template <typename T>
 [[nodiscard]] T* malloc_device(std::size_t count, const queue&) {
-  T* p = static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
+  T* p = static_cast<T*>(
+      syclport::rt::mem::alloc(count * sizeof(T), syclport::rt::mem::Init::Touch));
   detail::usm_registry::instance().add(p, count * sizeof(T));
   return p;
 }
@@ -69,12 +90,19 @@ inline void free(void* ptr, const queue&) {
   // this allocation in their footprint (via handler::require).
   detail::sync_host_access(ptr);
   detail::usm_registry::instance().remove(ptr);
-  ::operator delete(ptr, std::align_val_t{64});
+  // rt::mem recorded the block's size and alignment at allocation and
+  // replays them here (pool return or exact sized/aligned delete).
+  syclport::rt::mem::dealloc(ptr);
 }
 
 /// Number of live USM allocations (test hook).
 [[nodiscard]] inline std::size_t usm_outstanding() {
   return detail::usm_registry::instance().outstanding();
+}
+
+/// Bytes in live USM allocations (test hook; O(1)).
+[[nodiscard]] inline std::size_t usm_outstanding_bytes() {
+  return detail::usm_registry::instance().outstanding_bytes();
 }
 
 }  // namespace sycl

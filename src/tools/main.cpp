@@ -27,6 +27,7 @@
 #include "core/pp_metric.hpp"
 #include "core/report.hpp"
 #include "stream/babelstream.hpp"
+#include "sycl/launch_log.hpp"
 #include "study/study.hpp"
 #include "study/trace.hpp"
 
@@ -302,6 +303,28 @@ int cmd_report(const std::string& out_path) {
     for (double v : per_app) mean += v;
     mean /= static_cast<double>(per_app.size());
     out << "| " << f.name << " | " << report::fmt(mean, 2) << " |\n";
+  }
+
+  // Allocation/page-placement telemetry of this process: a small
+  // functional BabelStream run exercises the rt::mem paths (pooled
+  // dats, parallel first-touch, streaming fills), then the cumulative
+  // counters are reported.
+  {
+    ops::Options o;
+    (void)stream::run(o, 1u << 21, 2);
+    const auto ms = sycl::launch_log::memory_stats();
+    out << "\n## Memory subsystem (rt::mem telemetry, this process)\n\n"
+        << "| metric | value |\n|---|---|\n"
+        << "| allocations | " << ms.alloc_calls << " |\n"
+        << "| pool hit rate | " << report::fmt_percent(ms.pool_hit_rate())
+        << " |\n"
+        << "| bytes allocated | " << ms.bytes_allocated << " |\n"
+        << "| bytes first-touched (parallel) | " << ms.bytes_first_touched
+        << " |\n"
+        << "| huge-page coverage | "
+        << report::fmt_percent(ms.hugepage_coverage()) << " |\n"
+        << "| streaming fill bytes | " << ms.stream_fill_bytes << " |\n"
+        << "| streaming copy bytes | " << ms.stream_copy_bytes << " |\n";
   }
   std::cout << "report written to " << out_path << "\n";
   return 0;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build the memory-sensitive test binaries with AddressSanitizer +
+# UndefinedBehaviorSanitizer and run them.
+#
+# The subset is defined by the `asan` build/test presets in
+# CMakePresets.json: the rt::mem subsystem tests (pool lifecycle,
+# first-touch paths, streaming fill/copy, USM round-trips), the full
+# miniSYCL suite including the fiber-based nd_range tests that the TSan
+# preset must exclude (TSan cannot track swapcontext; ASan can, via its
+# fiber annotations - see docs/executor.md), and the runtime suite.
+#
+# Usage: tools/check_asan.sh  (from the repository root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --workflow --preset asan
+echo "ASan/UBSan memory suite passed."
