@@ -7,9 +7,23 @@
 /// threads of one process. Wire format and transport are irrelevant to
 /// the paper's results - ownership, packing and exchange *structure*
 /// are what OPS/OP2 exercise, and those are faithfully reproduced.
+///
+/// Resilience (docs/resilience.md): while the fault layer is armed
+/// (SYCLPORT_FAULT), every point-to-point message carries a
+/// per-(src,dst,tag) sequence number and a CRC-32 of its payload, and a
+/// pristine copy is parked in a retransmit store until the receiver
+/// acknowledges delivery. The receiver enforces in-order delivery per
+/// channel, discards duplicates, recovers corrupted payloads from the
+/// store, re-requests dropped messages after a timeout with exponential
+/// backoff (SYCLPORT_COMM_TIMEOUT_MS x SYCLPORT_COMM_RETRIES), and
+/// converts both retry exhaustion and peer death into a typed
+/// comm_error instead of a hang. Disarmed, the transport is exactly the
+/// original copy-into-mailbox path.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -18,6 +32,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace syclport::mpi {
@@ -25,11 +40,56 @@ namespace syclport::mpi {
 /// Reduction operations supported by allreduce.
 enum class Op { Sum, Min, Max };
 
+/// Typed communication failure: the recovery paths above exhausted
+/// their options. Timeout = an expected message never became
+/// deliverable; PeerFailed = a rank this operation depends on exited by
+/// exception, so the wait can never be satisfied.
+class comm_error : public std::runtime_error {
+ public:
+  enum class Kind { Timeout, PeerFailed };
+  comm_error(Kind kind, const std::string& what_arg)
+      : std::runtime_error(what_arg), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Aggregate failure of a run(): more than one rank raised a primary
+/// error. what() names every failing rank; entries() exposes each
+/// rank's exception for programmatic inspection.
+class rank_errors : public std::runtime_error {
+ public:
+  struct Entry {
+    int rank;
+    std::exception_ptr error;
+  };
+  rank_errors(const std::string& what_arg, std::vector<Entry> entries)
+      : std::runtime_error(what_arg), entries_(std::move(entries)) {}
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 namespace detail {
 struct Message {
   int src;
   int tag;
   std::vector<std::byte> payload;
+  // Armed-transport envelope (zero/false on the disarmed path).
+  std::uint64_t seq = 0;   ///< per-(src,dst,tag) sequence number
+  std::uint32_t crc = 0;   ///< CRC-32 of the payload at send time
+  bool guarded = false;    ///< sent while the fault layer was armed
+};
+
+/// A message withheld by comm.delay until `release`.
+struct DelayedMessage {
+  std::chrono::steady_clock::time_point release;
+  int dst;
+  Message msg;
 };
 
 /// Shared state of one communicator world.
@@ -47,6 +107,21 @@ struct World {
   int barrier_count = 0;
   std::uint64_t barrier_generation = 0;
   std::vector<std::vector<std::byte>> gather_slots;
+
+  /// Ranks that exited their rank_fn by exception. Blocked receives and
+  /// barriers check this and raise comm_error(PeerFailed) instead of
+  /// waiting for progress a dead peer can never make.
+  int failed = 0;
+
+  // Armed-transport state, keyed by the packed (src,dst,tag) channel id
+  // (see channel_key in comm.cpp). Guarded by mu; untouched while the
+  // fault layer is disarmed.
+  std::map<std::uint64_t, std::uint64_t> send_seq;  ///< next seq to send
+  std::map<std::uint64_t, std::uint64_t> recv_seq;  ///< next seq expected
+  /// Pristine retransmit copies, FIFO per channel; entries are dropped
+  /// once the receiver delivers their sequence number.
+  std::map<std::uint64_t, std::deque<Message>> limbo;
+  std::vector<DelayedMessage> delayed;  ///< comm.delay in-flight store
 };
 }  // namespace detail
 
@@ -158,7 +233,11 @@ class Comm {
 };
 
 /// Launch `nranks` copies of `rank_fn` as threads sharing one world and
-/// join them all. Exceptions from any rank are rethrown (first wins).
+/// join them all. Every rank's exception is collected; peer-failure
+/// cascades (comm_error{PeerFailed} raised because *another* rank
+/// already failed) are filtered out when a primary cause exists. One
+/// primary error is rethrown as-is; several are aggregated into a
+/// rank_errors naming each failing rank.
 void run(int nranks, const std::function<void(Comm&)>& rank_fn);
 
 }  // namespace syclport::mpi

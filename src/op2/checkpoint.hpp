@@ -1,0 +1,38 @@
+#pragma once
+/// \file op2/checkpoint.hpp
+/// Checkpoint/restart for OP2 dats: the unstructured-mesh counterpart
+/// of ops/checkpoint.hpp. Snapshot the raw per-element storage of a
+/// set of dats into one CRC-tagged file and roll back to it later;
+/// rollback-and-recompute reproduces the uncheckpointed answer
+/// bit-exactly for deterministic kernels. Regions are keyed by dat
+/// name; format and validation live in rt::fault::Snapshot.
+
+#include <string>
+
+#include "op2/context.hpp"
+#include "op2/dat.hpp"
+#include "runtime/fault/checkpoint.hpp"
+
+namespace syclport::op2 {
+
+/// Snapshot `dats` to `path` (atomic write; see Snapshot::save).
+template <typename... Ts>
+void checkpoint(Context& ctx, const std::string& path, Dat<Ts>&... dats) {
+  ctx.queue.wait();
+  rt::fault::Snapshot snap;
+  (snap.add(dats.name(), dats.storage(), dats.storage_bytes()), ...);
+  snap.save(path);
+}
+
+/// Roll `dats` back to the state saved at `path`. All-or-nothing:
+/// throws rt::fault::checkpoint_error leaving every dat untouched when
+/// the file is damaged or does not match the registered dats.
+template <typename... Ts>
+void restore(Context& ctx, const std::string& path, Dat<Ts>&... dats) {
+  ctx.queue.wait();
+  rt::fault::Snapshot snap;
+  (snap.add(dats.name(), dats.storage(), dats.storage_bytes()), ...);
+  snap.restore(path);
+}
+
+}  // namespace syclport::op2

@@ -42,6 +42,14 @@ class Dat {
     return static_cast<double>(set_->size()) * dim_ * sizeof(T);
   }
 
+  /// Raw storage base - the region op2::checkpoint() snapshots and
+  /// restore() rewrites. Null when not allocated.
+  [[nodiscard]] T* storage() noexcept { return data_.data(); }
+  [[nodiscard]] const T* storage() const noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return data_.size() * sizeof(T);
+  }
+
   /// Parallel streaming-store fill of the whole dat.
   void fill(T v) { data_.fill(v); }
 

@@ -2,8 +2,9 @@
 /// \file op2.hpp
 /// Umbrella header for the OP2 unstructured-mesh DSL reproduction.
 
-#include "op2/arg.hpp"       // IWYU pragma: export
-#include "op2/context.hpp"   // IWYU pragma: export
+#include "op2/arg.hpp"        // IWYU pragma: export
+#include "op2/checkpoint.hpp" // IWYU pragma: export
+#include "op2/context.hpp"    // IWYU pragma: export
 #include "op2/dat.hpp"       // IWYU pragma: export
 #include "op2/locality.hpp"  // IWYU pragma: export
 #include "op2/par_loop.hpp"  // IWYU pragma: export

@@ -1,0 +1,45 @@
+#pragma once
+/// \file ops/checkpoint.hpp
+/// Checkpoint/restart for OPS dats: snapshot the raw storage (halos
+/// included) of a set of dats into one CRC-tagged file, and roll the
+/// same dats back to it later. With deterministic kernels, restoring a
+/// checkpoint and recomputing the remaining timesteps reproduces the
+/// uncheckpointed answer bit-exactly - the recovery path the chaos
+/// harness (tests/test_fault) proves against injected mid-run failures.
+///
+/// The queue is drained before the storage is read or written, so a
+/// checkpoint taken between par_loops is a consistent cut. Regions are
+/// keyed by dat name (unique within one checkpoint); the file format
+/// and its all-or-nothing validation live in rt::fault::Snapshot
+/// (docs/resilience.md).
+
+#include <string>
+
+#include "ops/context.hpp"
+#include "ops/dat.hpp"
+#include "runtime/fault/checkpoint.hpp"
+
+namespace syclport::ops {
+
+/// Snapshot `dats` to `path` (atomic write; see Snapshot::save).
+template <typename... Ts>
+void checkpoint(Context& ctx, const std::string& path, Dat<Ts>&... dats) {
+  ctx.queue.wait();
+  rt::fault::Snapshot snap;
+  (snap.add(dats.name(), dats.storage(), dats.alloc_bytes()), ...);
+  snap.save(path);
+}
+
+/// Roll `dats` back to the state saved at `path`. Validates the whole
+/// file (magic, version, per-region names/sizes/CRCs, file CRC) before
+/// touching any dat; throws rt::fault::checkpoint_error leaving every
+/// dat untouched when the file is damaged or does not match.
+template <typename... Ts>
+void restore(Context& ctx, const std::string& path, Dat<Ts>&... dats) {
+  ctx.queue.wait();
+  rt::fault::Snapshot snap;
+  (snap.add(dats.name(), dats.storage(), dats.alloc_bytes()), ...);
+  snap.restore(path);
+}
+
+}  // namespace syclport::ops

@@ -97,6 +97,11 @@ class Dat {
     return data_.size() * sizeof(T);
   }
 
+  /// Raw storage base (halos included) - the region ops::checkpoint()
+  /// snapshots and restore() rewrites. Null when not allocated.
+  [[nodiscard]] T* storage() noexcept { return data_.data(); }
+  [[nodiscard]] const T* storage() const noexcept { return data_.data(); }
+
   /// Fill the entire allocation (halos included) via the parallel
   /// streaming-store path.
   void fill(T v) { data_.fill(v); }

@@ -4,6 +4,7 @@
 
 #include "ops/arg.hpp"            // IWYU pragma: export
 #include "ops/block.hpp"          // IWYU pragma: export
+#include "ops/checkpoint.hpp"     // IWYU pragma: export
 #include "ops/context.hpp"        // IWYU pragma: export
 #include "ops/dat.hpp"            // IWYU pragma: export
 #include "ops/loop_chain.hpp"     // IWYU pragma: export

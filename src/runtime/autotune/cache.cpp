@@ -1,12 +1,22 @@
 #include "runtime/autotune/cache.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "core/crc32.hpp"
+#include "runtime/fault/fault.hpp"
+
 namespace syclport::rt::autotune {
 
 namespace {
+
+/// Current on-disk format version. v2 added the content checksum; v1
+/// files (and anything newer/foreign) are rejected wholesale, which the
+/// caller treats as a cold cache - retuning is always safe, trusting a
+/// stale or damaged winner is not.
+constexpr int kCacheVersion = 2;
 
 /// Extract the value of `"field": "..."` from one line; nullopt when
 /// the field is absent. Values never contain quotes (keys and configs
@@ -24,6 +34,29 @@ namespace {
   return line.substr(begin, end - begin);
 }
 
+/// CRC-32 over the *semantic* content - fingerprint plus every
+/// (key, config) pair in order - rather than the raw bytes. Formatting
+/// and individually-dropped unparseable lines do not perturb it, but
+/// truncation, a damaged winner, or a tampered entry all do.
+[[nodiscard]] std::uint32_t content_crc(const CacheData& data) {
+  std::uint32_t c =
+      crc32_update(0, data.fingerprint.data(), data.fingerprint.size());
+  for (const auto& [key, cfg] : data.entries) {
+    c = crc32_update(c, key.data(), key.size());
+    c = crc32_update(c, "=", 1);
+    const std::string text = cfg.to_string();
+    c = crc32_update(c, text.data(), text.size());
+    c = crc32_update(c, "\n", 1);
+  }
+  return c;
+}
+
+[[nodiscard]] std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
 }  // namespace
 
 bool write_cache(const std::string& path, const CacheData& data) {
@@ -31,8 +64,9 @@ bool write_cache(const std::string& path, const CacheData& data) {
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return false;
-    out << "{ \"syclport_tune_cache\": 1,\n";
+    out << "{ \"syclport_tune_cache\": " << kCacheVersion << ",\n";
     out << "  \"fingerprint\": \"" << data.fingerprint << "\",\n";
+    out << "  \"crc\": \"" << crc_hex(content_crc(data)) << "\",\n";
     out << "  \"kernels\": [\n";
     for (std::size_t i = 0; i < data.entries.size(); ++i) {
       const auto& [key, cfg] = data.entries[i];
@@ -51,14 +85,40 @@ bool write_cache(const std::string& path, const CacheData& data) {
 }
 
 std::optional<CacheData> read_cache(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = std::move(buf).str();
+
+  // cache.corrupt: flip one deterministic bit of the in-memory image
+  // before parsing - the validation below must reject the file and the
+  // caller must silently fall back to retuning.
+  if (fault::armed() && !text.empty())
+    if (const auto r = fault::roll(fault::Site::CacheCorrupt); r.fire)
+      text[r.value % text.size()] ^=
+          static_cast<char>(1u << ((r.value >> 8) % 8));
+
   CacheData data;
-  bool saw_header = false;
+  int version = 0;
+  std::optional<std::uint32_t> stored_crc;
+  std::istringstream lines(text);
   std::string line;
-  while (std::getline(in, line)) {
-    if (line.find("\"syclport_tune_cache\"") != std::string::npos)
-      saw_header = true;
+  while (std::getline(lines, line)) {
+    constexpr std::string_view version_probe = "\"syclport_tune_cache\": ";
+    if (const auto at = line.find(version_probe); at != std::string::npos) {
+      const char* b = line.data() + at + version_probe.size();
+      std::from_chars(b, line.data() + line.size(), version);
+      continue;
+    }
+    if (auto crc = quoted_field(line, "crc")) {
+      std::uint32_t v = 0;
+      const auto [p, ec] =
+          std::from_chars(crc->data(), crc->data() + crc->size(), v, 16);
+      if (ec == std::errc{} && p == crc->data() + crc->size())
+        stored_crc = v;
+      continue;
+    }
     if (auto fp = quoted_field(line, "fingerprint")) {
       data.fingerprint = std::move(*fp);
       continue;
@@ -70,7 +130,15 @@ std::optional<CacheData> read_cache(const std::string& path) {
     if (auto cfg = Config::parse(*cfg_text))
       data.entries.emplace_back(std::move(*key), std::move(*cfg));
   }
-  if (!saw_header) return std::nullopt;
+  // Reject anything that is not a well-formed current-version file with
+  // a matching content checksum: v1 leftovers, foreign files, truncated
+  // or bit-flipped writes. The caller retunes from scratch - slower,
+  // never wrong.
+  if (version != kCacheVersion || !stored_crc ||
+      *stored_crc != content_crc(data)) {
+    if (fault::armed()) fault::note_recovered(fault::Site::CacheCorrupt);
+    return std::nullopt;
+  }
   return data;
 }
 

@@ -24,10 +24,13 @@ struct CacheData {
 /// false on I/O failure.
 bool write_cache(const std::string& path, const CacheData& data);
 
-/// Read `path`. nullopt when the file is missing or structurally
-/// unreadable; entries with unparseable configs are dropped
-/// individually. Fingerprint checking is the caller's job (a mismatch
-/// is a valid file for some other machine).
+/// Read `path`. nullopt when the file is missing, not the current
+/// format version, or fails its content checksum (truncated, bit-
+/// flipped, or tampered files are rejected wholesale - the caller
+/// retunes rather than trust a damaged winner). Entries with
+/// unparseable configs are dropped individually without perturbing the
+/// checksum. Fingerprint checking is the caller's job (a mismatch is a
+/// valid file for some other machine).
 [[nodiscard]] std::optional<CacheData> read_cache(const std::string& path);
 
 }  // namespace syclport::rt::autotune

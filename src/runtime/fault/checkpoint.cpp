@@ -1,0 +1,174 @@
+#include "runtime/fault/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/crc32.hpp"
+
+namespace syclport::rt::fault {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53504B31;  // "SPK1"
+constexpr std::uint32_t kVersion = 1;
+
+/// Streaming writer that mirrors every byte into a running CRC so the
+/// trailing whole-file checksum covers exactly what was written.
+struct CrcWriter {
+  std::ofstream out;
+  std::uint32_t crc = 0;
+  bool ok = true;
+
+  void write(const void* p, std::size_t n) {
+    crc = crc32_update(crc, p, n);
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    ok = ok && static_cast<bool>(out);
+  }
+  void u32(std::uint32_t v) { write(&v, sizeof v); }
+  void u64(std::uint64_t v) { write(&v, sizeof v); }
+};
+
+/// Bounds-checked reader over the in-memory file image.
+struct Reader {
+  const unsigned char* p;
+  std::size_t size;
+  std::size_t at = 0;
+
+  [[nodiscard]] bool take(void* out, std::size_t n) {
+    if (n > size - at) return false;
+    std::memcpy(out, p + at, n);
+    at += n;
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& v) { return take(&v, sizeof v); }
+  [[nodiscard]] bool u64(std::uint64_t& v) { return take(&v, sizeof v); }
+};
+
+}  // namespace
+
+void Snapshot::add(std::string name, void* data, std::size_t bytes) {
+  for (const auto& r : regions_)
+    if (r.name == name)
+      throw checkpoint_error(name, "duplicate region name");
+  regions_.push_back({std::move(name), data, bytes});
+}
+
+std::size_t Snapshot::total_bytes() const noexcept {
+  std::size_t t = 0;
+  for (const auto& r : regions_) t += r.bytes;
+  return t;
+}
+
+void Snapshot::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    CrcWriter w{std::ofstream(tmp, std::ios::binary | std::ios::trunc)};
+    if (!w.out) throw checkpoint_error(path, "cannot open temp file");
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.u32(static_cast<std::uint32_t>(regions_.size()));
+    w.u32(0);  // reserved
+    for (const auto& r : regions_) {
+      w.u32(static_cast<std::uint32_t>(r.name.size()));
+      w.u32(crc32(r.data, r.bytes));
+      w.u64(r.bytes);
+      w.write(r.name.data(), r.name.size());
+      w.write(r.data, r.bytes);
+    }
+    const std::uint32_t file_crc = w.crc;
+    w.u32(file_crc);
+    w.out.flush();
+    if (!w.ok || !w.out) {
+      std::remove(tmp.c_str());
+      throw checkpoint_error(path, "write failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw checkpoint_error(path, "atomic rename failed");
+  }
+}
+
+void Snapshot::restore(const std::string& path) {
+  std::vector<unsigned char> image;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw checkpoint_error(path, "missing or unreadable");
+    const auto size = in.tellg();
+    in.seekg(0);
+    image.resize(static_cast<std::size_t>(size));
+    if (!in.read(reinterpret_cast<char*>(image.data()),
+                 static_cast<std::streamsize>(image.size())))
+      throw checkpoint_error(path, "read failed");
+  }
+  if (image.size() < 20) throw checkpoint_error(path, "truncated header");
+
+  // Whole-file CRC covers everything before the trailing word.
+  std::uint32_t trailer;
+  std::memcpy(&trailer, image.data() + image.size() - sizeof trailer,
+              sizeof trailer);
+  if (crc32(image.data(), image.size() - sizeof trailer) != trailer)
+    throw checkpoint_error(path, "file checksum mismatch (corrupt)");
+
+  Reader rd{image.data(), image.size() - sizeof trailer};
+  std::uint32_t magic, version, count, reserved;
+  if (!rd.u32(magic) || !rd.u32(version) || !rd.u32(count) ||
+      !rd.u32(reserved))
+    throw checkpoint_error(path, "truncated header");
+  if (magic != kMagic) throw checkpoint_error(path, "not a checkpoint file");
+  if (version != kVersion)
+    throw checkpoint_error(path, "unsupported version " +
+                                     std::to_string(version));
+  if (count != regions_.size())
+    throw checkpoint_error(
+        path, "region count mismatch: file has " + std::to_string(count) +
+                  ", " + std::to_string(regions_.size()) + " registered");
+
+  // Validate every region (names, sizes, payload CRCs) before copying
+  // anything, so a rejected file leaves the application state intact.
+  struct Pending {
+    const Region* region;
+    const unsigned char* payload;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len, region_crc;
+    std::uint64_t bytes;
+    if (!rd.u32(name_len) || !rd.u32(region_crc) || !rd.u64(bytes))
+      throw checkpoint_error(path, "truncated region header");
+    std::string name(name_len, '\0');
+    if (!rd.take(name.data(), name_len))
+      throw checkpoint_error(path, "truncated region name");
+    if (bytes > rd.size - rd.at)
+      throw checkpoint_error(path, "truncated region payload");
+    const unsigned char* payload = rd.p + rd.at;
+    rd.at += static_cast<std::size_t>(bytes);
+
+    const Region* match = nullptr;
+    for (const auto& r : regions_)
+      if (r.name == name) {
+        match = &r;
+        break;
+      }
+    if (!match)
+      throw checkpoint_error(path, "unknown region '" + name + "'");
+    if (match->bytes != bytes)
+      throw checkpoint_error(
+          path, "region '" + name + "' size mismatch: file has " +
+                    std::to_string(bytes) + " bytes, registered " +
+                    std::to_string(match->bytes));
+    if (crc32(payload, static_cast<std::size_t>(bytes)) != region_crc)
+      throw checkpoint_error(path,
+                             "region '" + name + "' checksum mismatch");
+    pending.push_back({match, payload});
+  }
+  if (rd.at != rd.size)
+    throw checkpoint_error(path, "trailing bytes after last region");
+
+  for (const auto& p : pending)
+    std::memcpy(p.region->data, p.payload, p.region->bytes);
+}
+
+}  // namespace syclport::rt::fault

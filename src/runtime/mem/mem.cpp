@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/env.hpp"
+#include "runtime/fault/fault.hpp"
 #include "runtime/mem/stream.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -39,6 +40,7 @@ struct Stats {
   std::atomic<std::uint64_t> alloc_calls{0};
   std::atomic<std::uint64_t> pool_hits{0};
   std::atomic<std::uint64_t> fresh_allocs{0};
+  std::atomic<std::uint64_t> pool_fallbacks{0};
   std::atomic<std::uint64_t> bytes_allocated{0};
   std::atomic<std::uint64_t> bytes_pooled{0};
   std::atomic<std::uint64_t> bytes_outstanding{0};
@@ -62,6 +64,9 @@ struct Meta {
   std::size_t bytes = 0;
   std::size_t align = kMinAlign;
   bool huge = false;
+  /// False for graceful-degradation blocks: sized to the raw request
+  /// rather than a size class, so they must never enter the pool.
+  bool pool_eligible = true;
 };
 
 /// Global arena: per-class freelists plus the pointer->Meta registry.
@@ -229,11 +234,14 @@ void* alloc(std::size_t bytes, Init init) {
   const auto cls = class_index(rounded);
 
   st.alloc_calls.fetch_add(1, std::memory_order_relaxed);
-  st.bytes_allocated.fetch_add(rounded, std::memory_order_relaxed);
-  st.bytes_outstanding.fetch_add(rounded, std::memory_order_relaxed);
+
+  // Injected arena-cap pressure: the pool is treated as exhausted for
+  // this request, forcing the fresh-allocation path.
+  const bool arena_pressure =
+      fault::armed() && fault::roll(fault::Site::MemArena).fire;
 
   void* p = nullptr;
-  if (cfg.pool && cls) {
+  if (cfg.pool && cls && !arena_pressure) {
     if (class_thread_cached(*cls)) {
       auto& slot = t_cache().slots[*cls];
       if (slot.count > 0) p = slot.blocks[--slot.count];
@@ -249,21 +257,62 @@ void* alloc(std::size_t bytes, Init init) {
     }
   }
 
+  // Effective geometry of the block handed out: the size-class rounding
+  // normally, the raw request on the degradation path below.
+  std::size_t actual = rounded;
   const bool fresh = p == nullptr;
   if (fresh) {
-    p = ::operator new(rounded, std::align_val_t{align});
+    std::size_t actual_align = align;
+    bool actual_huge = huge;
+    bool pool_eligible = true;
+    const bool inject_fail =
+        fault::armed() && fault::roll(fault::Site::MemAlloc).fire;
+    if (!inject_fail) {
+      try {
+        p = ::operator new(rounded, std::align_val_t{align});
+      } catch (const std::bad_alloc&) {
+        p = nullptr;  // degrade below rather than propagate
+      }
+    }
+    if (p) {
 #if defined(__linux__) && defined(MADV_HUGEPAGE)
-    if (huge) ::madvise(p, rounded, MADV_HUGEPAGE);
+      if (huge) ::madvise(p, rounded, MADV_HUGEPAGE);
 #endif
+      if (arena_pressure) fault::note_recovered(fault::Site::MemArena);
+    } else {
+      // Graceful degradation: the size-class allocation failed (real
+      // upstream bad_alloc or an injected one), so serve the request
+      // with a plain cache-line-aligned allocation of the raw size -
+      // often much smaller than the power-of-two class - that bypasses
+      // the pool for its whole lifetime. Only a genuine out-of-memory
+      // on *this* exact-size attempt still throws.
+      actual = (std::max<std::size_t>(bytes, 1) + kMinAlign - 1) /
+               kMinAlign * kMinAlign;
+      actual_align = kMinAlign;
+      actual_huge = false;
+      pool_eligible = false;
+      p = ::operator new(actual, std::align_val_t{kMinAlign});
+      st.pool_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      if (fault::armed()) {
+        fault::note_recovered(fault::Site::MemAlloc);
+        // An arena-pressure injection on this same request was also
+        // survived - keep injected/recovered telemetry balanced.
+        if (arena_pressure) fault::note_recovered(fault::Site::MemArena);
+      }
+    }
     Arena& arena = g_arena();
     std::lock_guard lock(arena.mu);
-    arena.registry.emplace(p, Meta{rounded, align, huge});
+    arena.registry.emplace(p, Meta{actual, actual_align, actual_huge,
+                                   pool_eligible});
     st.fresh_allocs.fetch_add(1, std::memory_order_relaxed);
-    if (huge) st.hugepage_bytes.fetch_add(rounded, std::memory_order_relaxed);
+    if (actual_huge)
+      st.hugepage_bytes.fetch_add(actual, std::memory_order_relaxed);
   } else {
     st.pool_hits.fetch_add(1, std::memory_order_relaxed);
     st.bytes_pooled.fetch_sub(rounded, std::memory_order_relaxed);
   }
+  st.bytes_allocated.fetch_add(actual, std::memory_order_relaxed);
+  st.bytes_outstanding.fetch_add(actual, std::memory_order_relaxed);
 
   switch (init) {
     case Init::None:
@@ -273,16 +322,16 @@ void* alloc(std::size_t bytes, Init init) {
       // would only scribble on them.
       if (fresh) {
         if (first_touch_active()) {
-          first_touch(p, rounded);
+          first_touch(p, actual);
         } else {
-          touch_pages(static_cast<std::byte*>(p), rounded);
+          touch_pages(static_cast<std::byte*>(p), actual);
         }
-        st.bytes_first_touched.fetch_add(rounded, std::memory_order_relaxed);
+        st.bytes_first_touched.fetch_add(actual, std::memory_order_relaxed);
       }
       break;
     case Init::Zero:
       // Always zero: a reused block carries the previous owner's data.
-      zero_fill(p, rounded);
+      zero_fill(p, actual);
       break;
   }
   return p;
@@ -305,7 +354,7 @@ void dealloc(void* p) noexcept {
 
   const auto cls = class_index(m.bytes);
   const bool pool_it =
-      cfg.pool && cls &&
+      m.pool_eligible && cfg.pool && cls &&
       st.bytes_pooled.load(std::memory_order_relaxed) + m.bytes <=
           cfg.pool_max_bytes;
   if (pool_it) {
@@ -376,6 +425,7 @@ MemStats stats() {
   out.alloc_calls = st.alloc_calls.load(std::memory_order_relaxed);
   out.pool_hits = st.pool_hits.load(std::memory_order_relaxed);
   out.fresh_allocs = st.fresh_allocs.load(std::memory_order_relaxed);
+  out.pool_fallbacks = st.pool_fallbacks.load(std::memory_order_relaxed);
   out.bytes_allocated = st.bytes_allocated.load(std::memory_order_relaxed);
   out.bytes_pooled = st.bytes_pooled.load(std::memory_order_relaxed);
   out.bytes_outstanding = st.bytes_outstanding.load(std::memory_order_relaxed);
@@ -393,6 +443,7 @@ void reset_stats_for_testing() {
   st.alloc_calls.store(0, std::memory_order_relaxed);
   st.pool_hits.store(0, std::memory_order_relaxed);
   st.fresh_allocs.store(0, std::memory_order_relaxed);
+  st.pool_fallbacks.store(0, std::memory_order_relaxed);
   st.bytes_allocated.store(0, std::memory_order_relaxed);
   st.bytes_first_touched.store(0, std::memory_order_relaxed);
   st.bytes_zeroed.store(0, std::memory_order_relaxed);

@@ -87,6 +87,12 @@ struct MemStats {
   std::uint64_t alloc_calls = 0;     ///< alloc() invocations
   std::uint64_t pool_hits = 0;       ///< served from a free cache/arena
   std::uint64_t fresh_allocs = 0;    ///< served by the OS
+  /// Requests served by the graceful-degradation path: the pooled
+  /// size-class allocation failed (arena-cap exhaustion or upstream
+  /// bad_alloc, real or injected), so the request was satisfied by a
+  /// plain aligned allocation that bypasses the pool. Never fatal;
+  /// docs/resilience.md.
+  std::uint64_t pool_fallbacks = 0;
   std::uint64_t bytes_allocated = 0; ///< cumulative rounded bytes handed out
   std::uint64_t bytes_pooled = 0;    ///< bytes currently parked in the pool
   std::uint64_t bytes_outstanding = 0;  ///< live (handed out, not freed)

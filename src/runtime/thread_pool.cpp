@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "runtime/env.hpp"
+#include "runtime/fault/fault.hpp"
 
 namespace syclport::rt {
 
@@ -262,6 +263,13 @@ void ThreadPool::worker_loop(unsigned worker_id) {
     }
     if (stop_.load(std::memory_order_relaxed)) return;
     seen = gen;
+    // Injected worker stall / late start: the worker sleeps briefly
+    // before touching its chunk range, so the launch's work must be
+    // re-balanced onto the remaining workers (steal schedule) or wait
+    // it out (static) - either way the launch completes correctly.
+    if (fault::armed())
+      if (const auto r = fault::roll(fault::Site::PoolStall); r.fire)
+        fault::inject_sleep(r.value, 100, 2000);
     work(worker_id);
     if (pending_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(mu_);

@@ -4,10 +4,13 @@
 #include <string_view>
 
 #include "runtime/env.hpp"
+#include "runtime/fault/fault.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sycl/launch_log.hpp"
 
 namespace sycl::detail {
+
+namespace fault = syclport::rt::fault;
 
 namespace {
 
@@ -88,7 +91,11 @@ Scheduler& Scheduler::instance() {
 
 Scheduler::Scheduler()
     : nworkers_(worker_count_from_env()),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()) {
+  if (const auto v = syclport::rt::env::get_long("SYCLPORT_WATCHDOG_MS", 1,
+                                                 86'400'000))
+    watchdog_ms_ = *v;
+}
 
 Scheduler::~Scheduler() {
   wait_all();
@@ -168,7 +175,14 @@ void Scheduler::submit(std::shared_ptr<Command> cmd) {
   inflight_.push_back(cmd);
   inflight_count_.fetch_add(1, std::memory_order_release);
   if (cmd->unmet == 0) {
-    ready_.push_back(std::move(cmd));
+    // Injected completion reordering (sched.reorder): a rolled command
+    // jumps the ready queue. DAG edges are still honored - only the
+    // order among *independent* commands changes - so a correct program
+    // must produce the same answer.
+    if (fault::armed() && fault::roll(fault::Site::SchedReorder).fire)
+      ready_.push_front(std::move(cmd));
+    else
+      ready_.push_back(std::move(cmd));
     cv_work_.notify_one();
   }
 }
@@ -200,6 +214,18 @@ void Scheduler::run_command(Command& cmd, bool solo) {
   cmd.profile.start_seconds = now();
   cmd.profile.pool_parallel = solo;
   try {
+    if (fault::armed()) {
+      // sched.delay stretches the command's execution window, exposing
+      // completion-order assumptions; sched.throw models a kernel that
+      // fails mid-flight and must surface through wait_and_throw() as
+      // an exception_list entry, leaving the queue usable.
+      if (const auto r = fault::roll(fault::Site::SchedDelay); r.fire)
+        fault::inject_sleep(r.value, 100, 1500);
+      if (fault::roll(fault::Site::SchedThrow).fire)
+        throw fault::fault_injected_error(
+            std::string("injected kernel failure in command '") + cmd.name +
+            "'");
+    }
     if (solo) {
       for (auto& a : cmd.actions) a();
     } else {
@@ -257,13 +283,41 @@ bool Scheduler::help_one_locked(std::unique_lock<std::mutex>& lock) {
 
 template <typename Pred>
 void Scheduler::wait_helping(std::unique_lock<std::mutex>& lock, Pred&& pred) {
+  // Watchdog deadline, armed only when SYCLPORT_WATCHDOG_MS is set. It
+  // resets whenever this thread makes progress (helps a command) or a
+  // retirement wakes it; it fires only after a full quiet window with
+  // the predicate still unsatisfied and nothing to help with - i.e. a
+  // genuine hang, not a long kernel this thread can observe finishing.
+  using clock = std::chrono::steady_clock;
+  const auto window = std::chrono::milliseconds(watchdog_ms_);
+  auto deadline = watchdog_ms_ > 0 ? clock::now() + window
+                                   : clock::time_point::max();
   for (;;) {
     if (pred()) return;
     // Run ready work on this thread instead of sleeping: the awaited
     // command (or one of its predecessors) may be among it, and every
     // command helped is one fewer worker handoff.
-    if (help_one_locked(lock)) continue;
-    cv_done_.wait(lock, [&] { return pred() || !ready_.empty(); });
+    if (help_one_locked(lock)) {
+      if (watchdog_ms_ > 0) deadline = clock::now() + window;
+      continue;
+    }
+    if (watchdog_ms_ <= 0) {
+      cv_done_.wait(lock, [&] { return pred() || !ready_.empty(); });
+      continue;
+    }
+    if (cv_done_.wait_until(lock, deadline,
+                            [&] { return pred() || !ready_.empty(); })) {
+      deadline = clock::now() + window;  // a retirement woke us: progress
+      continue;
+    }
+    std::size_t stuck = 0;
+    for (const auto& f : inflight_)
+      if (!f->done()) ++stuck;
+    throw fault::watchdog_error(
+        "sycl launch watchdog: no scheduler progress for " +
+            std::to_string(watchdog_ms_) + " ms with " +
+            std::to_string(stuck) + " command(s) in flight",
+        stuck);
   }
 }
 

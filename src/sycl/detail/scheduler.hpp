@@ -203,6 +203,11 @@ class Scheduler {
   mutable std::mutex mu_;
   std::condition_variable cv_work_;  ///< wakes workers on ready commands
   std::condition_variable cv_done_;  ///< wakes host sync points on retire
+  /// Launch watchdog (SYCLPORT_WATCHDOG_MS, 0 = off): a host sync
+  /// point that observes no progress - no retirement and nothing to
+  /// help with - for this long throws rt::fault::watchdog_error
+  /// instead of deadlocking on a command that will never retire.
+  long watchdog_ms_ = 0;
   /// In-flight commands plus retired stragglers awaiting the next epoch
   /// sweep: retire_locked() only marks commands done (O(1)); the O(n)
   /// compaction runs every kRetireEpoch retirements (or when the

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "runtime/autotune/config.hpp"
+#include "runtime/fault/fault.hpp"
 #include "runtime/mem/mem.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sycl/detail/scheduler.hpp"
@@ -125,6 +126,15 @@ class launch_log {
   /// rt::mem subsystem).
   [[nodiscard]] static syclport::rt::mem::MemStats memory_stats() {
     return syclport::rt::mem::stats();
+  }
+
+  /// Fault-injection/recovery telemetry alongside the launch records:
+  /// per-site injected and recovered counts (all zero unless
+  /// SYCLPORT_FAULT armed a plan; docs/resilience.md). Chaos runs and
+  /// the study report read this to prove every injected fault was
+  /// survived.
+  [[nodiscard]] static syclport::rt::fault::FaultStats fault_stats() {
+    return syclport::rt::fault::stats();
   }
 
  private:

@@ -324,7 +324,26 @@ int cmd_report(const std::string& out_path) {
         << "| huge-page coverage | "
         << report::fmt_percent(ms.hugepage_coverage()) << " |\n"
         << "| streaming fill bytes | " << ms.stream_fill_bytes << " |\n"
-        << "| streaming copy bytes | " << ms.stream_copy_bytes << " |\n";
+        << "| streaming copy bytes | " << ms.stream_copy_bytes << " |\n"
+        << "| pool fallbacks (degraded allocations) | " << ms.pool_fallbacks
+        << " |\n";
+
+    // Resilience telemetry (docs/resilience.md): zero everywhere unless
+    // SYCLPORT_FAULT armed a plan for this process, in which case every
+    // injected fault must show a matching recovery (or the run ended
+    // with a typed error before this report was written).
+    const auto fs = sycl::launch_log::fault_stats();
+    namespace fault = syclport::rt::fault;
+    out << "\n## Resilience (fault injection telemetry, this process)\n\n"
+        << "| site | injected | recovered |\n|---|---|---|\n";
+    for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+      const auto site = static_cast<fault::Site>(s);
+      if (fs.injected_at(site) == 0 && fs.recovered_at(site) == 0) continue;
+      out << "| " << fault::to_string(site) << " | " << fs.injected_at(site)
+          << " | " << fs.recovered_at(site) << " |\n";
+    }
+    out << "| total | " << fs.total_injected() << " | "
+        << fs.total_recovered() << " |\n";
   }
   std::cout << "report written to " << out_path << "\n";
   return 0;

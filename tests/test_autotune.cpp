@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -324,4 +326,53 @@ TEST(EnvParse, ChoiceKnobsMatchDocumentedSpellingsOnly) {
             std::string::npos);
   ::unsetenv("SYCLPORT_TEST_MODE");
   EXPECT_FALSE(env::get_choice("SYCLPORT_TEST_MODE", kChoices).has_value());
+}
+
+TEST(Autotune, CacheRejectsForeignVersionTamperAndTruncation) {
+  const std::string path = "test_autotune_cache_guard.json";
+  at::CacheData data;
+  data.fingerprint = "cores=8;l1d=32768;l2=1048576;llc=16777216;triad_log2=4";
+  at::Config cfg;
+  cfg.grain = 1024;
+  data.entries = {{"k1|1|65536x1x1|flat|fp16", cfg}};
+  ASSERT_TRUE(at::write_cache(path, data));
+  ASSERT_TRUE(at::read_cache(path).has_value());
+
+  const auto slurp = [&] {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return std::move(ss).str();
+  };
+  const auto spit = [&](const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  };
+  const std::string pristine = slurp();
+
+  // A v1 file (no version/checksum header) is a foreign format: the
+  // caller silently retunes instead of trusting it.
+  std::string v1 = pristine;
+  const auto vpos = v1.find("\"syclport_tune_cache\": 2");
+  ASSERT_NE(vpos, std::string::npos);
+  v1.replace(vpos, 24, "\"syclport_tune_cache\": 1");
+  spit(v1);
+  EXPECT_FALSE(at::read_cache(path).has_value());
+
+  // Tampering with a winner invalidates the content checksum.
+  std::string tampered = pristine;
+  const auto gpos = tampered.find("grain=1024");
+  ASSERT_NE(gpos, std::string::npos);
+  tampered.replace(gpos, 10, "grain=9999");
+  spit(tampered);
+  EXPECT_FALSE(at::read_cache(path).has_value());
+
+  // Truncation (torn write, full disk) is rejected wholesale.
+  spit(pristine.substr(0, pristine.size() / 2));
+  EXPECT_FALSE(at::read_cache(path).has_value());
+
+  // The pristine bytes still load: rejection was not sticky.
+  spit(pristine);
+  EXPECT_TRUE(at::read_cache(path).has_value());
+  std::remove(path.c_str());
 }

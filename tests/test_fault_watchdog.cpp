@@ -1,0 +1,83 @@
+// Launch watchdog (SYCLPORT_WATCHDOG_MS): a synchronization point that
+// makes no progress for the configured window throws
+// fault::watchdog_error instead of deadlocking. Lives in its own test
+// binary because the scheduler reads the variable once, when its
+// process-wide singleton is constructed - it must be in the
+// environment before the first queue operation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "runtime/fault/fault.hpp"
+#include "sycl/sycl.hpp"
+
+namespace fault = syclport::rt::fault;
+
+namespace {
+// Arm the watchdog during static initialization, ahead of the lazy
+// scheduler singleton.
+const bool g_armed = [] {
+  ::setenv("SYCLPORT_WATCHDOG_MS", "150", 1);
+  return true;
+}();
+}  // namespace
+
+TEST(Watchdog, StuckCommandRaisesTypedErrorInsteadOfDeadlock) {
+  ASSERT_TRUE(g_armed);
+  std::atomic<bool> release{false};
+  std::atomic<int> watchdog_hits{0};
+  sycl::queue q;
+  int x = 0;
+
+  // cmd1 blocks until released; cmd2 depends on it. Two threads wait on
+  // the queue: whichever helps first executes cmd1 and blocks inside
+  // it; the other sees no progress for 150 ms and must get the
+  // watchdog error rather than sleep forever.
+  q.submit([&](sycl::handler& h) {
+    h.require(&x, sycl::access_mode::write);
+    h.single_task([&release, &x] {
+      while (!release.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      x = 1;
+    });
+  });
+  q.submit([&](sycl::handler& h) {
+    h.require(&x, sycl::access_mode::read_write);
+    h.single_task([&x] { x += 10; });
+  });
+
+  std::thread waiter([&] {
+    try {
+      q.wait_and_throw();
+    } catch (const fault::watchdog_error& e) {
+      watchdog_hits.fetch_add(1);
+      EXPECT_GE(e.stuck_commands, 1u);
+      release.store(true, std::memory_order_release);  // unblock cmd1
+    }
+  });
+  try {
+    q.wait_and_throw();
+  } catch (const fault::watchdog_error& e) {
+    watchdog_hits.fetch_add(1);
+    EXPECT_GE(e.stuck_commands, 1u);
+    release.store(true, std::memory_order_release);
+  }
+  waiter.join();
+  // At least one waiter was stuck watching (a pool worker or the other
+  // waiter was executing the blocked command) and got the typed error.
+  EXPECT_GE(watchdog_hits.load(), 1);
+
+  // The scheduler survived the timeout: drain and keep using the queue.
+  q.wait_and_throw();
+  EXPECT_EQ(x, 11);
+  q.submit([&](sycl::handler& h) {
+    h.require(&x, sycl::access_mode::read_write);
+    h.single_task([&x] { x += 100; });
+  });
+  q.wait_and_throw();
+  EXPECT_EQ(x, 111);
+}

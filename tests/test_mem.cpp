@@ -395,3 +395,31 @@ TEST(MemAutotune, FirstTouchRoundTripsThroughWireFormat) {
 
   EXPECT_FALSE(at::Config::parse("first_touch=sideways").has_value());
 }
+
+TEST(MemPool, TinyArenaCapDegradesGracefullyNotFatally) {
+  // With the arena cap below a single block's class, nothing is ever
+  // pooled - every request must still be served (from the OS), and the
+  // initialisation contract must still hold.
+  ConfigGuard g;
+  mem::Config c = mem::config();
+  c.pool = true;
+  c.pool_max_bytes = 32u << 10;
+  mem::set_config_for_testing(c);
+  mem::reset_stats_for_testing();
+
+  constexpr std::size_t kBytes = 64u << 10;  // class > cap
+  void* p = mem::alloc(kBytes, mem::Init::Zero);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5A, kBytes);
+  mem::dealloc(p);  // over the cap: straight back to the OS
+
+  void* q = mem::alloc(kBytes, mem::Init::Zero);
+  ASSERT_NE(q, nullptr);
+  const auto* bytes = static_cast<const unsigned char*>(q);
+  for (std::size_t i = 0; i < kBytes; i += 997) EXPECT_EQ(bytes[i], 0u);
+  const auto s = mem::stats();
+  EXPECT_EQ(s.pool_hits, 0u);  // the saturated pool never served a hit
+  EXPECT_GE(s.fresh_allocs, 2u);
+  EXPECT_EQ(s.pool_fallbacks, 0u);  // degraded, but no allocation failed
+  mem::dealloc(q);
+}

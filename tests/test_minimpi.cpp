@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "minimpi/cart.hpp"
 #include "minimpi/comm.hpp"
@@ -367,4 +369,46 @@ TEST(Halo, SplitExchangeOverlapsInteriorMutation) {
       for (std::ptrdiff_t i = 0; i < ni; ++i)
         EXPECT_DOUBLE_EQ(f.at(i, nj), value(i, nj));
   });
+}
+
+TEST(Comm, RunAggregatesMultipleRankFailures) {
+  // Two ranks die with unrelated primaries; the others block in a
+  // barrier and are released as PeerFailed cascades, which run()
+  // filters out before reporting. The aggregate error names each
+  // genuinely failing rank.
+  try {
+    mpi::run(4, [](mpi::Comm& c) {
+      if (c.rank() == 0) throw std::runtime_error("rank0 exploded");
+      if (c.rank() == 2) throw std::invalid_argument("rank2 exploded");
+      c.barrier();
+    });
+    FAIL() << "expected rank_errors";
+  } catch (const mpi::rank_errors& e) {
+    ASSERT_EQ(e.entries().size(), 2u);
+    EXPECT_EQ(e.entries()[0].rank, 0);
+    EXPECT_EQ(e.entries()[1].rank, 2);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos);
+    EXPECT_NE(what.find("rank 2"), std::string::npos);
+    EXPECT_NE(what.find("rank0 exploded"), std::string::npos);
+    EXPECT_NE(what.find("rank2 exploded"), std::string::npos);
+    // The per-rank exceptions survive with their original types.
+    EXPECT_THROW(std::rethrow_exception(e.entries()[0].error),
+                 std::runtime_error);
+    EXPECT_THROW(std::rethrow_exception(e.entries()[1].error),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Comm, SingleRankFailureKeepsItsOriginalType) {
+  // One genuine failure among blocked peers is rethrown as-is, not
+  // wrapped - callers keep their existing catch sites.
+  EXPECT_THROW(mpi::run(3,
+                        [](mpi::Comm& c) {
+                          if (c.rank() == 1)
+                            throw std::out_of_range("solo failure");
+                          double v = 0.0;
+                          c.recv((c.rank() + 1) % 3, 5, v);
+                        }),
+               std::out_of_range);
 }

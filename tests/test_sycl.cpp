@@ -524,6 +524,45 @@ TEST(OutOfOrder, WaitAndThrowRethrowsWithoutHandler) {
   EXPECT_THROW(q.wait_and_throw(), std::logic_error);
 }
 
+TEST(OutOfOrder, QueueStaysUsableAfterDeliveredException) {
+  // Regression for the resilience paths: after wait_and_throw delivers
+  // a kernel exception, the queue, the scheduler DAG and the shared
+  // command pool must accept and order new work as if nothing happened.
+  sycl::queue q;
+  std::vector<int> v(32, 0);
+  int* p = v.data();
+  q.submit([&](sycl::handler& h) {
+    h.require(p, sycl::access_mode::write);
+    h.single_task([] { throw std::runtime_error("first wave"); });
+  });
+  EXPECT_THROW(q.wait_and_throw(), std::runtime_error);
+
+  // Same footprint, new work: a RAW chain that only yields 7 when the
+  // dependency edges are honoured.
+  q.submit([&](sycl::handler& h) {
+    h.require(p, sycl::access_mode::write);
+    h.parallel_for(sycl::range<1>(v.size()),
+                   [p](sycl::id<1> i) { p[i[0]] = 3; });
+  });
+  q.submit([&](sycl::handler& h) {
+    h.require(p, sycl::access_mode::read_write);
+    h.parallel_for(sycl::range<1>(v.size()),
+                   [p](sycl::id<1> i) { p[i[0]] = 2 * p[i[0]] + 1; });
+  });
+  EXPECT_NO_THROW(q.wait_and_throw());
+  for (int x : v) ASSERT_EQ(x, 7);
+
+  // Other queues on the same scheduler are unaffected.
+  sycl::queue q2;
+  int y = 0;
+  q2.submit([&](sycl::handler& h) {
+    h.require(&y, sycl::access_mode::write);
+    h.single_task([&y] { y = 5; });
+  });
+  EXPECT_NO_THROW(q2.wait_and_throw());
+  EXPECT_EQ(y, 5);
+}
+
 TEST(OutOfOrder, AsyncHandlerReceivesExceptionList) {
   std::size_t delivered = 0;
   std::string what;
