@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ops/fusion.hpp"
+
 namespace syclport::apps {
 
 namespace {
@@ -13,28 +15,59 @@ using D = ops::Dat<double>;
 using A = ops::ACC<double>;
 
 /// Mirror one field into `depth` halo layers on all four sides - the
-/// CloverLeaf update_halo pattern: one boundary par_loop per side.
-void update_halo(ops::Context& ctx, ops::Block& grid, D& f, int depth) {
+/// CloverLeaf update_halo pattern: one boundary par_loop per side. The
+/// stencils declare the actual read offsets (one-sided, single
+/// direction), so the dataflow capture sees tight footprints.
+void update_halo(ops::FusedScope& fs, ops::Block& grid, D& f, int depth) {
   const long ny = static_cast<long>(grid.size(0));
   const long nx = static_cast<long>(grid.size(1));
-  const ops::Stencil reach{2 * depth, 2 * depth, 0, 2};
+  const ops::Stencil reach_x{depth, 0, 0, 2};
+  const ops::Stencil reach_y{0, depth, 0, 2};
 
   ops::Range left{{0, -depth, 0}, {ny, 0, 1}};
-  ops::par_loop(ctx, {"halo_left", hw::KernelClass::Boundary, 0.0}, grid, left,
-                [](A a) { a(0, 0) = a(1, 0); },
-                ops::arg(f, reach, ops::Acc::RW));
+  fs.loop({"halo_left", hw::KernelClass::Boundary, 0.0}, left,
+          [](A a) { a(0, 0) = a(1, 0); },
+          ops::arg(f, reach_x, ops::Acc::RW));
   ops::Range right{{0, nx, 0}, {ny, nx + depth, 1}};
-  ops::par_loop(ctx, {"halo_right", hw::KernelClass::Boundary, 0.0}, grid,
-                right, [](A a) { a(0, 0) = a(-1, 0); },
-                ops::arg(f, reach, ops::Acc::RW));
+  fs.loop({"halo_right", hw::KernelClass::Boundary, 0.0}, right,
+          [](A a) { a(0, 0) = a(-1, 0); },
+          ops::arg(f, reach_x, ops::Acc::RW));
   ops::Range bottom{{-depth, -depth, 0}, {0, nx + depth, 1}};
-  ops::par_loop(ctx, {"halo_bottom", hw::KernelClass::Boundary, 0.0}, grid,
-                bottom, [](A a) { a(0, 0) = a(0, 1); },
-                ops::arg(f, reach, ops::Acc::RW));
+  fs.loop({"halo_bottom", hw::KernelClass::Boundary, 0.0}, bottom,
+          [](A a) { a(0, 0) = a(0, 1); },
+          ops::arg(f, reach_y, ops::Acc::RW));
   ops::Range top{{ny, -depth, 0}, {ny + depth, nx + depth, 1}};
-  ops::par_loop(ctx, {"halo_top", hw::KernelClass::Boundary, 0.0}, grid, top,
-                [](A a) { a(0, 0) = a(0, -1); },
-                ops::arg(f, reach, ops::Acc::RW));
+  fs.loop({"halo_top", hw::KernelClass::Boundary, 0.0}, top,
+          [](A a) { a(0, 0) = a(0, -1); },
+          ops::arg(f, reach_y, ops::Acc::RW));
+}
+
+/// Copy another field pair's depth-1 halo strips onto dst - used to
+/// give the momentum half-step velocities (xvel2/yvel2) the same
+/// boundary values their in-place predecessors carried, without a
+/// mirror loop that would cut the fused momentum chain (a mirror is an
+/// in-place stencil read; a pointwise copy from the already-mirrored
+/// field is not).
+void copy_halo(ops::FusedScope& fs, ops::Block& grid, D& dx, D& dy, D& sx,
+               D& sy) {
+  const long ny = static_cast<long>(grid.size(0));
+  const long nx = static_cast<long>(grid.size(1));
+  const auto copy2 = [](A ox, A oy, A ix, A iy) {
+    ox(0, 0) = ix(0, 0);
+    oy(0, 0) = iy(0, 0);
+  };
+  const ops::Range strips[4] = {
+      {{0, -1, 0}, {ny, 0, 1}},            // left
+      {{0, nx, 0}, {ny, nx + 1, 1}},       // right
+      {{-1, -1, 0}, {0, nx + 1, 1}},       // bottom (incl. corners)
+      {{ny, -1, 0}, {ny + 1, nx + 1, 1}},  // top (incl. corners)
+  };
+  for (const ops::Range& r : strips)
+    fs.loop({"halo_copy", hw::KernelClass::Boundary, 0.0}, r, copy2,
+            ops::arg(dx, ops::S_PT, ops::Acc::W),
+            ops::arg(dy, ops::S_PT, ops::Acc::W),
+            ops::arg(sx, ops::S_PT, ops::Acc::R),
+            ops::arg(sy, ops::S_PT, ops::Acc::R));
 }
 
 }  // namespace
@@ -51,9 +84,16 @@ RunSummary run_cloverleaf2d(const ops::Options& opt, ProblemSize ps) {
   D soundspeed(grid, "soundspeed", 1, 2);
   D xvel0(grid, "xvel0", 1, 2), xvel1(grid, "xvel1", 1, 2);
   D yvel0(grid, "yvel0", 1, 2), yvel1(grid, "yvel1", 1, 2);
+  // Half-advected velocities: the x momentum pass writes these instead
+  // of updating xvel1/yvel1 in place, so the y pass reads a distinct
+  // producer and the whole momentum chain stays WAR-free (fusable).
+  D xvel2(grid, "xvel2", 1, 2), yvel2(grid, "yvel2", 1, 2);
   D vol_flux_x(grid, "vol_flux_x", 1, 2), vol_flux_y(grid, "vol_flux_y", 1, 2);
   D mass_flux(grid, "mass_flux", 1, 2), ener_flux(grid, "ener_flux", 1, 2);
-  D mom_flux(grid, "mom_flux", 2, 2);
+  // Separate per-direction momentum fluxes (not one reused dat): a
+  // reused buffer is a WAW edge with unequal ghost expansions, which
+  // the dataflow partitioner must split.
+  D mom_flux_x(grid, "mom_flux_x", 2, 2), mom_flux_y(grid, "mom_flux_y", 2, 2);
 
   if (ctx.executing()) {
     // Two-state energy bomb in the corner, CloverLeaf's standard setup.
@@ -70,197 +110,209 @@ RunSummary run_cloverleaf2d(const ops::Options& opt, ProblemSize ps) {
   const ops::Stencil face{1, 1, 0, 4};
 
   RunSummary rs;
+  double dt_min = 1e30;  // outlives each step's FusedScope (reduction target)
   for (int step = 0; step < ps.iters; ++step) {
+    ops::FusedScope fs(ctx, grid);
     // --- EoS ---------------------------------------------------------------
-    ops::par_loop(ctx, {"ideal_gas", hw::KernelClass::Interior, 9.0}, grid,
-                  interior,
-                  [](A d, A e, A p, A ss) {
-                    const double rho = std::max(kRhoFloor, d(0, 0));
-                    p(0, 0) = (kGamma - 1.0) * rho * e(0, 0);
-                    ss(0, 0) = std::sqrt(kGamma * p(0, 0) / rho);
-                  },
-                  ops::arg(density0, ops::S_PT, ops::Acc::R),
-                  ops::arg(energy0, ops::S_PT, ops::Acc::R),
-                  ops::arg(pressure, ops::S_PT, ops::Acc::W),
-                  ops::arg(soundspeed, ops::S_PT, ops::Acc::W));
-    update_halo(ctx, grid, pressure, 1);
+    fs.loop({"ideal_gas", hw::KernelClass::Interior, 9.0}, interior,
+            [](A d, A e, A p, A ss) {
+              const double rho = std::max(kRhoFloor, d(0, 0));
+              p(0, 0) = (kGamma - 1.0) * rho * e(0, 0);
+              ss(0, 0) = std::sqrt(kGamma * p(0, 0) / rho);
+            },
+            ops::arg(density0, ops::S_PT, ops::Acc::R),
+            ops::arg(energy0, ops::S_PT, ops::Acc::R),
+            ops::arg(pressure, ops::S_PT, ops::Acc::W),
+            ops::arg(soundspeed, ops::S_PT, ops::Acc::W));
+    update_halo(fs, grid, pressure, 1);
 
     // --- artificial viscosity -----------------------------------------------
-    ops::par_loop(ctx, {"viscosity", hw::KernelClass::Interior, 22.0}, grid,
-                  interior,
-                  [](A visc, A d, A xv, A yv) {
-                    const double div =
-                        (xv(1, 0) - xv(0, 0)) + (yv(0, 1) - yv(0, 0));
-                    visc(0, 0) =
-                        div < 0.0 ? 2.0 * d(0, 0) * div * div : 0.0;
-                  },
-                  ops::arg(viscosity, ops::S_PT, ops::Acc::W),
-                  ops::arg(density0, ops::S_PT, ops::Acc::R),
-                  ops::arg(xvel0, face, ops::Acc::R),
-                  ops::arg(yvel0, face, ops::Acc::R));
-    update_halo(ctx, grid, viscosity, 1);
+    fs.loop({"viscosity", hw::KernelClass::Interior, 22.0}, interior,
+            [](A visc, A d, A xv, A yv) {
+              const double div =
+                  (xv(1, 0) - xv(0, 0)) + (yv(0, 1) - yv(0, 0));
+              visc(0, 0) =
+                  div < 0.0 ? 2.0 * d(0, 0) * div * div : 0.0;
+            },
+            ops::arg(viscosity, ops::S_PT, ops::Acc::W),
+            ops::arg(density0, ops::S_PT, ops::Acc::R),
+            ops::arg(xvel0, face, ops::Acc::R),
+            ops::arg(yvel0, face, ops::Acc::R));
+    update_halo(fs, grid, viscosity, 1);
 
     // --- dt control (reduction; fixed dt actually used) ---------------------
-    double dt_min = 1e30;
-    ops::par_loop(ctx, {"calc_dt", hw::KernelClass::Reduction, 14.0}, grid,
-                  interior,
-                  [](A ss, A xv, A yv, ops::Reducer<double> r) {
-                    const double speed = ss(0, 0) + std::fabs(xv(0, 0)) +
-                                         std::fabs(yv(0, 0));
-                    r.combine(1.0 / std::max(1e-12, speed));
-                  },
-                  ops::arg(soundspeed, ops::S_PT, ops::Acc::R),
-                  ops::arg(xvel0, ops::S_PT, ops::Acc::R),
-                  ops::arg(yvel0, ops::S_PT, ops::Acc::R),
-                  ops::reduce(dt_min, ops::RedOp::Min));
+    dt_min = 1e30;
+    fs.loop({"calc_dt", hw::KernelClass::Reduction, 14.0}, interior,
+            [](A ss, A xv, A yv, ops::Reducer<double> r) {
+              const double speed = ss(0, 0) + std::fabs(xv(0, 0)) +
+                                   std::fabs(yv(0, 0));
+              r.combine(1.0 / std::max(1e-12, speed));
+            },
+            ops::arg(soundspeed, ops::S_PT, ops::Acc::R),
+            ops::arg(xvel0, ops::S_PT, ops::Acc::R),
+            ops::arg(yvel0, ops::S_PT, ops::Acc::R),
+            ops::reduce(dt_min, ops::RedOp::Min));
 
     // --- PdV: compress/expand energy and density -----------------------------
-    ops::par_loop(ctx, {"pdv", hw::KernelClass::Interior, 26.0}, grid,
-                  interior,
-                  [](A d1k, A e1k, A d0, A e0, A p, A v, A xv, A yv) {
-                    const double div =
-                        (xv(1, 0) - xv(0, 0)) + (yv(0, 1) - yv(0, 0));
-                    const double rho = std::max(kRhoFloor, d0(0, 0));
-                    d1k(0, 0) = rho / (1.0 + kDt * div);
-                    e1k(0, 0) = e0(0, 0) -
-                                kDt * (p(0, 0) + v(0, 0)) * div / rho;
-                  },
-                  ops::arg(density1, ops::S_PT, ops::Acc::W),
-                  ops::arg(energy1, ops::S_PT, ops::Acc::W),
-                  ops::arg(density0, ops::S_PT, ops::Acc::R),
-                  ops::arg(energy0, ops::S_PT, ops::Acc::R),
-                  ops::arg(pressure, ops::S_PT, ops::Acc::R),
-                  ops::arg(viscosity, ops::S_PT, ops::Acc::R),
-                  ops::arg(xvel0, face, ops::Acc::R),
-                  ops::arg(yvel0, face, ops::Acc::R));
+    fs.loop({"pdv", hw::KernelClass::Interior, 26.0}, interior,
+            [](A d1k, A e1k, A d0, A e0, A p, A v, A xv, A yv) {
+              const double div =
+                  (xv(1, 0) - xv(0, 0)) + (yv(0, 1) - yv(0, 0));
+              const double rho = std::max(kRhoFloor, d0(0, 0));
+              d1k(0, 0) = rho / (1.0 + kDt * div);
+              e1k(0, 0) = e0(0, 0) -
+                          kDt * (p(0, 0) + v(0, 0)) * div / rho;
+            },
+            ops::arg(density1, ops::S_PT, ops::Acc::W),
+            ops::arg(energy1, ops::S_PT, ops::Acc::W),
+            ops::arg(density0, ops::S_PT, ops::Acc::R),
+            ops::arg(energy0, ops::S_PT, ops::Acc::R),
+            ops::arg(pressure, ops::S_PT, ops::Acc::R),
+            ops::arg(viscosity, ops::S_PT, ops::Acc::R),
+            ops::arg(xvel0, face, ops::Acc::R),
+            ops::arg(yvel0, face, ops::Acc::R));
 
     // --- acceleration ---------------------------------------------------------
-    ops::par_loop(ctx, {"accelerate", hw::KernelClass::Interior, 20.0}, grid,
-                  interior,
-                  [](A xv1, A yv1, A xv0, A yv0, A d, A p, A v) {
-                    const double rho = std::max(kRhoFloor, d(0, 0));
-                    xv1(0, 0) = xv0(0, 0) -
-                                kDt * (p(0, 0) - p(-1, 0) + v(0, 0) -
-                                       v(-1, 0)) /
-                                    rho;
-                    yv1(0, 0) = yv0(0, 0) -
-                                kDt * (p(0, 0) - p(0, -1) + v(0, 0) -
-                                       v(0, -1)) /
-                                    rho;
-                  },
-                  ops::arg(xvel1, ops::S_PT, ops::Acc::W),
-                  ops::arg(yvel1, ops::S_PT, ops::Acc::W),
-                  ops::arg(xvel0, ops::S_PT, ops::Acc::R),
-                  ops::arg(yvel0, ops::S_PT, ops::Acc::R),
-                  ops::arg(density0, ops::S_PT, ops::Acc::R),
-                  ops::arg(pressure, s5, ops::Acc::R),
-                  ops::arg(viscosity, s5, ops::Acc::R));
-    update_halo(ctx, grid, xvel1, 1);
-    update_halo(ctx, grid, yvel1, 1);
+    fs.loop({"accelerate", hw::KernelClass::Interior, 20.0}, interior,
+            [](A xv1, A yv1, A xv0, A yv0, A d, A p, A v) {
+              const double rho = std::max(kRhoFloor, d(0, 0));
+              xv1(0, 0) = xv0(0, 0) -
+                          kDt * (p(0, 0) - p(-1, 0) + v(0, 0) -
+                                 v(-1, 0)) /
+                              rho;
+              yv1(0, 0) = yv0(0, 0) -
+                          kDt * (p(0, 0) - p(0, -1) + v(0, 0) -
+                                 v(0, -1)) /
+                              rho;
+            },
+            ops::arg(xvel1, ops::S_PT, ops::Acc::W),
+            ops::arg(yvel1, ops::S_PT, ops::Acc::W),
+            ops::arg(xvel0, ops::S_PT, ops::Acc::R),
+            ops::arg(yvel0, ops::S_PT, ops::Acc::R),
+            ops::arg(density0, ops::S_PT, ops::Acc::R),
+            ops::arg(pressure, s5, ops::Acc::R),
+            ops::arg(viscosity, s5, ops::Acc::R));
+    update_halo(fs, grid, xvel1, 1);
+    update_halo(fs, grid, yvel1, 1);
 
     // --- face volume fluxes -----------------------------------------------------
-    ops::par_loop(ctx, {"flux_calc", hw::KernelClass::Interior, 8.0}, grid,
-                  interior,
-                  [](A fx, A fy, A xv0, A xv1, A yv0, A yv1) {
-                    fx(0, 0) = 0.25 * kDt * (xv0(0, 0) + xv1(0, 0));
-                    fy(0, 0) = 0.25 * kDt * (yv0(0, 0) + yv1(0, 0));
-                  },
-                  ops::arg(vol_flux_x, ops::S_PT, ops::Acc::W),
-                  ops::arg(vol_flux_y, ops::S_PT, ops::Acc::W),
-                  ops::arg(xvel0, ops::S_PT, ops::Acc::R),
-                  ops::arg(xvel1, ops::S_PT, ops::Acc::R),
-                  ops::arg(yvel0, ops::S_PT, ops::Acc::R),
-                  ops::arg(yvel1, ops::S_PT, ops::Acc::R));
-    update_halo(ctx, grid, vol_flux_x, 1);
-    update_halo(ctx, grid, vol_flux_y, 1);
+    fs.loop({"flux_calc", hw::KernelClass::Interior, 8.0}, interior,
+            [](A fx, A fy, A xv0, A xv1, A yv0, A yv1) {
+              fx(0, 0) = 0.25 * kDt * (xv0(0, 0) + xv1(0, 0));
+              fy(0, 0) = 0.25 * kDt * (yv0(0, 0) + yv1(0, 0));
+            },
+            ops::arg(vol_flux_x, ops::S_PT, ops::Acc::W),
+            ops::arg(vol_flux_y, ops::S_PT, ops::Acc::W),
+            ops::arg(xvel0, ops::S_PT, ops::Acc::R),
+            ops::arg(xvel1, ops::S_PT, ops::Acc::R),
+            ops::arg(yvel0, ops::S_PT, ops::Acc::R),
+            ops::arg(yvel1, ops::S_PT, ops::Acc::R));
+    update_halo(fs, grid, vol_flux_x, 1);
+    update_halo(fs, grid, vol_flux_y, 1);
 
     // --- donor-cell advection, x then y ------------------------------------------
     auto advect_cells = [&](D& vol_flux, int dx, int dy, const char* fname,
                             const char* uname) {
-      ops::par_loop(ctx, {fname, hw::KernelClass::Interior, 14.0}, grid,
-                    interior,
-                    [dx, dy](A mf, A ef, A vf, A d, A e) {
-                      const double f = vf(0, 0);
-                      const int ux = f > 0.0 ? -dx : 0;
-                      const int uy = f > 0.0 ? -dy : 0;
-                      mf(0, 0) = f * d(ux, uy);
-                      ef(0, 0) = f * d(ux, uy) * e(ux, uy);
-                    },
-                    ops::arg(mass_flux, ops::S_PT, ops::Acc::W),
-                    ops::arg(ener_flux, ops::S_PT, ops::Acc::W),
-                    ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
-                    ops::arg(density1, s5, ops::Acc::R),
-                    ops::arg(energy1, s5, ops::Acc::R));
-      update_halo(ctx, grid, mass_flux, 1);
-      update_halo(ctx, grid, ener_flux, 1);
-      ops::par_loop(ctx, {uname, hw::KernelClass::Interior, 16.0}, grid,
-                    interior,
-                    [dx, dy](A d, A e, A mf, A ef) {
-                      const double dm = mf(0, 0) - mf(dx, dy);
-                      const double de = ef(0, 0) - ef(dx, dy);
-                      const double rho_new =
-                          std::max(kRhoFloor, d(0, 0) + dm);
-                      e(0, 0) = (d(0, 0) * e(0, 0) + de) / rho_new;
-                      d(0, 0) = rho_new;
-                    },
-                    ops::arg(density1, ops::S_PT, ops::Acc::RW),
-                    ops::arg(energy1, ops::S_PT, ops::Acc::RW),
-                    ops::arg(mass_flux, s5, ops::Acc::R),
-                    ops::arg(ener_flux, s5, ops::Acc::R));
+      fs.loop({fname, hw::KernelClass::Interior, 14.0}, interior,
+              [dx, dy](A mf, A ef, A vf, A d, A e) {
+                const double f = vf(0, 0);
+                const int ux = f > 0.0 ? -dx : 0;
+                const int uy = f > 0.0 ? -dy : 0;
+                mf(0, 0) = f * d(ux, uy);
+                ef(0, 0) = f * d(ux, uy) * e(ux, uy);
+              },
+              ops::arg(mass_flux, ops::S_PT, ops::Acc::W),
+              ops::arg(ener_flux, ops::S_PT, ops::Acc::W),
+              ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
+              ops::arg(density1, s5, ops::Acc::R),
+              ops::arg(energy1, s5, ops::Acc::R));
+      update_halo(fs, grid, mass_flux, 1);
+      update_halo(fs, grid, ener_flux, 1);
+      fs.loop({uname, hw::KernelClass::Interior, 16.0}, interior,
+              [dx, dy](A d, A e, A mf, A ef) {
+                const double dm = mf(0, 0) - mf(dx, dy);
+                const double de = ef(0, 0) - ef(dx, dy);
+                const double rho_new =
+                    std::max(kRhoFloor, d(0, 0) + dm);
+                e(0, 0) = (d(0, 0) * e(0, 0) + de) / rho_new;
+                d(0, 0) = rho_new;
+              },
+              ops::arg(density1, ops::S_PT, ops::Acc::RW),
+              ops::arg(energy1, ops::S_PT, ops::Acc::RW),
+              ops::arg(mass_flux, s5, ops::Acc::R),
+              ops::arg(ener_flux, s5, ops::Acc::R));
     };
     advect_cells(vol_flux_x, 1, 0, "advec_cell_flux_x", "advec_cell_upd_x");
     advect_cells(vol_flux_y, 0, 1, "advec_cell_flux_y", "advec_cell_upd_y");
 
-    // --- momentum advection --------------------------------------------------------
-    auto advect_momentum = [&](D& vol_flux, int dx, int dy, const char* fname,
-                               const char* uname) {
-      ops::par_loop(ctx, {fname, hw::KernelClass::Interior, 12.0}, grid,
-                    interior,
-                    [dx, dy](A mf, A vf, A xv, A yv) {
-                      const double f = vf(0, 0);
-                      const int ux = f > 0.0 ? -dx : 0;
-                      const int uy = f > 0.0 ? -dy : 0;
-                      mf.comp(0, 0, 0) = f * xv(ux, uy);
-                      mf.comp(1, 0, 0) = f * yv(ux, uy);
-                    },
-                    ops::arg(mom_flux, ops::S_PT, ops::Acc::W),
-                    ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
-                    ops::arg(xvel1, s5, ops::Acc::R),
-                    ops::arg(yvel1, s5, ops::Acc::R));
-      ops::par_loop(ctx, {uname, hw::KernelClass::Interior, 10.0}, grid,
-                    interior,
-                    [dx, dy](A xv, A yv, A mf) {
-                      xv(0, 0) += mf.comp(0, 0, 0) - mf.comp(0, dx, dy);
-                      yv(0, 0) += mf.comp(1, 0, 0) - mf.comp(1, dx, dy);
-                    },
-                    ops::arg(xvel1, ops::S_PT, ops::Acc::RW),
-                    ops::arg(yvel1, ops::S_PT, ops::Acc::RW),
-                    ops::arg(mom_flux, s5, ops::Acc::R));
+    // --- momentum advection, x then y ------------------------------------------
+    // Each pass reads one velocity pair and writes the next
+    // (xvel1 -> xvel2 -> xvel0), with its own flux dat: no dat is both
+    // read and written across the pass boundary, so the cell update,
+    // both momentum passes and the field reset all fuse into one
+    // overlap-tiled sweep.
+    auto mom_flux_kernel = [](int dx, int dy) {
+      return [dx, dy](A mf, A vf, A xv, A yv) {
+        const double f = vf(0, 0);
+        const int ux = f > 0.0 ? -dx : 0;
+        const int uy = f > 0.0 ? -dy : 0;
+        mf.comp(0, 0, 0) = f * xv(ux, uy);
+        mf.comp(1, 0, 0) = f * yv(ux, uy);
+      };
     };
-    advect_momentum(vol_flux_x, 1, 0, "advec_mom_flux_x", "advec_mom_upd_x");
-    advect_momentum(vol_flux_y, 0, 1, "advec_mom_flux_y", "advec_mom_upd_y");
+    auto mom_upd_kernel = [](int dx, int dy) {
+      return [dx, dy](A xo, A yo, A xi, A yi, A mf) {
+        xo(0, 0) = xi(0, 0) + (mf.comp(0, 0, 0) - mf.comp(0, dx, dy));
+        yo(0, 0) = yi(0, 0) + (mf.comp(1, 0, 0) - mf.comp(1, dx, dy));
+      };
+    };
+    fs.loop({"advec_mom_flux_x", hw::KernelClass::Interior, 12.0}, interior,
+            mom_flux_kernel(1, 0),
+            ops::arg(mom_flux_x, ops::S_PT, ops::Acc::W),
+            ops::arg(vol_flux_x, ops::S_PT, ops::Acc::R),
+            ops::arg(xvel1, s5, ops::Acc::R),
+            ops::arg(yvel1, s5, ops::Acc::R));
+    fs.loop({"advec_mom_upd_x", hw::KernelClass::Interior, 10.0}, interior,
+            mom_upd_kernel(1, 0),
+            ops::arg(xvel2, ops::S_PT, ops::Acc::W),
+            ops::arg(yvel2, ops::S_PT, ops::Acc::W),
+            ops::arg(xvel1, ops::S_PT, ops::Acc::R),
+            ops::arg(yvel1, ops::S_PT, ops::Acc::R),
+            ops::arg(mom_flux_x, s5, ops::Acc::R));
+    // The y pass reads xvel2/yvel2 through a radius-1 stencil; give
+    // their halo strips the same (stale, pre-x-pass mirror) values the
+    // in-place scheme exposed there.
+    copy_halo(fs, grid, xvel2, yvel2, xvel1, yvel1);
+    fs.loop({"advec_mom_flux_y", hw::KernelClass::Interior, 12.0}, interior,
+            mom_flux_kernel(0, 1),
+            ops::arg(mom_flux_y, ops::S_PT, ops::Acc::W),
+            ops::arg(vol_flux_y, ops::S_PT, ops::Acc::R),
+            ops::arg(xvel2, s5, ops::Acc::R),
+            ops::arg(yvel2, s5, ops::Acc::R));
+    fs.loop({"advec_mom_upd_y", hw::KernelClass::Interior, 10.0}, interior,
+            mom_upd_kernel(0, 1),
+            ops::arg(xvel0, ops::S_PT, ops::Acc::W),
+            ops::arg(yvel0, ops::S_PT, ops::Acc::W),
+            ops::arg(xvel2, ops::S_PT, ops::Acc::R),
+            ops::arg(yvel2, ops::S_PT, ops::Acc::R),
+            ops::arg(mom_flux_y, s5, ops::Acc::R));
 
     // --- reset for the next step ------------------------------------------------
-    ops::par_loop(ctx, {"reset_field", hw::KernelClass::Interior, 0.0}, grid,
-                  interior,
-                  [](A d0, A e0, A xv0, A yv0, A d1k, A e1k, A xv1k, A yv1k) {
-                    d0(0, 0) = d1k(0, 0);
-                    e0(0, 0) = e1k(0, 0);
-                    xv0(0, 0) = xv1k(0, 0);
-                    yv0(0, 0) = yv1k(0, 0);
-                  },
-                  ops::arg(density0, ops::S_PT, ops::Acc::W),
-                  ops::arg(energy0, ops::S_PT, ops::Acc::W),
-                  ops::arg(xvel0, ops::S_PT, ops::Acc::W),
-                  ops::arg(yvel0, ops::S_PT, ops::Acc::W),
-                  ops::arg(density1, ops::S_PT, ops::Acc::R),
-                  ops::arg(energy1, ops::S_PT, ops::Acc::R),
-                  ops::arg(xvel1, ops::S_PT, ops::Acc::R),
-                  ops::arg(yvel1, ops::S_PT, ops::Acc::R));
-    update_halo(ctx, grid, density0, 2);
-    update_halo(ctx, grid, energy0, 2);
-    update_halo(ctx, grid, xvel0, 1);
-    update_halo(ctx, grid, yvel0, 1);
+    // Velocities already landed in xvel0/yvel0 above; only the cell
+    // fields need copying back.
+    fs.loop({"reset_field", hw::KernelClass::Interior, 0.0}, interior,
+            [](A d0, A e0, A d1k, A e1k) {
+              d0(0, 0) = d1k(0, 0);
+              e0(0, 0) = e1k(0, 0);
+            },
+            ops::arg(density0, ops::S_PT, ops::Acc::W),
+            ops::arg(energy0, ops::S_PT, ops::Acc::W),
+            ops::arg(density1, ops::S_PT, ops::Acc::R),
+            ops::arg(energy1, ops::S_PT, ops::Acc::R));
+    update_halo(fs, grid, density0, 2);
+    update_halo(fs, grid, energy0, 2);
+    update_halo(fs, grid, xvel0, 1);
+    update_halo(fs, grid, yvel0, 1);
   }
 
   // --- field summary (mass/energy reductions, once per run) -----------------

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ops/fusion.hpp"
+
 namespace syclport::apps {
 
 namespace {
@@ -12,35 +14,37 @@ constexpr double kRhoFloor = 1e-8;
 using D = ops::Dat<double>;
 using A = ops::ACC<double>;
 
-/// Mirror one field into `depth` halo layers on all six faces.
-void update_halo3d(ops::Context& ctx, ops::Block& grid, D& f, int depth) {
+/// Mirror one field into `depth` halo layers on all six faces. Issued
+/// through the step's capture scope; the in-place stencil (RW with
+/// nonzero radius) makes the partitioner isolate each strip.
+void update_halo3d(ops::FusedScope& fs, ops::Block& grid, D& f, int depth) {
   const long nz = static_cast<long>(grid.size(0));
   const long ny = static_cast<long>(grid.size(1));
   const long nx = static_cast<long>(grid.size(2));
   const ops::Stencil reach{2 * depth, 2 * depth, 2 * depth, 2};
 
   ops::Range xlo{{0, 0, -depth}, {nz, ny, 0}};
-  ops::par_loop(ctx, {"halo_xlo", hw::KernelClass::Boundary, 0.0}, grid, xlo,
+  fs.loop({"halo_xlo", hw::KernelClass::Boundary, 0.0}, xlo,
                 [](A a) { a(0, 0, 0) = a(1, 0, 0); },
                 ops::arg(f, reach, ops::Acc::RW));
   ops::Range xhi{{0, 0, nx}, {nz, ny, nx + depth}};
-  ops::par_loop(ctx, {"halo_xhi", hw::KernelClass::Boundary, 0.0}, grid, xhi,
+  fs.loop({"halo_xhi", hw::KernelClass::Boundary, 0.0}, xhi,
                 [](A a) { a(0, 0, 0) = a(-1, 0, 0); },
                 ops::arg(f, reach, ops::Acc::RW));
   ops::Range ylo{{0, -depth, -depth}, {nz, 0, nx + depth}};
-  ops::par_loop(ctx, {"halo_ylo", hw::KernelClass::Boundary, 0.0}, grid, ylo,
+  fs.loop({"halo_ylo", hw::KernelClass::Boundary, 0.0}, ylo,
                 [](A a) { a(0, 0, 0) = a(0, 1, 0); },
                 ops::arg(f, reach, ops::Acc::RW));
   ops::Range yhi{{0, ny, -depth}, {nz, ny + depth, nx + depth}};
-  ops::par_loop(ctx, {"halo_yhi", hw::KernelClass::Boundary, 0.0}, grid, yhi,
+  fs.loop({"halo_yhi", hw::KernelClass::Boundary, 0.0}, yhi,
                 [](A a) { a(0, 0, 0) = a(0, -1, 0); },
                 ops::arg(f, reach, ops::Acc::RW));
   ops::Range zlo{{-depth, -depth, -depth}, {0, ny + depth, nx + depth}};
-  ops::par_loop(ctx, {"halo_zlo", hw::KernelClass::Boundary, 0.0}, grid, zlo,
+  fs.loop({"halo_zlo", hw::KernelClass::Boundary, 0.0}, zlo,
                 [](A a) { a(0, 0, 0) = a(0, 0, 1); },
                 ops::arg(f, reach, ops::Acc::RW));
   ops::Range zhi{{nz, -depth, -depth}, {nz + depth, ny + depth, nx + depth}};
-  ops::par_loop(ctx, {"halo_zhi", hw::KernelClass::Boundary, 0.0}, grid, zhi,
+  fs.loop({"halo_zhi", hw::KernelClass::Boundary, 0.0}, zhi,
                 [](A a) { a(0, 0, 0) = a(0, 0, -1); },
                 ops::arg(f, reach, ops::Acc::RW));
 }
@@ -73,13 +77,17 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
         }
   }
 
-  const ops::Range interior = ops::Range::all(grid);
   const ops::Stencil s7{1, 1, 1, 7};
   const ops::Stencil face{1, 1, 1, 8};
 
+  // Outlives each step's FusedScope (reduction target: the captured
+  // calc_dt accumulates into it at flush).
+  double dt_min = 1e30;
+
   for (int step = 0; step < ps.iters; ++step) {
-    ops::par_loop(ctx, {"ideal_gas", hw::KernelClass::Interior, 9.0}, grid,
-                  interior,
+    ops::FusedScope fs(ctx, grid);
+    dt_min = 1e30;
+    fs.loop({"ideal_gas", hw::KernelClass::Interior, 9.0},
                   [](A d, A e, A p, A ss) {
                     const double rho = std::max(kRhoFloor, d(0, 0, 0));
                     p(0, 0, 0) = (kGamma - 1.0) * rho * e(0, 0, 0);
@@ -89,10 +97,9 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                   ops::arg(energy0, ops::S_PT, ops::Acc::R),
                   ops::arg(pressure, ops::S_PT, ops::Acc::W),
                   ops::arg(soundspeed, ops::S_PT, ops::Acc::W));
-    update_halo3d(ctx, grid, pressure, 1);
+    update_halo3d(fs, grid, pressure, 1);
 
-    ops::par_loop(ctx, {"viscosity", hw::KernelClass::Interior, 30.0}, grid,
-                  interior,
+    fs.loop({"viscosity", hw::KernelClass::Interior, 30.0},
                   [](A visc, A d, A v) {
                     const double div = (v.comp(0, 1, 0, 0) - v.comp(0, 0, 0, 0)) +
                                        (v.comp(1, 0, 1, 0) - v.comp(1, 0, 0, 0)) +
@@ -103,11 +110,9 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                   ops::arg(viscosity, ops::S_PT, ops::Acc::W),
                   ops::arg(density0, ops::S_PT, ops::Acc::R),
                   ops::arg(vel0, face, ops::Acc::R));
-    update_halo3d(ctx, grid, viscosity, 1);
+    update_halo3d(fs, grid, viscosity, 1);
 
-    double dt_min = 1e30;
-    ops::par_loop(ctx, {"calc_dt", hw::KernelClass::Reduction, 16.0}, grid,
-                  interior,
+    fs.loop({"calc_dt", hw::KernelClass::Reduction, 16.0},
                   [](A ss, A v, ops::Reducer<double> r) {
                     const double speed = ss(0, 0, 0) +
                                          std::fabs(v.comp(0, 0, 0, 0)) +
@@ -119,8 +124,7 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                   ops::arg(vel0, ops::S_PT, ops::Acc::R),
                   ops::reduce(dt_min, ops::RedOp::Min));
 
-    ops::par_loop(ctx, {"pdv", hw::KernelClass::Interior, 32.0}, grid,
-                  interior,
+    fs.loop({"pdv", hw::KernelClass::Interior, 32.0},
                   [](A d1k, A e1k, A d0, A e0, A p, A vc, A v) {
                     const double div = (v.comp(0, 1, 0, 0) - v.comp(0, 0, 0, 0)) +
                                        (v.comp(1, 0, 1, 0) - v.comp(1, 0, 0, 0)) +
@@ -138,8 +142,7 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                   ops::arg(viscosity, ops::S_PT, ops::Acc::R),
                   ops::arg(vel0, face, ops::Acc::R));
 
-    ops::par_loop(ctx, {"accelerate", hw::KernelClass::Interior, 30.0}, grid,
-                  interior,
+    fs.loop({"accelerate", hw::KernelClass::Interior, 30.0},
                   [](A v1, A v0, A d, A p, A vc) {
                     const double rho = std::max(kRhoFloor, d(0, 0, 0));
                     v1.comp(0, 0, 0, 0) =
@@ -163,10 +166,9 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                   ops::arg(density0, ops::S_PT, ops::Acc::R),
                   ops::arg(pressure, s7, ops::Acc::R),
                   ops::arg(viscosity, s7, ops::Acc::R));
-    update_halo3d(ctx, grid, vel1, 1);
+    update_halo3d(fs, grid, vel1, 1);
 
-    ops::par_loop(ctx, {"flux_calc", hw::KernelClass::Interior, 9.0}, grid,
-                  interior,
+    fs.loop({"flux_calc", hw::KernelClass::Interior, 9.0},
                   [](A f, A v0, A v1) {
                     for (int c = 0; c < 3; ++c)
                       f.comp(c, 0, 0, 0) =
@@ -176,15 +178,14 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                   ops::arg(vol_flux, ops::S_PT, ops::Acc::W),
                   ops::arg(vel0, ops::S_PT, ops::Acc::R),
                   ops::arg(vel1, ops::S_PT, ops::Acc::R));
-    update_halo3d(ctx, grid, vol_flux, 1);
+    update_halo3d(fs, grid, vol_flux, 1);
 
     // Directional advection sweeps (x, y, z): donor-cell fluxes then
     // a pointwise update; same two-kernel structure as 2D.
     auto advect = [&](int c, int dx, int dy, int dz, const char* fname,
                       const char* uname, const char* mname,
                       const char* vname) {
-      ops::par_loop(ctx, {fname, hw::KernelClass::Interior, 16.0}, grid,
-                    interior,
+      fs.loop({fname, hw::KernelClass::Interior, 16.0},
                     [c, dx, dy, dz](A mf, A ef, A vf, A d, A e) {
                       const double f = vf.comp(c, 0, 0, 0);
                       const int ux = f > 0.0 ? -dx : 0;
@@ -198,10 +199,9 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                     ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
                     ops::arg(density1, s7, ops::Acc::R),
                     ops::arg(energy1, s7, ops::Acc::R));
-      update_halo3d(ctx, grid, mass_flux, 1);
-      update_halo3d(ctx, grid, ener_flux, 1);
-      ops::par_loop(ctx, {uname, hw::KernelClass::Interior, 18.0}, grid,
-                    interior,
+      update_halo3d(fs, grid, mass_flux, 1);
+      update_halo3d(fs, grid, ener_flux, 1);
+      fs.loop({uname, hw::KernelClass::Interior, 18.0},
                     [dx, dy, dz](A d, A e, A mf, A ef) {
                       const double dm = mf(0, 0, 0) - mf(dx, dy, dz);
                       const double de = ef(0, 0, 0) - ef(dx, dy, dz);
@@ -215,8 +215,7 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                     ops::arg(mass_flux, s7, ops::Acc::R),
                     ops::arg(ener_flux, s7, ops::Acc::R));
       // Momentum advection for all three components in this direction.
-      ops::par_loop(ctx, {mname, hw::KernelClass::Interior, 14.0}, grid,
-                    interior,
+      fs.loop({mname, hw::KernelClass::Interior, 14.0},
                     [c, dx, dy, dz](A mf, A vf, A v) {
                       const double f = vf.comp(c, 0, 0, 0);
                       const int ux = f > 0.0 ? -dx : 0;
@@ -228,8 +227,7 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                     ops::arg(mom_flux, ops::S_PT, ops::Acc::W),
                     ops::arg(vol_flux, ops::S_PT, ops::Acc::R),
                     ops::arg(vel1, s7, ops::Acc::R));
-      ops::par_loop(ctx, {vname, hw::KernelClass::Interior, 9.0}, grid,
-                    interior,
+      fs.loop({vname, hw::KernelClass::Interior, 9.0},
                     [dx, dy, dz](A v, A mf) {
                       for (int q = 0; q < 3; ++q)
                         v.comp(q, 0, 0, 0) +=
@@ -245,8 +243,7 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
     advect(2, 0, 0, 1, "advec_cell_flux_z", "advec_cell_upd_z",
            "advec_mom_flux_z", "advec_mom_upd_z");
 
-    ops::par_loop(ctx, {"reset_field", hw::KernelClass::Interior, 0.0}, grid,
-                  interior,
+    fs.loop({"reset_field", hw::KernelClass::Interior, 0.0},
                   [](A d0, A e0, A v0, A d1k, A e1k, A v1k) {
                     d0(0, 0, 0) = d1k(0, 0, 0);
                     e0(0, 0, 0) = e1k(0, 0, 0);
@@ -259,9 +256,9 @@ RunSummary run_cloverleaf3d(const ops::Options& opt, ProblemSize ps) {
                   ops::arg(density1, ops::S_PT, ops::Acc::R),
                   ops::arg(energy1, ops::S_PT, ops::Acc::R),
                   ops::arg(vel1, ops::S_PT, ops::Acc::R));
-    update_halo3d(ctx, grid, density0, 2);
-    update_halo3d(ctx, grid, energy0, 2);
-    update_halo3d(ctx, grid, vel0, 1);
+    update_halo3d(fs, grid, density0, 2);
+    update_halo3d(fs, grid, energy0, 2);
+    update_halo3d(fs, grid, vel0, 1);
   }
 
   double mass = 0.0, ie = 0.0;

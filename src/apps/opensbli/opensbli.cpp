@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ops/fusion.hpp"
+
 namespace syclport::apps {
 
 namespace {
@@ -80,117 +82,114 @@ RunSummary run_opensbli(const ops::Options& opt, ProblemSize ps,
         }
   }
 
-  const ops::Range interior = ops::Range::all(grid);
   const ops::Stencil sx{2, 0, 0, 5}, sy{0, 2, 0, 5}, sz{0, 0, 2, 5};
 
   // One residual evaluation (SA: derivative sweeps + pointwise residual;
-  // SN: fused recompute). Factored so RK3 can call it per stage.
-  auto eval_residual = [&] {
+  // SN: fused recompute). Factored so RK3 can call it per stage. Loops
+  // go through the step's FusedScope: in SA mode the deriv_x/y/z +
+  // residual chain is the canonical fusable shape (three stored
+  // gradient dats whose round trips die in cache under fusion).
+  auto eval_residual = [&](ops::FusedScope& fs) {
     if (store_all) {
       // Three derivative sweeps, each storing 5 gradient components.
-      ops::par_loop(ctx, {"sbli_deriv_x", hw::KernelClass::Interior, 30.0},
-                    grid, interior,
-                    [](ops::ACC<double> g, ops::ACC<double> s) {
-                      for (int c = 0; c < 5; ++c)
-                        g.comp(c, 0, 0, 0) = d1(s, c, 1, 0, 0);
-                    },
-                    ops::arg(gradx, ops::S_PT, ops::Acc::W),
-                    ops::arg(state, sx, ops::Acc::R));
-      ops::par_loop(ctx, {"sbli_deriv_y", hw::KernelClass::Interior, 30.0},
-                    grid, interior,
-                    [](ops::ACC<double> g, ops::ACC<double> s) {
-                      for (int c = 0; c < 5; ++c)
-                        g.comp(c, 0, 0, 0) = d1(s, c, 0, 1, 0);
-                    },
-                    ops::arg(grady, ops::S_PT, ops::Acc::W),
-                    ops::arg(state, sy, ops::Acc::R));
-      ops::par_loop(ctx, {"sbli_deriv_z", hw::KernelClass::Interior, 30.0},
-                    grid, interior,
-                    [](ops::ACC<double> g, ops::ACC<double> s) {
-                      for (int c = 0; c < 5; ++c)
-                        g.comp(c, 0, 0, 0) = d1(s, c, 0, 0, 1);
-                    },
-                    ops::arg(gradz, ops::S_PT, ops::Acc::W),
-                    ops::arg(state, sz, ops::Acc::R));
+      fs.loop({"sbli_deriv_x", hw::KernelClass::Interior, 30.0},
+              [](ops::ACC<double> g, ops::ACC<double> s) {
+                for (int c = 0; c < 5; ++c)
+                  g.comp(c, 0, 0, 0) = d1(s, c, 1, 0, 0);
+              },
+              ops::arg(gradx, ops::S_PT, ops::Acc::W),
+              ops::arg(state, sx, ops::Acc::R));
+      fs.loop({"sbli_deriv_y", hw::KernelClass::Interior, 30.0},
+              [](ops::ACC<double> g, ops::ACC<double> s) {
+                for (int c = 0; c < 5; ++c)
+                  g.comp(c, 0, 0, 0) = d1(s, c, 0, 1, 0);
+              },
+              ops::arg(grady, ops::S_PT, ops::Acc::W),
+              ops::arg(state, sy, ops::Acc::R));
+      fs.loop({"sbli_deriv_z", hw::KernelClass::Interior, 30.0},
+              [](ops::ACC<double> g, ops::ACC<double> s) {
+                for (int c = 0; c < 5; ++c)
+                  g.comp(c, 0, 0, 0) = d1(s, c, 0, 0, 1);
+              },
+              ops::arg(gradz, ops::S_PT, ops::Acc::W),
+              ops::arg(state, sz, ops::Acc::R));
       // Pointwise residual from the stored gradients.
-      ops::par_loop(ctx, {"sbli_residual_sa", hw::KernelClass::Interior, 75.0},
-                    grid, interior,
-                    [](ops::ACC<double> r, ops::ACC<double> s,
-                       ops::ACC<double> gx, ops::ACC<double> gy,
-                       ops::ACC<double> gz) {
-                      double ax[5], ay[5], az[5];
-                      for (int c = 0; c < 5; ++c) {
-                        ax[c] = gx.comp(c, 0, 0, 0);
-                        ay[c] = gy.comp(c, 0, 0, 0);
-                        az[c] = gz.comp(c, 0, 0, 0);
-                      }
-                      residual_from_grads(r, s, ax, ay, az);
-                    },
-                    ops::arg(res, ops::S_PT, ops::Acc::W),
-                    ops::arg(state, ops::star(1, 3), ops::Acc::R),
-                    ops::arg(gradx, ops::S_PT, ops::Acc::R),
-                    ops::arg(grady, ops::S_PT, ops::Acc::R),
-                    ops::arg(gradz, ops::S_PT, ops::Acc::R));
+      fs.loop({"sbli_residual_sa", hw::KernelClass::Interior, 75.0},
+              [](ops::ACC<double> r, ops::ACC<double> s,
+                 ops::ACC<double> gx, ops::ACC<double> gy,
+                 ops::ACC<double> gz) {
+                double ax[5], ay[5], az[5];
+                for (int c = 0; c < 5; ++c) {
+                  ax[c] = gx.comp(c, 0, 0, 0);
+                  ay[c] = gy.comp(c, 0, 0, 0);
+                  az[c] = gz.comp(c, 0, 0, 0);
+                }
+                residual_from_grads(r, s, ax, ay, az);
+              },
+              ops::arg(res, ops::S_PT, ops::Acc::W),
+              ops::arg(state, ops::star(1, 3), ops::Acc::R),
+              ops::arg(gradx, ops::S_PT, ops::Acc::R),
+              ops::arg(grady, ops::S_PT, ops::Acc::R),
+              ops::arg(gradz, ops::S_PT, ops::Acc::R));
     } else {
       // Store-None: recompute every derivative in one fused kernel.
-      ops::par_loop(ctx, {"sbli_residual_sn", hw::KernelClass::Interior, 190.0},
-                    grid, interior,
-                    [](ops::ACC<double> r, ops::ACC<double> s) {
-                      double ax[5], ay[5], az[5];
-                      for (int c = 0; c < 5; ++c) {
-                        ax[c] = d1(s, c, 1, 0, 0);
-                        ay[c] = d1(s, c, 0, 1, 0);
-                        az[c] = d1(s, c, 0, 0, 1);
-                      }
-                      residual_from_grads(r, s, ax, ay, az);
-                    },
-                    ops::arg(res, ops::S_PT, ops::Acc::W),
-                    ops::arg(state, ops::star(2, 3), ops::Acc::R));
+      fs.loop({"sbli_residual_sn", hw::KernelClass::Interior, 190.0},
+              [](ops::ACC<double> r, ops::ACC<double> s) {
+                double ax[5], ay[5], az[5];
+                for (int c = 0; c < 5; ++c) {
+                  ax[c] = d1(s, c, 1, 0, 0);
+                  ay[c] = d1(s, c, 0, 1, 0);
+                  az[c] = d1(s, c, 0, 0, 1);
+                }
+                residual_from_grads(r, s, ax, ay, az);
+              },
+              ops::arg(res, ops::S_PT, ops::Acc::W),
+              ops::arg(state, ops::star(2, 3), ops::Acc::R));
     }
-
   };
 
   for (int t = 0; t < ps.iters; ++t) {
+    // One capture scope per step; the dataflow partitioner cuts at the
+    // state-update WAR edges by itself, so the whole step can be
+    // enqueued unconditionally.
+    ops::FusedScope fs(ctx, grid);
     if (rk_stages == 1) {
-      eval_residual();
+      eval_residual(fs);
       // Forward-Euler update of the five state components.
-      ops::par_loop(ctx, {"sbli_update", hw::KernelClass::Interior, 10.0},
-                    grid, interior,
-                    [](ops::ACC<double> s, ops::ACC<double> r) {
-                      for (int c = 0; c < 5; ++c)
-                        s.comp(c, 0, 0, 0) += kDt * r.comp(c, 0, 0, 0);
-                    },
-                    ops::arg(state, ops::S_PT, ops::Acc::RW),
-                    ops::arg(res, ops::S_PT, ops::Acc::R));
-      continue;
+      fs.loop({"sbli_update", hw::KernelClass::Interior, 10.0},
+              [](ops::ACC<double> s, ops::ACC<double> r) {
+                for (int c = 0; c < 5; ++c)
+                  s.comp(c, 0, 0, 0) += kDt * r.comp(c, 0, 0, 0);
+              },
+              ops::arg(state, ops::S_PT, ops::Acc::RW),
+              ops::arg(res, ops::S_PT, ops::Acc::R));
+      continue;  // fs flushes on scope exit
     }
     // SSP-RK3 (Shu-Osher): u' = a*u0 + b*(u + dt*L(u)) per stage.
-    ops::par_loop(ctx, {"sbli_rk_store", hw::KernelClass::Interior, 0.0},
-                  grid, interior,
-                  [](ops::ACC<double> s0, ops::ACC<double> s) {
-                    for (int c = 0; c < 5; ++c)
-                      s0.comp(c, 0, 0, 0) = s.comp(c, 0, 0, 0);
-                  },
-                  ops::arg(state0, ops::S_PT, ops::Acc::W),
-                  ops::arg(state, ops::S_PT, ops::Acc::R));
+    fs.loop({"sbli_rk_store", hw::KernelClass::Interior, 0.0},
+            [](ops::ACC<double> s0, ops::ACC<double> s) {
+              for (int c = 0; c < 5; ++c)
+                s0.comp(c, 0, 0, 0) = s.comp(c, 0, 0, 0);
+            },
+            ops::arg(state0, ops::S_PT, ops::Acc::W),
+            ops::arg(state, ops::S_PT, ops::Acc::R));
     constexpr double kA[3] = {0.0, 3.0 / 4.0, 1.0 / 3.0};
     constexpr double kB[3] = {1.0, 1.0 / 4.0, 2.0 / 3.0};
     for (int stage = 0; stage < 3; ++stage) {
-      eval_residual();
+      eval_residual(fs);
       const double a = kA[stage], b = kB[stage];
-      ops::par_loop(ctx, {"sbli_rk_update", hw::KernelClass::Interior, 25.0},
-                    grid, interior,
-                    [a, b](ops::ACC<double> s, ops::ACC<double> s0,
-                           ops::ACC<double> r) {
-                      for (int c = 0; c < 5; ++c)
-                        s.comp(c, 0, 0, 0) =
-                            a * s0.comp(c, 0, 0, 0) +
-                            b * (s.comp(c, 0, 0, 0) +
-                                 kDt * r.comp(c, 0, 0, 0));
-                    },
-                    ops::arg(state, ops::S_PT, ops::Acc::RW),
-                    ops::arg(state0, ops::S_PT, ops::Acc::R),
-                    ops::arg(res, ops::S_PT, ops::Acc::R));
+      fs.loop({"sbli_rk_update", hw::KernelClass::Interior, 25.0},
+              [a, b](ops::ACC<double> s, ops::ACC<double> s0,
+                     ops::ACC<double> r) {
+                for (int c = 0; c < 5; ++c)
+                  s.comp(c, 0, 0, 0) =
+                      a * s0.comp(c, 0, 0, 0) +
+                      b * (s.comp(c, 0, 0, 0) +
+                           kDt * r.comp(c, 0, 0, 0));
+              },
+              ops::arg(state, ops::S_PT, ops::Acc::RW),
+              ops::arg(state0, ops::S_PT, ops::Acc::R),
+              ops::arg(res, ops::S_PT, ops::Acc::R));
     }
   }
 

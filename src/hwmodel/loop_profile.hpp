@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -54,6 +55,23 @@ enum class KernelClass : std::uint8_t {
 
 enum class ReductionKind : std::uint8_t { None, BuiltIn, Tree };
 
+/// One dat argument's contribution to a loop's traffic, with identity.
+/// This is the name-level dependence information the fusion analyses
+/// need: a producer->consumer edge exists when one loop's written
+/// access matches a later loop's read access by `id` (the dat object's
+/// address, stable for the process lifetime). `name` is carried for
+/// reports only. `bytes` is the unique interior footprint of the
+/// access (iteration points x components x element size, no halo).
+struct DatAccess {
+  const void* id = nullptr;
+  std::string name;
+  double bytes = 0.0;
+  bool read = false;
+  bool write = false;
+  int radius_slow = 0;  ///< slow-dimension stencil radius of the access
+  int radius_max = 0;   ///< max stencil radius over all dimensions
+};
+
 /// Performance-relevant facts about one parallel loop execution.
 struct LoopProfile {
   std::string name;
@@ -88,6 +106,12 @@ struct LoopProfile {
   double cache_access_bytes = 0.0;
 
   ReductionKind reduction = ReductionKind::None;
+
+  /// Per-dat access records in argument order (empty for loops recorded
+  /// before PR 6 or for synthetic profiles). ablation_fusion and the
+  /// fused-traffic model use these to tighten the whole-loop byte
+  /// estimate into a true dependence bound.
+  std::vector<DatAccess> accesses;
 
   /// Working set of this loop (bytes); with the preceding loops touching
   /// the same fields, determines last-level-cache reuse.

@@ -2,6 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
+
+// Header-only, DSL-agnostic dependence partitioner shared with the
+// capture-side LoopChain: the prediction below applies the same
+// legality rules the executed chain does, so predicted and measured
+// eliminated bytes stay comparable.
+#include "ops/dataflow.hpp"
 
 namespace syclport::hw {
 
@@ -96,6 +104,123 @@ double first_touch_bandwidth_factor(const Platform& hw,
   // cores then stream across the interconnect, the same imperfect-
   // placement throttle the descriptor models as numa_penalty.
   return std::clamp(hw.numa_penalty, 0.05, 1.0);
+}
+
+// --- fused-chain traffic ----------------------------------------------------
+
+double usable_llc_bytes(const Platform& hw) {
+  return hw.llc.bytes * kUsableCacheFraction;
+}
+
+double chain_tile_residency(const Platform& hw, double row_bytes,
+                            std::size_t tile_rows, long ghost_rows) {
+  if (tile_rows == 0) return 0.0;
+  const double slab =
+      std::max(row_bytes, 1.0) *
+      (static_cast<double>(tile_rows) + static_cast<double>(std::max(ghost_rows, 0L)));
+  return std::min(1.0, usable_llc_bytes(hw) / slab);
+}
+
+std::size_t chain_tile_rows(const Platform& hw, double row_bytes,
+                            long slow_extent, long ghost_rows) {
+  if (slow_extent < 8 || row_bytes <= 0.0) return 0;
+  const double fit = usable_llc_bytes(hw) / row_bytes -
+                     static_cast<double>(std::max(ghost_rows, 0L));
+  // At least two tiles, at least four rows per tile: shallower tiles
+  // drown in ghost-zone recompute, a single tile is the untiled sweep.
+  const long rows = std::min(static_cast<long>(fit), slow_extent / 2);
+  return rows < 4 ? 0 : static_cast<std::size_t>(rows);
+}
+
+FusedTraffic fused_traffic_estimate(const Platform& hw,
+                                    std::span<const LoopProfile> chain,
+                                    std::size_t tile_rows) {
+  FusedTraffic ft;
+  const std::size_t n = chain.size();
+  if (n == 0) return ft;
+
+  // Lift the recorded profiles into dataflow nodes. Profiles carry
+  // extents but not range offsets, so every box is anchored at the
+  // origin - sub-range boundary loops that are really disjoint then
+  // appear to intersect, which only adds conservative WAR cuts (the
+  // executed chain may fuse more than predicted, never less legally).
+  int dims = 1;
+  for (const LoopProfile& lp : chain) dims = std::max(dims, lp.dims);
+  std::vector<ops::dataflow::Node> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const LoopProfile& lp = chain[i];
+    ops::dataflow::Node& nd = nodes[i];
+    nd.name = lp.name.c_str();
+    for (int d = 0; d < lp.dims; ++d)
+      nd.hi[static_cast<std::size_t>(d)] =
+          static_cast<long>(std::max<std::size_t>(1, lp.extent[static_cast<std::size_t>(d)]));
+    nd.reduction = lp.reduction != ReductionKind::None ||
+                   lp.cls == KernelClass::Reduction;
+    for (const DatAccess& a : lp.accesses) {
+      ops::dataflow::AccessBox box;
+      box.dat = a.id;
+      box.lo = nd.lo;
+      box.hi = nd.hi;
+      box.bytes = a.bytes;
+      box.read = a.read;
+      box.write = a.write;
+      if (a.read) {
+        box.lo[0] -= a.radius_slow;
+        box.hi[0] += a.radius_slow;
+        nd.radius_slow = std::max(nd.radius_slow, a.radius_slow);
+      }
+      if (a.read && a.write)
+        nd.rw_max_radius = std::max(nd.rw_max_radius, a.radius_max);
+      nd.acc.push_back(box);
+    }
+  }
+
+  // Partition with the chain's own legality rules, then model each
+  // segment independently: its internal edge bytes, its slab working
+  // set, and the residency of the deepest cache-fitting tile.
+  const std::vector<std::size_t> cuts = ops::dataflow::partition(nodes, dims);
+  double saved = 0.0;
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const std::size_t b = cuts[k], e = cuts[k + 1];
+    const double fusable = ops::dataflow::internal_edge_bytes(nodes, b, e, dims);
+    ft.fusable_bytes += fusable;
+    if (e - b < 2 || fusable <= 0.0) continue;
+
+    long ghost = 0;
+    for (std::size_t i = b + 1; i < e; ++i) ghost += 2L * nodes[i].radius_slow;
+    double row_bytes = 0.0;
+    {
+      std::vector<std::pair<const void*, double>> per_dat;
+      for (std::size_t i = b; i < e; ++i) {
+        const double slow =
+            static_cast<double>(std::max(1L, nodes[i].hi[0] - nodes[i].lo[0]));
+        for (const ops::dataflow::AccessBox& a : nodes[i].acc) {
+          const double rb = a.bytes / slow;
+          bool found = false;
+          for (auto& [id, v] : per_dat)
+            if (id == a.dat) {
+              v = std::max(v, rb);
+              found = true;
+            }
+          if (!found) per_dat.emplace_back(a.dat, rb);
+        }
+      }
+      for (const auto& [id, v] : per_dat) row_bytes += v;
+    }
+
+    // Widest slow extent in the segment: tiny point loops (sources,
+    // probes) must not pin the tile walk of the sweeps they fused with.
+    long slow_extent = 0;
+    for (std::size_t i = b; i < e; ++i)
+      slow_extent = std::max(slow_extent, nodes[i].hi[0] - nodes[i].lo[0]);
+    const std::size_t tile =
+        tile_rows != 0 ? tile_rows
+                       : chain_tile_rows(hw, row_bytes, slow_extent, ghost);
+    ft.tile_rows = std::max(ft.tile_rows, tile);
+    saved += fusable * chain_tile_residency(hw, row_bytes, tile, ghost);
+  }
+  ft.residency = ft.fusable_bytes > 0.0 ? saved / ft.fusable_bytes : 0.0;
+  return ft;
 }
 
 }  // namespace syclport::hw

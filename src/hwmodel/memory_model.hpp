@@ -13,6 +13,9 @@
 ///    Genoa-X's 107% CloverLeaf 2D and 135% MG-CFD efficiencies
 ///    (paper §4.2, §4.3).
 
+#include <cstddef>
+#include <span>
+
 #include "hwmodel/loop_profile.hpp"
 #include "hwmodel/platform.hpp"
 
@@ -53,5 +56,54 @@ namespace syclport::hw {
 /// hurt).
 [[nodiscard]] double first_touch_bandwidth_factor(const Platform& hw,
                                                   bool parallel_first_touch);
+
+// --- fused-chain traffic (loop chaining / cross-loop fusion) ---------------
+
+/// Bytes of last-level cache a fused chain can devote to its tile slab
+/// (the same usable fraction the layer-condition model assumes).
+[[nodiscard]] double usable_llc_bytes(const Platform& hw);
+
+/// Fraction in [0, 1] of a chain's internal producer->consumer traffic
+/// that tiling at `tile_rows` slow-dimension rows keeps cache-resident:
+/// 1 while the slab working set (row_bytes x (tile + ghost rows)) fits
+/// the usable LLC, decaying as capacity misses re-introduce DRAM round
+/// trips. 0 for the untiled schedule (tile_rows == 0), where every
+/// intermediate makes the full trip.
+[[nodiscard]] double chain_tile_residency(const Platform& hw, double row_bytes,
+                                          std::size_t tile_rows,
+                                          long ghost_rows);
+
+/// Deepest tile (slow-dimension rows) whose chain slab stays resident in
+/// the usable LLC; 0 when no worthwhile tile exists (slab rows would be
+/// fewer than 4 or the extent is too small to split).
+[[nodiscard]] std::size_t chain_tile_rows(const Platform& hw, double row_bytes,
+                                          long slow_extent, long ghost_rows);
+
+/// Predicted effect of executing `chain` (profiles in program order) as
+/// overlap-tiled fused sweeps.
+struct FusedTraffic {
+  /// Internal producer->consumer round trips inside *legally fusable*
+  /// segments: the chain is partitioned with the same dataflow rules
+  /// the capture-side LoopChain applies (WAR/WAW cuts, reduction
+  /// termination, in-place stencil isolation), then for every dat
+  /// written by one loop and read by a later one in the same segment
+  /// (before being overwritten), the writeback + re-read that dies in
+  /// cache under fusion: 2 x edge bytes, one extra re-read per
+  /// additional consumer.
+  double fusable_bytes = 0.0;
+  /// Fusable-byte-weighted mean of per-segment chain_tile_residency.
+  double residency = 0.0;
+  std::size_t tile_rows = 0;  ///< deepest per-segment tile chosen
+  [[nodiscard]] double saved_bytes() const {
+    return fusable_bytes * residency;
+  }
+};
+
+/// Estimate over recorded profiles (requires LoopProfile::accesses;
+/// profiles without access records contribute no edges). tile_rows == 0
+/// picks chain_tile_rows() per segment internally.
+[[nodiscard]] FusedTraffic fused_traffic_estimate(
+    const Platform& hw, std::span<const LoopProfile> chain,
+    std::size_t tile_rows = 0);
 
 }  // namespace syclport::hw

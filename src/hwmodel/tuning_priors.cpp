@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "hwmodel/memory_model.hpp"
 #include "runtime/autotune/autotune.hpp"
 
 namespace syclport::hw {
@@ -65,9 +66,17 @@ rt::autotune::Priors tuning_priors(const Platform& p) {
   // 256-item default (the shape the OPS/OP2 apps tune around).
   pr.wg_totals = {pow2_clamp(4.0 * p.sub_group, 16, 128), 256};
 
-  // LoopChain tile depths: shallow, the cache-model sweet spot
-  // (llc-resident planes), and deep.
-  pr.tiles = {8, 32, 128};
+  // LoopChain tile depths (kTile axis): cache-residency-derived. The
+  // anchor is the deepest tile whose chain slab - a representative
+  // bandwidth-bound chain of ~6 double fields over a study-scale
+  // 1536-point row - stays within the usable LLC (memory_model's
+  // chain_tile_residency); bracketed 4x either side so successive
+  // halving can resolve the chain's real row size.
+  constexpr double kChainRowBytes = 6.0 * sizeof(double) * 1536.0;
+  const std::size_t fit = pow2_clamp(
+      usable_llc_bytes(p) / kChainRowBytes, 8, 512);
+  pr.tiles = {std::max<std::size_t>(4, fit / 4), fit,
+              std::min<std::size_t>(2048, fit * 4)};
 
   // First-touch order (kFirstTouch axis): on multi-domain parts (or
   // ones with a modeled first-touch penalty) parallel placement is the

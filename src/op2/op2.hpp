@@ -7,6 +7,7 @@
 #include "op2/context.hpp"    // IWYU pragma: export
 #include "op2/dat.hpp"       // IWYU pragma: export
 #include "op2/locality.hpp"  // IWYU pragma: export
+#include "op2/loop_chain.hpp" // IWYU pragma: export
 #include "op2/par_loop.hpp"  // IWYU pragma: export
 #include "op2/partition.hpp" // IWYU pragma: export
 #include "op2/plan.hpp"      // IWYU pragma: export

@@ -7,6 +7,8 @@
 #include "ops/checkpoint.hpp"     // IWYU pragma: export
 #include "ops/context.hpp"        // IWYU pragma: export
 #include "ops/dat.hpp"            // IWYU pragma: export
+#include "ops/dataflow.hpp"       // IWYU pragma: export
+#include "ops/fusion.hpp"         // IWYU pragma: export
 #include "ops/loop_chain.hpp"     // IWYU pragma: export
 #include "ops/par_loop.hpp"       // IWYU pragma: export
 #include "ops/stencil.hpp"        // IWYU pragma: export

@@ -153,6 +153,21 @@ void accumulate(hw::LoopProfile& lp, const std::array<std::size_t, 3>& ext,
   lp.working_set += footprint;
   lp.n_arrays += 1;
   lp.elem_bytes = sizeof(T);
+
+  // Dat identity for the dependence-level analyses (fusion headroom,
+  // chain partitioning): interior footprint only, no halo inflation.
+  hw::DatAccess da;
+  da.id = a.dat;
+  da.name = a.dat->name();
+  double ipts = 1.0;
+  for (int d = 0; d < dims; ++d)
+    ipts *= static_cast<double>(ext[static_cast<std::size_t>(d)]);
+  da.bytes = ipts * point_bytes;
+  da.read = a.acc == Acc::R || a.acc == Acc::RW;
+  da.write = a.acc == Acc::W || a.acc == Acc::RW;
+  da.radius_slow = rad[0];
+  da.radius_max = a.st.max_radius();
+  lp.accesses.push_back(std::move(da));
 }
 
 template <typename T>

@@ -144,10 +144,36 @@ void append_token(std::string& out, const char* key, const std::string& val) {
       if (t > 0 && t < site.global[0] &&
           std::find(tiles.begin(), tiles.end(), t) == tiles.end())
         tiles.push_back(t);
+    // When every prior exceeds the extent (LLC-derived depths on a
+    // small site), still race one half-extent tile so the tiled path
+    // stays reachable.
+    if (tiles.size() == 1 && site.global[0] >= 8)
+      tiles.push_back(site.global[0] / 2);
+    // The fuse and tile axes are joint, not a cross product: the
+    // unfused reference schedule has no tile to vary, so it appears as
+    // the single fuse=off candidate and the tile depths race under
+    // fuse=on.
+    const bool fuse_axis = (site.axes & kFuse) != 0;
     cross([&](const Config& c, std::vector<Config>& next) {
+      if (fuse_axis) {
+        Config off = c;
+        off.fuse = false;
+        off.tile = 0;
+        next.push_back(off);
+      }
       for (const std::size_t t : tiles) {
+        if (fuse_axis && t == 0) continue;
         Config d = c;
+        if (fuse_axis) d.fuse = true;
         d.tile = t;
+        next.push_back(d);
+      }
+    });
+  } else if (site.axes & kFuse) {
+    cross([&](const Config& c, std::vector<Config>& next) {
+      for (const bool f : {true, false}) {
+        Config d = c;
+        d.fuse = f;
         next.push_back(d);
       }
     });
@@ -192,6 +218,7 @@ std::string Config::to_string() const {
   if (tile) append_token(out, "tile", std::to_string(*tile));
   if (first_touch)
     append_token(out, "first_touch", *first_touch ? "on" : "off");
+  if (fuse) append_token(out, "fuse", *fuse ? "on" : "off");
   return out;
 }
 
@@ -247,6 +274,10 @@ std::optional<Config> Config::parse(std::string_view s) {
     } else if (key == "first_touch") {
       if (val == "on") cfg.first_touch = true;
       else if (val == "off") cfg.first_touch = false;
+      else return std::nullopt;
+    } else if (key == "fuse") {
+      if (val == "on") cfg.fuse = true;
+      else if (val == "off") cfg.fuse = false;
       else return std::nullopt;
     } else {
       return std::nullopt;  // unknown axis: treat the entry as corrupt

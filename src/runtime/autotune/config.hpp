@@ -41,6 +41,7 @@ enum Axis : unsigned {
   kOverlap = 1u << 2,        ///< halo/compute overlap strategy (dist)
   kTile = 1u << 3,           ///< LoopChain slow-dimension tile depth
   kFirstTouch = 1u << 4,     ///< rt::mem parallel first-touch on/off
+  kFuse = 1u << 5,           ///< LoopChain fused vs reference schedule
 };
 
 /// One candidate (or winning) configuration. Axes a site did not
@@ -57,6 +58,9 @@ struct Config {
   /// rt::mem parallel first-touch for allocations made inside the
   /// tuned scope (true = parallel placement, false = serial).
   std::optional<bool> first_touch;
+  /// LoopChain fusion decision: true = overlap-tiled fused segments,
+  /// false = the unfused reference schedule (tile is then moot).
+  std::optional<bool> fuse;
 
   /// Space-separated `axis=value` rendering, the cache wire format.
   [[nodiscard]] std::string to_string() const;

@@ -69,6 +69,30 @@ struct command_record {
   detail::CommandProfile profile;  ///< timestamps + dep_edges + pool use
 };
 
+/// One fused-chain execution as ops::LoopChain saw it: how the captured
+/// dataflow was partitioned and how much DRAM round-trip traffic the
+/// fused schedule eliminated (bench/ablation_fusion and the study
+/// report read these; docs/fusion.md).
+struct fusion_record {
+  std::string chain;             ///< per-composition chain site name
+  std::size_t loops = 0;         ///< captured loops
+  std::size_t segments = 0;      ///< segments after dataflow partitioning
+  std::size_t tile = 0;          ///< slow-dim tile depth used (0 = unfused)
+  bool fused = false;            ///< tiled fused path taken
+  double fusable_bytes = 0.0;    ///< internal producer->consumer bound
+  double eliminated_bytes = 0.0; ///< modeled DRAM bytes eliminated
+  double rw_copy_bytes = 0.0;    ///< RW double-buffer save/restore traffic
+};
+
+/// Aggregate over the recorded fusion_records.
+struct FusionStats {
+  std::size_t chains = 0;
+  std::size_t fused_chains = 0;
+  double fusable_bytes = 0.0;
+  double eliminated_bytes = 0.0;
+  double rw_copy_bytes = 0.0;
+};
+
 /// Process-wide, thread-safe launch log.
 class launch_log {
  public:
@@ -94,6 +118,12 @@ class launch_log {
       commands_.push_back(std::move(rec));
   }
 
+  void append_fusion(fusion_record rec) {
+    std::lock_guard lock(mu_);
+    if (enabled_.load(std::memory_order_relaxed))
+      fusions_.push_back(std::move(rec));
+  }
+
   [[nodiscard]] std::vector<launch_record> snapshot() const {
     std::lock_guard lock(mu_);
     return records_;
@@ -104,10 +134,29 @@ class launch_log {
     return commands_;
   }
 
+  [[nodiscard]] std::vector<fusion_record> fusions_snapshot() const {
+    std::lock_guard lock(mu_);
+    return fusions_;
+  }
+
+  [[nodiscard]] FusionStats fusion_stats() const {
+    std::lock_guard lock(mu_);
+    FusionStats fs;
+    for (const fusion_record& r : fusions_) {
+      fs.chains += 1;
+      fs.fused_chains += r.fused ? 1 : 0;
+      fs.fusable_bytes += r.fusable_bytes;
+      fs.eliminated_bytes += r.eliminated_bytes;
+      fs.rw_copy_bytes += r.rw_copy_bytes;
+    }
+    return fs;
+  }
+
   void clear() {
     std::lock_guard lock(mu_);
     records_.clear();
     commands_.clear();
+    fusions_.clear();
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -143,6 +192,7 @@ class launch_log {
   std::atomic<bool> enabled_{false};
   std::vector<launch_record> records_;
   std::vector<command_record> commands_;
+  std::vector<fusion_record> fusions_;
 };
 
 }  // namespace sycl

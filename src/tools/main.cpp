@@ -16,6 +16,8 @@
 // mpi+openmp, openmp, dpcpp-flat, dpcpp-nd, opensycl-flat, opensycl-nd;
 // MG-CFD adds --strategy atomics|global|hierarchical.
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/acoustic/acoustic.hpp"
 #include "core/pp_metric.hpp"
 #include "core/report.hpp"
 #include "stream/babelstream.hpp"
@@ -344,6 +347,57 @@ int cmd_report(const std::string& out_path) {
     }
     out << "| total | " << fs.total_injected() << " | "
         << fs.total_recovered() << " |\n";
+  }
+
+  // Cross-loop fusion telemetry (docs/fusion.md): a small executed
+  // Acoustic run under SYCLPORT_FUSION=on populates the launch log's
+  // fusion records - one per chain flush, carrying the dataflow
+  // partition and the modeled DRAM bytes the fused schedule eliminated.
+  {
+    auto& log = sycl::launch_log::instance();
+    log.clear();
+    log.set_enabled(true);
+    setenv("SYCLPORT_FUSION", "on", 1);
+    ops::Options o;
+    o.backend = ops::Backend::Serial;
+    (void)apps::run_acoustic(o, apps::acoustic_small());
+    unsetenv("SYCLPORT_FUSION");
+    log.set_enabled(false);
+
+    const auto fstats = log.fusion_stats();
+    out << "\n## Cross-loop fusion (acoustic exercise, this process)\n\n"
+        << "| metric | value |\n|---|---|\n"
+        << "| chain flushes | " << fstats.chains << " |\n"
+        << "| fused flushes | " << fstats.fused_chains << " |\n"
+        << "| fusable bytes | " << report::fmt(fstats.fusable_bytes / 1e6, 1)
+        << " MB |\n"
+        << "| eliminated bytes | "
+        << report::fmt(fstats.eliminated_bytes / 1e6, 1) << " MB |\n"
+        << "| rw double-buffer bytes | "
+        << report::fmt(fstats.rw_copy_bytes / 1e6, 1) << " MB |\n";
+
+    // Per-chain-site breakdown (aggregated over flushes of each site).
+    struct Agg {
+      std::size_t flushes = 0, loops = 0, segments = 0, tile = 0;
+      double fusable = 0.0, eliminated = 0.0;
+    };
+    std::map<std::string, Agg> sites;
+    for (const auto& r : log.fusions_snapshot()) {
+      Agg& a = sites[r.chain];
+      a.flushes += 1;
+      a.loops = r.loops;
+      a.segments = r.segments;
+      a.tile = std::max(a.tile, r.tile);
+      a.fusable += r.fusable_bytes;
+      a.eliminated += r.eliminated_bytes;
+    }
+    out << "\n| chain site | flushes | loops | segments | tile | "
+        << "eliminated |\n|---|---|---|---|---|---|\n";
+    for (const auto& [name, a] : sites)
+      out << "| `" << name << "` | " << a.flushes << " | " << a.loops
+          << " | " << a.segments << " | " << a.tile << " | "
+          << report::fmt(a.eliminated / 1e6, 1) << " MB |\n";
+    log.clear();
   }
   std::cout << "report written to " << out_path << "\n";
   return 0;

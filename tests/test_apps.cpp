@@ -81,7 +81,7 @@ TEST(Rtm, ProfileShapesMatchStencil) {
       apps::run_rtm(backend(ops::Backend::Serial), apps::rtm_small());
   bool found_fd = false;
   for (const auto& p : rs.profiles) {
-    if (p.name != "rtm_fd") continue;
+    if (p.name != "rtm_lap") continue;
     found_fd = true;
     EXPECT_EQ(p.radius_fast, 4);
     EXPECT_EQ(p.radius_slow, 4);

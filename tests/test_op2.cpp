@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <random>
+#include <stdexcept>
+#include <tuple>
 
 #include "op2/op2.hpp"
 
@@ -374,4 +377,139 @@ TEST(ParLoop, MismatchedIncMapsRejected) {
                     op2::arg_inc(vres, mesh.e2v, 0),
                     op2::arg_inc(vres, other, 1)),
       std::invalid_argument);
+}
+
+TEST(LoopChain, DirectChainFusesElementWise) {
+  // Three direct loops (incl. a global reduction) over one set fuse
+  // into a single element-wise sweep: one segment, bit-identical to the
+  // unfused reference, with the full internal bound eliminated.
+  op2::Context ctx(opts(Strategy::Atomics, op2::Exec::Serial));
+  op2::Set verts("n", 257);
+  op2::Dat<double> x(verts, 1, "x"), y(verts, 1, "y"), z(verts, 1, "z");
+  for (std::size_t e = 0; e < verts.size(); ++e)
+    x.at(e) = 0.01 * static_cast<double>(e) - 3.0;
+
+  auto run = [&](std::optional<bool> fuse) {
+    y.fill(0.0);
+    z.fill(0.0);
+    double mass = 0.0;
+    op2::LoopChain chain(ctx);
+    chain.enqueue({"scale"}, verts,
+                  [](double* yy, const double* xx) {
+                    yy[0] = 2.0 * xx[0] + 1.0;
+                  },
+                  op2::arg_direct(y, op2::Acc::W),
+                  op2::arg_direct(x, op2::Acc::R));
+    chain.enqueue({"combine"}, verts,
+                  [](double* zz, const double* yy, const double* xx) {
+                    zz[0] = yy[0] * xx[0] - 0.5;
+                  },
+                  op2::arg_direct(z, op2::Acc::W),
+                  op2::arg_direct(y, op2::Acc::R),
+                  op2::arg_direct(x, op2::Acc::R));
+    chain.enqueue({"mass"}, verts,
+                  [](const double* zz, op2::Reducer<double> r) { r += zz[0]; },
+                  op2::arg_direct(z, op2::Acc::R),
+                  op2::arg_gbl(mass, op2::RedOp::Sum));
+    chain.execute(fuse);
+    EXPECT_EQ(chain.last_segments(), 1u);
+    return std::tuple(y.sum(), z.sum(), mass, chain.last_fused(),
+                      chain.last_eliminated_bytes());
+  };
+  const auto [y0, z0, m0, f0, e0] = run(false);
+  EXPECT_FALSE(f0);
+  EXPECT_DOUBLE_EQ(e0, 0.0);
+  const auto [y1, z1, m1, f1, e1] = run(true);
+  EXPECT_TRUE(f1);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_DOUBLE_EQ(y1, y0);
+  EXPECT_DOUBLE_EQ(z1, z0);
+  EXPECT_DOUBLE_EQ(m1, m0);
+  const auto [y2, z2, m2, f2, e2] = run(std::nullopt);  // default: fused
+  EXPECT_TRUE(f2);
+  EXPECT_GT(e2, 0.0);
+  EXPECT_DOUBLE_EQ(y2, y0);
+  EXPECT_DOUBLE_EQ(z2, z0);
+  EXPECT_DOUBLE_EQ(m2, m0);
+}
+
+TEST(LoopChain, IndirectLoopAndSetChangeSplitSegments) {
+  // direct-on-vertices, indirect-on-edges, direct-on-vertices: the
+  // indirect loop is not element-local, so the chain runs as three
+  // segments and must match eager par_loop execution exactly.
+  RingMesh mesh(64);
+  op2::Context ctx(opts(Strategy::Atomics, op2::Exec::Serial));
+  op2::Dat<double> xv(mesh.vertices, 1, "xv"), we(mesh.edges, 1, "we"),
+      sv(mesh.vertices, 1, "sv");
+  auto reinit = [&] {
+    for (std::size_t v = 0; v < mesh.vertices.size(); ++v)
+      xv.at(v) = 0.1 * static_cast<double>(v) - 1.0;
+    we.fill(0.0);
+    sv.fill(0.0);
+  };
+  auto sq = [](double* s, const double* x) { s[0] = x[0] * x[0]; };
+  auto diff = [](double* e, const double* a, const double* b) {
+    e[0] = a[0] - b[0];
+  };
+  auto acc = [](double* s, const double* x) { s[0] += 0.5 * x[0]; };
+
+  reinit();
+  op2::par_loop(ctx, {"sq"}, mesh.vertices, sq,
+                op2::arg_direct(sv, op2::Acc::W),
+                op2::arg_direct(xv, op2::Acc::R));
+  op2::par_loop(ctx, {"diff"}, mesh.edges, diff,
+                op2::arg_direct(we, op2::Acc::W),
+                op2::arg_indirect(xv, mesh.e2v, 0, op2::Acc::R),
+                op2::arg_indirect(xv, mesh.e2v, 1, op2::Acc::R));
+  op2::par_loop(ctx, {"acc"}, mesh.vertices, acc,
+                op2::arg_direct(sv, op2::Acc::RW),
+                op2::arg_direct(xv, op2::Acc::R));
+  const double we_ref = we.sum();
+  const double sv_ref = sv.sum();
+
+  reinit();
+  op2::LoopChain chain(ctx);
+  chain.enqueue({"sq"}, mesh.vertices, sq, op2::arg_direct(sv, op2::Acc::W),
+                op2::arg_direct(xv, op2::Acc::R));
+  chain.enqueue({"diff"}, mesh.edges, diff,
+                op2::arg_direct(we, op2::Acc::W),
+                op2::arg_indirect(xv, mesh.e2v, 0, op2::Acc::R),
+                op2::arg_indirect(xv, mesh.e2v, 1, op2::Acc::R));
+  chain.enqueue({"acc"}, mesh.vertices, acc,
+                op2::arg_direct(sv, op2::Acc::RW),
+                op2::arg_direct(xv, op2::Acc::R));
+  chain.execute(true);
+  EXPECT_EQ(chain.last_segments(), 3u);
+  EXPECT_DOUBLE_EQ(we.sum(), we_ref);
+  EXPECT_DOUBLE_EQ(sv.sum(), sv_ref);
+}
+
+TEST(LoopChain, ThrowLeavesChainReusable) {
+  // A kernel throw mid-execute clears the queue on unwind; the chain
+  // stays usable afterwards.
+  op2::Context ctx(opts(Strategy::Atomics, op2::Exec::Serial));
+  op2::Set verts("n", 16);
+  op2::Dat<double> a(verts, 1, "a"), b(verts, 1, "b");
+  a.fill(1.25);
+  b.fill(0.0);
+
+  auto twice = [](double* bb, const double* aa) { bb[0] = 2.0 * aa[0]; };
+  op2::LoopChain chain(ctx);
+  chain.enqueue({"ok"}, verts, twice, op2::arg_direct(b, op2::Acc::W),
+                op2::arg_direct(a, op2::Acc::R));
+  chain.enqueue({"boom"}, verts,
+                [](double* bb, const double* aa) {
+                  if (aa[0] != 12345.0)
+                    throw std::runtime_error("op2 chain kernel failure");
+                  bb[0] = aa[0];
+                },
+                op2::arg_direct(b, op2::Acc::RW),
+                op2::arg_direct(a, op2::Acc::R));
+  EXPECT_THROW(chain.execute(true), std::runtime_error);
+  EXPECT_EQ(chain.size(), 0u);
+
+  chain.enqueue({"ok2"}, verts, twice, op2::arg_direct(b, op2::Acc::W),
+                op2::arg_direct(a, op2::Acc::R));
+  chain.execute();
+  EXPECT_DOUBLE_EQ(b.sum(), 2.0 * a.sum());
 }

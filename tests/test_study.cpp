@@ -264,7 +264,7 @@ TEST(Trace, WritesValidJsonWithModeledBreakdown) {
             std::count(s.begin(), s.end(), '}'));
   EXPECT_NE(s.find("\"loops\""), std::string::npos);
   EXPECT_NE(s.find("\"modeled\""), std::string::npos);
-  EXPECT_NE(s.find("rtm_fd"), std::string::npos);
+  EXPECT_NE(s.find("rtm_lap"), std::string::npos);
 }
 
 TEST(Trace, ScheduleExposureIsStable) {
