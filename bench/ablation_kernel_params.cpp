@@ -1,0 +1,383 @@
+// Ablation: parametrized kernel variants + transfer-learning autotune
+// (docs/tuning.md).
+//
+// Lawson et al. recover the CPU gap SYCL leaves vs native OpenMP with
+// highly parametrized kernels - register tiling, explicit vector
+// widths, unrolling - instantiated per platform. This bench quantifies
+// that layer and the transfer-learning search that picks from it:
+//
+//   1. variant menu  - the 2D stencil sweep pinned to every compiled
+//                      (reg_tile x vec_width x unroll) instantiation in
+//                      turn (tuning off): delivered speedup over the
+//                      unparametrized reference loop, next to the
+//                      hwmodel's per-platform predicted speedup;
+//   2. per platform  - the model's best variant for each calibrated
+//                      platform (the per-platform best-variant table);
+//   3. cold vs warm  - the tuner races the joint schedule x variant
+//                      menu from an empty cache ("machine A"), then a
+//                      second fingerprint ("machine B") tunes the same
+//                      kernel warm-started from A's cache entry: warm
+//                      must converge in < 50% of cold's explored
+//                      launches, and every run - cold, warm, any served
+//                      variant - must be bit-exact vs the reference;
+//   4. hand-set      - tuned steady state vs the best fixed variant a
+//                      careful user could pin, interleaved protocol
+//                      (informational: under noise the race may settle
+//                      on a near-tie rather than the global best).
+//
+// Emits ablation_kernel_params.csv next to the binary; CI asserts the
+// warm/cold ratio and the bit-exactness flag from it.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/timing.hpp"
+#include "hwmodel/platform.hpp"
+#include "hwmodel/variant_model.hpp"
+#include "ops/ops.hpp"
+#include "runtime/autotune/autotune.hpp"
+#include "runtime/autotune/cache.hpp"
+#include "runtime/autotune/variant.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace syclport;
+namespace ops = syclport::ops;
+namespace at = syclport::rt::autotune;
+
+namespace {
+
+constexpr std::size_t kN = 768;  // 768^2 doubles x 2 dats = 9 MiB
+constexpr int kMaxIters = 900;   // cap for draining the joint race
+constexpr const char* kCache = "ablation_kernel_params.cache.json";
+
+/// One bandwidth-bound 5-point sweep b = lap(a) over an n x n block,
+/// the same kernel shape ablation_autotune uses.
+struct Sweep {
+  ops::Context ctx;
+  ops::Block grid;
+  ops::Dat<double> a, b;
+
+  explicit Sweep(const ops::Options& o)
+      : ctx(o),
+        grid(ctx, "g", 2, {kN, kN, 1}),
+        a(grid, "a", 1, 1),
+        b(grid, "b", 1, 1) {
+    for (long i = -1; i <= static_cast<long>(kN); ++i)
+      for (long j = -1; j <= static_cast<long>(kN); ++j)
+        a.at(i, j) = 0.01 * static_cast<double>(i - j);
+    ctx.opt.record = false;
+  }
+
+  void iterate() {
+    ops::par_loop(ctx, {"kp_sweep"}, grid, ops::Range::all(grid),
+                  [](ops::ACC<double> out, ops::ACC<double> in) {
+                    out(0, 0) = in(0, 0) +
+                                0.2 * (in(1, 0) + in(-1, 0) + in(0, 1) +
+                                       in(0, -1) - 4.0 * in(0, 0));
+                  },
+                  ops::arg(b, ops::S_PT, ops::Acc::W),
+                  ops::arg(a, ops::S2D_5PT, ops::Acc::R));
+  }
+
+  [[nodiscard]] double checksum() { return b.interior_sum(); }
+
+  /// The tuning site ops::par_loop derives for this sweep (flat 2D
+  /// non-reduction: schedule x variant menu x cache block).
+  [[nodiscard]] static at::Site site() {
+    at::Site s;
+    s.name = "kp_sweep";
+    s.dims = 2;
+    s.global = {kN, kN, 1};
+    s.axes = at::kScheduleGrain | at::kVariantAxes | at::kCacheBlock;
+    return s;
+  }
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// ms/iteration of the raw stencil body run through the thread pool
+/// with `vp` pinned - the variant layer measured without the tuner.
+double pinned_variant_ms(const at::VariantParams& vp) {
+  const std::size_t stride = kN + 2;  // dat pitch incl. depth-1 halo
+  std::vector<double> a((kN + 2) * stride, 0.0), b(a.size(), 0.0);
+  for (std::size_t i = 0; i < kN + 2; ++i)
+    for (std::size_t j = 0; j < kN + 2; ++j)
+      a[i * stride + j] = 0.01 * static_cast<double>(i) -
+                          0.02 * static_cast<double>(j);
+  const double* pa = a.data();
+  double* pb = b.data();
+  auto body = [=](std::size_t lin) {
+    const std::size_t i = lin / kN + 1, j = lin % kN + 1;
+    const std::size_t c = i * stride + j;
+    pb[c] = pa[c] + 0.2 * (pa[c + stride] + pa[c - stride] + pa[c + 1] +
+                           pa[c - 1] - 4.0 * pa[c]);
+  };
+  auto iterate = [&] {
+    rt::ThreadPool::global().parallel_for(
+        kN * kN, [&](std::size_t s, std::size_t e) {
+          at::run_span_variant(vp, s, e, body);
+        });
+  };
+  for (int i = 0; i < 3; ++i) iterate();
+  std::vector<double> t;
+  for (int i = 0; i < 11; ++i) {
+    WallTimer w;
+    iterate();
+    t.push_back(w.seconds());
+  }
+  return median(t) * 1e3;
+}
+
+/// Steady-state ms/iteration of the ops-layer Sweep with `cfg` pinned
+/// by way of a pre-decided cache entry - the path a careful user takes
+/// to hand-set a variant, and the apples-to-apples baseline for the
+/// tuned steady state (same ACC/dispatch overhead on both sides).
+double pinned_ops_ms(const at::Config& cfg) {
+  at::CacheData data;
+  data.fingerprint = "bench-pin";
+  data.entries = {{Sweep::site().key(), cfg, ""}};
+  at::write_cache(kCache, data);
+  at::Autotuner::instance().reset(at::Autotuner::Mode::On, "bench-pin",
+                                  kCache);
+  ops::Options o;
+  o.backend = ops::Backend::Threads;
+  o.tune = true;
+  Sweep s(o);
+  for (int i = 0; i < 3; ++i) s.iterate();
+  std::vector<double> t;
+  for (int i = 0; i < 11; ++i) {
+    WallTimer w;
+    s.iterate();
+    t.push_back(w.seconds());
+  }
+  return median(t) * 1e3;
+}
+
+/// Drive the process tuner to convergence on a fresh Sweep; returns
+/// explored launches and leaves the checksum in *sum.
+std::uint64_t tuned_converge(double* sum, double* steady_ms) {
+  ops::Options o;
+  o.backend = ops::Backend::Threads;
+  o.tune = true;
+  Sweep s(o);
+  auto& tuner = at::Autotuner::instance();
+  int it = 0;
+  for (; it < kMaxIters && !tuner.converged(Sweep::site()); ++it) s.iterate();
+  std::vector<double> t;
+  for (int i = 0; i < 15; ++i) {
+    WallTimer w;
+    s.iterate();
+    t.push_back(w.seconds());
+  }
+  if (steady_ms) *steady_ms = median(t) * 1e3;
+  *sum = s.checksum();
+  return tuner.explored_launches();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: parametrized kernel variants + transfer "
+               "autotune ===\n\n";
+  report::Table t({"experiment", "config", "metric", "value"});
+
+  // 1. The compiled menu, pinned one variant at a time: delivered
+  // speedup on this host next to the model's prediction for the
+  // paper's CPU platforms. Predictions use the issue-bound
+  // (cache-resident, ~2 B DRAM/item) regime - in the pure streaming
+  // regime the model correctly predicts ~1.0x for every variant
+  // (bandwidth cannot be created), which the streaming column of the
+  // per-platform table shows.
+  constexpr double kCacheResBytes = 2.0;
+  std::cout << "-- variant menu, pinned (tuning off) --\n";
+  const double ref_ms = pinned_variant_ms(at::VariantParams{});
+  double best_raw_ms = ref_ms;
+  at::VariantParams best_raw{};
+  const std::vector<std::pair<PlatformId, const char*>> cpus = {
+      {PlatformId::Xeon8360Y, "xeon"},
+      {PlatformId::GenoaX, "genoax"},
+      {PlatformId::Altra, "altra"}};
+  for (const auto& vp : at::kVariantMenu) {
+    const double ms = pinned_variant_ms(vp);
+    const double delivered = ref_ms / ms;
+    std::cout << "  " << at::variant_id(vp) << ": " << report::fmt(ms, 3)
+              << " ms/iter, delivered x" << report::fmt(delivered, 3)
+              << " (predicted";
+    t.add_row({"variant_menu", at::variant_id(vp), "ms_per_iter",
+               report::fmt(ms, 4)});
+    t.add_row({"variant_menu", at::variant_id(vp), "delivered_speedup",
+               report::fmt(delivered, 4)});
+    for (const auto& [pid, slug] : cpus) {
+      const double pred = hw::predicted_variant_speedup(hw::platform(pid), vp,
+                                                        kCacheResBytes);
+      std::cout << " " << slug << " x" << report::fmt(pred, 2);
+      t.add_row({"variant_menu", at::variant_id(vp),
+                 std::string("predicted_speedup_") + slug,
+                 report::fmt(pred, 4)});
+    }
+    std::cout << ")\n";
+    if (ms < best_raw_ms) {
+      best_raw_ms = ms;
+      best_raw = vp;
+    }
+  }
+  std::cout << "  fastest pinned variant (raw loop): "
+            << at::variant_id(best_raw) << " ("
+            << report::fmt(best_raw_ms, 3) << " ms/iter)\n";
+
+  // 2. Per-platform best-variant table from the model: the issue-bound
+  // winner per platform, plus what the same variant is worth in the
+  // streaming regime (~1.0 everywhere - bandwidth-bound kernels get
+  // their win from the schedule/blocking axes, not from ILP shapes).
+  std::cout << "\n-- per-platform best variant (hwmodel) --\n";
+  for (PlatformId p : kAllPlatforms) {
+    const hw::Platform& plat = hw::platform(p);
+    at::VariantParams best{};
+    double best_pred = 1.0;
+    for (const auto& vp : at::kVariantMenu) {
+      const double pred =
+          hw::predicted_variant_speedup(plat, vp, kCacheResBytes);
+      if (pred > best_pred) {
+        best_pred = pred;
+        best = vp;
+      }
+    }
+    const double streaming = hw::predicted_variant_speedup(plat, best);
+    std::cout << "  " << to_string(p) << ": " << at::variant_id(best)
+              << " (predicted x" << report::fmt(best_pred, 3)
+              << " cache-resident, x" << report::fmt(streaming, 3)
+              << " streaming)\n";
+    t.add_row({"platform_best", std::string(to_string(p)), "variant",
+               at::variant_id(best)});
+    t.add_row({"platform_best", std::string(to_string(p)),
+               "predicted_speedup_cacheres", report::fmt(best_pred, 4)});
+    t.add_row({"platform_best", std::string(to_string(p)),
+               "predicted_speedup_streaming", report::fmt(streaming, 4)});
+  }
+
+  // 3. Cold vs warm: machine A races the joint menu from an empty
+  // cache; machine B (different fingerprint, same cache file) seeds its
+  // pool from A's entry. Convergence must cost < 50% of cold's explored
+  // launches and stay bit-exact throughout.
+  std::cout << "\n-- cold vs transfer-warm tuned runs --\n";
+  std::remove(kCache);
+  auto& tuner = at::Autotuner::instance();
+
+  ops::Options untuned;
+  untuned.backend = ops::Backend::Serial;
+  untuned.tune = false;
+  Sweep reference(untuned);
+  reference.iterate();
+  const double ref_sum = reference.checksum();
+
+  tuner.reset(at::Autotuner::Mode::On, "bench-machine-a", kCache);
+  double cold_sum = 0.0, tuned_ms = 0.0;
+  const std::uint64_t cold_explored = tuned_converge(&cold_sum, &tuned_ms);
+  const bool cold_converged = tuner.converged(Sweep::site());
+  const auto cold_best = tuner.best(Sweep::site());
+
+  tuner.reset(at::Autotuner::Mode::On, "bench-machine-b", kCache);
+  double warm_sum = 0.0;
+  const std::uint64_t warm_explored = tuned_converge(&warm_sum, nullptr);
+  const bool warm_converged = tuner.converged(Sweep::site());
+  const std::string seed = tuner.seeded_from(Sweep::site());
+  tuner.reset(at::Autotuner::Mode::Off, "", "");
+  std::remove(kCache);
+
+  const bool bit_exact = cold_sum == ref_sum && warm_sum == ref_sum;
+  const double ratio = cold_explored > 0 ? static_cast<double>(warm_explored) /
+                                               static_cast<double>(cold_explored)
+                                         : 1.0;
+  std::cout << "  cold: " << cold_explored << " explored launches"
+            << (cold_converged ? "" : " (NOT converged)") << ", winner "
+            << (cold_best ? cold_best->to_string() : "(none)") << "\n"
+            << "  warm: " << warm_explored << " explored launches"
+            << (warm_converged ? "" : " (NOT converged)") << ", seeded from "
+            << (seed.empty() ? "(full search)" : seed) << "\n"
+            << "  warm/cold ratio " << report::fmt(ratio, 3)
+            << " (target < 0.5), bit-exact "
+            << (bit_exact ? "yes" : "NO") << "\n";
+  t.add_row({"transfer", "cold", "explored_launches",
+             std::to_string(cold_explored)});
+  t.add_row({"transfer", "warm", "explored_launches",
+             std::to_string(warm_explored)});
+  t.add_row({"transfer", "warm", "warm_vs_cold_ratio",
+             report::fmt(ratio, 4)});
+  t.add_row({"transfer", "warm", "seeded_from",
+             seed.empty() ? "(none)" : seed});
+  t.add_row({"transfer", "all", "bit_exact", bit_exact ? "1" : "0"});
+  t.add_row({"transfer", "all", "converged",
+             cold_converged && warm_converged ? "1" : "0"});
+
+  // 4. Tuned steady state vs the best hand-set config through the SAME
+  // ops-layer path: each menu variant pinned via a pre-decided cache
+  // entry (static schedule, no blocking), best taken over the menu -
+  // both sides pay identical ACC/dispatch overhead.
+  std::cout << "\n-- tuned vs hand-set variants (ops layer) --\n";
+  double best_hand_ms = 1e30;
+  at::VariantParams best_hand{};
+  for (const auto& vp : at::kVariantMenu) {
+    at::Config cfg;
+    cfg.schedule = rt::Schedule::Static;
+    cfg.reg_tile = vp.reg_tile;
+    cfg.vec_width = vp.vec_width;
+    cfg.unroll = vp.unroll;
+    const double ms = pinned_ops_ms(cfg);
+    t.add_row({"hand_set", at::variant_id(vp), "ms_per_iter",
+               report::fmt(ms, 4)});
+    if (ms < best_hand_ms) {
+      best_hand_ms = ms;
+      best_hand = vp;
+    }
+  }
+  // Final head-to-head under one protocol: the cold run's winner vs the
+  // picked hand-set best, interleaved best-of-rounds through the same
+  // pinned path. The sweep above picked `best_hand` as a min over 15
+  // noisy medians (selection bias flatters it); rounds alternating the
+  // two finalists cancel both that and OS drift.
+  at::Config hand_cfg;
+  hand_cfg.schedule = rt::Schedule::Static;
+  hand_cfg.reg_tile = best_hand.reg_tile;
+  hand_cfg.vec_width = best_hand.vec_width;
+  hand_cfg.unroll = best_hand.unroll;
+  double winner_ms = 1e30;
+  best_hand_ms = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    if (cold_best)
+      winner_ms = std::min(winner_ms, pinned_ops_ms(*cold_best));
+    best_hand_ms = std::min(best_hand_ms, pinned_ops_ms(hand_cfg));
+  }
+  if (!cold_best) winner_ms = tuned_ms;
+  at::Autotuner::instance().reset(at::Autotuner::Mode::Off, "", "");
+  std::remove(kCache);
+  const double hand_ratio = winner_ms / best_hand_ms;
+  std::cout << "  tuned winner " << report::fmt(winner_ms, 3)
+            << " ms/iter (live-race steady state " << report::fmt(tuned_ms, 3)
+            << ") vs best hand-set " << at::variant_id(best_hand) << " "
+            << report::fmt(best_hand_ms, 3) << " ms/iter (ratio "
+            << report::fmt(hand_ratio, 3)
+            << "; the race optimizes wall time under measurement noise, so "
+               "a near-tie variant can win)\n";
+  t.add_row({"hand_set", "tuned_winner", "ms_per_iter",
+             report::fmt(winner_ms, 4)});
+  t.add_row({"hand_set", "tuned_live", "ms_per_iter",
+             report::fmt(tuned_ms, 4)});
+  t.add_row({"hand_set", "tuned_winner", "vs_best_hand_ratio",
+             report::fmt(hand_ratio, 4)});
+
+  std::cout << "\n";
+  t.render(std::cout);
+  if (t.save_csv("ablation_kernel_params.csv"))
+    std::cout << "\nwrote ablation_kernel_params.csv\n";
+  std::cout << "(warm-start-from-neighbor must explore < 50% of the cold "
+               "search, and every variant the race serves must be "
+               "bit-exact vs the reference loop.)\n";
+  return bit_exact && warm_converged ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "hwmodel/variant_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace syclport::hw {
+
+namespace {
+
+[[nodiscard]] double log2_dist(double a, double b) {
+  return std::abs(std::log2(std::max(a, 1.0)) - std::log2(std::max(b, 1.0)));
+}
+
+}  // namespace
+
+double platform_distance(const Platform& a, const Platform& b) {
+  double d = log2_dist(a.cores, b.cores);
+  d += log2_dist(a.stream_bw_gbs, b.stream_bw_gbs);
+  d += log2_dist(a.llc.bytes, b.llc.bytes);
+  d += log2_dist(a.sub_group, b.sub_group);
+  if (a.gpu != b.gpu) d += 8.0;
+  return d;
+}
+
+std::string synthetic_fingerprint(const Platform& p) {
+  // Mirror the measured-fingerprint fields: per-core L1 slice, a
+  // per-core LLC share standing in for a private L2, the total LLC, and
+  // the STREAM bandwidth quantized to whole log2(GB/s) steps exactly as
+  // the runtime quantizes its Triad measurement.
+  const int cores = std::max(1, p.cores);
+  const long l1d = std::lround(p.l1.bytes / cores);
+  const long l2 = std::lround(p.llc.bytes / cores);
+  const long llc = std::lround(p.llc.bytes);
+  const long triad_log2 = std::lround(std::log2(std::max(p.stream_bw_gbs, 1.0)));
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "cores=%d;l1d=%ld;l2=%ld;llc=%ld;triad_log2=%ld", cores, l1d,
+                l2, llc, triad_log2);
+  return buf;
+}
+
+double predicted_variant_speedup(const Platform& p,
+                                 const rt::autotune::VariantParams& vp,
+                                 double bytes_per_item) {
+  // Per-item times in ns. The bandwidth term is the floor neither the
+  // reference nor any variant can beat; the issue term is what register
+  // tiling / vectorization / unrolling attack.
+  const double bw = std::max(p.stream_bw_gbs * p.app_bw_frac, 1e-3);
+  const double t_bw = bytes_per_item / bw;
+  const double t_issue = 1.0 / std::max(p.issue_gitems, 1e-3);
+  // Exposed ILP: vector lanes count fully up to the SIMD width (beyond
+  // it they just split into more instructions); register rows and
+  // unroll add ILP with diminishing returns - they overlap latency but
+  // share the same issue ports.
+  const double lanes = std::min<double>(vp.vec_width, std::max(1, p.sub_group));
+  const double ilp =
+      lanes * std::sqrt(static_cast<double>(vp.reg_tile * vp.unroll));
+  const double t_ref = std::max(t_bw, t_issue);
+  const double t_var = std::max(t_bw, t_issue / std::max(1.0, ilp));
+  return t_ref / t_var;
+}
+
+}  // namespace syclport::hw

@@ -1,0 +1,47 @@
+#pragma once
+/// \file variant_model.hpp
+/// Analytic priors for the kernel-variant axes and the platform
+/// distance the transfer-learning autotuner ranks donors by.
+///
+/// Two jobs:
+///   - predicted_variant_speedup: a roofline-style estimate of what a
+///     (reg_tile, vec_width, unroll) shape buys on a platform - the
+///     bandwidth term is untouched (variants cannot create DRAM
+///     bandwidth), the issue/ILP term shrinks with the exposed
+///     parallelism. The bench compares this prediction against the
+///     delivered speedup per platform.
+///   - platform_distance / synthetic_fingerprint: the modeled analogue
+///     of the runtime's device fingerprint, so cache entries can be
+///     attributed to calibrated platforms and ranked by how far apart
+///     two machines are (the transfer seeder's dominant score term).
+
+#include <string>
+
+#include "hwmodel/platform.hpp"
+#include "runtime/autotune/variant.hpp"
+
+namespace syclport::hw {
+
+/// Log-space distance between two calibrated platforms: doublings of
+/// core count, STREAM bandwidth, LLC capacity and SIMD width separating
+/// them, plus a flat penalty when one is a GPU and the other is not
+/// (their winners never transfer well, paper §4.4).
+[[nodiscard]] double platform_distance(const Platform& a, const Platform& b);
+
+/// A device fingerprint string (fingerprint.hpp wire format) derived
+/// from the calibrated descriptor instead of measured on the host:
+/// `cores=..;l1d=..;l2=..;llc=..;triad_log2=..`. Lets tests and the
+/// bench populate caches "as if written on" a modeled platform and lets
+/// rt::autotune::fingerprint_distance rank those entries.
+[[nodiscard]] std::string synthetic_fingerprint(const Platform& p);
+
+/// Predicted speedup of running variant `vp` instead of the reference
+/// loop for a streaming kernel moving `bytes_per_item` per iteration on
+/// platform `p`. >= 1 means the model expects the shape to help; the
+/// bandwidth-bound regime returns ~1 (nothing to win), issue-bound
+/// kernels gain up to the exposed ILP.
+[[nodiscard]] double predicted_variant_speedup(
+    const Platform& p, const rt::autotune::VariantParams& vp,
+    double bytes_per_item = 24.0);
+
+}  // namespace syclport::hw

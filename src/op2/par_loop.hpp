@@ -23,6 +23,7 @@
 #include "op2/arg.hpp"
 #include "op2/context.hpp"
 #include "runtime/autotune/autotune.hpp"
+#include "runtime/autotune/variant.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace syclport::op2 {
@@ -252,7 +253,18 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
   rt::autotune::Site site;
   site.name = meta.name;
   site.global = {n, 1, 1};
-  site.axes = rt::autotune::kScheduleGrain;
+  // Direct sweeps (no colouring plan in the way) also race the
+  // kernel-variant menu on the parallel lowerings: gather/scatter
+  // kernels are exactly where register tiling hides indirection
+  // latency. Coloured strategies keep the reference loop - their sweep
+  // order is the correctness contract.
+  const bool direct_sweep = conflict == nullptr ||
+                            ctx.opt.strategy == Strategy::Atomics ||
+                            ctx.opt.strategy == Strategy::None;
+  site.axes = rt::autotune::kScheduleGrain |
+              (direct_sweep && ctx.opt.exec != Exec::Serial
+                   ? rt::autotune::kVariantAxes
+                   : 0u);
   rt::autotune::TunedLaunchParams sched_scope(site);
 
   auto binders = std::make_tuple(detail::make_binder(args, true)...);
@@ -272,13 +284,24 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
       case Exec::Serial:
         for (std::size_t i = 0; i < count; ++i) invoke(elem_at(i));
         break;
-      case Exec::Threads:
+      case Exec::Threads: {
+        rt::autotune::VariantParams vp;
+        if (sched_scope.phase() != rt::autotune::Phase::None) {
+          const auto& cfg = sched_scope.config();
+          vp.reg_tile = cfg.reg_tile.value_or(1);
+          vp.vec_width = cfg.vec_width.value_or(1);
+          vp.unroll = cfg.unroll.value_or(1);
+        }
         rt::ThreadPool::global().parallel_for(
             count, [&](std::size_t b, std::size_t e) {
-              for (std::size_t i = b; i < e; ++i) invoke(elem_at(i));
+              rt::autotune::run_span_variant(
+                  vp, b, e, [&](std::size_t i) { invoke(elem_at(i)); });
             });
         break;
+      }
       case Exec::Sycl:
+        // The handler's exec_flat applies the variant decided for this
+        // loop's scope (it reads the innermost tuning config).
         ctx.queue.parallel_for(meta.name, sycl::range<1>(count),
                                [&](sycl::item<1> it) {
                                  invoke(elem_at(it.get_linear_id()));

@@ -12,11 +12,12 @@ namespace syclport::rt::autotune {
 
 namespace {
 
-/// Current on-disk format version. v2 added the content checksum; v1
-/// files (and anything newer/foreign) are rejected wholesale, which the
-/// caller treats as a cold cache - retuning is always safe, trusting a
-/// stale or damaged winner is not.
-constexpr int kCacheVersion = 2;
+/// Current on-disk format version. v2 added the content checksum; v3
+/// added the per-entry `fp` field (transfer-learning donor provenance)
+/// and new Config axes, so v2 files - and anything newer/foreign - are
+/// rejected wholesale, which the caller treats as a cold cache:
+/// retuning is always safe, trusting a stale or damaged winner is not.
+constexpr int kCacheVersion = 3;
 
 /// Extract the value of `"field": "..."` from one line; nullopt when
 /// the field is absent. Values never contain quotes (keys and configs
@@ -35,17 +36,19 @@ constexpr int kCacheVersion = 2;
 }
 
 /// CRC-32 over the *semantic* content - fingerprint plus every
-/// (key, config) pair in order - rather than the raw bytes. Formatting
-/// and individually-dropped unparseable lines do not perturb it, but
-/// truncation, a damaged winner, or a tampered entry all do.
+/// (key, config, fp) triple in order - rather than the raw bytes.
+/// Formatting and individually-dropped unparseable lines do not perturb
+/// it, but truncation, a damaged winner, or a tampered entry all do.
 [[nodiscard]] std::uint32_t content_crc(const CacheData& data) {
   std::uint32_t c =
       crc32_update(0, data.fingerprint.data(), data.fingerprint.size());
-  for (const auto& [key, cfg] : data.entries) {
-    c = crc32_update(c, key.data(), key.size());
+  for (const auto& e : data.entries) {
+    c = crc32_update(c, e.key.data(), e.key.size());
     c = crc32_update(c, "=", 1);
-    const std::string text = cfg.to_string();
+    const std::string text = e.config.to_string();
     c = crc32_update(c, text.data(), text.size());
+    c = crc32_update(c, "=", 1);
+    c = crc32_update(c, e.fp.data(), e.fp.size());
     c = crc32_update(c, "\n", 1);
   }
   return c;
@@ -69,9 +72,9 @@ bool write_cache(const std::string& path, const CacheData& data) {
     out << "  \"crc\": \"" << crc_hex(content_crc(data)) << "\",\n";
     out << "  \"kernels\": [\n";
     for (std::size_t i = 0; i < data.entries.size(); ++i) {
-      const auto& [key, cfg] = data.entries[i];
-      out << "    { \"key\": \"" << key << "\", \"config\": \""
-          << cfg.to_string() << "\" }"
+      const auto& e = data.entries[i];
+      out << "    { \"key\": \"" << e.key << "\", \"config\": \""
+          << e.config.to_string() << "\", \"fp\": \"" << e.fp << "\" }"
           << (i + 1 < data.entries.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -127,8 +130,10 @@ std::optional<CacheData> read_cache(const std::string& path) {
     if (!key) continue;
     const auto cfg_text = quoted_field(line, "config");
     if (!cfg_text) continue;
+    const auto fp = quoted_field(line, "fp");
     if (auto cfg = Config::parse(*cfg_text))
-      data.entries.emplace_back(std::move(*key), std::move(*cfg));
+      data.entries.push_back(
+          {std::move(*key), std::move(*cfg), fp ? std::move(*fp) : ""});
   }
   // Reject anything that is not a well-formed current-version file with
   // a matching content checksum: v1 leftovers, foreign files, truncated

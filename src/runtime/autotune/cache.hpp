@@ -8,7 +8,6 @@
 
 #include <optional>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "runtime/autotune/config.hpp"
@@ -16,8 +15,18 @@
 namespace syclport::rt::autotune {
 
 struct CacheData {
-  std::string fingerprint;
-  std::vector<std::pair<std::string, Config>> entries;  ///< key -> winner
+  std::string fingerprint;  ///< machine that wrote the file
+  /// One tuned kernel. `fp` is the fingerprint the winner was measured
+  /// on - normally the file's own, but v3 files keep entries from other
+  /// machines too (a shared cache on a heterogeneous cluster), and the
+  /// transfer-learning seeder uses `fp` to rank donors by platform
+  /// distance. Empty fp means "same as the file fingerprint".
+  struct Entry {
+    std::string key;
+    Config config;
+    std::string fp;
+  };
+  std::vector<Entry> entries;
 };
 
 /// Write `data` to `path` (atomically: temp file + rename). Returns

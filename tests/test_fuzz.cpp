@@ -6,13 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "hwmodel/energy.hpp"
 #include "minimpi/comm.hpp"
 #include "ops/loop_chain.hpp"
 #include "ops/ops.hpp"
+#include "runtime/autotune/autotune.hpp"
 #include "runtime/fiber.hpp"
 #include "sycl/sycl.hpp"
 
@@ -194,6 +197,82 @@ TEST(Fuzz, EnergyModelSanity) {
   // GPUs beat CPUs on bandwidth per watt.
   EXPECT_GT(hw::gb_per_joule(syclport::PlatformId::A100, 1310e9, 1.0),
             3.0 * hw::gb_per_joule(syclport::PlatformId::Xeon8360Y, 296e9, 1.0));
+}
+
+// ---------------------------------------------------------------------
+// Kernel variants: whatever register-tile x vector-width x unroll x
+// cache-block candidate the autotuner serves a launch, the results must
+// be bit-identical to the unparametrized reference loop - on shapes
+// nobody hand-picked, through the explore AND exploit phases, on both
+// flat lowerings (pool sweep and SYCL flat), stencil and reduction.
+
+TEST(Fuzz, VariantServedLaunchesStayBitExact) {
+  namespace at = syclport::rt::autotune;
+  struct TunerGuard {
+    ~TunerGuard() {
+      at::Autotuner::instance().reset(at::Autotuner::Mode::Off, "", "");
+    }
+  } guard;
+  at::Autotuner::instance().reset(at::Autotuner::Mode::On, "fp-fuzz", "");
+
+  std::mt19937 rng(417);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t ny = 7 + rng() % 60;
+    const std::size_t nx = 7 + rng() % 60;
+    // Integer-valued input: the reduction below is exact in double for
+    // any accumulation order, so a mismatch can only mean a variant
+    // visited an index twice, skipped one, or mis-handled the tail.
+    auto run = [&](ops::Backend be, std::optional<bool> tune, int iters) {
+      ops::Options o;
+      o.backend = be;
+      o.tune = tune;
+      o.record = false;
+      ops::Context ctx(o);
+      ops::Block grid(ctx, "g", 2, {ny, nx, 1});
+      ops::Dat<double> a(grid, "a", 1, 1), b(grid, "b", 1, 1);
+      for (long i = -1; i <= static_cast<long>(ny); ++i)
+        for (long j = -1; j <= static_cast<long>(nx); ++j)
+          a.at(i, j) = static_cast<double>(3 * i - 2 * j);
+      double sweep0 = 0.0, red0 = 0.0;
+      for (int it = 0; it < iters; ++it) {
+        ops::par_loop(ctx, {"fz_sweep"}, grid, ops::Range::all(grid),
+                      [](ops::ACC<double> out, ops::ACC<double> in) {
+                        out(0, 0) = in(0, 0) + 0.2 * (in(1, 0) + in(-1, 0) +
+                                                      in(0, 1) + in(0, -1));
+                      },
+                      ops::arg(b, ops::S_PT, ops::Acc::W),
+                      ops::arg(a, ops::S2D_5PT, ops::Acc::R));
+        double red = 0.0;
+        ops::par_loop(ctx, {"fz_red", hw::KernelClass::Reduction, 1.0}, grid,
+                      ops::Range::all(grid),
+                      [](ops::ACC<double> in, ops::Reducer<double> r) {
+                        r += in(0, 0);
+                      },
+                      ops::arg(a, ops::S_PT, ops::Acc::R),
+                      ops::reduce(red, ops::RedOp::Sum));
+        const double sweep = b.interior_sum();
+        if (it == 0) {
+          sweep0 = sweep;
+          red0 = red;
+        }
+        EXPECT_EQ(sweep, sweep0)
+            << "trial " << trial << " iter " << it << " backend "
+            << static_cast<int>(be);
+        EXPECT_EQ(red, red0)
+            << "trial " << trial << " iter " << it << " backend "
+            << static_cast<int>(be);
+        if (sweep != sweep0 || red != red0) break;
+      }
+      return std::pair{sweep0, red0};
+    };
+    // 160 tuned iterations span the full variant race and the locked-in
+    // winner; every one must match the serial reference bit for bit.
+    const auto ref = run(ops::Backend::Serial, false, 1);
+    EXPECT_EQ(run(ops::Backend::Threads, true, 160), ref)
+        << "trial " << trial << " grid " << ny << "x" << nx;
+    EXPECT_EQ(run(ops::Backend::SyclFlat, true, 160), ref)
+        << "trial " << trial << " grid " << ny << "x" << nx;
+  }
 }
 
 // ---------------------------------------------------------------------
