@@ -1,0 +1,243 @@
+// Ablation: the study service (docs/service.md).
+//
+// Four experiments on the multi-tenant daemon:
+//   1. cold-vs-warm - the full bench-scale experiment matrix through a
+//      fresh service (every cell computed) and again through a second
+//      service sharing the persistent cache file (every cell a hash
+//      lookup). The latency collapse is the content-addressed cache.
+//   2. throughput-vs-clients - a fixed warm request mix served to an
+//      increasing number of client sessions; reports wall time,
+//      requests/s and the latency tail per client count. The p99 must
+//      stay under SYCLPORT_SERVICE_P99_BUDGET_MS (default 2000).
+//   3. dedup - a paused-admission burst of identical requests: the
+//      admission controller must compute the key exactly once and
+//      coalesce every other waiter onto the same blob.
+//   4. fault parity - the same mix disarmed vs under an inert armed
+//      plan (zero-probability svc.fail: the full bookkeeping path with
+//      no injections) must produce identical result bytes; a firing
+//      plan must turn into typed errors only, with the service still
+//      serving afterwards.
+//
+// Emits ablation_service.csv next to the binary. Exit code is nonzero
+// when any gate fails, so CI can run this as an assertion.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/timing.hpp"
+#include "runtime/env.hpp"
+#include "runtime/fault/fault.hpp"
+#include "study/service.hpp"
+#include "study/session.hpp"
+#include "study/study.hpp"
+
+using namespace syclport;
+namespace fault = syclport::rt::fault;
+
+namespace {
+
+/// Every supported cell of the study at bench scale.
+std::vector<study::StudyRequest> full_matrix() {
+  std::vector<study::StudyRequest> reqs;
+  for (AppId a : kAllApps)
+    for (PlatformId p : kAllPlatforms) {
+      const auto vars = a == AppId::MGCFD ? study::mgcfd_variants(p)
+                                          : study::structured_variants(p);
+      for (const Variant& v : vars)
+        reqs.push_back({a, p, v, study::StudyRequest::Scale::Bench});
+    }
+  return reqs;
+}
+
+struct MixResult {
+  study::ServiceStats stats;
+  double wall_s = 0.0;
+  std::uint64_t typed_errors = 0;
+};
+
+/// Serve `per_client` requests from the matrix to `clients` concurrent
+/// sessions (one thread each), deterministically strided so clients
+/// overlap on keys.
+MixResult run_mix(study::Service& svc,
+                  const std::vector<study::StudyRequest>& matrix,
+                  std::size_t clients, std::size_t per_client) {
+  std::vector<std::uint64_t> errors(clients, 0);
+  WallTimer t;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      study::Session session(svc, "bench-" + std::to_string(c));
+      for (std::size_t i = 0; i < per_client; ++i) {
+        try {
+          (void)session.query(matrix[(c * 13 + i) % matrix.size()]);
+        } catch (const study::service_error&) {
+          errors[c] += 1;
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  MixResult r;
+  r.wall_s = t.seconds();
+  r.stats = svc.stats();
+  for (auto e : errors) r.typed_errors += e;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const double p99_budget_ms = static_cast<double>(
+      rt::env::get_long("SYCLPORT_SERVICE_P99_BUDGET_MS", 1, 1000000)
+          .value_or(2000));
+  const auto matrix = full_matrix();
+  report::Table t({"experiment", "clients", "requests", "computed",
+                   "coalesced", "cache_hits", "errors", "dedup_ratio",
+                   "hit_rate", "wall_s", "rps", "p50_ms", "p95_ms", "p99_ms"});
+  auto add_row = [&](const std::string& name, std::size_t clients,
+                     const MixResult& r) {
+    const auto& s = r.stats;
+    t.add_row({name, std::to_string(clients), std::to_string(s.completed),
+               std::to_string(s.computed), std::to_string(s.coalesced),
+               std::to_string(s.cache_hits), std::to_string(s.errors),
+               report::fmt(s.dedup_ratio(), 4),
+               report::fmt(s.cache_hit_rate(), 4), report::fmt(r.wall_s, 4),
+               report::fmt(r.wall_s > 0.0
+                               ? static_cast<double>(s.completed) / r.wall_s
+                               : 0.0,
+                           1),
+               report::fmt(s.p50_ms, 4), report::fmt(s.p95_ms, 4),
+               report::fmt(s.p99_ms, 4)});
+  };
+  int failures = 0;
+  auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cerr << "GATE FAILED: " << what << "\n";
+      failures += 1;
+    }
+  };
+
+  const char* kCachePath = "ablation_service_cache.json";
+  std::remove(kCachePath);
+
+  // 1. cold vs warm through the persistent cache.
+  {
+    study::Service cold({kCachePath, 256, 50});
+    const MixResult r = run_mix(cold, matrix, 4, matrix.size());
+    add_row("cold", 4, r);
+    cold.shutdown();  // publishes the cache image
+    gate(r.typed_errors == 0, "cold pass had typed errors");
+
+    study::Service warm({kCachePath, 256, 50});
+    const MixResult w = run_mix(warm, matrix, 4, matrix.size());
+    add_row("warm-persistent", 4, w);
+    gate(w.stats.computed == 0, "warm pass recomputed cached cells");
+    gate(w.stats.cache_hit_rate() > 0.9,
+         "warm cache-hit rate not > 0.9 (got " +
+             report::fmt(w.stats.cache_hit_rate(), 3) + ")");
+    gate(w.stats.persistent_hits > 0, "no hits came from the disk image");
+    std::cout << "cold p99 " << report::fmt(r.stats.p99_ms, 3)
+              << " ms -> warm p99 " << report::fmt(w.stats.p99_ms, 3)
+              << " ms\n";
+    warm.shutdown();
+  }
+
+  // 2. throughput vs client count on a pre-warmed in-memory service.
+  for (const std::size_t clients : {1u, 4u, 16u, 64u, 128u}) {
+    study::Service svc({"", 256, 50});
+    {
+      study::Session prewarm(svc, "prewarm");
+      for (const auto& q : matrix) (void)prewarm.query(q);
+    }
+    const MixResult r = run_mix(svc, matrix, clients, 32);
+    add_row("throughput", clients, r);
+    gate(r.typed_errors == 0, "throughput mix had typed errors");
+    gate(r.stats.p99_ms < p99_budget_ms,
+         "p99 " + report::fmt(r.stats.p99_ms, 3) + " ms over budget " +
+             report::fmt(p99_budget_ms, 0) + " ms at " +
+             std::to_string(clients) + " clients");
+    svc.shutdown();
+  }
+
+  // 3. duplicate burst: one compute, everyone else coalesced.
+  {
+    study::Service svc({"", 1024, 50});
+    svc.pause_admission();
+    constexpr std::size_t kWaiters = 512;
+    std::vector<std::shared_ptr<study::Ticket>> tickets;
+    for (std::size_t i = 0; i < kWaiters; ++i)
+      tickets.push_back(svc.submit(matrix[0]));
+    WallTimer timer;
+    svc.resume_admission();
+    for (auto& ticket : tickets) (void)ticket->wait();
+    MixResult r;
+    r.wall_s = timer.seconds();
+    r.stats = svc.stats();
+    add_row("dedup-burst", kWaiters, r);
+    gate(r.stats.computed == 1, "duplicate burst computed more than once");
+    gate(r.stats.coalesced == kWaiters - 1,
+         "burst waiters not all coalesced");
+    svc.shutdown();
+  }
+
+  // 4. fault-armed (inert) vs disarmed parity, then a firing plan.
+  {
+    study::Service disarmed({"", 256, 50});
+    study::Session a(disarmed, "disarmed");
+    const auto ra = a.query(matrix[0]);
+    const MixResult rd = run_mix(disarmed, matrix, 8, 64);
+    add_row("fault-disarmed", 8, rd);
+    disarmed.shutdown();
+
+    if (!fault::configure("1:svc.fail=0.0")) {
+      gate(false, "inert fault plan rejected");
+    }
+    study::Service inert({"", 256, 50});
+    study::Session b(inert, "armed-inert");
+    const auto rb = b.query(matrix[0]);
+    const MixResult ri = run_mix(inert, matrix, 8, 64);
+    fault::clear();
+    add_row("fault-armed-inert", 8, ri);
+    inert.shutdown();
+    gate(std::vector<unsigned char>(ra.bytes.begin(), ra.bytes.end()) ==
+             std::vector<unsigned char>(rb.bytes.begin(), rb.bytes.end()),
+         "armed-inert result bytes differ from disarmed");
+    gate(ri.typed_errors == 0, "inert plan injected errors");
+
+    if (!fault::configure("7:svc.fail=0.3x16")) {
+      gate(false, "firing fault plan rejected");
+    }
+    study::Service firing({"", 256, 50});
+    const MixResult rf = run_mix(firing, matrix, 8, 32);
+    fault::clear();
+    add_row("fault-armed-firing", 8, rf);
+    gate(rf.stats.errors == rf.typed_errors,
+         "service error count disagrees with client typed errors");
+    // Degrade gracefully: after the plan is spent/cleared the service
+    // still serves every cell.
+    study::Session c(firing, "after-faults");
+    bool alive = true;
+    try {
+      (void)c.query(matrix[1]);
+    } catch (const study::service_error&) {
+      alive = false;
+    }
+    add_row("fault-recovered", 1, {firing.stats(), 0.0, 0});
+    gate(alive, "service wedged after fault plan");
+    firing.shutdown();
+  }
+
+  t.render(std::cout);
+  if (t.save_csv("ablation_service.csv"))
+    std::cout << "\nwrote ablation_service.csv\n";
+  if (failures != 0) {
+    std::cerr << failures << " gate(s) failed\n";
+    return 1;
+  }
+  return 0;
+}

@@ -75,4 +75,22 @@ double median(std::span<const double> xs) {
   return 0.5 * (v[mid - 1] + hi);
 }
 
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  // Type-7 (linear) interpolation: rank r = p/100 * (n-1), value
+  // between the floor(r)-th and ceil(r)-th order statistics.
+  const double r = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(r);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(lo),
+                   v.end());
+  const double vlo = v[lo];
+  if (hi == lo) return vlo;
+  const double vhi =
+      *std::min_element(v.begin() + static_cast<std::ptrdiff_t>(hi), v.end());
+  return vlo + (r - static_cast<double>(lo)) * (vhi - vlo);
+}
+
 }  // namespace syclport::stats

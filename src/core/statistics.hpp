@@ -34,4 +34,12 @@ namespace syclport::stats {
 /// Median (by copy + nth_element); returns 0 for empty input.
 [[nodiscard]] double median(std::span<const double> xs);
 
+/// The p-th percentile of `xs` (p in [0, 100]), linearly interpolated
+/// between order statistics (the "linear" / type-7 definition, so
+/// percentile(xs, 50) == median and percentile(xs, 100) == max).
+/// Returns 0 for empty input; p is clamped to [0, 100]. The study
+/// service and launch_log tail-latency summaries (p50/p95/p99) are
+/// built on this.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
 }  // namespace syclport::stats

@@ -707,7 +707,11 @@ bool Autotuner::save_locked() const {
     else
       data.entries.push_back({st->key, st->best, fingerprint_});
   }
-  return write_cache(cache_path_, data);
+  // Merge-on-load: another process (or another service session) may
+  // have rewritten the file since our load; re-read and keep its
+  // entries for (key, fp) identities we are not rewriting ourselves,
+  // then publish the union through the atomic-rename path.
+  return write_cache_merged(cache_path_, data);
 }
 
 void Autotuner::reset(Mode mode, std::string fingerprint,

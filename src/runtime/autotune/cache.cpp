@@ -1,11 +1,13 @@
 #include "runtime/autotune/cache.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "core/crc32.hpp"
+#include "runtime/fault/checkpoint.hpp"
 #include "runtime/fault/fault.hpp"
 
 namespace syclport::rt::autotune {
@@ -63,28 +65,38 @@ constexpr int kCacheVersion = 3;
 }  // namespace
 
 bool write_cache(const std::string& path, const CacheData& data) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    out << "{ \"syclport_tune_cache\": " << kCacheVersion << ",\n";
-    out << "  \"fingerprint\": \"" << data.fingerprint << "\",\n";
-    out << "  \"crc\": \"" << crc_hex(content_crc(data)) << "\",\n";
-    out << "  \"kernels\": [\n";
-    for (std::size_t i = 0; i < data.entries.size(); ++i) {
-      const auto& e = data.entries[i];
-      out << "    { \"key\": \"" << e.key << "\", \"config\": \""
-          << e.config.to_string() << "\", \"fp\": \"" << e.fp << "\" }"
-          << (i + 1 < data.entries.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    if (!out.flush()) return false;
+  std::ostringstream out;
+  out << "{ \"syclport_tune_cache\": " << kCacheVersion << ",\n";
+  out << "  \"fingerprint\": \"" << data.fingerprint << "\",\n";
+  out << "  \"crc\": \"" << crc_hex(content_crc(data)) << "\",\n";
+  out << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < data.entries.size(); ++i) {
+    const auto& e = data.entries[i];
+    out << "    { \"key\": \"" << e.key << "\", \"config\": \""
+        << e.config.to_string() << "\", \"fp\": \"" << e.fp << "\" }"
+        << (i + 1 < data.entries.size() ? "," : "") << "\n";
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
+  out << "  ]\n}\n";
+  return fault::write_file_atomic(path, out.str());
+}
+
+void merge_entries(CacheData& data, const CacheData& other) {
+  for (const auto& e : other.entries) {
+    const std::string& fp = e.fp.empty() ? other.fingerprint : e.fp;
+    const bool have = std::any_of(
+        data.entries.begin(), data.entries.end(),
+        [&](const CacheData::Entry& mine) {
+          return mine.key == e.key &&
+                 (mine.fp.empty() ? data.fingerprint : mine.fp) == fp;
+        });
+    if (!have) data.entries.push_back({e.key, e.config, fp});
   }
-  return true;
+}
+
+bool write_cache_merged(const std::string& path, const CacheData& data) {
+  CacheData merged = data;
+  if (const auto existing = read_cache(path)) merge_entries(merged, *existing);
+  return write_cache(path, merged);
 }
 
 std::optional<CacheData> read_cache(const std::string& path) {

@@ -29,9 +29,28 @@ struct CacheData {
   std::vector<Entry> entries;
 };
 
-/// Write `data` to `path` (atomically: temp file + rename). Returns
-/// false on I/O failure.
+/// Write `data` to `path` (atomically: a *uniquely named* temp file +
+/// rename, the same publication path the checkpoint layer uses). Two
+/// concurrent writers of the same path therefore never interleave
+/// bytes in a shared side file - every published image is complete and
+/// internally consistent; the last rename wins. Returns false on I/O
+/// failure.
 bool write_cache(const std::string& path, const CacheData& data);
+
+/// Fold into `data` every entry of `other` whose (key, fp) identity
+/// `data` does not already carry - the merge-on-load half of the
+/// concurrent-rewrite story: a writer re-reads the file just before
+/// rewriting it so winners persisted by another process (or another
+/// service session) since its own load survive the rewrite. `data`'s
+/// own entries always win a (key, fp) collision - they are this
+/// writer's freshest measurements. Entries of `other` with an empty fp
+/// inherit `other.fingerprint` first.
+void merge_entries(CacheData& data, const CacheData& other);
+
+/// write_cache with merge-on-load: reads `path` (ignoring unreadable /
+/// invalid files), merges surviving foreign entries into a copy of
+/// `data`, and publishes the union atomically.
+bool write_cache_merged(const std::string& path, const CacheData& data);
 
 /// Read `path`. nullopt when the file is missing, not the current
 /// format version, or fails its content checksum (truncated, bit-

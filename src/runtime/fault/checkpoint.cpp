@@ -1,5 +1,8 @@
 #include "runtime/fault/checkpoint.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,6 +50,30 @@ struct Reader {
 
 }  // namespace
 
+std::string unique_temp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> seq{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+bool write_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = unique_temp_path(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 void Snapshot::add(std::string name, void* data, std::size_t bytes) {
   for (const auto& r : regions_)
     if (r.name == name)
@@ -61,7 +88,7 @@ std::size_t Snapshot::total_bytes() const noexcept {
 }
 
 void Snapshot::save(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = unique_temp_path(path);
   {
     CrcWriter w{std::ofstream(tmp, std::ios::binary | std::ios::trunc)};
     if (!w.out) throw checkpoint_error(path, "cannot open temp file");

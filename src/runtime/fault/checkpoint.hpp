@@ -19,9 +19,25 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace syclport::rt::fault {
+
+/// A temp-file name next to `path` that no concurrent writer of the
+/// same `path` shares: `path + ".tmp.<pid>.<seq>"`. Every atomic-rename
+/// publisher in the runtime (checkpoints, the tuning cache, the study
+/// service's result cache) stages through this, so two processes - or
+/// two threads - rewriting the same file never interleave bytes in a
+/// shared side file; each rename publishes one complete image and the
+/// last rename wins.
+[[nodiscard]] std::string unique_temp_path(const std::string& path);
+
+/// Write `bytes` to `path` atomically: staged to a unique_temp_path()
+/// side file, flushed, then renamed over `path`. Returns false (and
+/// removes the side file) on any I/O failure; `path` then still holds
+/// its previous content.
+bool write_file_atomic(const std::string& path, std::string_view bytes);
 
 /// Raised by Snapshot::save/restore: names the file and why it was
 /// rejected (I/O failure, bad magic/version, CRC mismatch, region

@@ -21,6 +21,7 @@
 ///   comm.corrupt  halo payload bit-flipped in transit
 ///   comm.delay    halo message delivered late
 ///   cache.corrupt autotune cache bit-flipped on load
+///   svc.fail      study-service request computation failure
 ///
 /// Spec grammar (docs/resilience.md):
 ///   SYCLPORT_FAULT = <seed> ':' <entry> (',' <entry>)*
@@ -65,8 +66,9 @@ enum class Site : std::uint8_t {
   CommCorrupt,
   CommDelay,
   CacheCorrupt,
+  ServiceFail,
 };
-inline constexpr std::size_t kSiteCount = 11;
+inline constexpr std::size_t kSiteCount = 12;
 
 [[nodiscard]] const char* to_string(Site s) noexcept;
 [[nodiscard]] std::optional<Site> site_from_string(std::string_view name);

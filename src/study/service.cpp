@@ -1,0 +1,642 @@
+#include "study/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/crc32.hpp"
+#include "core/statistics.hpp"
+#include "runtime/autotune/fingerprint.hpp"
+#include "runtime/env.hpp"
+#include "runtime/fault/checkpoint.hpp"
+#include "runtime/fault/fault.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sycl/launch_log.hpp"
+
+namespace syclport::study {
+
+namespace {
+
+namespace fault = rt::fault;
+
+constexpr int kServiceCacheVersion = 1;
+
+[[nodiscard]] std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+const char* scale_name(StudyRequest::Scale s) {
+  return s == StudyRequest::Scale::Paper ? "paper" : "bench";
+}
+
+/// Extract `"field": "..."` from one line (the tuning-cache parsing
+/// idiom: flat line-oriented JSON, no JSON library in the runtime).
+[[nodiscard]] std::optional<std::string> quoted_field(const std::string& line,
+                                                      std::string_view field) {
+  std::string probe = "\"";
+  probe += field;
+  probe += "\": \"";
+  const auto at = line.find(probe);
+  if (at == std::string::npos) return std::nullopt;
+  const auto begin = at + probe.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(begin, end - begin);
+}
+
+[[nodiscard]] std::string to_hex(const std::vector<unsigned char>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+[[nodiscard]] std::optional<std::vector<unsigned char>> from_hex(
+    const std::string& text) {
+  if (text.size() % 2 != 0) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::vector<unsigned char> out(text.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = nibble(text[2 * i]), lo = nibble(text[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out[i] = static_cast<unsigned char>(hi << 4 | lo);
+  }
+  return out;
+}
+
+/// On-disk image of the result cache: the tuning-cache file idiom
+/// (version + fingerprint + semantic-content CRC + one entry per line),
+/// published through the checkpoint layer's atomic-rename path.
+struct CacheFile {
+  std::string fingerprint;
+  std::vector<std::pair<std::string, std::vector<unsigned char>>> entries;
+};
+
+[[nodiscard]] std::uint32_t cache_content_crc(const CacheFile& f) {
+  std::uint32_t c =
+      crc32_update(0, f.fingerprint.data(), f.fingerprint.size());
+  for (const auto& [key, blob] : f.entries) {
+    c = crc32_update(c, key.data(), key.size());
+    c = crc32_update(c, "=", 1);
+    c = crc32_update(c, blob.data(), blob.size());
+    c = crc32_update(c, "\n", 1);
+  }
+  return c;
+}
+
+bool write_cache_file(const std::string& path, const CacheFile& f) {
+  std::ostringstream out;
+  out << "{ \"syclport_service_cache\": " << kServiceCacheVersion << ",\n";
+  out << "  \"fingerprint\": \"" << f.fingerprint << "\",\n";
+  out << "  \"crc\": \"" << crc_hex(cache_content_crc(f)) << "\",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < f.entries.size(); ++i) {
+    out << "    { \"key\": \"" << f.entries[i].first << "\", \"blob\": \""
+        << to_hex(f.entries[i].second) << "\" }"
+        << (i + 1 < f.entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return fault::write_file_atomic(path, out.str());
+}
+
+std::optional<CacheFile> read_cache_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = std::move(buf).str();
+
+  CacheFile f;
+  int version = 0;
+  std::optional<std::uint32_t> stored_crc;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    constexpr std::string_view version_probe = "\"syclport_service_cache\": ";
+    if (const auto at = line.find(version_probe); at != std::string::npos) {
+      version = std::atoi(line.c_str() + at + version_probe.size());
+      continue;
+    }
+    if (auto crc = quoted_field(line, "crc")) {
+      std::uint32_t v = 0;
+      if (std::sscanf(crc->c_str(), "%8x", &v) == 1) stored_crc = v;
+      continue;
+    }
+    if (auto fp = quoted_field(line, "fingerprint")) {
+      f.fingerprint = std::move(*fp);
+      continue;
+    }
+    const auto key = quoted_field(line, "key");
+    if (!key) continue;
+    const auto hex = quoted_field(line, "blob");
+    if (!hex) continue;
+    if (auto blob = from_hex(*hex))
+      f.entries.emplace_back(std::move(*key), std::move(*blob));
+  }
+  // Reject anything that is not a well-formed current-version image
+  // with a matching content checksum - the caller recomputes (always
+  // safe) instead of trusting a torn or tampered file.
+  if (version != kServiceCacheVersion || !stored_crc ||
+      *stored_crc != cache_content_crc(f))
+    return std::nullopt;
+  return f;
+}
+
+/// The reduced problem sizes the tests/benches use (Scale::Bench).
+void apply_bench_sizes(StudyRunner& r) {
+  r.set_structured_size(AppId::CloverLeaf2D, {{1920, 1920, 1}, 10});
+  r.set_structured_size(AppId::CloverLeaf3D, {{128, 128, 128}, 10});
+  r.set_structured_size(AppId::OpenSBLI_SA, {{160, 160, 160}, 5});
+  r.set_structured_size(AppId::OpenSBLI_SN, {{160, 160, 160}, 5});
+  r.set_structured_size(AppId::RTM, {{320, 320, 320}, 5});
+  r.set_structured_size(AppId::Acoustic, {{500, 500, 500}, 5});
+  r.set_mgcfd_bench({48, 40, 32, 3, 10});
+}
+
+}  // namespace
+
+std::string request_text(const StudyRequest& q) {
+  std::string t = "app=";
+  t += to_string(q.app);
+  t += ";platform=";
+  t += to_string(q.platform);
+  t += ";model=";
+  t += to_string(q.variant.model);
+  t += ";toolchain=";
+  t += to_string(q.variant.toolchain);
+  t += ";strategy=";
+  t += to_string(q.variant.strategy);
+  t += ";scale=";
+  t += scale_name(q.scale);
+  return t;
+}
+
+std::string request_key(const StudyRequest& q) {
+  const std::string text = request_text(q);
+  return text + "#" + crc_hex(crc32(text.data(), text.size()));
+}
+
+const char* to_string(RequestError e) noexcept {
+  switch (e) {
+    case RequestError::None: return "none";
+    case RequestError::Faulted: return "faulted";
+    case RequestError::Internal: return "internal";
+    case RequestError::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::vector<unsigned char> encode_result(const ExperimentResult& r) {
+  std::vector<unsigned char> out;
+  out.reserve(4 + 7 * sizeof(double) + 4);
+  out.push_back('S');
+  out.push_back('R');
+  out.push_back('1');
+  out.push_back(static_cast<unsigned char>(r.status));
+  const double fields[7] = {r.runtime_s,    r.boundary_s, r.halo_s,
+                            r.useful_bytes, r.flops,      r.eff_bw_gbs,
+                            r.efficiency};
+  for (double v : fields) {
+    unsigned char b[sizeof v];
+    std::memcpy(b, &v, sizeof v);
+    out.insert(out.end(), b, b + sizeof v);
+  }
+  const std::uint32_t crc = crc32(out.data(), out.size());
+  unsigned char b[sizeof crc];
+  std::memcpy(b, &crc, sizeof crc);
+  out.insert(out.end(), b, b + sizeof crc);
+  return out;
+}
+
+std::optional<ExperimentResult> decode_result(const unsigned char* p,
+                                              std::size_t n) {
+  constexpr std::size_t kSize = 4 + 7 * sizeof(double) + 4;
+  if (n != kSize || p[0] != 'S' || p[1] != 'R' || p[2] != '1')
+    return std::nullopt;
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, p + n - 4, 4);
+  if (crc32(p, n - 4) != stored) return std::nullopt;
+  ExperimentResult r;
+  if (p[3] > static_cast<unsigned char>(Status::Unsupported))
+    return std::nullopt;
+  r.status = static_cast<Status>(p[3]);
+  double fields[7];
+  std::memcpy(fields, p + 4, sizeof fields);
+  r.runtime_s = fields[0];
+  r.boundary_s = fields[1];
+  r.halo_s = fields[2];
+  r.useful_bytes = fields[3];
+  r.flops = fields[4];
+  r.eff_bw_gbs = fields[5];
+  r.efficiency = fields[6];
+  return r;
+}
+
+const ResultBlob& Ticket::wait() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return done_.load(std::memory_order_acquire); });
+  if (error_ != RequestError::None) throw service_error(error_, error_what_);
+  return *blob_;
+}
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig cfg;
+  if (const auto path = rt::env::get("SYCLPORT_SERVICE_CACHE"))
+    cfg.cache_path = std::string(*path);
+  if (const auto n = rt::env::get_long("SYCLPORT_SERVICE_BATCH", 1, 1 << 20))
+    cfg.max_batch = static_cast<std::size_t>(*n);
+  if (const auto n = rt::env::get_long("SYCLPORT_SERVICE_SPIN_US", 0, 1000000))
+    cfg.spin_us = static_cast<std::size_t>(*n);
+  return cfg;
+}
+
+Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  fingerprint_ = rt::autotune::device_fingerprint();
+  apply_bench_sizes(bench_runner_);
+  bench_sized_ = true;
+  load_cache();
+  admission_ = std::thread([this] { admission_loop(); });
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::push(Node* n) noexcept {
+  n->next.store(nullptr, std::memory_order_relaxed);
+  Node* prev = tail_.exchange(n, std::memory_order_acq_rel);
+  prev->next.store(n, std::memory_order_release);
+}
+
+Service::Node* Service::pop() noexcept {
+  Node* head = head_;
+  Node* next = head->next.load(std::memory_order_acquire);
+  if (head == &stub_) {
+    if (next == nullptr) return nullptr;
+    head_ = next;
+    head = next;
+    next = next->next.load(std::memory_order_acquire);
+  }
+  if (next != nullptr) {
+    head_ = next;
+    return head;
+  }
+  if (head != tail_.load(std::memory_order_acquire))
+    return nullptr;  // producer mid-push: its next link lands shortly
+  push(&stub_);
+  next = head->next.load(std::memory_order_acquire);
+  if (next != nullptr) {
+    head_ = next;
+    return head;
+  }
+  return nullptr;
+}
+
+void Service::wake() {
+  if (sleeping_.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+}
+
+std::shared_ptr<Ticket> Service::submit(const StudyRequest& q) {
+  auto t = std::make_shared<Ticket>();
+  t->t_submit_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.submitted += 1;
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    complete(t, nullptr, RequestError::Shutdown, "service is shut down",
+             false, false, false);
+    return t;
+  }
+  // Warm-cache fast path: a submit-time hash lookup, no queue round
+  // trip, no admission latency.
+  {
+    const std::string key = request_key(q);
+    std::lock_guard lock(cache_mu_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      const bool persistent = it->second.persistent;
+      auto blob = it->second.blob;
+      if (persistent) {
+        std::lock_guard slock(stats_mu_);
+        stats_.persistent_hits += 1;
+      }
+      complete(t, std::move(blob), RequestError::None, "", true, false,
+               false);
+      return t;
+    }
+  }
+  Node* n = new Node;
+  n->ticket = t;
+  n->req = q;
+  push(n);
+  wake();
+  return t;
+}
+
+void Service::complete(const std::shared_ptr<Ticket>& t,
+                       std::shared_ptr<const ResultBlob> blob,
+                       RequestError err, const std::string& err_what,
+                       bool cache_hit, bool coalesced, bool computed) {
+  const auto now = std::chrono::steady_clock::now();
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(now - t->t_submit_).count();
+  // Stats and telemetry are published *before* the ticket is marked
+  // done: once every wait() has returned, stats() reflects every
+  // completion (the soak test reads counters right after joining).
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.completed += 1;
+    stats_.computed += computed ? 1 : 0;
+    stats_.coalesced += coalesced ? 1 : 0;
+    stats_.cache_hits += cache_hit ? 1 : 0;
+    stats_.errors += err != RequestError::None ? 1 : 0;
+    latencies_ms_.push_back(latency_ms);
+  }
+  sycl::launch_log::instance().append_service(
+      {latency_ms / 1e3, computed, coalesced, cache_hit,
+       err != RequestError::None});
+  {
+    std::lock_guard lock(t->mu_);
+    t->blob_ = std::move(blob);
+    t->error_ = err;
+    t->error_what_ = err_what;
+    t->cache_hit_ = cache_hit;
+    t->coalesced_ = coalesced;
+    t->latency_ms_ = latency_ms;
+    t->done_.store(true, std::memory_order_release);
+  }
+  t->cv_.notify_all();
+}
+
+StudyRunner& Service::runner_for(StudyRequest::Scale scale) {
+  return scale == StudyRequest::Scale::Paper ? paper_runner_ : bench_runner_;
+}
+
+void Service::admission_loop() {
+  std::vector<Node*> round;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (paused_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    round.clear();
+    while (round.size() < cfg_.max_batch) {
+      Node* n = pop();
+      if (n == nullptr) break;
+      round.push_back(n);
+    }
+    if (!round.empty()) {
+      execute_round(round);
+      continue;
+    }
+    // Empty queue: spin briefly (back-to-back submits skip the condvar
+    // wake latency, the executor idiom), then park. The timed wait
+    // bounds any missed-notify window, so the loop can never wedge.
+    const auto spin_until = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(cfg_.spin_us);
+    bool got = false;
+    while (std::chrono::steady_clock::now() < spin_until) {
+      if (head_ != tail_.load(std::memory_order_acquire)) {
+        got = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (got) continue;
+    std::unique_lock lock(wake_mu_);
+    sleeping_.store(true, std::memory_order_seq_cst);
+    if (head_ == tail_.load(std::memory_order_acquire) &&
+        !stop_.load(std::memory_order_acquire))
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    sleeping_.store(false, std::memory_order_seq_cst);
+  }
+}
+
+void Service::execute_round(std::vector<Node*>& nodes) {
+  // Admission: coalesce duplicate keys into groups, serving any key
+  // the cache filled since submit time.
+  std::vector<std::unique_ptr<Group>> groups;
+  std::unordered_map<std::string, Group*> by_key;
+  for (Node* n : nodes) {
+    const std::string key = request_key(n->req);
+    {
+      std::lock_guard lock(cache_mu_);
+      if (const auto it = cache_.find(key); it != cache_.end()) {
+        auto blob = it->second.blob;
+        complete(n->ticket, std::move(blob), RequestError::None, "", true,
+                 false, false);
+        delete n;
+        continue;
+      }
+    }
+    if (const auto it = by_key.find(key); it != by_key.end()) {
+      it->second->waiters.push_back(std::move(n->ticket));
+    } else {
+      auto g = std::make_unique<Group>();
+      g->req = n->req;
+      g->key = key;
+      g->waiters.push_back(std::move(n->ticket));
+      by_key.emplace(key, g.get());
+      groups.push_back(std::move(g));
+    }
+    delete n;
+  }
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.batches += 1;
+    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, nodes.size());
+  }
+  nodes.clear();
+  if (groups.empty()) return;
+
+  // Serial phase: support gate, deterministic fault roll (admission
+  // order), and one loop-schedule build per compatible class - the
+  // batching win: every group of the class after the first reuses the
+  // cached schedule.
+  for (auto& g : groups) {
+    g->support = SupportMatrix::paper().status(g->req.platform, g->req.app,
+                                               g->req.variant);
+    if (fault::armed())
+      if (const auto r = fault::roll(fault::Site::ServiceFail); r.fire)
+        g->inject_fault = true;
+    if (g->support != Status::Ok || g->inject_fault) continue;
+    try {
+      StudyRunner& runner = runner_for(g->req.scale);
+      std::lock_guard lock(runner_mu_);
+      const std::size_t before = runner.schedule_count();
+      g->profiles = runner.schedule_for(g->req.app, g->req.variant);
+      if (runner.schedule_count() != before) {
+        std::lock_guard slock(stats_mu_);
+        stats_.schedule_builds += 1;
+      }
+    } catch (const fault::fault_injected_error& e) {
+      g->err = RequestError::Faulted;
+      g->err_what = e.what();
+    } catch (const std::exception& e) {
+      g->err = RequestError::Internal;
+      g->err_what = e.what();
+    }
+  }
+
+  // Parallel phase: shard the pure per-cell aggregation across the
+  // work-stealing executor (inline for a single group).
+  auto compute_group = [](Group& g) {
+    if (g.inject_fault) {
+      g.err = RequestError::Faulted;
+      g.err_what = "svc.fail injected failure for key " + g.key;
+      fault::note_recovered(fault::Site::ServiceFail);
+      return;
+    }
+    if (g.err != RequestError::None) return;
+    try {
+      ExperimentResult r;
+      if (g.support != Status::Ok)
+        r.status = g.support;
+      else
+        r = aggregate_cell(g.profiles, g.req.app, g.req.platform,
+                           g.req.variant);
+      auto blob = std::make_shared<ResultBlob>();
+      blob->result = r;
+      blob->bytes = encode_result(r);
+      g.blob = std::move(blob);
+    } catch (const fault::fault_injected_error& e) {
+      g.err = RequestError::Faulted;
+      g.err_what = e.what();
+    } catch (const std::exception& e) {
+      g.err = RequestError::Internal;
+      g.err_what = e.what();
+    }
+  };
+  if (groups.size() == 1) {
+    compute_group(*groups.front());
+  } else {
+    rt::ThreadPool::global().run_chunks(
+        groups.size(), [&](std::size_t i) { compute_group(*groups[i]); });
+  }
+
+  // Completion: publish blobs to the content-addressed cache (errors
+  // are never cached) and release every waiter - the first waiter of a
+  // group is the compute it rode, the rest are coalesced.
+  for (auto& g : groups) {
+    if (g->err == RequestError::None) {
+      std::lock_guard lock(cache_mu_);
+      cache_.emplace(g->key, CachedResult{g->blob, false});
+    }
+    for (std::size_t i = 0; i < g->waiters.size(); ++i) {
+      if (g->err != RequestError::None)
+        complete(g->waiters[i], nullptr, g->err, g->err_what, false, i > 0,
+                 false);
+      else
+        complete(g->waiters[i], g->blob, RequestError::None, "", false, i > 0,
+                 i == 0);
+    }
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  std::vector<double> lat;
+  {
+    std::lock_guard lock(stats_mu_);
+    s = stats_;
+    lat = latencies_ms_;
+  }
+  if (!lat.empty()) {
+    double sum = 0.0;
+    for (double v : lat) sum += v;
+    s.mean_ms = sum / static_cast<double>(lat.size());
+    s.p50_ms = stats::percentile(lat, 50.0);
+    s.p95_ms = stats::percentile(lat, 95.0);
+    s.p99_ms = stats::percentile(lat, 99.0);
+  }
+  return s;
+}
+
+void Service::load_cache() {
+  if (cfg_.cache_path.empty()) return;
+  const auto file = read_cache_file(cfg_.cache_path);
+  // A fingerprint mismatch is a valid image for some other machine:
+  // treated as cold, and save_cache() preserves nothing from it (the
+  // study results are modeled, but the fingerprint gate keeps the
+  // cache semantics identical to the tuning cache's).
+  if (!file || file->fingerprint != fingerprint_) return;
+  std::lock_guard lock(cache_mu_);
+  for (const auto& [key, bytes] : file->entries) {
+    const auto r = decode_result(bytes.data(), bytes.size());
+    if (!r) continue;  // damaged entry: recompute rather than trust it
+    auto blob = std::make_shared<ResultBlob>();
+    blob->result = *r;
+    blob->bytes = bytes;
+    cache_.emplace(key, CachedResult{std::move(blob), true});
+  }
+}
+
+bool Service::save_cache() {
+  if (cfg_.cache_path.empty()) return false;
+  CacheFile f;
+  f.fingerprint = fingerprint_;
+  {
+    std::lock_guard lock(cache_mu_);
+    f.entries.reserve(cache_.size());
+    for (const auto& [key, cached] : cache_)
+      f.entries.emplace_back(key, cached.blob->bytes);
+  }
+  std::sort(f.entries.begin(), f.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Merge-on-load: keep keys another writer persisted since our load,
+  // then publish the union atomically (unique temp + rename) - the
+  // same concurrent-rewrite contract as the tuning cache.
+  if (const auto existing = read_cache_file(cfg_.cache_path);
+      existing && existing->fingerprint == fingerprint_) {
+    for (const auto& e : existing->entries) {
+      const bool have = std::any_of(
+          f.entries.begin(), f.entries.end(),
+          [&](const auto& mine) { return mine.first == e.first; });
+      if (!have && decode_result(e.second.data(), e.second.size()))
+        f.entries.push_back(e);
+    }
+  }
+  return write_cache_file(cfg_.cache_path, f);
+}
+
+void Service::resume_admission() {
+  paused_.store(false, std::memory_order_release);
+  wake();
+}
+
+void Service::shutdown() {
+  if (!accepting_.exchange(false, std::memory_order_acq_rel)) return;
+  paused_.store(false, std::memory_order_release);
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+  if (admission_.joinable()) admission_.join();
+  // Fail whatever the admission loop never drained with a typed error;
+  // the queue is single-consumer and the consumer is gone, so this
+  // thread owns it now.
+  for (Node* n = pop(); n != nullptr; n = pop()) {
+    complete(n->ticket, nullptr, RequestError::Shutdown,
+             "service shut down before the request was served", false, false,
+             false);
+    delete n;
+  }
+  save_cache();
+}
+
+}  // namespace syclport::study

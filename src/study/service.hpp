@@ -1,0 +1,280 @@
+#pragma once
+/// \file service.hpp
+/// Portability-study-as-a-service: a long-running in-process daemon
+/// that serves study queries (app x variant x platform x scale) to many
+/// concurrent client sessions (ROADMAP item 1; docs/service.md).
+///
+/// Sessions submit StudyRequests over a lock-free MPSC queue (Vyukov
+/// intrusive list: wait-free producers, single consumer). An admission
+/// controller drains the queue in bounded rounds, coalesces duplicate
+/// in-flight requests (one compute, N waiters, all sharing the same
+/// result bytes), batches compatible ones so a loop schedule is built
+/// once per (app, backend family, strategy, scale) class, and shards
+/// the per-cell aggregation of a round across the work-stealing
+/// executor. Results are served from a content-addressed cache keyed by
+/// the request CRC (request_key) and guarded on disk by the device
+/// fingerprint, persisted through the same atomic-rename + CRC32
+/// machinery as checkpoints and the tuning cache - a warm-cache query
+/// is a hash lookup at submit time, never a kernel sweep.
+///
+/// Failure story: request computation under an armed SYCLPORT_FAULT
+/// plan (the `svc.fail` site, or any fault escaping the model run)
+/// completes every waiter of the key with a *typed* service_error; the
+/// admission loop itself never dies, so the queue cannot wedge and the
+/// service keeps accepting requests. Errors are never cached.
+///
+/// Telemetry: per-request outcomes flow into sycl::launch_log
+/// (service_telemetry: throughput, dedup, cache hits, p50/p95/p99
+/// latency) and into ServiceStats for the owning process.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "study/study.hpp"
+
+namespace syclport::study {
+
+/// One study query: which experiment cell, at which problem scale.
+struct StudyRequest {
+  AppId app = AppId::CloverLeaf2D;
+  PlatformId platform = PlatformId::A100;
+  Variant variant{};
+  /// Problem-scale selector: Paper models the paper's problem sizes
+  /// (seconds of cold work per schedule class), Bench the reduced
+  /// test/bench sizes (milliseconds).
+  enum class Scale : std::uint8_t { Paper, Bench };
+  Scale scale = Scale::Bench;
+
+  friend bool operator==(const StudyRequest&, const StudyRequest&) = default;
+};
+
+/// Canonical wire text of a request - the bytes under the key CRC.
+[[nodiscard]] std::string request_text(const StudyRequest& q);
+
+/// Content-address of a request: the canonical text plus its CRC32
+/// ("...#xxxxxxxx"), stable across processes and sessions. The
+/// persistent layer additionally gates files on the device fingerprint,
+/// mirroring the tuning cache (docs/service.md).
+[[nodiscard]] std::string request_key(const StudyRequest& q);
+
+/// Typed per-session failure modes (never a wedged queue: every failed
+/// request completes with one of these).
+enum class RequestError : std::uint8_t {
+  None,
+  Faulted,   ///< fault layer injected a failure into the computation
+  Internal,  ///< unexpected exception escaped the model run
+  Shutdown,  ///< service stopped before the request was served
+};
+[[nodiscard]] const char* to_string(RequestError e) noexcept;
+
+class service_error : public std::runtime_error {
+ public:
+  service_error(RequestError kind_arg, const std::string& what_arg)
+      : std::runtime_error(what_arg), kind(kind_arg) {}
+  RequestError kind = RequestError::Internal;
+};
+
+/// The reply every waiter of a key receives: the serialized
+/// ExperimentResult (fixed little-endian layout with a CRC32 trailer)
+/// plus its decoded form. Coalesced waiters share one blob, so
+/// "identical bytes" holds structurally.
+struct ResultBlob {
+  std::vector<unsigned char> bytes;
+  ExperimentResult result;
+};
+
+/// Serialize / deserialize the wire layout ("SR1" magic, status byte,
+/// seven doubles, CRC32 trailer). decode_result returns nullopt on a
+/// torn or tampered image.
+[[nodiscard]] std::vector<unsigned char> encode_result(
+    const ExperimentResult& r);
+[[nodiscard]] std::optional<ExperimentResult> decode_result(
+    const unsigned char* p, std::size_t n);
+
+/// A pending reply: created by Service::submit, completed by the
+/// admission loop (or inline on a warm-cache hit). Thread-safe.
+class Ticket {
+ public:
+  /// Block until completion; returns the shared blob or throws the
+  /// typed service_error the request ended with.
+  const ResultBlob& wait();
+  [[nodiscard]] bool ready() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+  /// Served-by flags and latency; valid once ready().
+  [[nodiscard]] bool cache_hit() const noexcept { return cache_hit_; }
+  [[nodiscard]] bool coalesced() const noexcept { return coalesced_; }
+  [[nodiscard]] double latency_ms() const noexcept { return latency_ms_; }
+
+ private:
+  friend class Service;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> done_{false};
+  std::shared_ptr<const ResultBlob> blob_;
+  RequestError error_ = RequestError::None;
+  std::string error_what_;
+  bool cache_hit_ = false;
+  bool coalesced_ = false;
+  double latency_ms_ = 0.0;
+  std::chrono::steady_clock::time_point t_submit_;
+};
+
+/// Cumulative service telemetry (stats() snapshot).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t computed = 0;    ///< fresh kernel-sweep computations
+  std::uint64_t coalesced = 0;   ///< waiters that rode another compute
+  std::uint64_t cache_hits = 0;  ///< served by the content-addressed cache
+  std::uint64_t persistent_hits = 0;  ///< ...from the on-disk cache image
+  std::uint64_t errors = 0;           ///< typed-error completions
+  std::uint64_t batches = 0;          ///< admission rounds executed
+  std::uint64_t max_batch = 0;        ///< largest round drained
+  std::uint64_t schedule_builds = 0;  ///< cold loop-schedule constructions
+  double mean_ms = 0.0;  ///< response latency over completed requests
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  /// Fraction of completed requests served without a fresh compute.
+  [[nodiscard]] double dedup_ratio() const {
+    return completed == 0 ? 0.0
+                          : 1.0 - static_cast<double>(computed) /
+                                      static_cast<double>(completed);
+  }
+  [[nodiscard]] double cache_hit_rate() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(cache_hits) /
+                                static_cast<double>(completed);
+  }
+};
+
+/// Service knobs, defaulted from SYCLPORT_SERVICE_* (docs/service.md).
+struct ServiceConfig {
+  /// Persistent result-cache path ("" = in-memory only).
+  std::string cache_path;
+  /// Max requests admitted per dispatch round (bounds per-round latency).
+  std::size_t max_batch = 256;
+  /// Microseconds the admission loop spins on an empty queue before
+  /// parking on the wake condvar.
+  std::size_t spin_us = 50;
+
+  [[nodiscard]] static ServiceConfig from_env();
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg = ServiceConfig::from_env());
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit a request. Warm-cache queries complete inline (a hash
+  /// lookup); everything else enqueues on the lock-free MPSC queue for
+  /// the admission controller. Never blocks on computation.
+  std::shared_ptr<Ticket> submit(const StudyRequest& q);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Persist the result cache now (merge-on-load + atomic rename).
+  /// False when no cache path is configured or on I/O failure. Also
+  /// runs automatically at shutdown.
+  bool save_cache();
+
+  /// Stop accepting work: pending and future requests complete with a
+  /// typed Shutdown error; the admission thread is joined. Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  /// Testing hooks: while paused, the admission loop drains nothing,
+  /// so a burst of duplicate submissions lands in one round and the
+  /// coalescing path is deterministic.
+  void pause_admission() { paused_.store(true, std::memory_order_release); }
+  void resume_admission();
+
+ private:
+  /// Intrusive MPSC queue node (Vyukov). Producers own allocation, the
+  /// admission loop owns deallocation after the pop.
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::shared_ptr<Ticket> ticket;
+    StudyRequest req;
+  };
+
+  /// One unique in-flight key of a round and its waiters.
+  struct Group {
+    StudyRequest req;
+    std::string key;
+    std::vector<std::shared_ptr<Ticket>> waiters;
+    std::span<const hw::LoopProfile> profiles;  ///< filled serially
+    Status support = Status::Ok;
+    bool inject_fault = false;  ///< svc.fail rolled for this group
+    std::shared_ptr<const ResultBlob> blob;
+    RequestError err = RequestError::None;
+    std::string err_what;
+  };
+
+  struct CachedResult {
+    std::shared_ptr<const ResultBlob> blob;
+    bool persistent = false;  ///< loaded from the on-disk image
+  };
+
+  void push(Node* n) noexcept;
+  Node* pop() noexcept;
+  void wake();
+  void admission_loop();
+  void execute_round(std::vector<Node*>& nodes);
+  void complete(const std::shared_ptr<Ticket>& t,
+                std::shared_ptr<const ResultBlob> blob, RequestError err,
+                const std::string& err_what, bool cache_hit, bool coalesced,
+                bool computed);
+  StudyRunner& runner_for(StudyRequest::Scale scale);
+  void load_cache();
+
+  ServiceConfig cfg_;
+  std::string fingerprint_;
+
+  // Lock-free MPSC submission queue.
+  Node stub_;
+  std::atomic<Node*> tail_{&stub_};
+  Node* head_ = &stub_;  ///< admission-thread-owned
+
+  // Admission-loop parking.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> sleeping_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> accepting_{true};
+
+  // Content-addressed result cache (memory image; disk via save_cache).
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, CachedResult> cache_;
+
+  // Schedule providers (one per scale; schedule builds are serialized).
+  std::mutex runner_mu_;
+  StudyRunner paper_runner_;
+  StudyRunner bench_runner_;
+  bool bench_sized_ = false;
+
+  // Telemetry.
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+  std::vector<double> latencies_ms_;
+
+  std::thread admission_;
+};
+
+}  // namespace syclport::study

@@ -1,0 +1,60 @@
+#include "study/session.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/mem/mem.hpp"
+
+namespace syclport::study {
+
+Session::Session(Service& svc, std::string name)
+    : svc_(svc), name_(std::move(name)) {}
+
+Session::~Session() {
+  for (void* block : arena_) rt::mem::dealloc(block);
+}
+
+std::span<const unsigned char> Session::arena_copy(
+    std::span<const unsigned char> bytes) {
+  if (bytes.empty()) return {};
+  void* block = rt::mem::alloc(bytes.size(), rt::mem::Init::None);
+  std::memcpy(block, bytes.data(), bytes.size());
+  arena_.push_back(block);
+  stats_.arena_bytes += bytes.size();
+  stats_.arena_blocks += 1;
+  return {static_cast<const unsigned char*>(block), bytes.size()};
+}
+
+std::size_t Session::submit(const StudyRequest& q) {
+  stats_.requests += 1;
+  pending_.push_back(svc_.submit(q));
+  return pending_.size() - 1;
+}
+
+Session::Reply Session::finish(std::size_t handle) {
+  if (handle >= pending_.size() || !pending_[handle])
+    throw std::logic_error("Session::finish: bad or already-finished handle");
+  const std::shared_ptr<Ticket> t = std::move(pending_[handle]);
+  try {
+    const ResultBlob& blob = t->wait();
+    Reply r;
+    r.result = blob.result;
+    r.bytes = arena_copy({blob.bytes.data(), blob.bytes.size()});
+    r.cache_hit = t->cache_hit();
+    r.coalesced = t->coalesced();
+    r.latency_ms = t->latency_ms();
+    stats_.cache_hits += r.cache_hit ? 1 : 0;
+    stats_.coalesced += r.coalesced ? 1 : 0;
+    return r;
+  } catch (const service_error&) {
+    stats_.errors += 1;
+    throw;
+  }
+}
+
+Session::Reply Session::query(const StudyRequest& q) {
+  return finish(submit(q));
+}
+
+}  // namespace syclport::study

@@ -1,0 +1,75 @@
+#pragma once
+/// \file session.hpp
+/// A client session of the study service: the handle one tenant holds.
+/// Sessions submit requests to a shared Service and receive replies
+/// whose result bytes are copied into a per-session arena backed by
+/// rt::mem - the service's cache blobs stay shared and immutable, while
+/// every tenant owns the lifetime of its own copies (freed wholesale
+/// when the session ends, the arena idiom). A session is owned by one
+/// client thread; the Service underneath is the concurrent object.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "study/service.hpp"
+
+namespace syclport::study {
+
+class Session {
+ public:
+  /// Attach to a service. `name` labels the session in diagnostics.
+  explicit Session(Service& svc, std::string name = "");
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// One completed request as the tenant sees it.
+  struct Reply {
+    ExperimentResult result;
+    /// The serialized result, copied into this session's arena: valid
+    /// until the session is destroyed, independent of the service.
+    std::span<const unsigned char> bytes;
+    bool cache_hit = false;
+    bool coalesced = false;
+    double latency_ms = 0.0;
+  };
+
+  /// Submit without blocking; returns a handle for finish(). A session
+  /// may keep any number of requests in flight.
+  [[nodiscard]] std::size_t submit(const StudyRequest& q);
+
+  /// Block until the submitted request completes; throws the typed
+  /// service_error on failure. Each handle may be finished once.
+  Reply finish(std::size_t handle);
+
+  /// Synchronous convenience: submit + finish.
+  Reply query(const StudyRequest& q);
+
+  /// Per-session accounting.
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;      ///< typed-error completions observed
+    std::uint64_t cache_hits = 0;
+    std::uint64_t coalesced = 0;
+    std::size_t arena_bytes = 0;   ///< live bytes held by reply copies
+    std::size_t arena_blocks = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  /// Copy `bytes` into a fresh rt::mem block owned by this session.
+  [[nodiscard]] std::span<const unsigned char> arena_copy(
+      std::span<const unsigned char> bytes);
+
+  Service& svc_;
+  std::string name_;
+  std::vector<std::shared_ptr<Ticket>> pending_;
+  std::vector<void*> arena_;  ///< rt::mem blocks, freed at destruction
+  Stats stats_;
+};
+
+}  // namespace syclport::study

@@ -191,8 +191,13 @@ ExperimentResult StudyRunner::run(AppId app, PlatformId platform,
   ExperimentResult r;
   r.status = SupportMatrix::paper().status(platform, app, v);
   if (r.status != Status::Ok) return r;
+  return aggregate_cell(schedule(app, v), app, platform, v);
+}
 
-  const auto& profiles = schedule(app, v);
+ExperimentResult aggregate_cell(std::span<const hw::LoopProfile> profiles,
+                                AppId app, PlatformId platform,
+                                const Variant& v) {
+  ExperimentResult r;
   const hw::DeviceModel dm(platform, v, app);
   const hw::Platform& hwp = dm.hw();
   const int ranks = hw::ranks_for(platform, v);

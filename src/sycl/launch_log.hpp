@@ -25,6 +25,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/autotune/config.hpp"
@@ -101,6 +102,51 @@ struct FusionStats {
   double rw_copy_bytes = 0.0;
 };
 
+/// Distribution summary of a set of timing samples: count, total, mean
+/// and the p50/p95/p99 tail percentiles (stats::percentile). The study
+/// report and the service telemetry print these columns so tail
+/// behaviour is visible next to the means the paper quotes.
+struct TimingSummary {
+  std::size_t count = 0;
+  double total_s = 0.0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+};
+
+/// Summarize arbitrary samples (seconds) into a TimingSummary.
+[[nodiscard]] TimingSummary summarize_timings(
+    const std::vector<double>& seconds);
+
+/// One study-service request outcome, reported by study::Service when
+/// the request completes (docs/service.md). Recorded unconditionally -
+/// the service counters are part of the process telemetry like
+/// memory_stats(), not of the per-launch trace.
+struct service_event {
+  double latency_s = 0.0;  ///< submit-to-completion wall time
+  bool computed = false;   ///< a fresh kernel sweep served it
+  bool coalesced = false;  ///< rode an identical in-flight request
+  bool cache_hit = false;  ///< served by the content-addressed cache
+  bool error = false;      ///< completed with a typed error
+};
+
+/// Cumulative study-service telemetry for this process.
+struct ServiceTelemetry {
+  std::uint64_t completed = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t errors = 0;
+  TimingSummary latency;  ///< over the retained latency samples
+
+  [[nodiscard]] double cache_hit_rate() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(cache_hits) /
+                                static_cast<double>(completed);
+  }
+};
+
 /// Process-wide, thread-safe launch log.
 class launch_log {
  public:
@@ -160,11 +206,29 @@ class launch_log {
     return fs;
   }
 
+  /// p50/p95/p99 summary over host_seconds of every recorded launch.
+  [[nodiscard]] TimingSummary timing_summary() const;
+
+  /// Same, split per kernel site (name-sorted) - the study report's
+  /// per-kernel tail-latency table.
+  [[nodiscard]] std::vector<std::pair<std::string, TimingSummary>>
+  kernel_timing_summaries() const;
+
+  /// Record one study-service request outcome (always on; cheap).
+  /// Latency samples are retained up to a fixed cap so a multi-hour
+  /// soak cannot grow the log unboundedly - p99 over the first 64K
+  /// samples is plenty stable.
+  void append_service(const service_event& e);
+
+  [[nodiscard]] ServiceTelemetry service_telemetry() const;
+
   void clear() {
     std::lock_guard lock(mu_);
     records_.clear();
     commands_.clear();
     fusions_.clear();
+    service_ = ServiceTelemetry{};
+    service_latencies_.clear();
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -201,6 +265,8 @@ class launch_log {
   std::vector<launch_record> records_;
   std::vector<command_record> commands_;
   std::vector<fusion_record> fusions_;
+  ServiceTelemetry service_;  ///< latency field filled on snapshot
+  std::vector<double> service_latencies_;
 };
 
 }  // namespace sycl

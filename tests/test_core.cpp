@@ -93,6 +93,31 @@ TEST(Statistics, MedianOddEven) {
   EXPECT_DOUBLE_EQ(sp::stats::median(even), 2.5);
 }
 
+TEST(Statistics, PercentileInterpolatesType7) {
+  // 1..10 unsorted: rank r = p/100 * (n-1), linear interpolation.
+  std::vector<double> xs{7.0, 1.0, 9.0, 3.0, 5.0, 2.0, 8.0, 10.0, 6.0, 4.0};
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(xs, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(xs, 50.0), 5.5);
+  EXPECT_NEAR(sp::stats::percentile(xs, 95.0), 9.55, 1e-12);
+  EXPECT_NEAR(sp::stats::percentile(xs, 99.0), 9.91, 1e-12);
+  // p50 agrees with the median for odd and even counts alike.
+  std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(odd, 50.0), sp::stats::median(odd));
+}
+
+TEST(Statistics, PercentileEdgeCases) {
+  std::vector<double> none;
+  EXPECT_EQ(sp::stats::percentile(none, 99.0), 0.0);
+  std::vector<double> one{4.2};
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(one, 0.0), 4.2);
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(one, 99.0), 4.2);
+  // Out-of-range p clamps instead of reading out of bounds.
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(sp::stats::percentile(xs, 150.0), 3.0);
+}
+
 TEST(PPMetric, HarmonicMeanWhenAllSupported) {
   std::vector<double> eff{0.5, 0.5, 0.5};
   EXPECT_DOUBLE_EQ(sp::pp_metric(eff), 0.5);

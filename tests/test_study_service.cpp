@@ -1,0 +1,331 @@
+// Study-service tests: the multi-tenant daemon contract. Duplicate
+// in-flight requests are computed exactly once and every waiter sees
+// identical result bytes; thousands of sessions complete with a bounded
+// tail and a warm cache-hit rate; injected faults end as typed
+// per-session errors with the service still accepting; the persistent
+// result cache round-trips through the atomic-rename + CRC path; and
+// the tuning cache survives many concurrent writers (the contention
+// fix this PR ships).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/autotune/cache.hpp"
+#include "runtime/fault/fault.hpp"
+#include "study/service.hpp"
+#include "study/session.hpp"
+
+using namespace syclport;
+using namespace syclport::study;
+
+namespace {
+
+namespace fault = rt::fault;
+
+StudyRequest bench_request(AppId a, PlatformId p, const Variant& v) {
+  return {a, p, v, StudyRequest::Scale::Bench};
+}
+
+const Variant kCuda{Model::CUDA, Toolchain::Native};
+const Variant kDpcppNd{Model::SYCLNDRange, Toolchain::DPCPP};
+const Variant kOsyclFlat{Model::SYCLFlat, Toolchain::OpenSYCL};
+
+/// A small pool of distinct supported cells for soak mixes.
+std::vector<StudyRequest> request_pool() {
+  return {
+      bench_request(AppId::CloverLeaf2D, PlatformId::A100, kCuda),
+      bench_request(AppId::CloverLeaf2D, PlatformId::A100, kDpcppNd),
+      bench_request(AppId::CloverLeaf2D, PlatformId::Altra, kOsyclFlat),
+      bench_request(AppId::Acoustic, PlatformId::A100, kDpcppNd),
+      bench_request(AppId::Acoustic, PlatformId::GenoaX, kDpcppNd),
+      bench_request(AppId::RTM, PlatformId::MI250X, kDpcppNd),
+  };
+}
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+}  // namespace
+
+TEST(StudyService, RequestKeyIsContentAddressed) {
+  const auto a = bench_request(AppId::RTM, PlatformId::A100, kCuda);
+  auto b = a;
+  EXPECT_EQ(request_key(a), request_key(b));
+  b.platform = PlatformId::MI250X;
+  EXPECT_NE(request_key(a), request_key(b));
+  b = a;
+  b.scale = StudyRequest::Scale::Paper;
+  EXPECT_NE(request_key(a), request_key(b));
+  // The key carries its own CRC: "text#xxxxxxxx".
+  const auto key = request_key(a);
+  EXPECT_NE(key.find('#'), std::string::npos);
+}
+
+TEST(StudyService, ResultBlobRoundTripsAndRejectsTampering) {
+  ExperimentResult r;
+  r.status = Status::Ok;
+  r.runtime_s = 1.25;
+  r.eff_bw_gbs = 987.0;
+  r.efficiency = 0.82;
+  auto bytes = encode_result(r);
+  const auto back = decode_result(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, Status::Ok);
+  EXPECT_DOUBLE_EQ(back->runtime_s, 1.25);
+  EXPECT_DOUBLE_EQ(back->efficiency, 0.82);
+
+  bytes[10] ^= 0x40;  // flip one payload bit: the CRC trailer must catch it
+  EXPECT_FALSE(decode_result(bytes.data(), bytes.size()).has_value());
+  bytes[10] ^= 0x40;
+  EXPECT_FALSE(decode_result(bytes.data(), bytes.size() - 1).has_value());
+}
+
+TEST(StudyService, DuplicatesComputedOnceWithIdenticalBytes) {
+  Service svc({/*cache_path=*/"", /*max_batch=*/256, /*spin_us=*/10});
+  // Hold admission so every duplicate lands in one drain round - the
+  // deterministic coalescing path, not a cache-hit race.
+  svc.pause_admission();
+  const auto q = bench_request(AppId::Acoustic, PlatformId::A100, kDpcppNd);
+  constexpr int kWaiters = 32;
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  for (int i = 0; i < kWaiters; ++i) tickets.push_back(svc.submit(q));
+  svc.resume_admission();
+
+  std::set<const ResultBlob*> blobs;
+  int coalesced = 0;
+  for (auto& t : tickets) {
+    const ResultBlob& blob = t->wait();
+    EXPECT_EQ(blob.result.status, Status::Ok);
+    blobs.insert(&blob);
+    coalesced += t->coalesced() ? 1 : 0;
+  }
+  // One compute, one shared blob: "identical bytes" holds structurally.
+  EXPECT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(coalesced, kWaiters - 1);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kWaiters));
+  EXPECT_EQ(s.computed, 1u);
+  EXPECT_EQ(s.coalesced, static_cast<std::uint64_t>(kWaiters - 1));
+  EXPECT_EQ(s.errors, 0u);
+
+  // The same request again is now a warm hit served at submit time.
+  auto warm = svc.submit(q);
+  const ResultBlob& blob = warm->wait();
+  EXPECT_TRUE(warm->cache_hit());
+  EXPECT_EQ(blob.bytes, (*blobs.begin())->bytes);
+}
+
+TEST(StudyService, SoakThousandsOfSessionsBoundedTail) {
+  Service svc({/*cache_path=*/"", /*max_batch=*/256, /*spin_us=*/10});
+  const auto pool = request_pool();
+  // Pre-warm every distinct cell so the soak measures the steady state
+  // the service is built for: cache hits + occasional coalescing.
+  {
+    Session warm(svc, "warm");
+    for (const auto& q : pool) (void)warm.query(q);
+  }
+
+  constexpr std::size_t kThreads = 16;
+  constexpr std::size_t kSessionsPerThread = 64;  // 1024 sessions total
+  constexpr std::size_t kRequestsPerSession = 4;
+  std::atomic<std::uint64_t> replies{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (std::size_t sidx = 0; sidx < kSessionsPerThread; ++sidx) {
+        Session session(svc, "soak");
+        std::vector<std::size_t> handles;
+        for (std::size_t i = 0; i < kRequestsPerSession; ++i)
+          handles.push_back(
+              session.submit(pool[(t * 31 + sidx * 7 + i) % pool.size()]));
+        for (std::size_t h : handles) {
+          try {
+            const auto reply = session.finish(h);
+            EXPECT_TRUE(reply.result.ok());
+            EXPECT_FALSE(reply.bytes.empty());
+            replies.fetch_add(1, std::memory_order_relaxed);
+          } catch (const service_error&) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  constexpr std::uint64_t kTotal =
+      kThreads * kSessionsPerThread * kRequestsPerSession;
+  EXPECT_EQ(replies.load(), kTotal);
+  EXPECT_EQ(errors.load(), 0u);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, kTotal + pool.size());  // soak + the warm pass
+  // Warm steady state: nearly everything is a cache hit, nothing is
+  // recomputed.
+  EXPECT_GT(s.cache_hit_rate(), 0.9);
+  EXPECT_LE(s.computed, pool.size());
+  EXPECT_GT(s.dedup_ratio(), 0.9);
+  // Bounded tail: the percentile estimator must see every completion,
+  // and the p99 of a warm soak stays within an (intentionally generous,
+  // TSan-tolerant) envelope.
+  EXPECT_GT(s.p50_ms, 0.0);
+  EXPECT_GE(s.p99_ms, s.p50_ms);
+  EXPECT_LT(s.p99_ms, 5000.0);
+}
+
+TEST(StudyService, FaultsBecomeTypedErrorsAndServiceKeepsServing) {
+  // Fire the first three occurrences of svc.fail deterministically.
+  ASSERT_TRUE(fault::configure("17:svc.fail=1.0x3"));
+  Service svc({/*cache_path=*/"", /*max_batch=*/256, /*spin_us=*/10});
+  Session session(svc, "faulty");
+
+  const auto pool = request_pool();
+  int faulted = 0, ok = 0;
+  for (const auto& q : pool) {
+    try {
+      const auto reply = session.query(q);
+      EXPECT_TRUE(reply.result.ok());
+      ok += 1;
+    } catch (const service_error& e) {
+      EXPECT_EQ(e.kind, RequestError::Faulted);
+      faulted += 1;
+    }
+  }
+  EXPECT_EQ(faulted, 3);
+  EXPECT_EQ(ok, static_cast<int>(pool.size()) - 3);
+  fault::clear();
+
+  // Errors were never cached: the faulted cells compute fine now, and
+  // the service is still accepting (no wedged queue).
+  for (const auto& q : pool) {
+    const auto reply = session.query(q);
+    EXPECT_TRUE(reply.result.ok());
+  }
+  const auto s = svc.stats();
+  EXPECT_EQ(s.errors, 3u);
+  EXPECT_EQ(session.stats().errors, 3u);
+  svc.shutdown();
+
+  // Post-shutdown submissions fail typed, not silently.
+  EXPECT_THROW((void)svc.submit(pool[0])->wait(), service_error);
+}
+
+TEST(StudyService, PersistentCacheRoundTrip) {
+  TempFile file("service_cache_test.json");
+  const auto q0 = bench_request(AppId::CloverLeaf2D, PlatformId::A100, kCuda);
+  const auto q1 = bench_request(AppId::RTM, PlatformId::MI250X, kDpcppNd);
+
+  std::vector<unsigned char> bytes0;
+  {
+    Service svc({file.path, 256, 10});
+    Session session(svc, "writer");
+    const auto r = session.query(q0);
+    bytes0.assign(r.bytes.begin(), r.bytes.end());
+    (void)session.query(q1);
+    svc.shutdown();  // persists the cache image
+  }
+  {
+    Service svc({file.path, 256, 10});
+    Session session(svc, "reader");
+    const auto r = session.query(q0);
+    EXPECT_TRUE(r.cache_hit);
+    EXPECT_EQ(std::vector<unsigned char>(r.bytes.begin(), r.bytes.end()),
+              bytes0);
+    const auto s = svc.stats();
+    EXPECT_EQ(s.computed, 0u);
+    EXPECT_EQ(s.persistent_hits, 1u);
+  }
+  // A truncated image is rejected wholesale: cold start, no crash.
+  {
+    FILE* f = std::fopen(file.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    ASSERT_EQ(ftruncate(fileno(f), size / 2), 0);
+    std::fclose(f);
+    Service svc({file.path, 256, 10});
+    Session session(svc, "coldstart");
+    const auto r = session.query(q0);
+    EXPECT_FALSE(r.cache_hit);
+    EXPECT_TRUE(r.result.ok());
+  }
+}
+
+TEST(StudyService, TuneCacheSurvivesManyConcurrentWriters) {
+  namespace at = rt::autotune;
+  TempFile file("tune_cache_stress.json");
+
+  constexpr std::size_t kWriters = 16;
+  constexpr std::size_t kRoundsPerWriter = 20;
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w)
+    writers.emplace_back([&, w] {
+      for (std::size_t round = 0; round < kRoundsPerWriter; ++round) {
+        at::CacheData data;
+        data.fingerprint = "stress-machine";
+        at::CacheData::Entry e;
+        e.key = "kernel_" + std::to_string(w);
+        e.config.grain = round + 1;
+        data.entries.push_back(e);
+        // Unique temp + rename + merge-on-load: every published image
+        // must be complete and internally consistent, whatever the
+        // interleaving.
+        EXPECT_TRUE(at::write_cache_merged(file.path, data));
+      }
+    });
+  for (auto& th : writers) th.join();
+
+  const auto final_image = at::read_cache(file.path);
+  ASSERT_TRUE(final_image.has_value()) << "torn or corrupt cache image";
+  EXPECT_EQ(final_image->fingerprint, "stress-machine");
+  std::set<std::string> keys;
+  for (const auto& e : final_image->entries) {
+    EXPECT_EQ(e.key.rfind("kernel_", 0), 0u);
+    keys.insert(e.key);
+  }
+  EXPECT_EQ(keys.size(), final_image->entries.size()) << "duplicate keys";
+  // The last writer to publish merged the file it saw, so its own key
+  // is certainly present; merge-on-load keeps the union growing toward
+  // all writers (every writer's final round re-merges what survived).
+  EXPECT_GE(keys.size(), 1u);
+
+  // One more merged write from this thread must preserve whatever
+  // survived the stress *and* its own entry.
+  at::CacheData data;
+  data.fingerprint = "stress-machine";
+  data.entries.push_back({"kernel_final", at::Config{}, ""});
+  EXPECT_TRUE(at::write_cache_merged(file.path, data));
+  const auto merged = at::read_cache(file.path);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->entries.size(), keys.size() + 1);
+}
+
+TEST(StudyService, SessionArenaOwnsReplyBytes) {
+  Service svc({/*cache_path=*/"", /*max_batch=*/256, /*spin_us=*/10});
+  const auto q = bench_request(AppId::Acoustic, PlatformId::A100, kDpcppNd);
+  Session session(svc, "arena");
+  const auto a = session.query(q);
+  const auto b = session.query(q);
+  // Two replies, two arena copies: same bytes, distinct storage.
+  ASSERT_EQ(a.bytes.size(), b.bytes.size());
+  EXPECT_NE(a.bytes.data(), b.bytes.data());
+  EXPECT_TRUE(std::equal(a.bytes.begin(), a.bytes.end(), b.bytes.begin()));
+  EXPECT_EQ(session.stats().arena_blocks, 2u);
+  EXPECT_EQ(session.stats().arena_bytes, a.bytes.size() + b.bytes.size());
+  EXPECT_TRUE(b.cache_hit);
+}
