@@ -106,4 +106,54 @@ MultigridMesh build_rotor_mesh(std::size_t ni, std::size_t nj, std::size_t nk,
   return mesh;
 }
 
+void renumber_mesh(MultigridMesh& m, op2::Ordering o) {
+  if (o == op2::Ordering::Identity) return;
+  auto is_identity = [](const std::vector<int>& p) {
+    for (std::size_t i = 0; i < p.size(); ++i)
+      if (p[i] != static_cast<int>(i)) return false;
+    return true;
+  };
+  for (std::size_t l = 0; l < m.levels.size(); ++l) {
+    Level& lvl = m.levels[l];
+
+    // Node permutation (perm[new] = old); MinTarget reorders edges only.
+    std::vector<int> nperm;
+    switch (o) {
+      case op2::Ordering::RCM: nperm = op2::order_rcm(*lvl.e2n); break;
+      case op2::Ordering::Morton:
+        nperm = op2::order_morton(lvl.coords);
+        break;
+      case op2::Ordering::Hilbert:
+        nperm = op2::order_hilbert(lvl.coords);
+        break;
+      case op2::Ordering::Identity:
+      case op2::Ordering::MinTarget: break;
+    }
+    if (!nperm.empty() && !is_identity(nperm)) {
+      std::vector<std::array<double, 3>> nc(lvl.coords.size());
+      for (std::size_t i = 0; i < nc.size(); ++i)
+        nc[i] = lvl.coords[static_cast<std::size_t>(nperm[i])];
+      lvl.coords = std::move(nc);
+      op2::relabel_map_targets(*lvl.e2n, nperm);
+      // This level's nodes are the *targets* of its own from_fine map
+      // and the *rows* of the next-coarser level's.
+      if (lvl.from_fine) op2::relabel_map_targets(*lvl.from_fine, nperm);
+      if (l + 1 < m.levels.size() && m.levels[l + 1].from_fine)
+        op2::permute_map(*m.levels[l + 1].from_fine, nperm);
+      lvl.nodes->note_permutation(nperm);
+    }
+
+    // Edges by ascending minimum endpoint under the (possibly new)
+    // node labels: adjacent edges in execution order touch adjacent
+    // nodes, which is what measure_gather rewards.
+    std::vector<int> eperm = op2::order_by_min_target(*lvl.e2n);
+    if (!is_identity(eperm)) {
+      op2::permute_map(*lvl.e2n, eperm);
+      lvl.edges->note_permutation(eperm);
+    }
+    lvl.e2n->check();
+    if (lvl.from_fine) lvl.from_fine->check();
+  }
+}
+
 }  // namespace syclport::apps::mgcfd

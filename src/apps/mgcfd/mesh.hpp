@@ -45,4 +45,16 @@ struct MultigridMesh {
 [[nodiscard]] MultigridMesh build_rotor_mesh(std::size_t ni, std::size_t nj,
                                              std::size_t nk, int nlevels = 3);
 
+/// Renumber every level of the hierarchy with ordering `o`
+/// (op2/renumber.hpp): nodes are reordered (RCM over the edge graph,
+/// or a space-filling curve over the coordinates), every map touching
+/// them is relabeled/permuted consistently, and edges are then sorted
+/// by ascending minimum endpoint - the locality order the atomics
+/// strategy's "good mesh ordering" argument assumes. Each permutation
+/// is recorded on its Set (note_permutation), so checkpoints stay in
+/// canonical creation-time order. Must run before dats are created on
+/// the mesh's sets; run_mgcfd's config overload applies
+/// SYCLPORT_RENUMBER here. Identity is a no-op.
+void renumber_mesh(MultigridMesh& m, op2::Ordering o);
+
 }  // namespace syclport::apps::mgcfd

@@ -67,6 +67,15 @@ RunSummary run_mgcfd(const op2::Options& opt, mgcfd::MultigridMesh& mesh,
     if (l > 0)
       d.restrict_count =
           std::make_unique<op2::Dat<double>>(*lvl.nodes, 1, "rcount", exec);
+    if (opt.layout) {
+      // Options-requested physical layout for the solver state; the
+      // initializers below go through layout-aware at().
+      d.vars->set_layout(*opt.layout);
+      d.fluxes->set_layout(*opt.layout);
+      d.sf->set_layout(*opt.layout);
+      d.weights->set_layout(*opt.layout);
+      if (d.restrict_count) d.restrict_count->set_layout(*opt.layout);
+    }
 
     if (!exec) continue;
     // Freestream + radial perturbation initial state.
@@ -223,6 +232,11 @@ RunSummary run_mgcfd(const op2::Options& opt, mgcfd::MultigridMesh& mesh,
 
 RunSummary run_mgcfd(const op2::Options& opt, const MgcfdConfig& cfg) {
   auto mesh = mgcfd::build_rotor_mesh(cfg.ni, cfg.nj, cfg.nk, cfg.levels);
+  // SYCLPORT_RENUMBER (identity|mintarget|rcm|morton|hilbert) reorders
+  // the fresh mesh before any dats exist; unset keeps the generator's
+  // lexicographic numbering, the seed behaviour.
+  mgcfd::renumber_mesh(
+      mesh, op2::ordering_from_env().value_or(op2::Ordering::Identity));
   return run_mgcfd(opt, mesh, cfg.iters);
 }
 

@@ -57,6 +57,7 @@ std::string_view to_string(Strategy s) {
     case Strategy::Atomics: return "atomics";
     case Strategy::GlobalColor: return "global";
     case Strategy::Hierarchical: return "hierarchical";
+    case Strategy::Staged: return "staged";
   }
   return "?";
 }

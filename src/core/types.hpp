@@ -81,6 +81,7 @@ enum class Strategy : std::uint8_t {
   Atomics,      ///< per-increment atomic operations
   GlobalColor,  ///< global edge colouring, one parallel sweep per colour
   Hierarchical, ///< blocks coloured globally, edges coloured within blocks
+  Staged,       ///< gather to scratch tiles, sweep, ordered scatter-back
 };
 
 inline constexpr std::array kMgcfdStrategies = {

@@ -15,7 +15,10 @@ double DeviceModel::vector_efficiency(const LoopProfile& lp) const {
   // Indirect kernels with race conditions only vectorize for
   // conflict-free execution (pure MPI's owner-compute) or with DPC++'s
   // vectorizer (paper §4.3).
-  if (lp.cls == KernelClass::EdgeFlux) {
+  // The staged lowering feeds the kernel dense gathered streams and
+  // resolves races in scratch, so the sweep vectorizes like a direct
+  // loop on any toolchain.
+  if (lp.cls == KernelClass::EdgeFlux && !lp.staged) {
     const bool vectorizes =
         v_.model == Model::MPI || v_.toolchain == Toolchain::DPCPP;
     if (!vectorizes) return scalar;
@@ -49,6 +52,13 @@ KernelTime DeviceModel::kernel_time(const LoopProfile& lp) const {
   double dram = read_point + lp.bytes_read_stencil * mult +
                 lp.bytes_read_indirect * gather + write_direct +
                 lp.bytes_written_indirect * gather + lp.map_bytes;
+  // Staged scratch on GPUs: the ordered scatter-back partitions targets
+  // across work-items and every partition re-scans the arena, so the
+  // scratch traffic leaves the SM caches and hits DRAM several times
+  // over - this is what keeps atomics the winning strategy on devices
+  // with fast hardware atomics (the paper's GPU ranking).
+  constexpr double kStagedGpuRescan = 8.0;
+  if (lp.staged && hw_.gpu) dram += lp.staged_bytes * kStagedGpuRescan;
   dram /= std::max(0.05, kt.wg.coalescing);
   kt.dram_bytes = dram;
 
@@ -84,7 +94,12 @@ KernelTime DeviceModel::kernel_time(const LoopProfile& lp) const {
   const double tap_scale = lp.elem_bytes == 4 ? 2.0 : 1.0;
   const double l1_bw =
       hw_.l1.bw_gbs * 1e9 * (hw_.gpu ? 1.0 : vec / 0.9);
-  const double l1_s = lp.cache_access_bytes * tap_scale / l1_bw;
+  // Staged scratch on CPUs stays cache-resident (super-tiles are sized
+  // for it), so it rides the L1/LSU ceiling rather than DRAM.
+  const double staged_cache =
+      lp.staged && !hw_.gpu ? lp.staged_bytes : 0.0;
+  const double l1_s =
+      (lp.cache_access_bytes + staged_cache) * tap_scale / l1_bw;
   kt.comp_s = std::max(kt.comp_s, l1_s);
 
   // --- issue term (latency-bound small loops, padding waste) ---------------

@@ -139,6 +139,17 @@ struct LoopProfile {
   /// Number of parallel sweeps this logical loop is split into
   /// (e.g. one per colour for global colouring): multiplies launch cost.
   std::size_t launches = 1;
+  /// Staged lowering (Strategy::Staged): indirect reads were gathered
+  /// into contiguous scratch tiles and increments accumulated in a
+  /// per-tile arena scattered back in element order - no atomics, and
+  /// the compute sweep vectorizes (the operands are dense streams).
+  bool staged = false;
+  /// Scratch traffic of the staging (gather buffers + arena, write and
+  /// read-back). Cache-resident by construction on CPUs (a super-tile
+  /// is sized to the shared cache), so it is charged against the L1/LSU
+  /// ceiling there; on GPUs the ordered scatter's partitioned re-scan
+  /// defeats that residency and the traffic hits DRAM multiplied.
+  double staged_bytes = 0.0;
 
   // ---- distributed-memory extras (zero when not running under MPI) ----
   /// Halo depth exchanged before this loop (stencil radius of its reads).

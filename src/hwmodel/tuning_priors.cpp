@@ -105,6 +105,21 @@ rt::autotune::Priors tuning_priors(const Platform& p) {
   pr.cache_blocks = {
       0, pow2_clamp(p.l1.bytes / std::max(1, p.cores) / kTriadBytes, 128,
                     1u << 12)};
+
+  // Indirect strategy x layout (kIndirect|kLayout, op2 edge loops).
+  // CPUs: atomic throughput is 1-2 orders below GPUs while wide SIMD
+  // sits idle in the racy eager sweep, so the staged lowering (dense
+  // gathered streams, ordered scatter, fully vectorized) leads, and
+  // SoA - which feeds those streams unit-strided - is raced against
+  // AoS. GPU-like descriptors keep atomics/AoS first: hardware atomics
+  // are near-free and a warp's AoS gather coalesces (paper §4.3).
+  if (p.gpu) {
+    pr.indirect_order = {1, 4, -1, -1};  // atomics, staged
+    pr.layout_order = {0, -1, -1};       // AoS
+  } else {
+    pr.indirect_order = {4, 1, 3, -1};   // staged, atomics, hierarchical
+    pr.layout_order = {0, 1, -1};        // AoS, SoA
+  }
   return pr;
 }
 

@@ -11,8 +11,10 @@
 
 #include "core/types.hpp"
 #include "hwmodel/loop_profile.hpp"
+#include "op2/layout.hpp"
 #include "op2/locality.hpp"
 #include "op2/plan.hpp"
+#include "runtime/env.hpp"
 #include "sycl/sycl.hpp"
 
 namespace syclport::op2 {
@@ -34,16 +36,41 @@ struct Options {
   std::size_t wg = 256;                   ///< work-group size for Sycl exec
   /// Wave width for locality measurement (sub_group of the modeled GPU).
   std::size_t wave = 64;
+  /// Staged lowering: elements per gather/compute tile. Sized so one
+  /// tile's operand scratch (a few dats x dim x 8 bytes x tile) stays
+  /// L1/L2-resident while a super-tile of nthreads tiles is in flight.
+  std::size_t stage_tile = 96;
+  /// Physical layout the app should give its mesh dats (apps apply it
+  /// to the dats they create, e.g. run_mgcfd); nullopt keeps the
+  /// process default (SYCLPORT_LAYOUT or AoS). Non-AoS dats route
+  /// their loops through the staged lowering.
+  std::optional<Layout> layout;
   /// Online autotuner override for this context's loops: true/false
   /// forces tuning on/off regardless of SYCLPORT_TUNE; nullopt defers
   /// to the env mode. See docs/tuning.md.
   std::optional<bool> tune;
 };
 
+/// SYCLPORT_INDIRECT overrides the app's default race-resolution
+/// strategy for indirect-increment loops (docs/unstructured.md);
+/// nullopt when unset or invalid.
+[[nodiscard]] inline std::optional<Strategy> strategy_from_env() {
+  static constexpr std::array<std::string_view, 4> kNames = {
+      "atomics", "global", "hierarchical", "staged"};
+  static constexpr std::array<Strategy, 4> kValues = {
+      Strategy::Atomics, Strategy::GlobalColor, Strategy::Hierarchical,
+      Strategy::Staged};
+  if (const auto idx = rt::env::get_choice("SYCLPORT_INDIRECT", kNames))
+    return kValues[*idx];
+  return std::nullopt;
+}
+
 class Context {
  public:
-  explicit Context(Options o) : opt(o) {}
-  Context() = default;
+  explicit Context(Options o) : opt(o) {
+    if (const auto s = strategy_from_env()) opt.strategy = *s;
+  }
+  Context() : Context(Options{}) {}
 
   Options opt;
   sycl::queue queue;
@@ -52,33 +79,47 @@ class Context {
 
   [[nodiscard]] bool executing() const { return opt.mode == Mode::Execute; }
 
-  /// Plan for resolving conflicts through `map` under the context's
-  /// strategy; built once and cached.
+  /// Plan for resolving conflicts through `map` under `strategy`
+  /// (default: the context's); built once and cached. Staged shares the
+  /// Atomics plan - both execute elements in identity order, staging
+  /// resolves the races in scratch rather than by colouring.
   [[nodiscard]] const Plan& plan_for(const Map& map) {
+    return plan_for(map, opt.strategy);
+  }
+  [[nodiscard]] const Plan& plan_for(const Map& map, Strategy strategy) {
+    if (strategy == Strategy::Staged) strategy = Strategy::Atomics;
     const auto key = std::make_tuple(static_cast<const void*>(&map),
-                                     opt.strategy, opt.block_size);
+                                     strategy, opt.block_size);
     auto it = plans_.find(key);
     if (it == plans_.end())
       it = plans_
                .emplace(key, std::make_unique<Plan>(build_plan(
-                                 map, opt.strategy, opt.block_size)))
+                                 map, strategy, opt.block_size)))
                .first;
     return *it->second;
   }
 
   /// Cached gather-locality statistics for accessing (dim x elem_bytes)
-  /// data through `map` in the plan's execution order.
+  /// data in `layout` through `map` in the plan's execution order.
   [[nodiscard]] const GatherStats& gather_for(const Map& map, int dim,
-                                              std::size_t elem_bytes) {
+                                              std::size_t elem_bytes,
+                                              Layout layout = Layout::AoS) {
+    return gather_for(map, dim, elem_bytes, opt.strategy, layout);
+  }
+  [[nodiscard]] const GatherStats& gather_for(const Map& map, int dim,
+                                              std::size_t elem_bytes,
+                                              Strategy strategy,
+                                              Layout layout) {
+    if (strategy == Strategy::Staged) strategy = Strategy::Atomics;
     const auto key = std::make_tuple(static_cast<const void*>(&map),
-                                     opt.strategy, opt.block_size,
-                                     dim, elem_bytes);
+                                     strategy, opt.block_size, dim,
+                                     elem_bytes, layout);
     auto it = gathers_.find(key);
     if (it == gathers_.end()) {
-      const auto order = execution_order(plan_for(map));
+      const auto order = execution_order(plan_for(map, strategy));
       it = gathers_
                .emplace(key, measure_gather(map, dim, elem_bytes, order,
-                                            opt.wave))
+                                            opt.wave, 64.0, layout))
                .first;
     }
     return it->second;
@@ -88,7 +129,8 @@ class Context {
   std::map<std::tuple<const void*, Strategy, std::size_t>,
            std::unique_ptr<Plan>>
       plans_;
-  std::map<std::tuple<const void*, Strategy, std::size_t, int, std::size_t>,
+  std::map<std::tuple<const void*, Strategy, std::size_t, int, std::size_t,
+                      Layout>,
            GatherStats>
       gathers_;
 };

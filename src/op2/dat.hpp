@@ -1,14 +1,21 @@
 #pragma once
 /// \file dat.hpp
-/// OP2 dat: `dim` values of type T per element of a set, stored
-/// contiguously per element (AoS). In ModelOnly contexts no storage is
-/// allocated.
+/// OP2 dat: `dim` values of type T per element of a set. The physical
+/// placement of the (element x component) values is the dat's Layout
+/// (layout.hpp): AoS (the seed behaviour and the default), SoA, or
+/// padded AoSoA. set_layout() transcodes in place; kernels never see
+/// the difference because non-AoS dats are routed through the staged
+/// par_loop lowering, which materializes contiguous per-element values
+/// in scratch. In ModelOnly contexts no storage is allocated.
 ///
 /// Storage is an rt::mem::Array: pooled allocation, parallel
 /// streaming-zero initialization, huge pages above the threshold.
 
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "op2/layout.hpp"
 #include "op2/set.hpp"
 #include "runtime/mem/array.hpp"
 
@@ -18,44 +25,113 @@ template <typename T>
 class Dat {
  public:
   Dat(Set& set, int dim, std::string name, bool allocate = true)
-      : set_(&set), dim_(dim), name_(std::move(name)) {
+      : set_(&set), dim_(dim), name_(std::move(name)),
+        layout_(default_layout()) {
     if (allocate)
-      data_ = rt::mem::Array<T>(set.size() * static_cast<std::size_t>(dim));
+      data_ = rt::mem::Array<T>(
+          layout_slots(layout_, set.size(), static_cast<std::size_t>(dim)));
   }
 
   [[nodiscard]] Set& set() const { return *set_; }
   [[nodiscard]] int dim() const { return dim_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool allocated() const { return !data_.empty(); }
+  [[nodiscard]] Layout layout() const { return layout_; }
 
+  /// Pointer to element e's contiguous values. Only meaningful for AoS
+  /// - the eager par_loop binders hand these straight to kernels, so
+  /// they assert the layout instead of silently mis-addressing.
   [[nodiscard]] T* elem(std::size_t e) {
+    if (layout_ != Layout::AoS)
+      throw std::logic_error("Dat " + name_ +
+                             ": elem() requires AoS layout (use at())");
     return data_.data() + e * static_cast<std::size_t>(dim_);
   }
   [[nodiscard]] const T* elem(std::size_t e) const {
+    if (layout_ != Layout::AoS)
+      throw std::logic_error("Dat " + name_ +
+                             ": elem() requires AoS layout (use at())");
     return data_.data() + e * static_cast<std::size_t>(dim_);
   }
   [[nodiscard]] T& at(std::size_t e, int c = 0) {
-    return data_[e * static_cast<std::size_t>(dim_) + static_cast<std::size_t>(c)];
+    return data_[layout_index(layout_, e, static_cast<std::size_t>(c),
+                              set_->size(), static_cast<std::size_t>(dim_))];
+  }
+  [[nodiscard]] const T& at(std::size_t e, int c = 0) const {
+    return data_[layout_index(layout_, e, static_cast<std::size_t>(c),
+                              set_->size(), static_cast<std::size_t>(dim_))];
   }
 
   [[nodiscard]] double bytes() const {
     return static_cast<double>(set_->size()) * dim_ * sizeof(T);
   }
 
-  /// Raw storage base - the region op2::checkpoint() snapshots and
-  /// restore() rewrites. Null when not allocated.
+  /// Raw physical storage base. Null when not allocated. Size and
+  /// meaning depend on layout() - op2::checkpoint serializes the
+  /// canonical form (canonical_values) instead.
   [[nodiscard]] T* storage() noexcept { return data_.data(); }
   [[nodiscard]] const T* storage() const noexcept { return data_.data(); }
   [[nodiscard]] std::size_t storage_bytes() const noexcept {
     return data_.size() * sizeof(T);
   }
 
-  /// Parallel streaming-store fill of the whole dat.
+  /// Transcode to `l` in place (values preserved exactly; padding slots
+  /// of AoSoA are zeroed). No-op when already in that layout.
+  void set_layout(Layout l) {
+    if (l == layout_) return;
+    if (!allocated()) {
+      layout_ = l;
+      return;
+    }
+    const std::size_t n = set_->size();
+    const auto dim = static_cast<std::size_t>(dim_);
+    rt::mem::Array<T> next(layout_slots(l, n, dim));
+    if (l == Layout::AoSoA) next.fill(T{});
+    for (std::size_t e = 0; e < n; ++e)
+      for (std::size_t c = 0; c < dim; ++c)
+        next[layout_index(l, e, c, n, dim)] =
+            data_[layout_index(layout_, e, c, n, dim)];
+    data_ = std::move(next);
+    layout_ = l;
+  }
+
+  /// The layout- and ordering-independent serialization: value (e, c)
+  /// of the *creation-time* element numbering at slot e*dim + c
+  /// (original-order AoS). Checkpoints of a renumbered SoA dat and of
+  /// the untouched seed dat are bit-identical.
+  [[nodiscard]] std::vector<T> canonical_values() const {
+    const std::size_t n = set_->size();
+    const auto dim = static_cast<std::size_t>(dim_);
+    std::vector<T> out(n * dim);
+    for (std::size_t e = 0; e < n; ++e)
+      for (std::size_t c = 0; c < dim; ++c)
+        out[set_->to_original(e) * dim + c] = at(e, static_cast<int>(c));
+    return out;
+  }
+
+  /// Inverse of canonical_values(): scatter an original-order AoS image
+  /// back through the set's current numbering and this dat's layout.
+  void assign_canonical(const std::vector<T>& in) {
+    const std::size_t n = set_->size();
+    const auto dim = static_cast<std::size_t>(dim_);
+    if (in.size() != n * dim)
+      throw std::invalid_argument("Dat " + name_ + ": canonical size");
+    for (std::size_t e = 0; e < n; ++e)
+      for (std::size_t c = 0; c < dim; ++c)
+        at(e, static_cast<int>(c)) = in[set_->to_original(e) * dim + c];
+  }
+
+  /// Parallel streaming-store fill of the whole dat (padding included,
+  /// so AoSoA pad slots hold v too - sum() skips them).
   void fill(T v) { data_.fill(v); }
 
   [[nodiscard]] double sum() const {
+    const std::size_t n = set_->size();
+    const auto dim = static_cast<std::size_t>(dim_);
     double s = 0.0;
-    for (const T& v : data_) s += static_cast<double>(v);
+    for (std::size_t e = 0; e < n; ++e)
+      for (std::size_t c = 0; c < dim; ++c)
+        s += static_cast<double>(at(e, static_cast<int>(c)));
     return s;
   }
 
@@ -63,6 +139,7 @@ class Dat {
   Set* set_;
   int dim_;
   std::string name_;
+  Layout layout_;
   rt::mem::Array<T> data_;
 };
 

@@ -234,18 +234,20 @@ namespace detail {
 
 /// Declare one par_loop argument's storage in a command group's
 /// footprint, so interior commands of different ranks (distinct
-/// rank-local dats) stay independent in the scheduler's DAG.
+/// rank-local dats) stay independent in the scheduler's DAG. The base
+/// address is an identity token only, so storage() is used - valid for
+/// every physical layout (elem() asserts AoS).
 template <typename T>
 inline void declare_arg(sycl::handler& h, const DirectArg<T>& a) {
-  h.require(static_cast<const void*>(a.dat->elem(0)), to_mode(a.acc));
+  h.require(static_cast<const void*>(a.dat->storage()), to_mode(a.acc));
 }
 template <typename T>
 inline void declare_arg(sycl::handler& h, const IndirectArg<T>& a) {
-  h.require(static_cast<const void*>(a.dat->elem(0)), to_mode(a.acc));
+  h.require(static_cast<const void*>(a.dat->storage()), to_mode(a.acc));
 }
 template <typename T>
 inline void declare_arg(sycl::handler& h, const op2::detail::IncArg<T>& a) {
-  h.require(static_cast<const void*>(a.dat->elem(0)),
+  h.require(static_cast<const void*>(a.dat->storage()),
             sycl::access_mode::read_write);
 }
 template <typename T>

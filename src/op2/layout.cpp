@@ -1,0 +1,20 @@
+#include "op2/layout.hpp"
+
+#include <array>
+
+#include "runtime/env.hpp"
+
+namespace syclport::op2 {
+
+Layout default_layout() {
+  static const Layout cached = [] {
+    static constexpr std::array<std::string_view, 3> kNames = {"aos", "soa",
+                                                               "aosoa"};
+    if (const auto idx = rt::env::get_choice("SYCLPORT_LAYOUT", kNames))
+      return static_cast<Layout>(*idx);
+    return Layout::AoS;
+  }();
+  return cached;
+}
+
+}  // namespace syclport::op2

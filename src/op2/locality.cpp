@@ -11,11 +11,29 @@ namespace syclport::op2 {
 GatherStats measure_gather(const Map& map, int dat_dim,
                            std::size_t elem_bytes,
                            const std::vector<int>& order, std::size_t wave,
-                           double line_bytes) {
+                           double line_bytes, Layout layout) {
   GatherStats gs;
   if (order.empty()) return gs;
   const std::size_t payload = static_cast<std::size_t>(dat_dim) * elem_bytes;
   const auto line = static_cast<std::size_t>(line_bytes);
+  const std::size_t ntargets = map.to().size();
+  const auto dim = static_cast<std::size_t>(dat_dim);
+
+  // Lines target t's components occupy under the dat's physical layout.
+  auto touch_lines = [&](int t, auto&& fn) {
+    if (layout == Layout::AoS) {
+      const std::size_t first = static_cast<std::size_t>(t) * payload;
+      for (std::size_t b = first / line; b <= (first + payload - 1) / line;
+           ++b)
+        fn(b);
+      return;
+    }
+    for (std::size_t c = 0; c < dim; ++c) {
+      const std::size_t slot = layout_index(
+          layout, static_cast<std::size_t>(t), c, ntargets, dim);
+      fn(slot * elem_bytes / line);
+    }
+  };
 
   double total_line_bytes = 0.0;
   double total_ideal_bytes = 0.0;
@@ -40,10 +58,7 @@ GatherStats measure_gather(const Map& map, int dat_dim,
       for (int m = 0; m < map.arity(); ++m) {
         const int t = map.at(e, m);
         targets.insert(t);
-        const std::size_t first = static_cast<std::size_t>(t) * payload;
-        for (std::size_t b = first / line; b <= (first + payload - 1) / line;
-             ++b)
-          lines.insert(b);
+        touch_lines(t, [&](std::size_t b) { lines.insert(b); });
       }
     }
     // Per-wave line touches feed the reuse profile: one touch per

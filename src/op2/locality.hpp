@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hwmodel/loop_profile.hpp"
+#include "op2/layout.hpp"
 #include "op2/set.hpp"
 
 namespace syclport::op2 {
@@ -33,12 +34,18 @@ struct GatherStats {
 
 /// Measure gather locality of accessing `dat_dim` x `elem_bytes` values
 /// through every entry of `map`, executing elements in `order`, in
-/// waves of `wave` work-items, with `line_bytes` transactions.
+/// waves of `wave` work-items, with `line_bytes` transactions. `layout`
+/// is the physical placement of the gathered dat: the byte addresses a
+/// target's components occupy - and hence the lines a wave touches -
+/// differ per layout (AoS packs a target in one or two lines; SoA
+/// spreads it across dim distant lines but shares each line among
+/// neighbouring targets).
 [[nodiscard]] GatherStats measure_gather(const Map& map, int dat_dim,
                                          std::size_t elem_bytes,
                                          const std::vector<int>& order,
                                          std::size_t wave = 64,
-                                         double line_bytes = 64.0);
+                                         double line_bytes = 64.0,
+                                         Layout layout = Layout::AoS);
 
 /// The execution order a plan induces (identity for atomics, colour-
 /// grouped for global colouring, block-colour-grouped for hierarchical).

@@ -22,9 +22,12 @@
 #include "hwmodel/tuning_priors.hpp"
 #include "op2/arg.hpp"
 #include "op2/context.hpp"
+#include "op2/renumber.hpp"
+#include "op2/stage.hpp"
 #include "runtime/autotune/autotune.hpp"
 #include "runtime/autotune/variant.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sycl/launch_log.hpp"
 
 namespace syclport::op2 {
 
@@ -118,24 +121,25 @@ struct ArgInfo {
   int dim = 1;
   std::size_t elem_bytes = 8;
   bool is_gbl = false;
+  Layout layout = Layout::AoS;  ///< the dat's physical layout
 };
 
 template <typename T>
 ArgInfo arg_info(const DirectArg<T>& a) {
   return {a.dat, nullptr, a.acc, a.dat->bytes(), a.dat->dim(), sizeof(T),
-          false};
+          false, a.dat->layout()};
 }
 template <typename T>
 ArgInfo arg_info(const IndirectArg<T>& a) {
   return {a.dat, a.map, a.acc,
           static_cast<double>(a.map->to().size()) * a.dat->dim() * sizeof(T),
-          a.dat->dim(), sizeof(T), false};
+          a.dat->dim(), sizeof(T), false, a.dat->layout()};
 }
 template <typename T>
 ArgInfo arg_info(const IncArg<T>& a) {
   return {a.dat, a.map, Acc::INC,
           static_cast<double>(a.map->to().size()) * a.dat->dim() * sizeof(T),
-          a.dat->dim(), sizeof(T), false};
+          a.dat->dim(), sizeof(T), false, a.dat->layout()};
 }
 template <typename T>
 ArgInfo arg_info(const GblArg<T>& a) {
@@ -144,6 +148,49 @@ ArgInfo arg_info(const GblArg<T>& a) {
   i.is_gbl = true;
   return i;
 }
+
+// --- tuner-driven relayout of the gathered dats ------------------------------
+
+template <typename T>
+void relayout_indirect(const DirectArg<T>&, Layout) {}
+template <typename T>
+void relayout_indirect(const IndirectArg<T>& a, Layout l) {
+  a.dat->set_layout(l);
+}
+template <typename T>
+void relayout_indirect(const IncArg<T>& a, Layout l) {
+  a.dat->set_layout(l);
+}
+template <typename T>
+void relayout_indirect(const GblArg<T>&, Layout) {}
+
+template <typename T>
+[[nodiscard]] bool arg_non_aos(const DirectArg<T>& a) {
+  return a.dat->layout() != Layout::AoS;
+}
+template <typename T>
+[[nodiscard]] bool arg_non_aos(const IndirectArg<T>& a) {
+  return a.dat->layout() != Layout::AoS;
+}
+template <typename T>
+[[nodiscard]] bool arg_non_aos(const IncArg<T>& a) {
+  return a.dat->layout() != Layout::AoS;
+}
+template <typename T>
+[[nodiscard]] bool arg_non_aos(const GblArg<T>&) { return false; }
+
+template <typename T>
+void note_gather_layout(const DirectArg<T>&, Layout&) {}
+template <typename T>
+void note_gather_layout(const IndirectArg<T>& a, Layout& l) {
+  l = a.dat->layout();
+}
+template <typename T>
+void note_gather_layout(const IncArg<T>& a, Layout& l) {
+  l = a.dat->layout();
+}
+template <typename T>
+void note_gather_layout(const GblArg<T>&, Layout&) {}
 
 }  // namespace detail
 
@@ -168,8 +215,20 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
       conflict = &i;
     }
 
+  // Non-AoS operands cannot run through the eager binders (they hand
+  // the kernel raw AoS pointers), so their loops route to the staged
+  // lowering, which transcodes per tile. Conflict loops additionally
+  // stage when the context (or SYCLPORT_INDIRECT) asks for it.
+  bool non_aos = false;
+  for (const auto& i : infos) non_aos |= i.layout != Layout::AoS;
+  const Strategy ctx_strat =
+      conflict != nullptr && non_aos ? Strategy::Staged : ctx.opt.strategy;
+  const bool ctx_staged =
+      non_aos || (conflict != nullptr && ctx_strat == Strategy::Staged);
+
   const Plan* plan =
-      conflict != nullptr ? &ctx.plan_for(*conflict->map) : nullptr;
+      conflict != nullptr ? &ctx.plan_for(*conflict->map, ctx_strat)
+                          : nullptr;
 
   if (ctx.opt.record) {
     hw::LoopProfile lp;
@@ -215,7 +274,7 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
           lp.working_set += i.map->bytes();
         }
         const GatherStats& gs =
-            ctx.gather_for(*i.map, i.dim, i.elem_bytes);
+            ctx.gather_for(*i.map, i.dim, i.elem_bytes, ctx_strat, i.layout);
         max_line_factor = std::max(max_line_factor, gs.line_factor);
         for (std::size_t c = 0; c < gs.factor_at.size(); ++c)
           lp.gather_factor_at[c] =
@@ -223,10 +282,25 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
       }
     }
     lp.gather_line_factor = max_line_factor;
+    if (ctx_staged) {
+      // Scratch traffic of the staging: every staged operand (gather
+      // buffer, INC arena, non-AoS direct buffer) is written once and
+      // read back once per element.
+      lp.staged = true;
+      for (const auto& i : infos) {
+        if (i.is_gbl) continue;
+        if (i.map != nullptr || i.layout != Layout::AoS)
+          lp.staged_bytes += 2.0 * static_cast<double>(n) *
+                             static_cast<double>(i.dim) *
+                             static_cast<double>(i.elem_bytes);
+      }
+    }
     if (conflict != nullptr) {
       lp.cls = hw::KernelClass::EdgeFlux;
-      lp.launches = plan->launches();
-      if (ctx.opt.strategy == Strategy::Atomics) {
+      // Staged: one gather/compute pass plus one ordered scatter pass,
+      // and no atomic increments - the races resolve in scratch.
+      lp.launches = ctx_strat == Strategy::Staged ? 2 : plan->launches();
+      if (ctx_strat == Strategy::Atomics) {
         std::size_t incs = 0;
         for (const auto& i : infos)
           if (i.acc == Acc::INC)
@@ -256,20 +330,90 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
   // Direct sweeps (no colouring plan in the way) also race the
   // kernel-variant menu on the parallel lowerings: gather/scatter
   // kernels are exactly where register tiling hides indirection
-  // latency. Coloured strategies keep the reference loop - their sweep
-  // order is the correctness contract.
+  // latency. The staged lowering's tile sweeps honour the ascending
+  // order contract too. Coloured strategies keep the reference loop -
+  // their sweep order is the correctness contract.
   const bool direct_sweep = conflict == nullptr ||
-                            ctx.opt.strategy == Strategy::Atomics ||
-                            ctx.opt.strategy == Strategy::None;
+                            ctx_strat == Strategy::Atomics ||
+                            ctx_strat == Strategy::None ||
+                            ctx_strat == Strategy::Staged;
+  // Indirect-increment loops additionally race the race-resolution
+  // strategy jointly with the gathered dats' physical layout - unless
+  // the user pinned either knob through the environment.
+  const bool pinned = strategy_from_env().has_value() ||
+                      rt::env::get("SYCLPORT_LAYOUT").has_value();
   site.axes = rt::autotune::kScheduleGrain |
               (direct_sweep && ctx.opt.exec != Exec::Serial
                    ? rt::autotune::kVariantAxes
+                   : 0u) |
+              (conflict != nullptr && !pinned
+                   ? rt::autotune::kIndirect | rt::autotune::kLayout
                    : 0u);
   rt::autotune::TunedLaunchParams sched_scope(site);
 
+  // Apply the tuner's joint strategy x layout decision for this launch,
+  // then re-derive the lowering: any non-AoS operand (tuner-chosen or
+  // app-chosen) forces the staged path.
+  Strategy strat = ctx_strat;
+  rt::autotune::VariantParams vp;
+  if (sched_scope.phase() != rt::autotune::Phase::None) {
+    const auto& cfg = sched_scope.config();
+    vp.reg_tile = cfg.reg_tile.value_or(1);
+    vp.vec_width = cfg.vec_width.value_or(1);
+    vp.unroll = cfg.unroll.value_or(1);
+    if (conflict != nullptr) {
+      if (cfg.indirect && *cfg.indirect >= 1 && *cfg.indirect <= 4)
+        strat = static_cast<Strategy>(*cfg.indirect);
+      if (cfg.layout && *cfg.layout >= 0 && *cfg.layout <= 2)
+        (detail::relayout_indirect(args, static_cast<Layout>(*cfg.layout)),
+         ...);
+    }
+  }
+  const bool non_aos_now = (detail::arg_non_aos(args) || ...);
+  if (conflict != nullptr && non_aos_now) strat = Strategy::Staged;
+  const bool staged =
+      non_aos_now || (conflict != nullptr && strat == Strategy::Staged);
+  if (conflict != nullptr && !staged && strat != ctx_strat)
+    plan = &ctx.plan_for(*conflict->map, strat);
+
+  // Per-loop locality decision record: strategy/layout/ordering plus
+  // the measured cold gather line factor next to the model's
+  // LLC-capacity prediction (study report / ablation_layout table).
+  auto log_decision = [&] {
+    if (conflict == nullptr || !sycl::launch_log::instance().enabled())
+      return;
+    Layout lay = Layout::AoS;
+    (detail::note_gather_layout(args, lay), ...);
+    const GatherStats& gs = ctx.gather_for(
+        *conflict->map, conflict->dim, conflict->elem_bytes, strat, lay);
+    sycl::locality_record rec;
+    rec.loop = meta.name;
+    rec.strategy = std::string(to_string(strat));
+    rec.layout = std::string(to_string(lay));
+    const bool ren = conflict->map->to().renumbered();
+    if (const auto o = ordering_from_env(); o.has_value() && ren)
+      rec.ordering = std::string(to_string(*o));
+    else
+      rec.ordering = ren ? "custom" : "identity";
+    rec.measured_gather = gs.line_factor;
+    rec.predicted_gather = hw::interp_gather_curve(
+        gs.factor_at, hw::nearest_host_platform().llc.bytes * 0.5);
+    sycl::launch_log::instance().append_locality(std::move(rec));
+  };
+
+  if (staged) {
+    auto targs = std::forward_as_tuple(args...);
+    detail::staged_loop(
+        ctx, meta.name, n,
+        conflict != nullptr ? conflict->map->to().size() : std::size_t{0}, vp,
+        kernel, targs);
+    log_decision();
+    return;
+  }
+  log_decision();
+
   auto binders = std::make_tuple(detail::make_binder(args, true)...);
-  const bool atomic = conflict != nullptr &&
-                      ctx.opt.strategy == Strategy::Atomics;
+  const bool atomic = conflict != nullptr && strat == Strategy::Atomics;
   auto invoke = [&](std::size_t e) {
     std::apply([&](const auto&... b) { kernel(b.make(e, atomic)...); },
                binders);
@@ -285,13 +429,6 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
         for (std::size_t i = 0; i < count; ++i) invoke(elem_at(i));
         break;
       case Exec::Threads: {
-        rt::autotune::VariantParams vp;
-        if (sched_scope.phase() != rt::autotune::Phase::None) {
-          const auto& cfg = sched_scope.config();
-          vp.reg_tile = cfg.reg_tile.value_or(1);
-          vp.vec_width = cfg.vec_width.value_or(1);
-          vp.unroll = cfg.unroll.value_or(1);
-        }
         rt::ThreadPool::global().parallel_for(
             count, [&](std::size_t b, std::size_t e) {
               rt::autotune::run_span_variant(
@@ -310,13 +447,13 @@ void par_loop(Context& ctx, Meta meta, Set& set, K&& kernel, Args... args) {
     }
   };
 
-  if (conflict == nullptr || ctx.opt.strategy == Strategy::Atomics ||
-      ctx.opt.strategy == Strategy::None) {
+  if (conflict == nullptr || strat == Strategy::Atomics ||
+      strat == Strategy::None) {
     sweep(nullptr, n);
     return;
   }
 
-  if (ctx.opt.strategy == Strategy::GlobalColor) {
+  if (strat == Strategy::GlobalColor) {
     for (const auto& elems : plan->elements_by_colour)
       sweep(&elems, elems.size());
     return;
@@ -388,10 +525,18 @@ void par_loop_subset(Context& ctx, Meta meta, Set& set,
     throw std::invalid_argument("par_loop_subset: subset larger than set");
 
   std::vector<detail::ArgInfo> infos{detail::arg_info(args)...};
+  for (const auto& i : infos)
+    if (!i.is_gbl && i.layout != Layout::AoS)
+      throw std::invalid_argument(
+          "par_loop_subset: non-AoS dats need the staged full-set loop");
   const bool has_inc =
       std::any_of(infos.begin(), infos.end(),
                   [](const auto& i) { return i.acc == Acc::INC; });
-  const bool atomic = has_inc && ctx.opt.strategy == Strategy::Atomics;
+  // Staged has no subset lowering (its scratch arenas assume the full
+  // identity sweep); subsets fall back to the atomic increments the
+  // owner-compute pipeline was written for.
+  const bool atomic = has_inc && (ctx.opt.strategy == Strategy::Atomics ||
+                                  ctx.opt.strategy == Strategy::Staged);
   if (has_inc && !atomic && ctx.opt.strategy != Strategy::None &&
       ctx.opt.exec != Exec::Serial)
     throw std::invalid_argument(

@@ -56,6 +56,7 @@ Plan build_plan(const Map& map, Strategy strategy, std::size_t block_size) {
   switch (strategy) {
     case Strategy::Atomics:
     case Strategy::None:
+    case Strategy::Staged:  // identity order; races resolved by staging
       break;
 
     case Strategy::GlobalColor: {

@@ -1,0 +1,266 @@
+#include "op2/renumber.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "runtime/env.hpp"
+
+namespace syclport::op2 {
+
+namespace {
+
+/// Quantize coordinates to a kBits-per-axis grid over the bounding box.
+constexpr unsigned kBits = 10;
+
+[[nodiscard]] std::array<std::uint32_t, 3> quantize(
+    const std::array<double, 3>& x, const std::array<double, 3>& lo,
+    const std::array<double, 3>& span) {
+  std::array<std::uint32_t, 3> g{};
+  constexpr double kMax = static_cast<double>((1u << kBits) - 1);
+  for (int d = 0; d < 3; ++d) {
+    const double t = span[static_cast<std::size_t>(d)] > 0.0
+                         ? (x[static_cast<std::size_t>(d)] -
+                            lo[static_cast<std::size_t>(d)]) /
+                               span[static_cast<std::size_t>(d)]
+                         : 0.0;
+    g[static_cast<std::size_t>(d)] =
+        static_cast<std::uint32_t>(std::clamp(t, 0.0, 1.0) * kMax);
+  }
+  return g;
+}
+
+/// Spread the low kBits of v so consecutive bits land 3 apart.
+[[nodiscard]] std::uint64_t spread3(std::uint32_t v) {
+  std::uint64_t x = v & ((1u << kBits) - 1);
+  x = (x | (x << 16)) & 0x030000FF0000FFull;
+  x = (x | (x << 8)) & 0x0300F00F00F00Full;
+  x = (x | (x << 4)) & 0x030C30C30C30C3ull;
+  x = (x | (x << 2)) & 0x09249249249249ull;
+  return x;
+}
+
+[[nodiscard]] std::uint64_t morton_key(const std::array<std::uint32_t, 3>& g) {
+  return spread3(g[0]) | (spread3(g[1]) << 1) | (spread3(g[2]) << 2);
+}
+
+/// Skilling's transform: convert axis coordinates to the "transposed"
+/// Hilbert index in place, then interleave. Public-domain algorithm
+/// (J. Skilling, "Programming the Hilbert curve", AIP 2004).
+[[nodiscard]] std::uint64_t hilbert_key(std::array<std::uint32_t, 3> x) {
+  constexpr unsigned n = 3;
+  std::uint32_t m = 1u << (kBits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (unsigned i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {  // exchange
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (unsigned i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[n - 1] & q) t ^= q - 1;
+  for (unsigned i = 0; i < n; ++i) x[i] ^= t;
+  // Interleave: bit b of axis i lands at position b*3 + (2 - i).
+  std::uint64_t key = 0;
+  for (unsigned b = 0; b < kBits; ++b)
+    for (unsigned i = 0; i < n; ++i)
+      key |= static_cast<std::uint64_t>((x[i] >> b) & 1u)
+             << (b * n + (n - 1 - i));
+  return key;
+}
+
+[[nodiscard]] std::vector<int> order_by_key(
+    const std::vector<std::array<double, 3>>& coords,
+    std::uint64_t (*curve)(std::array<std::uint32_t, 3>)) {
+  const std::size_t n = coords.size();
+  std::array<double, 3> lo{std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::infinity()};
+  std::array<double, 3> hi{-std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (const auto& x : coords)
+    for (std::size_t d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], x[d]);
+      hi[d] = std::max(hi[d], x[d]);
+    }
+  std::array<double, 3> span{};
+  for (std::size_t d = 0; d < 3; ++d) span[d] = hi[d] - lo[d];
+
+  std::vector<std::uint64_t> key(n);
+  for (std::size_t i = 0; i < n; ++i)
+    key[i] = curve(quantize(coords[i], lo, span));
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](int a, int b) {
+    const auto ka = key[static_cast<std::size_t>(a)];
+    const auto kb = key[static_cast<std::size_t>(b)];
+    return ka != kb ? ka < kb : a < b;
+  });
+  return perm;
+}
+
+[[nodiscard]] std::uint64_t morton_curve(std::array<std::uint32_t, 3> g) {
+  return morton_key(g);
+}
+
+}  // namespace
+
+std::string_view to_string(Ordering o) noexcept {
+  switch (o) {
+    case Ordering::Identity: return "identity";
+    case Ordering::MinTarget: return "mintarget";
+    case Ordering::RCM: return "rcm";
+    case Ordering::Morton: return "morton";
+    case Ordering::Hilbert: return "hilbert";
+  }
+  return "?";
+}
+
+std::optional<Ordering> parse_ordering(std::string_view s) noexcept {
+  if (s == "identity") return Ordering::Identity;
+  if (s == "mintarget") return Ordering::MinTarget;
+  if (s == "rcm") return Ordering::RCM;
+  if (s == "morton") return Ordering::Morton;
+  if (s == "hilbert") return Ordering::Hilbert;
+  return std::nullopt;
+}
+
+std::optional<Ordering> ordering_from_env() {
+  static constexpr std::array<std::string_view, 5> kNames = {
+      "identity", "mintarget", "rcm", "morton", "hilbert"};
+  if (const auto idx = rt::env::get_choice("SYCLPORT_RENUMBER", kNames))
+    return static_cast<Ordering>(*idx);
+  return std::nullopt;
+}
+
+std::vector<int> inverse_permutation(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const auto p = static_cast<std::size_t>(perm[i]);
+    if (p >= perm.size() || inv[p] != -1)
+      throw std::invalid_argument("inverse_permutation: not a permutation");
+    inv[p] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+std::vector<int> order_by_min_target(const Map& map) {
+  const std::size_t n = map.from().size();
+  std::vector<int> key(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    int mn = map.at(e, 0);
+    for (int i = 1; i < map.arity(); ++i) mn = std::min(mn, map.at(e, i));
+    key[e] = mn;
+  }
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Explicit (key, id) comparator instead of a stable sort on key alone:
+  // the tie order is part of the ordering's identity, not an
+  // implementation accident, so it survives sort-algorithm changes.
+  std::sort(perm.begin(), perm.end(), [&](int a, int b) {
+    const int ka = key[static_cast<std::size_t>(a)];
+    const int kb = key[static_cast<std::size_t>(b)];
+    return ka != kb ? ka < kb : a < b;
+  });
+  return perm;
+}
+
+std::vector<int> order_rcm(const Map& map) {
+  const std::size_t n = map.to().size();
+  // Adjacency of the target graph: all target pairs sharing a map row.
+  std::vector<std::vector<int>> adj(n);
+  for (std::size_t e = 0; e < map.from().size(); ++e)
+    for (int i = 0; i < map.arity(); ++i)
+      for (int j = 0; j < map.arity(); ++j) {
+        if (i == j) continue;
+        adj[static_cast<std::size_t>(map.at(e, i))].push_back(map.at(e, j));
+      }
+  for (auto& nb : adj) {
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+  }
+  auto degree = [&](int v) {
+    return adj[static_cast<std::size_t>(v)].size();
+  };
+
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::deque<int> queue;
+  while (order.size() < n) {
+    // Next component: its minimum-degree unvisited node (ties on id).
+    int seed = -1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (visited[v]) continue;
+      if (seed < 0 || degree(static_cast<int>(v)) < degree(seed))
+        seed = static_cast<int>(v);
+    }
+    visited[static_cast<std::size_t>(seed)] = 1;
+    queue.push_back(seed);
+    std::vector<int> frontier;
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      frontier.clear();
+      for (int w : adj[static_cast<std::size_t>(v)])
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          frontier.push_back(w);
+        }
+      std::sort(frontier.begin(), frontier.end(), [&](int a, int b) {
+        const auto da = degree(a);
+        const auto db = degree(b);
+        return da != db ? da < db : a < b;
+      });
+      for (int w : frontier) queue.push_back(w);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int> order_morton(
+    const std::vector<std::array<double, 3>>& coords) {
+  return order_by_key(coords, morton_curve);
+}
+
+std::vector<int> order_hilbert(
+    const std::vector<std::array<double, 3>>& coords) {
+  return order_by_key(coords, hilbert_key);
+}
+
+void relabel_map_targets(Map& map, const std::vector<int>& target_perm) {
+  const std::vector<int> inv = inverse_permutation(target_perm);
+  const std::size_t n = map.from().size();
+  for (std::size_t e = 0; e < n; ++e)
+    for (int i = 0; i < map.arity(); ++i)
+      map.at(e, i) = inv[static_cast<std::size_t>(map.at(e, i))];
+}
+
+std::size_t map_bandwidth(const Map& map) {
+  std::size_t bw = 0;
+  for (std::size_t e = 0; e < map.from().size(); ++e) {
+    int mn = map.at(e, 0);
+    int mx = mn;
+    for (int i = 1; i < map.arity(); ++i) {
+      mn = std::min(mn, map.at(e, i));
+      mx = std::max(mx, map.at(e, i));
+    }
+    bw = std::max(bw, static_cast<std::size_t>(mx - mn));
+  }
+  return bw;
+}
+
+}  // namespace syclport::op2

@@ -1,13 +1,28 @@
 #pragma once
 /// \file renumber.hpp
-/// Mesh-ordering utilities. The paper notes the atomics strategy gets
-/// its locality from "a good mesh ordering" (§4.3): adjacent edges
-/// executed on adjacent work-items touch adjacent vertices. These
-/// helpers produce that ordering - sort elements by their minimum
-/// mapped target - and apply the permutation to maps and dats.
+/// Mesh-ordering engine. The paper notes the atomics strategy gets its
+/// locality from "a good mesh ordering" (§4.3): adjacent edges executed
+/// on adjacent work-items touch adjacent vertices. This module produces
+/// such orderings and applies them to sets, maps and dats:
+///   - MinTarget: sort elements by ascending minimum mapped target
+///     (deterministic tie-break on element id, reproducible across
+///     platforms and stable-sort implementations);
+///   - RCM: reverse Cuthill-McKee over the target-set adjacency a map
+///     induces - the classic bandwidth-reduction ordering;
+///   - Morton/Hilbert: space-filling-curve orderings from node
+///     coordinates (the extruded-annulus positions the MG-CFD mesh
+///     generator carries).
+/// Every ordering is a permutation perm with perm[new] = old; the
+/// inverse (inverse_permutation) relabels map targets and answers
+/// "where did element e go". op2::measure_gather quantifies the win;
+/// SYCLPORT_RENUMBER picks the app-level default (docs/unstructured.md).
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <numeric>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "op2/dat.hpp"
@@ -15,22 +30,43 @@
 
 namespace syclport::op2 {
 
+enum class Ordering : std::uint8_t {
+  Identity,   ///< leave the generator's numbering alone
+  MinTarget,  ///< elements by ascending minimum mapped target
+  RCM,        ///< reverse Cuthill-McKee on the induced target graph
+  Morton,     ///< Z-order curve on quantized coordinates
+  Hilbert,    ///< Hilbert curve on quantized coordinates
+};
+
+[[nodiscard]] std::string_view to_string(Ordering o) noexcept;
+[[nodiscard]] std::optional<Ordering> parse_ordering(
+    std::string_view s) noexcept;
+/// SYCLPORT_RENUMBER when set and valid; nullopt otherwise.
+[[nodiscard]] std::optional<Ordering> ordering_from_env();
+
+/// inv[perm[i]] = i: where current position i's element would be found
+/// after applying `perm`, and the relabeling table for map targets.
+[[nodiscard]] std::vector<int> inverse_permutation(
+    const std::vector<int>& perm);
+
 /// Permutation that orders elements of map.from() by ascending minimum
-/// mapped target (stable): perm[new_position] = old_element.
-[[nodiscard]] inline std::vector<int> order_by_min_target(const Map& map) {
-  const std::size_t n = map.from().size();
-  std::vector<int> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
-  auto key = [&](int e) {
-    int mn = map.at(static_cast<std::size_t>(e), 0);
-    for (int i = 1; i < map.arity(); ++i)
-      mn = std::min(mn, map.at(static_cast<std::size_t>(e), i));
-    return mn;
-  };
-  std::stable_sort(perm.begin(), perm.end(),
-                   [&](int a, int b) { return key(a) < key(b); });
-  return perm;
-}
+/// mapped target, ties broken by ascending element id (deterministic
+/// regardless of sort implementation): perm[new_position] = old_element.
+[[nodiscard]] std::vector<int> order_by_min_target(const Map& map);
+
+/// Reverse Cuthill-McKee ordering of map.to() (the *target* set): two
+/// targets are adjacent when they share a row of `map`. Components are
+/// seeded from their minimum-degree node (ties on id); neighbours are
+/// visited in (degree, id) order; the final order is reversed.
+[[nodiscard]] std::vector<int> order_rcm(const Map& map);
+
+/// Space-filling-curve orderings of a coordinate set: quantize each
+/// position to a 2^10 grid over the bounding box, sort by curve index
+/// (ties on id). perm[new] = old.
+[[nodiscard]] std::vector<int> order_morton(
+    const std::vector<std::array<double, 3>>& coords);
+[[nodiscard]] std::vector<int> order_hilbert(
+    const std::vector<std::array<double, 3>>& coords);
 
 /// Reorder the rows of `map` so that new row r is old row perm[r].
 inline void permute_map(Map& map, const std::vector<int>& perm) {
@@ -47,6 +83,10 @@ inline void permute_map(Map& map, const std::vector<int>& perm) {
                          static_cast<std::size_t>(i)];
 }
 
+/// Relabel the *entries* of `map` after its target set was renumbered
+/// with `target_perm` (perm[new] = old): entry t becomes inverse[t].
+void relabel_map_targets(Map& map, const std::vector<int>& target_perm);
+
 /// Reorder a dat on the same set with the same permutation.
 template <typename T>
 void permute_dat(Dat<T>& dat, const std::vector<int>& perm) {
@@ -61,5 +101,10 @@ void permute_dat(Dat<T>& dat, const std::vector<int>& perm) {
       dat.at(e, static_cast<int>(c)) =
           old[static_cast<std::size_t>(perm[e]) * dim + c];
 }
+
+/// Graph bandwidth of `map`'s induced target graph: the maximum label
+/// distance within one row. RCM exists to shrink this; test_locality
+/// asserts it does.
+[[nodiscard]] std::size_t map_bandwidth(const Map& map);
 
 }  // namespace syclport::op2

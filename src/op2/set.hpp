@@ -20,9 +20,35 @@ class Set {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t size() const { return size_; }
 
+  /// Record that the set's elements were renumbered: new element i is
+  /// old element perm[i]. Compositions accumulate, so to_original()
+  /// always maps the *current* numbering back to the numbering the set
+  /// was created with - the canonical order op2::checkpoint serializes.
+  void note_permutation(const std::vector<int>& perm) {
+    if (perm.size() != size_)
+      throw std::invalid_argument("Set " + name_ + ": permutation size");
+    if (to_original_.empty()) {
+      to_original_ = perm;
+      return;
+    }
+    std::vector<int> composed(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+      composed[i] = to_original_[static_cast<std::size_t>(perm[i])];
+    to_original_ = std::move(composed);
+  }
+
+  /// Current element i was element to_original(i) in the creation-time
+  /// numbering (identity when the set was never renumbered).
+  [[nodiscard]] std::size_t to_original(std::size_t i) const {
+    return to_original_.empty() ? i
+                                : static_cast<std::size_t>(to_original_[i]);
+  }
+  [[nodiscard]] bool renumbered() const { return !to_original_.empty(); }
+
  private:
   std::string name_;
   std::size_t size_;
+  std::vector<int> to_original_;  ///< empty = identity
 };
 
 class Map {

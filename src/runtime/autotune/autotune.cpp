@@ -247,6 +247,46 @@ void append_token(std::string& out, const char* key, const std::string& val) {
       });
     }
   }
+  if (site.axes & (kIndirect | kLayout)) {
+    // Strategy and layout are one joint axis: a non-AoS layout only
+    // executes through the staged lowering (the eager binders hand out
+    // raw AoS pointers), so crossing them independently would generate
+    // candidates the runtime must coerce anyway. Dropped (-1) prior
+    // entries shrink the menu; dedup keeps donor-seeded orders clean.
+    struct IL { int indirect, layout; };
+    std::vector<IL> menu;
+    auto push = [&](int ind, int lay) {
+      for (const IL& m : menu)
+        if (m.indirect == ind && m.layout == lay) return;
+      menu.push_back({ind, lay});
+    };
+    const bool ind_axis = (site.axes & kIndirect) != 0;
+    const bool lay_axis = (site.axes & kLayout) != 0;
+    for (const int ind : priors.indirect_order) {
+      if (ind_axis && (ind < 1 || ind > 4)) continue;
+      const int i = ind_axis ? ind : -1;
+      if (!lay_axis) {
+        push(i, -1);
+        continue;
+      }
+      for (const int lay : priors.layout_order) {
+        if (lay < 0 || lay > 2) continue;
+        if (lay != 0 && ind_axis && i != 4) continue;  // non-AoS => staged
+        push(i, lay);
+      }
+    }
+    if (!ind_axis && menu.empty())
+      for (const int lay : priors.layout_order)
+        if (lay >= 0 && lay <= 2) push(-1, lay);
+    cross([&](const Config& c, std::vector<Config>& next) {
+      for (const IL& m : menu) {
+        Config d = c;
+        if (m.indirect >= 0) d.indirect = m.indirect;
+        if (m.layout >= 0) d.layout = m.layout;
+        next.push_back(d);
+      }
+    });
+  }
   return set;
 }
 
@@ -264,6 +304,7 @@ void append_token(std::string& out, const char* key, const std::string& val) {
   d += static_cast<int>(a.reg_tile != b.reg_tile ||
                         a.vec_width != b.vec_width || a.unroll != b.unroll);
   d += static_cast<int>(a.cache_block != b.cache_block);
+  d += static_cast<int>(a.layout != b.layout || a.indirect != b.indirect);
   return d;
 }
 
@@ -337,6 +378,19 @@ std::string Config::to_string() const {
   if (unroll) append_token(out, "unroll", std::to_string(*unroll));
   if (cache_block)
     append_token(out, "cache_block", std::to_string(*cache_block));
+  if (layout) {
+    static constexpr std::array<const char*, 3> kLayouts = {"aos", "soa",
+                                                            "aosoa"};
+    const int l = *layout;
+    append_token(out, "layout", l >= 0 && l < 3 ? kLayouts[static_cast<std::size_t>(l)] : "?");
+  }
+  if (indirect) {
+    static constexpr std::array<const char*, 5> kStrategies = {
+        "?", "atomics", "global", "hierarchical", "staged"};
+    const int i = *indirect;
+    append_token(out, "indirect",
+                 i >= 1 && i < 5 ? kStrategies[static_cast<std::size_t>(i)] : "?");
+  }
   return out;
 }
 
@@ -413,6 +467,17 @@ std::optional<Config> Config::parse(std::string_view s) {
       const auto v = parse_size(val);
       if (!v) return std::nullopt;
       cfg.cache_block = *v;
+    } else if (key == "layout") {
+      if (val == "aos") cfg.layout = 0;
+      else if (val == "soa") cfg.layout = 1;
+      else if (val == "aosoa") cfg.layout = 2;
+      else return std::nullopt;
+    } else if (key == "indirect") {
+      if (val == "atomics") cfg.indirect = 1;
+      else if (val == "global") cfg.indirect = 2;
+      else if (val == "hierarchical") cfg.indirect = 3;
+      else if (val == "staged") cfg.indirect = 4;
+      else return std::nullopt;
     } else {
       return std::nullopt;  // unknown axis: treat the entry as corrupt
     }

@@ -46,6 +46,8 @@ enum Axis : unsigned {
   kVecWidth = 1u << 7,       ///< kernel-variant vector width hint
   kUnroll = 1u << 8,         ///< kernel-variant unroll factor
   kCacheBlock = 1u << 9,     ///< fast-dimension cache-block size (items)
+  kLayout = 1u << 10,        ///< physical dat layout (AoS/SoA/AoSoA)
+  kIndirect = 1u << 11,      ///< indirect-increment strategy (op2)
 };
 
 /// The kernel-variant axes raced as one joint menu (variant.hpp): a
@@ -79,6 +81,15 @@ struct Config {
   /// independent-point (non-reduction) sites declare this axis - the
   /// blocked traversal reorders iterations.
   std::optional<std::size_t> cache_block;
+  /// Physical layout of the indirectly gathered dats (kLayout):
+  /// op2::Layout codes 0=AoS 1=SoA 2=AoSoA. The consuming par_loop
+  /// transcodes the dats to the decided layout before the sweep.
+  std::optional<int> layout;
+  /// Race-resolution strategy for indirect-increment loops (kIndirect):
+  /// core Strategy codes 1=Atomics 2=GlobalColor 3=Hierarchical
+  /// 4=Staged. Candidates are generated so non-AoS layouts only pair
+  /// with the staged lowering (the eager binders need AoS).
+  std::optional<int> indirect;
 
   /// Space-separated `axis=value` rendering, the cache wire format.
   [[nodiscard]] std::string to_string() const;
@@ -141,6 +152,15 @@ struct Priors {
   /// raced. hwmodel sizes the nonzero seed to an L1-resident slice of a
   /// three-stream double sweep.
   std::array<std::size_t, 2> cache_blocks{0, 1024};
+  /// Indirect-strategy candidate order (kIndirect), core Strategy codes
+  /// (1=Atomics 2=GlobalColor 3=Hierarchical 4=Staged); -1 entries are
+  /// dropped. hwmodel leads with staged on CPUs (slow atomics, wide
+  /// vectors) and atomics on GPU-like descriptors.
+  std::array<int, 4> indirect_order{1, 4, -1, -1};
+  /// Layout candidate order (kLayout), op2::Layout codes (0=AoS 1=SoA
+  /// 2=AoSoA); -1 entries are dropped. Non-AoS entries are only crossed
+  /// with the staged strategy.
+  std::array<int, 3> layout_order{0, 1, -1};
 };
 
 }  // namespace syclport::rt::autotune

@@ -94,6 +94,34 @@ std::vector<Variant> mgcfd_variants(PlatformId p) {
   return out;
 }
 
+void scale_mgcfd_profiles(std::vector<hw::LoopProfile>& profiles,
+                          const apps::MgcfdConfig& cfg) {
+  // Scale bench-mesh traffic to the paper's 8M-vertex Rotor37.
+  const double nodes = static_cast<double>(cfg.ni * cfg.nj * cfg.nk);
+  const double scale = kPaperMgcfdNodes / nodes;
+  for (auto& lp : profiles) {
+    lp.extent[0] =
+        static_cast<std::size_t>(static_cast<double>(lp.extent[0]) * scale);
+    lp.bytes_read *= scale;
+    lp.bytes_written *= scale;
+    lp.bytes_read_indirect *= scale;
+    lp.bytes_written_indirect *= scale;
+    lp.map_bytes *= scale;
+    lp.flops *= scale;
+    lp.working_set *= scale;
+    lp.staged_bytes *= scale;
+    lp.atomic_updates = static_cast<std::size_t>(
+        static_cast<double>(lp.atomic_updates) * scale);
+    // Traffic scaled by S means a cache holds 1/S of the working set:
+    // re-sample the gather reuse profile at cache/S.
+    const auto measured = lp.gather_factor_at;
+    for (std::size_t c = 0; c < hw::kGatherCachePoints.size(); ++c)
+      lp.gather_factor_at[c] = hw::interp_gather_curve(
+          measured, hw::kGatherCachePoints[c] / scale);
+    lp.gather_line_factor = lp.gather_factor_at.front();
+  }
+}
+
 Variant native_variant(PlatformId p) {
   switch (p) {
     case PlatformId::A100: return {Model::CUDA, Toolchain::Native};
@@ -143,29 +171,7 @@ const std::vector<hw::LoopProfile>& StudyRunner::schedule(AppId app,
     apps::MgcfdConfig cfg = mgcfd_cfg_;
     auto rs = apps::run_mgcfd(o, cfg);
     profiles = std::move(rs.profiles);
-    // Scale bench-mesh traffic to the paper's 8M-vertex Rotor37.
-    const double nodes = static_cast<double>(cfg.ni * cfg.nj * cfg.nk);
-    const double scale = kPaperMgcfdNodes / nodes;
-    for (auto& lp : profiles) {
-      lp.extent[0] = static_cast<std::size_t>(
-          static_cast<double>(lp.extent[0]) * scale);
-      lp.bytes_read *= scale;
-      lp.bytes_written *= scale;
-      lp.bytes_read_indirect *= scale;
-      lp.bytes_written_indirect *= scale;
-      lp.map_bytes *= scale;
-      lp.flops *= scale;
-      lp.working_set *= scale;
-      lp.atomic_updates = static_cast<std::size_t>(
-          static_cast<double>(lp.atomic_updates) * scale);
-      // Traffic scaled by S means a cache holds 1/S of the working set:
-      // re-sample the gather reuse profile at cache/S.
-      const auto measured = lp.gather_factor_at;
-      for (std::size_t c = 0; c < hw::kGatherCachePoints.size(); ++c)
-        lp.gather_factor_at[c] = hw::interp_gather_curve(
-            measured, hw::kGatherCachePoints[c] / scale);
-      lp.gather_line_factor = lp.gather_factor_at.front();
-    }
+    scale_mgcfd_profiles(profiles, cfg);
   } else {
     ops::Options o;
     o.mode = ops::Mode::ModelOnly;

@@ -47,6 +47,15 @@ struct ExperimentResult {
 /// OpenMP offload on the Max 1100, pure MPI on CPUs).
 [[nodiscard]] Variant native_variant(PlatformId p);
 
+/// Scale a bench-mesh MG-CFD loop schedule to the paper's 8M-vertex
+/// Rotor37: traffic, flops and atomic counts scale linearly; the
+/// measured gather reuse profile is re-sampled at cache/scale (a cache
+/// holds 1/scale of the scaled working set). StudyRunner applies this
+/// to its cached schedules; ablation_layout uses it directly on
+/// schedules recorded under non-default (ordering, layout, strategy).
+void scale_mgcfd_profiles(std::vector<hw::LoopProfile>& profiles,
+                          const apps::MgcfdConfig& cfg);
+
 /// Aggregate one experiment cell from an already-obtained loop
 /// schedule: the pure tail of StudyRunner::run. A thread-safe function
 /// of its arguments (DeviceModel and the platform tables are

@@ -93,6 +93,21 @@ struct fusion_record {
   double rw_copy_bytes = 0.0;    ///< RW double-buffer save/restore traffic
 };
 
+/// One OP2 indirect-loop locality decision: which race-resolution
+/// strategy, physical layout and mesh ordering the loop executed with,
+/// and the gather line factor the locality analyser measured for that
+/// combination next to what the hardware model's reuse-distance curve
+/// predicts at LLC capacity. The study report and bench/ablation_layout
+/// print these as the per-loop decision table (docs/unstructured.md).
+struct locality_record {
+  std::string loop;
+  std::string strategy;       ///< "atomics" / "global" / ... / "staged"
+  std::string layout;         ///< "aos" / "soa" / "aosoa"
+  std::string ordering;       ///< "identity" / "rcm" / "hilbert" / ...
+  double measured_gather = 1.0;   ///< cold gather line factor (measured)
+  double predicted_gather = 1.0;  ///< model interp at host LLC capacity
+};
+
 /// Aggregate over the recorded fusion_records.
 struct FusionStats {
   std::size_t chains = 0;
@@ -178,6 +193,12 @@ class launch_log {
       fusions_.push_back(std::move(rec));
   }
 
+  void append_locality(locality_record rec) {
+    std::lock_guard lock(mu_);
+    if (enabled_.load(std::memory_order_relaxed))
+      localities_.push_back(std::move(rec));
+  }
+
   [[nodiscard]] std::vector<launch_record> snapshot() const {
     std::lock_guard lock(mu_);
     return records_;
@@ -191,6 +212,11 @@ class launch_log {
   [[nodiscard]] std::vector<fusion_record> fusions_snapshot() const {
     std::lock_guard lock(mu_);
     return fusions_;
+  }
+
+  [[nodiscard]] std::vector<locality_record> localities_snapshot() const {
+    std::lock_guard lock(mu_);
+    return localities_;
   }
 
   [[nodiscard]] FusionStats fusion_stats() const {
@@ -227,6 +253,7 @@ class launch_log {
     records_.clear();
     commands_.clear();
     fusions_.clear();
+    localities_.clear();
     service_ = ServiceTelemetry{};
     service_latencies_.clear();
   }
@@ -265,6 +292,7 @@ class launch_log {
   std::vector<launch_record> records_;
   std::vector<command_record> commands_;
   std::vector<fusion_record> fusions_;
+  std::vector<locality_record> localities_;
   ServiceTelemetry service_;  ///< latency field filled on snapshot
   std::vector<double> service_latencies_;
 };

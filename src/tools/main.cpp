@@ -27,6 +27,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "apps/acoustic/acoustic.hpp"
@@ -625,6 +626,55 @@ int cmd_report(const std::string& out_path) {
     };
     for (const auto& [name, ts] : log.kernel_timing_summaries()) row(name, ts);
     row("(all)", log.timing_summary());
+    log.clear();
+  }
+
+  // Unstructured locality decisions (docs/unstructured.md): executed
+  // MG-CFD exercises under the seed configuration and under the
+  // renumber+staged engine. Every indirect-increment loop appends one
+  // decision record per launch: the strategy/layout/ordering it ran
+  // with and its measured cold gather line factor next to the hardware
+  // model's prediction at half the host's LLC.
+  {
+    auto& log = sycl::launch_log::instance();
+    auto run_case = [&](const char* ordering, Strategy s) {
+      setenv("SYCLPORT_RENUMBER", ordering, 1);
+      op2::Options o;
+      o.exec = op2::Exec::Serial;
+      o.strategy = s;
+      o.tune = false;  // report the explicit configs, not a tuner race
+      (void)apps::run_mgcfd(o, apps::mgcfd_small());
+      unsetenv("SYCLPORT_RENUMBER");
+    };
+    log.clear();
+    log.set_enabled(true);
+    run_case("identity", Strategy::Atomics);
+    run_case("rcm", Strategy::Staged);
+    log.set_enabled(false);
+
+    struct LAgg {
+      std::size_t launches = 0;
+      double measured = 0.0, predicted = 0.0;
+    };
+    std::map<std::tuple<std::string, std::string, std::string, std::string>,
+             LAgg>
+        decisions;
+    for (const auto& r : log.localities_snapshot()) {
+      LAgg& a = decisions[{r.loop, r.strategy, r.layout, r.ordering}];
+      a.launches += 1;
+      a.measured = r.measured_gather;
+      a.predicted = r.predicted_gather;
+    }
+    out << "\n## Unstructured locality decisions (executed MG-CFD, this "
+           "process)\n\n"
+        << "| loop | strategy | layout | ordering | launches | "
+        << "measured gather | predicted gather |\n"
+        << "|---|---|---|---|---|---|---|\n";
+    for (const auto& [key, a] : decisions)
+      out << "| `" << std::get<0>(key) << "` | " << std::get<1>(key) << " | "
+          << std::get<2>(key) << " | " << std::get<3>(key) << " | "
+          << a.launches << " | " << report::fmt(a.measured, 2) << " | "
+          << report::fmt(a.predicted, 2) << " |\n";
     log.clear();
   }
 

@@ -104,6 +104,15 @@ TEST(Autotune, ConfigToStringParseRoundTrip) {
   ASSERT_TRUE(vback.has_value());
   EXPECT_EQ(*vback, v);
 
+  // The unstructured-locality axes (cache v4) round-trip too.
+  at::Config u;
+  u.layout = 1;    // SoA
+  u.indirect = 4;  // Staged
+  EXPECT_EQ(u.to_string(), "layout=soa indirect=staged");
+  const auto uback = at::Config::parse(u.to_string());
+  ASSERT_TRUE(uback.has_value());
+  EXPECT_EQ(*uback, u);
+
   EXPECT_FALSE(at::Config::parse("schedule=warp").has_value());
   EXPECT_FALSE(at::Config::parse("grain=12abc").has_value());
   EXPECT_FALSE(at::Config::parse("local=8x8").has_value());
@@ -112,6 +121,8 @@ TEST(Autotune, ConfigToStringParseRoundTrip) {
   EXPECT_FALSE(at::Config::parse("vec=x").has_value());
   EXPECT_FALSE(at::Config::parse("unroll=").has_value());
   EXPECT_FALSE(at::Config::parse("cache_block=12ab").has_value());
+  EXPECT_FALSE(at::Config::parse("layout=csr").has_value());
+  EXPECT_FALSE(at::Config::parse("indirect=mutex").has_value());
 }
 
 TEST(Autotune, SiteKeyIsStableAndSanitized) {
@@ -388,13 +399,13 @@ TEST(Autotune, CacheRejectsForeignVersionTamperAndTruncation) {
   // A v2 file (pre-variant axes, no per-entry fp) is a foreign format:
   // the caller silently retunes instead of trusting it. Same for v1.
   std::string v2 = pristine;
-  const auto vpos = v2.find("\"syclport_tune_cache\": 3");
+  const auto vpos = v2.find("\"syclport_tune_cache\": 4");
   ASSERT_NE(vpos, std::string::npos);
   v2.replace(vpos, 24, "\"syclport_tune_cache\": 2");
   spit(v2);
   EXPECT_FALSE(at::read_cache(path).has_value());
   std::string v1 = pristine;
-  v1.replace(v1.find("\"syclport_tune_cache\": 3"), 24,
+  v1.replace(v1.find("\"syclport_tune_cache\": 4"), 24,
              "\"syclport_tune_cache\": 1");
   spit(v1);
   EXPECT_FALSE(at::read_cache(path).has_value());
@@ -540,7 +551,7 @@ TEST(Autotune, V2CacheFileRetunesSilently) {
     ss << in.rdbuf();
     text = std::move(ss).str();
   }
-  const auto vpos = text.find("\"syclport_tune_cache\": 3");
+  const auto vpos = text.find("\"syclport_tune_cache\": 4");
   ASSERT_NE(vpos, std::string::npos);
   text.replace(vpos, 24, "\"syclport_tune_cache\": 2");
   {
