@@ -1,0 +1,198 @@
+#include "minimpi/elastic.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+#include "runtime/env.hpp"
+#include "runtime/fault/fault.hpp"
+#include "sycl/launch_log.hpp"
+
+namespace syclport::mpi {
+
+namespace detail {
+
+/// State shared by the driver loop and the rank threads of one epoch.
+/// Immutable per epoch except `last_ckpt` (advanced by step_done after
+/// a collective save completes) and `agreement` (stored by agree()).
+struct EpochShared {
+  int epoch = 0;
+  int ckpt_every = 0;
+  int start_step = 0;        ///< snapshot of last_ckpt + 1 at epoch start
+  int failed_rank = -1;      ///< victim of the previous epoch, -1 if none
+  std::string ckpt_path;
+  std::atomic<int>* last_ckpt = nullptr;  ///< driver-owned, spans epochs
+  std::atomic<std::uint64_t> agreement{0};
+};
+
+}  // namespace detail
+
+namespace {
+
+namespace fault = rt::fault;
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The deterministic agreement proposal: every survivor that shares the
+/// fault seed and the same view of the failure derives the same token.
+[[nodiscard]] std::uint64_t agreement_token(std::uint64_t seed, int epoch,
+                                            int failed_rank,
+                                            int survivors) noexcept {
+  std::uint64_t h = mix64(seed ^ 0xE1A57C0DEull);
+  h = mix64(h ^ static_cast<std::uint64_t>(epoch));
+  h = mix64(h ^ (static_cast<std::uint64_t>(failed_rank) + 2));
+  h = mix64(h ^ static_cast<std::uint64_t>(survivors));
+  return h;
+}
+
+/// Raise the shared checkpoint watermark to `s` (several ranks finish
+/// the same collective save; the max wins).
+void raise_watermark(std::atomic<int>& mark, int s) noexcept {
+  int cur = mark.load(std::memory_order_relaxed);
+  while (cur < s &&
+         !mark.compare_exchange_weak(cur, s, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* to_string(Recovery policy) noexcept {
+  switch (policy) {
+    case Recovery::Abort: return "abort";
+    case Recovery::Shrink: return "shrink";
+    case Recovery::Respawn: return "respawn";
+  }
+  return "abort";
+}
+
+ElasticOptions ElasticOptions::from_env() {
+  ElasticOptions opts;
+  static constexpr std::array<std::string_view, 3> kPolicies = {
+      "abort", "shrink", "respawn"};
+  if (const auto p = rt::env::get_choice("SYCLPORT_RECOVERY", kPolicies))
+    opts.policy = static_cast<Recovery>(*p);
+  if (const auto n = rt::env::get_long("SYCLPORT_CKPT_EVERY", 1, 1'000'000))
+    opts.ckpt_every = static_cast<int>(*n);
+  return opts;
+}
+
+int Epoch::index() const noexcept { return sh_->epoch; }
+
+int Epoch::start_step() const noexcept { return sh_->start_step; }
+
+bool Epoch::resuming() const noexcept { return sh_->start_step > 0; }
+
+const std::string& Epoch::checkpoint_path() const noexcept {
+  return sh_->ckpt_path;
+}
+
+void Epoch::step_done(int s, const std::function<void()>& save) {
+  comm_->heartbeat();
+  if (fault::armed()) {
+    // One decision per (epoch, step), shared by every rank: the roll
+    // stream is the epoch so re-executed steps of a later epoch draw
+    // fresh, and the injection cap bounds the total kills of the run.
+    const auto roll = fault::roll_shared(fault::Site::RankKill,
+                                         static_cast<std::uint64_t>(sh_->epoch),
+                                         static_cast<std::uint64_t>(s) + 1);
+    if (roll.fire) {
+      const int victim = static_cast<int>(
+          roll.value % static_cast<std::uint64_t>(comm_->size()));
+      if (comm_->rank() == victim)
+        throw rank_killed_error(
+            "injected fault (rank.kill): rank " + std::to_string(victim) +
+                " killed after step " + std::to_string(s) + " of epoch " +
+                std::to_string(sh_->epoch),
+            victim, s);
+      // Survivors do NOT throw here. Ranks reach a given step boundary
+      // at different times, and a survivor throwing before the victim
+      // would hand mpi::run() an all-cascade failure set with no
+      // primary. Only the victim dies; every survivor unwinds through
+      // the transport's PeerFailed wake-up at its next blocked
+      // communication, so the victim's rank_killed_error is always the
+      // single primary error.
+    }
+  }
+  if (sh_->ckpt_every > 0 && (s + 1) % sh_->ckpt_every == 0) {
+    save();
+    raise_watermark(*sh_->last_ckpt, s);
+  }
+}
+
+void Epoch::agree() {
+  const std::uint64_t mine =
+      agreement_token(fault::seed(), sh_->epoch, sh_->failed_rank,
+                      comm_->size());
+  const auto all = comm_->allgather(mine);
+  for (std::size_t r = 0; r < all.size(); ++r)
+    if (all[r] != mine)
+      throw std::runtime_error(
+          "elastic agreement failed: rank " + std::to_string(r) +
+          " proposed a different epoch token (inconsistent failure view)");
+  sh_->agreement.store(mine, std::memory_order_relaxed);
+}
+
+void run_elastic(int nranks, int steps, const ElasticOptions& opts,
+                 const std::function<void(Comm&, Epoch&)>& epoch_fn) {
+  if (nranks < 1) throw std::invalid_argument("run_elastic: nranks < 1");
+  if (opts.ckpt_every < 0)
+    throw std::invalid_argument("run_elastic: ckpt_every < 0");
+  (void)steps;  // the step count is the epoch_fn's loop bound
+
+  int size = nranks;
+  int epoch = 0;
+  int failed_rank = -1;
+  std::atomic<int> last_ckpt{-1};
+
+  for (;;) {
+    detail::EpochShared sh;
+    sh.epoch = epoch;
+    sh.ckpt_every = opts.ckpt_every;
+    sh.start_step = last_ckpt.load(std::memory_order_relaxed) + 1;
+    sh.failed_rank = failed_rank;
+    sh.ckpt_path = opts.ckpt_path;
+    sh.last_ckpt = &last_ckpt;
+
+    try {
+      run(size, [&](Comm& comm) {
+        Epoch ep(&sh, &comm);
+        if (sh.epoch > 0) ep.agree();
+        epoch_fn(comm, ep);
+      });
+      return;
+    } catch (const rank_killed_error& killed) {
+      if (opts.policy == Recovery::Abort) throw;
+      if (epoch + 1 >= opts.max_epochs) throw;
+      const int survivors = opts.policy == Recovery::Shrink ? size - 1 : size;
+      if (survivors < 1) throw;
+
+      const double detect_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - killed.at)
+              .count();
+      const int mark = last_ckpt.load(std::memory_order_relaxed);
+      sycl::recovery_record rec;
+      rec.epoch = static_cast<std::uint64_t>(epoch);
+      rec.policy = to_string(opts.policy);
+      rec.ranks_before = size;
+      rec.ranks_after = survivors;
+      rec.failed_rank = killed.rank;
+      rec.detect_ms = detect_ms;
+      rec.rollback_steps = killed.step - mark;  // completed, now discarded
+      rec.agreement =
+          agreement_token(fault::seed(), epoch + 1, killed.rank, survivors);
+      sycl::launch_log::instance().append_recovery(rec);
+
+      failed_rank = killed.rank;
+      size = survivors;
+      ++epoch;
+    }
+  }
+}
+
+}  // namespace syclport::mpi

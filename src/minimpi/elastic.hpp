@@ -1,0 +1,122 @@
+#pragma once
+/// \file elastic.hpp
+/// Elastic self-healing driver for mini-MPI runs
+/// (docs/resilience.md "Elastic recovery").
+///
+/// run_elastic() executes a step loop as a sequence of *epochs*: each
+/// epoch is one mpi::run() over the current world. When a rank dies
+/// mid-epoch (the seeded `rank.kill` fault site, or a heartbeat
+/// eviction) the survivors unwind cooperatively, the driver applies the
+/// configured recovery policy - `shrink` re-partitions over the
+/// survivors, `respawn` restarts a replacement rank - and the next
+/// epoch resumes from the last auto-checkpoint. Checkpoints are
+/// *canonical* (decomposition-independent, see ops/dist_checkpoint.hpp)
+/// so a shrunk world can restore state written by a larger one, and the
+/// recovered run is bit-exact versus an unfailed run.
+///
+/// Epoch agreement: before resuming, every survivor derives the same
+/// 64-bit token from (fault seed, epoch index, failed rank, survivor
+/// count) and the ranks allgather + compare them - a deterministic
+/// seeded agreement round that doubles as a liveness barrier over the
+/// new world. The token is recorded in the recovery telemetry
+/// (sycl::launch_log::recovery_snapshot()).
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "minimpi/comm.hpp"
+
+namespace syclport::mpi {
+
+/// What run_elastic does when a rank dies (SYCLPORT_RECOVERY).
+enum class Recovery : std::uint8_t {
+  Abort,    ///< rethrow: the failure is the caller's problem (default)
+  Shrink,   ///< continue on the survivors (world size - 1)
+  Respawn,  ///< restart a replacement rank (world size unchanged)
+};
+
+[[nodiscard]] const char* to_string(Recovery policy) noexcept;
+
+/// Primary error thrown by the victim of a `rank.kill` injection. The
+/// survivors' PeerFailed cascades are filtered by mpi::run(), so this
+/// is what run_elastic catches to classify a recoverable rank death.
+class rank_killed_error : public std::runtime_error {
+ public:
+  rank_killed_error(const std::string& what_arg, int rank_arg, int step_arg)
+      : std::runtime_error(what_arg),
+        rank(rank_arg),
+        step(step_arg),
+        at(std::chrono::steady_clock::now()) {}
+
+  int rank;  ///< victim rank id
+  int step;  ///< last step the victim completed before dying
+  std::chrono::steady_clock::time_point at;  ///< time of death
+};
+
+struct ElasticOptions {
+  Recovery policy = Recovery::Abort;
+  int ckpt_every = 0;   ///< auto-checkpoint every n completed steps; 0 = off
+  int max_epochs = 16;  ///< recovery-attempt bound; exceeding it rethrows
+  std::string ckpt_path = "elastic_ckpt.bin";
+
+  /// SYCLPORT_RECOVERY (abort|shrink|respawn) and SYCLPORT_CKPT_EVERY
+  /// (>= 1), both warn-once on invalid values (rt::env hardening).
+  [[nodiscard]] static ElasticOptions from_env();
+};
+
+namespace detail {
+struct EpochShared;
+}  // namespace detail
+
+/// Per-epoch context handed to the step loop alongside the Comm. The
+/// loop must run steps [start_step(), steps) and call step_done() after
+/// each one; everything else (kill rolls, checkpoint cadence, restore
+/// decisions, agreement) is driven through this object.
+class Epoch {
+ public:
+  [[nodiscard]] int index() const noexcept;
+
+  /// First step this epoch should execute (0 on a fresh start,
+  /// last checkpointed step + 1 after a rollback).
+  [[nodiscard]] int start_step() const noexcept;
+
+  /// True when state must be restored from checkpoint_path() before
+  /// stepping (start_step() > 0 via a recorded checkpoint).
+  [[nodiscard]] bool resuming() const noexcept;
+
+  [[nodiscard]] const std::string& checkpoint_path() const noexcept;
+
+  /// Call after completing step `s` (0-based). Rolls the seeded
+  /// `rank.kill` site for this step - every rank sees the same shared
+  /// decision, the chosen victim throws rank_killed_error, and the
+  /// survivors unwind with PeerFailed at their next blocked
+  /// communication once the victim dies - then invokes `save` at
+  /// the checkpoint cadence. `save` must be a collective canonical
+  /// checkpoint of the full recoverable state to checkpoint_path().
+  /// The kill roll deliberately precedes the save: a rank killed at a
+  /// cadence step rolls back to the *previous* checkpoint.
+  void step_done(int s, const std::function<void()>& save);
+
+ private:
+  friend void run_elastic(int, int, const ElasticOptions&,
+                          const std::function<void(Comm&, Epoch&)>&);
+  Epoch(detail::EpochShared* sh, Comm* comm) : sh_(sh), comm_(comm) {}
+
+  void agree();
+
+  detail::EpochShared* sh_;
+  Comm* comm_;
+};
+
+/// Run `epoch_fn` over `nranks` ranks with elastic recovery. The
+/// function receives the epoch context and must drive its step loop as
+/// documented on Epoch. Returns when an epoch completes without a rank
+/// death; rethrows the primary error under Recovery::Abort, when the
+/// world cannot shrink further, or when max_epochs is exhausted.
+void run_elastic(int nranks, int steps, const ElasticOptions& opts,
+                 const std::function<void(Comm&, Epoch&)>& epoch_fn);
+
+}  // namespace syclport::mpi

@@ -1,0 +1,177 @@
+#pragma once
+/// \file dist_checkpoint.hpp
+/// Canonical checkpoint/restart for distributed OPS fields
+/// (docs/resilience.md "Elastic recovery").
+///
+/// A checkpoint written by ops::checkpoint() stores each rank's local
+/// block, so it can only be restored onto the same decomposition. The
+/// elastic driver needs more: after a `shrink` recovery the surviving
+/// world re-partitions the grid, so its checkpoints must be
+/// *decomposition-independent*. These helpers gather every owned
+/// interior into one global-order array (canonical form), write it
+/// through the same CRC-tagged atomic Snapshot format, and restore by
+/// having every rank read the file and scatter its own box - any world
+/// size can restore any world size's checkpoint, and the canonical
+/// bytes double as the bit-exactness witness in the chaos tests.
+///
+/// All entry points are collective over the field's communicator.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minimpi/cart.hpp"
+#include "minimpi/comm.hpp"
+#include "ops/dist.hpp"
+#include "runtime/fault/checkpoint.hpp"
+
+namespace syclport::ops::dist {
+
+/// Tag base for the gather/rebroadcast messages; chosen clear of the
+/// halo (100 + ...) and op2 import/export (70/71) tag ranges.
+inline constexpr int kCkptTagBase = 9100;
+
+namespace detail {
+
+/// Normalized global extents: unused dimensions span exactly 1, so the
+/// canonical index never depends on what a caller left in global()[d]
+/// past dims().
+template <typename T>
+[[nodiscard]] inline std::array<std::size_t, 3> canonical_extents(
+    DistDat<T>& d) {
+  std::array<std::size_t, 3> ext{1, 1, 1};
+  for (int dim = 0; dim < d.ctx().dims(); ++dim)
+    ext[static_cast<std::size_t>(dim)] =
+        d.global()[static_cast<std::size_t>(dim)];
+  return ext;
+}
+
+}  // namespace detail
+
+/// Gather the owned interior of `d` into global (canonical) order on
+/// every rank. Collective; the result is identical on all ranks.
+template <typename T>
+[[nodiscard]] std::vector<T> gather_canonical(DistDat<T>& d) {
+  mpi::Comm& comm = d.ctx().comm();
+  const int dims = d.ctx().dims();
+  const auto ext = detail::canonical_extents(d);
+  std::vector<T> canon(ext[0] * ext[1] * ext[2]);
+
+  std::vector<T> mine;
+  d.for_owned([&](std::size_t, std::size_t, std::size_t, std::ptrdiff_t li,
+                  std::ptrdiff_t lj, std::ptrdiff_t lk) {
+    mine.push_back(d.field().at(li, lj, lk));
+  });
+
+  if (comm.rank() == 0) {
+    // Rank 0 can compute every rank's owned box from the decomposition
+    // alone, so the wire carries only raw values in for_owned order.
+    const auto place = [&](int r, const std::vector<T>& buf) {
+      mpi::CartDecomp cart(r, comm.size(), dims);
+      std::array<std::size_t, 3> lo{0, 0, 0};
+      std::array<std::size_t, 3> hi{1, 1, 1};
+      for (int dim = 0; dim < dims; ++dim) {
+        const auto dd = static_cast<std::size_t>(dim);
+        const auto [b, e] = cart.owned(dim, ext[dd]);
+        lo[dd] = b;
+        hi[dd] = e;
+      }
+      std::size_t at = 0;
+      for (std::size_t i = lo[0]; i < hi[0]; ++i)
+        for (std::size_t j = lo[1]; j < hi[1]; ++j)
+          for (std::size_t k = lo[2]; k < hi[2]; ++k)
+            canon[(i * ext[1] + j) * ext[2] + k] = buf[at++];
+      if (at != buf.size())
+        throw std::logic_error("gather_canonical: box/payload mismatch");
+    };
+    place(0, mine);
+    for (int r = 1; r < comm.size(); ++r) {
+      mpi::CartDecomp cart(r, comm.size(), dims);
+      std::size_t count = 1;
+      for (int dim = 0; dim < dims; ++dim) {
+        const auto [b, e] =
+            cart.owned(dim, ext[static_cast<std::size_t>(dim)]);
+        count *= e - b;
+      }
+      std::vector<T> buf(count);
+      comm.recv(r, kCkptTagBase, std::span<T>(buf));
+      place(r, buf);
+    }
+    for (int r = 1; r < comm.size(); ++r)
+      comm.send(r, kCkptTagBase + 1, std::span<const T>(canon));
+  } else {
+    comm.send(0, kCkptTagBase, std::span<const T>(mine));
+    comm.recv(0, kCkptTagBase + 1, std::span<T>(canon));
+  }
+  return canon;
+}
+
+/// Scatter a canonical array back into `d`'s owned interior and refresh
+/// the ghost layers. Collective.
+template <typename T>
+void scatter_canonical(DistDat<T>& d, const std::vector<T>& canon) {
+  const auto ext = detail::canonical_extents(d);
+  if (canon.size() != ext[0] * ext[1] * ext[2])
+    throw std::invalid_argument(
+        "scatter_canonical: array does not match the field's extents");
+  d.for_owned([&](std::size_t gi, std::size_t gj, std::size_t gk,
+                  std::ptrdiff_t li, std::ptrdiff_t lj, std::ptrdiff_t lk) {
+    d.field().at(li, lj, lk) = canon[(gi * ext[1] + gj) * ext[2] + gk];
+  });
+  d.exchange_halos();
+}
+
+/// One named field of a canonical checkpoint.
+template <typename T>
+struct CkptField {
+  std::string name;
+  DistDat<T>* dat;
+};
+
+/// Write a canonical checkpoint of `fields` to `path`: gather each to
+/// global order, Snapshot-save on rank 0 (atomic temp + rename), then
+/// barrier so no rank proceeds before the checkpoint is durable.
+template <typename T>
+void checkpoint_canonical(const std::string& path,
+                          const std::vector<CkptField<T>>& fields) {
+  if (fields.empty())
+    throw std::invalid_argument("checkpoint_canonical: no fields");
+  mpi::Comm& comm = fields.front().dat->ctx().comm();
+  std::vector<std::vector<T>> canon;
+  canon.reserve(fields.size());
+  for (const auto& f : fields) canon.push_back(gather_canonical(*f.dat));
+  if (comm.rank() == 0) {
+    rt::fault::Snapshot snap;
+    for (std::size_t i = 0; i < fields.size(); ++i)
+      snap.add(fields[i].name, canon[i].data(), canon[i].size() * sizeof(T));
+    snap.save(path);
+  }
+  comm.barrier();
+}
+
+/// Restore `fields` from a canonical checkpoint: every rank validates
+/// and reads the file independently (it is read-only here), then
+/// scatters its own box - which is exactly why a world of any size can
+/// restore a checkpoint written by a world of any other size.
+template <typename T>
+void restore_canonical(const std::string& path,
+                       const std::vector<CkptField<T>>& fields) {
+  if (fields.empty())
+    throw std::invalid_argument("restore_canonical: no fields");
+  std::vector<std::vector<T>> canon;
+  canon.reserve(fields.size());
+  rt::fault::Snapshot snap;
+  for (const auto& f : fields) {
+    const auto ext = detail::canonical_extents(*f.dat);
+    canon.emplace_back(ext[0] * ext[1] * ext[2]);
+    snap.add(f.name, canon.back().data(), canon.back().size() * sizeof(T));
+  }
+  snap.restore(path);  // all-or-nothing: throws before touching `canon`
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    scatter_canonical(*fields[i].dat, canon[i]);
+}
+
+}  // namespace syclport::ops::dist

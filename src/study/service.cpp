@@ -260,6 +260,11 @@ ServiceConfig ServiceConfig::from_env() {
     cfg.max_batch = static_cast<std::size_t>(*n);
   if (const auto n = rt::env::get_long("SYCLPORT_SERVICE_SPIN_US", 0, 1000000))
     cfg.spin_us = static_cast<std::size_t>(*n);
+  if (const auto n = rt::env::get_long("SYCLPORT_SERVICE_RETRIES", 0, 8))
+    cfg.compute_retries = static_cast<std::size_t>(*n);
+  if (const auto n =
+          rt::env::get_long("SYCLPORT_SERVICE_RETRY_US", 0, 1000000))
+    cfg.retry_backoff_us = static_cast<std::size_t>(*n);
   return cfg;
 }
 
@@ -323,8 +328,8 @@ std::shared_ptr<Ticket> Service::submit(const StudyRequest& q) {
     return t;
   }
   // Warm-cache fast path: a submit-time hash lookup, no queue round
-  // trip, no admission latency.
-  {
+  // trip, no admission latency. A refresh request skips it by design.
+  if (!q.refresh) {
     const std::string key = request_key(q);
     std::lock_guard lock(cache_mu_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
@@ -350,7 +355,8 @@ std::shared_ptr<Ticket> Service::submit(const StudyRequest& q) {
 void Service::complete(const std::shared_ptr<Ticket>& t,
                        std::shared_ptr<const ResultBlob> blob,
                        RequestError err, const std::string& err_what,
-                       bool cache_hit, bool coalesced, bool computed) {
+                       bool cache_hit, bool coalesced, bool computed,
+                       bool stale) {
   const auto now = std::chrono::steady_clock::now();
   const double latency_ms =
       std::chrono::duration<double, std::milli>(now - t->t_submit_).count();
@@ -368,7 +374,7 @@ void Service::complete(const std::shared_ptr<Ticket>& t,
   }
   sycl::launch_log::instance().append_service(
       {latency_ms / 1e3, computed, coalesced, cache_hit,
-       err != RequestError::None});
+       err != RequestError::None, stale});
   {
     std::lock_guard lock(t->mu_);
     t->blob_ = std::move(blob);
@@ -376,6 +382,7 @@ void Service::complete(const std::shared_ptr<Ticket>& t,
     t->error_what_ = err_what;
     t->cache_hit_ = cache_hit;
     t->coalesced_ = coalesced;
+    t->stale_ = stale;
     t->latency_ms_ = latency_ms;
     t->done_.store(true, std::memory_order_release);
   }
@@ -433,7 +440,7 @@ void Service::execute_round(std::vector<Node*>& nodes) {
   std::unordered_map<std::string, Group*> by_key;
   for (Node* n : nodes) {
     const std::string key = request_key(n->req);
-    {
+    if (!n->req.refresh) {
       std::lock_guard lock(cache_mu_);
       if (const auto it = cache_.find(key); it != cache_.end()) {
         auto blob = it->second.blob;
@@ -445,10 +452,12 @@ void Service::execute_round(std::vector<Node*>& nodes) {
     }
     if (const auto it = by_key.find(key); it != by_key.end()) {
       it->second->waiters.push_back(std::move(n->ticket));
+      it->second->refresh |= n->req.refresh;
     } else {
       auto g = std::make_unique<Group>();
       g->req = n->req;
       g->key = key;
+      g->refresh = n->req.refresh;
       g->waiters.push_back(std::move(n->ticket));
       by_key.emplace(key, g.get());
       groups.push_back(std::move(g));
@@ -494,33 +503,6 @@ void Service::execute_round(std::vector<Node*>& nodes) {
 
   // Parallel phase: shard the pure per-cell aggregation across the
   // work-stealing executor (inline for a single group).
-  auto compute_group = [](Group& g) {
-    if (g.inject_fault) {
-      g.err = RequestError::Faulted;
-      g.err_what = "svc.fail injected failure for key " + g.key;
-      fault::note_recovered(fault::Site::ServiceFail);
-      return;
-    }
-    if (g.err != RequestError::None) return;
-    try {
-      ExperimentResult r;
-      if (g.support != Status::Ok)
-        r.status = g.support;
-      else
-        r = aggregate_cell(g.profiles, g.req.app, g.req.platform,
-                           g.req.variant);
-      auto blob = std::make_shared<ResultBlob>();
-      blob->result = r;
-      blob->bytes = encode_result(r);
-      g.blob = std::move(blob);
-    } catch (const fault::fault_injected_error& e) {
-      g.err = RequestError::Faulted;
-      g.err_what = e.what();
-    } catch (const std::exception& e) {
-      g.err = RequestError::Internal;
-      g.err_what = e.what();
-    }
-  };
   if (groups.size() == 1) {
     compute_group(*groups.front());
   } else {
@@ -528,13 +510,43 @@ void Service::execute_round(std::vector<Node*>& nodes) {
         groups.size(), [&](std::size_t i) { compute_group(*groups[i]); });
   }
 
+  // Degraded mode, stage 1: retry faulted groups with bounded backoff
+  // (serial: retries are the rare path, and the fault roll order stays
+  // deterministic in admission order).
+  for (auto& g : groups)
+    if (g->err == RequestError::Faulted) retry_faulted(*g);
+
   // Completion: publish blobs to the content-addressed cache (errors
   // are never cached) and release every waiter - the first waiter of a
   // group is the compute it rode, the rest are coalesced.
   for (auto& g : groups) {
     if (g->err == RequestError::None) {
       std::lock_guard lock(cache_mu_);
-      cache_.emplace(g->key, CachedResult{g->blob, false});
+      if (g->refresh)
+        cache_[g->key] = CachedResult{g->blob, false};  // refresh overwrites
+      else
+        cache_.emplace(g->key, CachedResult{g->blob, false});
+    } else if (g->err == RequestError::Faulted) {
+      // Degraded mode, stage 2: the retries were lost too. If the cache
+      // holds a previous good result for this key, serve it flagged
+      // stale instead of a hard error - the session keeps a usable
+      // answer while the fault clears (docs/service.md).
+      std::shared_ptr<const ResultBlob> last;
+      {
+        std::lock_guard lock(cache_mu_);
+        if (const auto it = cache_.find(g->key); it != cache_.end())
+          last = it->second.blob;
+      }
+      if (last) {
+        {
+          std::lock_guard lock(stats_mu_);
+          stats_.stale_served += g->waiters.size();
+        }
+        for (std::size_t i = 0; i < g->waiters.size(); ++i)
+          complete(g->waiters[i], last, RequestError::None, "", true, i > 0,
+                   false, /*stale=*/true);
+        continue;
+      }
     }
     for (std::size_t i = 0; i < g->waiters.size(); ++i) {
       if (g->err != RequestError::None)
@@ -544,6 +556,71 @@ void Service::execute_round(std::vector<Node*>& nodes) {
         complete(g->waiters[i], g->blob, RequestError::None, "", false, i > 0,
                  i == 0);
     }
+  }
+}
+
+void Service::compute_group(Group& g) {
+  if (g.inject_fault) {
+    g.err = RequestError::Faulted;
+    g.err_what = "svc.fail injected failure for key " + g.key;
+    fault::note_recovered(fault::Site::ServiceFail);
+    return;
+  }
+  if (g.err != RequestError::None) return;
+  try {
+    ExperimentResult r;
+    if (g.support != Status::Ok)
+      r.status = g.support;
+    else
+      r = aggregate_cell(g.profiles, g.req.app, g.req.platform, g.req.variant);
+    auto blob = std::make_shared<ResultBlob>();
+    blob->result = r;
+    blob->bytes = encode_result(r);
+    g.blob = std::move(blob);
+  } catch (const fault::fault_injected_error& e) {
+    g.err = RequestError::Faulted;
+    g.err_what = e.what();
+  } catch (const std::exception& e) {
+    g.err = RequestError::Internal;
+    g.err_what = e.what();
+  }
+}
+
+void Service::retry_faulted(Group& g) {
+  for (std::size_t attempt = 1;
+       g.err == RequestError::Faulted && attempt <= cfg_.compute_retries;
+       ++attempt) {
+    {
+      std::lock_guard lock(stats_mu_);
+      stats_.retries += 1;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(cfg_.retry_backoff_us * attempt));
+    g.err = RequestError::None;
+    g.err_what.clear();
+    g.inject_fault = false;
+    // Re-roll the fault site: the occurrence advances, so a capped or
+    // probabilistic plan can clear and the retry genuinely succeed.
+    if (fault::armed())
+      if (const auto r = fault::roll(fault::Site::ServiceFail); r.fire)
+        g.inject_fault = true;
+    if (!g.inject_fault && g.support == Status::Ok && g.profiles.empty()) {
+      // The original fault may have preempted the schedule build.
+      try {
+        StudyRunner& runner = runner_for(g.req.scale);
+        std::lock_guard lock(runner_mu_);
+        g.profiles = runner.schedule_for(g.req.app, g.req.variant);
+      } catch (const fault::fault_injected_error& e) {
+        g.err = RequestError::Faulted;
+        g.err_what = e.what();
+        continue;
+      } catch (const std::exception& e) {
+        g.err = RequestError::Internal;
+        g.err_what = e.what();
+        continue;
+      }
+    }
+    compute_group(g);
   }
 }
 

@@ -23,6 +23,13 @@
 /// admission loop itself never dies, so the queue cannot wedge and the
 /// service keeps accepting requests. Errors are never cached.
 ///
+/// Degraded mode (docs/service.md): a group whose compute faulted is
+/// retried with bounded backoff (SYCLPORT_SERVICE_RETRIES); when the
+/// retries are also lost and the cache holds a previous good result for
+/// the key, that result is served flagged stale=true instead of a hard
+/// service_error - the session keeps a usable answer while the fault
+/// clears.
+///
 /// Telemetry: per-request outcomes flow into sycl::launch_log
 /// (service_telemetry: throughput, dedup, cache hits, p50/p95/p99
 /// latency) and into ServiceStats for the owning process.
@@ -55,6 +62,13 @@ struct StudyRequest {
   /// test/bench sizes (milliseconds).
   enum class Scale : std::uint8_t { Paper, Bench };
   Scale scale = Scale::Bench;
+
+  /// Bypass the caches and force a fresh compute for this key. Not part
+  /// of the request identity (request_text/request_key ignore it): a
+  /// refresh produces the same logical result, just recomputed - which
+  /// also makes it the path that can observe a compute-group fault on a
+  /// warm key and exercise degraded mode.
+  bool refresh = false;
 
   friend bool operator==(const StudyRequest&, const StudyRequest&) = default;
 };
@@ -115,6 +129,9 @@ class Ticket {
   /// Served-by flags and latency; valid once ready().
   [[nodiscard]] bool cache_hit() const noexcept { return cache_hit_; }
   [[nodiscard]] bool coalesced() const noexcept { return coalesced_; }
+  /// Degraded mode: the blob is the last good cached result, served
+  /// because the fresh compute kept faulting (docs/service.md).
+  [[nodiscard]] bool stale() const noexcept { return stale_; }
   [[nodiscard]] double latency_ms() const noexcept { return latency_ms_; }
 
  private:
@@ -127,6 +144,7 @@ class Ticket {
   std::string error_what_;
   bool cache_hit_ = false;
   bool coalesced_ = false;
+  bool stale_ = false;
   double latency_ms_ = 0.0;
   std::chrono::steady_clock::time_point t_submit_;
 };
@@ -140,6 +158,8 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;  ///< served by the content-addressed cache
   std::uint64_t persistent_hits = 0;  ///< ...from the on-disk cache image
   std::uint64_t errors = 0;           ///< typed-error completions
+  std::uint64_t retries = 0;          ///< faulted-compute retry attempts
+  std::uint64_t stale_served = 0;     ///< degraded-mode stale completions
   std::uint64_t batches = 0;          ///< admission rounds executed
   std::uint64_t max_batch = 0;        ///< largest round drained
   std::uint64_t schedule_builds = 0;  ///< cold loop-schedule constructions
@@ -170,6 +190,12 @@ struct ServiceConfig {
   /// Microseconds the admission loop spins on an empty queue before
   /// parking on the wake condvar.
   std::size_t spin_us = 50;
+  /// Degraded mode: how many times a Faulted compute is retried before
+  /// falling back to the stale cache / typed error. 0 (the default)
+  /// keeps the original fail-fast semantics.
+  std::size_t compute_retries = 0;
+  /// Base backoff between retry attempts (grows linearly per attempt).
+  std::size_t retry_backoff_us = 200;
 
   [[nodiscard]] static ServiceConfig from_env();
 };
@@ -221,6 +247,7 @@ class Service {
     std::span<const hw::LoopProfile> profiles;  ///< filled serially
     Status support = Status::Ok;
     bool inject_fault = false;  ///< svc.fail rolled for this group
+    bool refresh = false;       ///< some waiter asked for a fresh compute
     std::shared_ptr<const ResultBlob> blob;
     RequestError err = RequestError::None;
     std::string err_what;
@@ -239,7 +266,9 @@ class Service {
   void complete(const std::shared_ptr<Ticket>& t,
                 std::shared_ptr<const ResultBlob> blob, RequestError err,
                 const std::string& err_what, bool cache_hit, bool coalesced,
-                bool computed);
+                bool computed, bool stale = false);
+  static void compute_group(Group& g);
+  void retry_faulted(Group& g);
   StudyRunner& runner_for(StudyRequest::Scale scale);
   void load_cache();
 

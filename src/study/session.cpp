@@ -43,9 +43,11 @@ Session::Reply Session::finish(std::size_t handle) {
     r.bytes = arena_copy({blob.bytes.data(), blob.bytes.size()});
     r.cache_hit = t->cache_hit();
     r.coalesced = t->coalesced();
+    r.stale = t->stale();
     r.latency_ms = t->latency_ms();
     stats_.cache_hits += r.cache_hit ? 1 : 0;
     stats_.coalesced += r.coalesced ? 1 : 0;
+    stats_.stale += r.stale ? 1 : 0;
     return r;
   } catch (const service_error&) {
     stats_.errors += 1;

@@ -34,6 +34,9 @@ class Session {
     std::span<const unsigned char> bytes;
     bool cache_hit = false;
     bool coalesced = false;
+    /// Degraded mode: the service's fresh compute kept faulting and
+    /// this is the last good cached result (docs/service.md).
+    bool stale = false;
     double latency_ms = 0.0;
   };
 
@@ -54,6 +57,7 @@ class Session {
     std::uint64_t errors = 0;      ///< typed-error completions observed
     std::uint64_t cache_hits = 0;
     std::uint64_t coalesced = 0;
+    std::uint64_t stale = 0;       ///< degraded-mode stale replies
     std::size_t arena_bytes = 0;   ///< live bytes held by reply copies
     std::size_t arena_blocks = 0;
   };

@@ -64,8 +64,17 @@ void launch_log::append_service(const service_event& e) {
   service_.coalesced += e.coalesced ? 1 : 0;
   service_.cache_hits += e.cache_hit ? 1 : 0;
   service_.errors += e.error ? 1 : 0;
+  service_.stale += e.stale ? 1 : 0;
   if (service_latencies_.size() < kServiceLatencyCap)
     service_latencies_.push_back(e.latency_s);
+}
+
+void launch_log::append_recovery(recovery_record rec) {
+  // Same always-on contract as service events; a run recovering more
+  // than this many times is stuck, not elastic.
+  constexpr std::size_t kRecoveryCap = 4096;
+  std::lock_guard lock(mu_);
+  if (recoveries_.size() < kRecoveryCap) recoveries_.push_back(std::move(rec));
 }
 
 ServiceTelemetry launch_log::service_telemetry() const {

@@ -144,6 +144,23 @@ struct service_event {
   bool coalesced = false;  ///< rode an identical in-flight request
   bool cache_hit = false;  ///< served by the content-addressed cache
   bool error = false;      ///< completed with a typed error
+  bool stale = false;      ///< degraded mode: last good result, flagged
+};
+
+/// One elastic-recovery event, reported by mpi::run_elastic when a
+/// failed epoch is rolled back to its last auto-checkpoint and resumed
+/// (docs/resilience.md "Elastic recovery"). Recorded unconditionally,
+/// like service events: recovery is process telemetry, not part of the
+/// per-launch trace.
+struct recovery_record {
+  std::uint64_t epoch = 0;      ///< index of the epoch that failed
+  std::string policy;           ///< "shrink" / "respawn"
+  int ranks_before = 0;         ///< world size of the failed epoch
+  int ranks_after = 0;          ///< world size resuming the next epoch
+  int failed_rank = -1;         ///< victim rank id in the failed epoch
+  double detect_ms = 0.0;       ///< rank death -> driver classification
+  int rollback_steps = 0;       ///< completed steps discarded by rollback
+  std::uint64_t agreement = 0;  ///< deterministic epoch-agreement token
 };
 
 /// Cumulative study-service telemetry for this process.
@@ -153,6 +170,7 @@ struct ServiceTelemetry {
   std::uint64_t coalesced = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t errors = 0;
+  std::uint64_t stale = 0;  ///< degraded-mode stale-cache completions
   TimingSummary latency;  ///< over the retained latency samples
 
   [[nodiscard]] double cache_hit_rate() const {
@@ -248,6 +266,14 @@ class launch_log {
 
   [[nodiscard]] ServiceTelemetry service_telemetry() const;
 
+  /// Record one elastic-recovery event (always on; bounded).
+  void append_recovery(recovery_record rec);
+
+  [[nodiscard]] std::vector<recovery_record> recovery_snapshot() const {
+    std::lock_guard lock(mu_);
+    return recoveries_;
+  }
+
   void clear() {
     std::lock_guard lock(mu_);
     records_.clear();
@@ -256,6 +282,7 @@ class launch_log {
     localities_.clear();
     service_ = ServiceTelemetry{};
     service_latencies_.clear();
+    recoveries_.clear();
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -295,6 +322,7 @@ class launch_log {
   std::vector<locality_record> localities_;
   ServiceTelemetry service_;  ///< latency field filled on snapshot
   std::vector<double> service_latencies_;
+  std::vector<recovery_record> recoveries_;
 };
 
 }  // namespace sycl

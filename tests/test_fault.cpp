@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -17,13 +19,18 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "apps/apps.hpp"
 #include "minimpi/comm.hpp"
+#include "minimpi/elastic.hpp"
+#include "ops/dist.hpp"
+#include "ops/dist_checkpoint.hpp"
 #include "ops/ops.hpp"
 #include "runtime/autotune/cache.hpp"
+#include "runtime/env.hpp"
 #include "runtime/fault/checkpoint.hpp"
 #include "runtime/fault/fault.hpp"
 #include "runtime/mem/mem.hpp"
@@ -718,4 +725,358 @@ TEST(AppChaos, RandomizedSeedScheduleFromEnvironment) {
                   ":mem.*=0.1x8,pool.stall=0.1x4");
   EXPECT_EQ(run_app_checksum("cloverleaf2d"), reference)
       << "reproduce with SYCLPORT_CHAOS_SEED=" << seed;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic recovery: seeded rank kills, policies, bit-exact resume
+// (docs/resilience.md "Elastic recovery")
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Three Jacobi-style distributed mini-apps for the elastic chaos
+/// matrix. All use an explicit double buffer with an elementwise copy
+/// back (never a pointer swap, never in-place updates), so the result
+/// is bit-exact for *any* decomposition - which is exactly what a
+/// shrink recovery changes mid-run.
+enum class Mini { Diffusion2D, Acoustic3D, Rtm3D };
+
+[[nodiscard]] const char* mini_name(Mini m) {
+  switch (m) {
+    case Mini::Diffusion2D: return "diffusion2d";
+    case Mini::Acoustic3D: return "acoustic3d";
+    default: return "rtm3d";
+  }
+}
+
+/// Run one mini-app under run_elastic and return the canonical
+/// (global-order) field after the final step. Empty only if no epoch
+/// ever completed, which the callers treat as failure.
+[[nodiscard]] std::vector<double> run_elastic_mini(
+    Mini kind, int nranks, int steps, const mpi::ElasticOptions& opts) {
+  namespace dist = ops::dist;
+  std::vector<double> out;
+  mpi::run_elastic(nranks, steps, opts, [&](mpi::Comm& comm, mpi::Epoch& ep) {
+    const int dims = kind == Mini::Diffusion2D ? 2 : 3;
+    const std::size_t n = kind == Mini::Diffusion2D ? 24 : 12;
+    const std::array<std::size_t, 3> g =
+        dims == 2 ? std::array<std::size_t, 3>{n, n, 1}
+                  : std::array<std::size_t, 3>{n, n, n};
+    dist::DistContext ctx(comm, dims);
+    dist::DistDat<double> u(ctx, g, 1), v(ctx, g, 1);
+    u.init([](std::size_t i, std::size_t j, std::size_t k) {
+      return 1.0 + 0.01 * static_cast<double>(i) +
+             0.02 * static_cast<double>(j) + 0.03 * static_cast<double>(k);
+    });
+    std::vector<dist::CkptField<double>> fields{{"u", &u}};
+    if (ep.resuming()) dist::restore_canonical(ep.checkpoint_path(), fields);
+    for (int s = ep.start_step(); s < steps; ++s) {
+      u.exchange_halos();
+      u.for_owned([&](std::size_t gi, std::size_t gj, std::size_t gk,
+                      std::ptrdiff_t li, std::ptrdiff_t lj,
+                      std::ptrdiff_t lk) {
+        const bool interior =
+            gi > 0 && gi < g[0] - 1 && gj > 0 && gj < g[1] - 1 &&
+            (dims == 2 || (gk > 0 && gk < g[2] - 1));
+        double x = u.field().at(li, lj, lk);
+        if (interior) {
+          double acc = x + u.field().at(li - 1, lj, lk) +
+                       u.field().at(li + 1, lj, lk) +
+                       u.field().at(li, lj - 1, lk) +
+                       u.field().at(li, lj + 1, lk);
+          if (dims == 3)
+            acc += u.field().at(li, lj, lk - 1) + u.field().at(li, lj, lk + 1);
+          x = acc / (dims == 2 ? 5.0 : 7.0);
+        }
+        if (kind == Mini::Rtm3D && gi == g[0] / 2 && gj == g[1] / 2 &&
+            gk == g[2] / 2)
+          x += 0.125 * static_cast<double>(s + 1);  // injected source term
+        v.field().at(li, lj, lk) = x;
+      });
+      u.for_owned([&](std::size_t, std::size_t, std::size_t, std::ptrdiff_t li,
+                      std::ptrdiff_t lj, std::ptrdiff_t lk) {
+        u.field().at(li, lj, lk) = v.field().at(li, lj, lk);
+      });
+      ep.step_done(s, [&] {
+        dist::checkpoint_canonical(ep.checkpoint_path(), fields);
+      });
+    }
+    auto canon = dist::gather_canonical(u);
+    if (comm.rank() == 0) out = std::move(canon);
+  });
+  return out;
+}
+
+/// Unfailed reference runs, cached per mini-app (they are independent
+/// of policy and fault spec). Computed disarmed, before any ScopedPlan.
+[[nodiscard]] std::vector<double> elastic_reference(Mini app, int nranks,
+                                                    int steps) {
+  static std::vector<std::pair<std::string, std::vector<double>>> cache;
+  const std::string key = std::string(mini_name(app)) + "/" +
+                          std::to_string(nranks) + "/" + std::to_string(steps);
+  for (const auto& [k, v] : cache)
+    if (k == key) return v;
+  fault::clear();
+  mpi::ElasticOptions ref;
+  ref.policy = mpi::Recovery::Abort;
+  ref.ckpt_every = 2;
+  ref.ckpt_path = "elastic_ref_" + std::string(mini_name(app)) + ".bin";
+  std::vector<double> want = run_elastic_mini(app, nranks, steps, ref);
+  std::remove(ref.ckpt_path.c_str());
+  EXPECT_FALSE(want.empty());
+  cache.emplace_back(key, std::move(want));
+  return cache.back().second;
+}
+
+struct ElasticCase {
+  Mini app;
+  mpi::Recovery policy;
+  const char* spec;
+  std::uint64_t seed;
+  std::uint64_t kills;
+};
+
+}  // namespace
+
+TEST(FaultElastic, SharedRollGivesEveryRankTheSameDecision) {
+  ScopedPlan plan("11:rank.kill=@2x1");
+  EXPECT_FALSE(fault::roll_shared(fault::Site::RankKill, 0, 1).fire);
+  const auto b = fault::roll_shared(fault::Site::RankKill, 0, 2);
+  EXPECT_TRUE(b.fire);
+  // Every rank re-rolling the same (stream, occurrence) sees the same
+  // decision and the same value, and the cap is charged exactly once.
+  for (int r = 0; r < 4; ++r) {
+    const auto c = fault::roll_shared(fault::Site::RankKill, 0, 2);
+    EXPECT_TRUE(c.fire);
+    EXPECT_EQ(c.value, b.value);
+  }
+  EXPECT_EQ(fault::stats().injected_at(fault::Site::RankKill), 1u);
+  // The x1 cap is exhausted: later occurrences never fire.
+  EXPECT_FALSE(fault::roll_shared(fault::Site::RankKill, 1, 2).fire);
+}
+
+TEST(FaultElastic, AbortPolicyRethrowsTheSinglePrimaryKill) {
+  ScopedPlan plan("21:rank.kill=@2x1");
+  mpi::ElasticOptions opts;  // policy defaults to Abort
+  opts.ckpt_every = 2;
+  opts.ckpt_path = "elastic_abort_ckpt.bin";
+  try {
+    (void)run_elastic_mini(Mini::Diffusion2D, 4, 6, opts);
+    FAIL() << "expected the seeded kill to abort the run";
+  } catch (const mpi::rank_killed_error& e) {
+    // The victim's error is the one primary; the survivors' PeerFailed
+    // cascades were filtered by mpi::run (no rank_errors aggregate).
+    EXPECT_EQ(e.step, 1);  // @2 fires the second step roll (0-based step 1)
+    EXPECT_GE(e.rank, 0);
+    EXPECT_LT(e.rank, 4);
+  }
+  std::remove("elastic_abort_ckpt.bin");
+  EXPECT_EQ(fault::stats().injected_at(fault::Site::RankKill), 1u);
+}
+
+class ElasticChaos : public ::testing::TestWithParam<ElasticCase> {};
+
+TEST_P(ElasticChaos, RecoversBitExactAfterSeededKills) {
+  const ElasticCase& c = GetParam();
+  const std::vector<double> want = elastic_reference(c.app, 4, 8);
+
+  mpi::ElasticOptions opts;
+  opts.policy = c.policy;
+  opts.ckpt_every = 2;
+  opts.ckpt_path = "elastic_" + std::string(mini_name(c.app)) + "_" +
+                   mpi::to_string(c.policy) + "_" + std::to_string(c.seed) +
+                   ".bin";
+  const std::size_t recs_before =
+      sycl::launch_log::instance().recovery_snapshot().size();
+  ScopedPlan plan(std::to_string(c.seed) + ":" + c.spec);
+  const std::vector<double> got = run_elastic_mini(c.app, 4, 8, opts);
+  const auto kills = fault::stats().injected_at(fault::Site::RankKill);
+  fault::clear();
+  std::remove(opts.ckpt_path.c_str());
+
+  EXPECT_EQ(kills, c.kills) << c.spec << " seed " << c.seed;
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        want.size() * sizeof(double)),
+            0)
+      << mini_name(c.app) << " under " << c.spec << " (" 
+      << mpi::to_string(c.policy) << ") is not bit-exact";
+
+  // One recovery record per kill: right policy, rollback bounded by the
+  // checkpoint cadence.
+  const auto recs = sycl::launch_log::instance().recovery_snapshot();
+  ASSERT_EQ(recs.size(), recs_before + kills);
+  for (std::size_t i = recs_before; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].policy, mpi::to_string(c.policy));
+    EXPECT_GE(recs[i].rollback_steps, 0);
+    EXPECT_LE(recs[i].rollback_steps, opts.ckpt_every);
+    EXPECT_GE(recs[i].failed_rank, 0);
+    EXPECT_GE(recs[i].detect_ms, 0.0);
+  }
+}
+
+namespace {
+
+[[nodiscard]] std::vector<ElasticCase> elastic_cases() {
+  // @3x1: one kill; @5x2: the same step kills twice across two epochs;
+  // %3x3: periodic kills until the cap - under shrink that takes a
+  // 4-rank world all the way down to one survivor.
+  struct Spec {
+    const char* spec;
+    std::uint64_t kills;
+  };
+  const Spec specs[] = {
+      {"rank.kill=@3x1", 1}, {"rank.kill=@5x2", 2}, {"rank.kill=%3x3", 3}};
+  std::vector<ElasticCase> cases;
+  for (const Mini app : {Mini::Diffusion2D, Mini::Acoustic3D, Mini::Rtm3D})
+    for (const mpi::Recovery policy :
+         {mpi::Recovery::Shrink, mpi::Recovery::Respawn})
+      for (const Spec& s : specs)
+        cases.push_back({app, policy, s.spec,
+                         1000u + cases.size() * 17u, s.kills});
+  return cases;  // 3 apps x 2 policies x 3 kill schedules = 18
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ElasticChaos,
+                         ::testing::ValuesIn(elastic_cases()),
+                         [](const auto& ti) {
+                           return std::string(mini_name(ti.param.app)) + "_" +
+                                  mpi::to_string(ti.param.policy) + "_" +
+                                  std::to_string(ti.index);
+                         });
+
+TEST(FaultElastic, AgreementTokensAreSeedDeterministic) {
+  const auto tokens_of = [] {
+    mpi::ElasticOptions opts;
+    opts.policy = mpi::Recovery::Shrink;
+    opts.ckpt_every = 2;
+    opts.ckpt_path = "elastic_agree_ckpt.bin";
+    const std::size_t before =
+        sycl::launch_log::instance().recovery_snapshot().size();
+    ScopedPlan plan("33:rank.kill=@4x2");
+    (void)run_elastic_mini(Mini::Diffusion2D, 4, 8, opts);
+    std::remove(opts.ckpt_path.c_str());
+    const auto recs = sycl::launch_log::instance().recovery_snapshot();
+    std::vector<std::uint64_t> tokens;
+    for (std::size_t i = before; i < recs.size(); ++i)
+      tokens.push_back(recs[i].agreement);
+    return tokens;
+  };
+  const auto a = tokens_of();
+  const auto b = tokens_of();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultElastic, HeartbeatMonitorEvictsSilentRank) {
+  ScopedEnv hb("SYCLPORT_HEARTBEAT_MS", "25");
+  bool evicted_seen = false;
+  const auto scan = [&](const std::exception& e) {
+    if (std::string(e.what()).find("evicted") != std::string::npos)
+      evicted_seen = true;
+  };
+  try {
+    mpi::run(2, [](mpi::Comm& comm) {
+      if (comm.rank() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      comm.barrier();
+    });
+    FAIL() << "expected the monitor to evict the sleeping rank";
+  } catch (const mpi::rank_errors& e) {
+    // Both ranks surface PeerFailed (the sleeper discovers its own
+    // eviction; the waiter is woken out of the barrier).
+    scan(e);
+    for (const auto& entry : e.entries()) {
+      try {
+        std::rethrow_exception(entry.error);
+      } catch (const std::exception& inner) {
+        scan(inner);
+      }
+    }
+  } catch (const mpi::comm_error& e) {
+    scan(e);
+  }
+  EXPECT_TRUE(evicted_seen);
+}
+
+TEST(FaultElastic, RecvFailsFastAfterPeerDeath) {
+  // Armed-but-inert plan: the transport runs its full seq/CRC path with
+  // the long per-attempt timeout below. The failed-peer check must win
+  // before the backoff machinery, or this test takes minutes.
+  ScopedPlan plan("5:mem.alloc=@1000000");
+  ScopedEnv t("SYCLPORT_COMM_TIMEOUT_MS", "60000");
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    mpi::run(2, [](mpi::Comm& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("boom");
+      double x = 0.0;
+      comm.recv(1, 0, std::span<double>(&x, 1));
+    });
+    FAIL() << "expected the peer death to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");  // the one primary, original type
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+}
+
+TEST(FaultElastic, EnvKnobsRejectInvalidValuesWarnOnce) {
+  rt::env::reset_warnings_for_testing();
+  {
+    ScopedEnv r("SYCLPORT_RECOVERY", "sideways");
+    ScopedEnv c("SYCLPORT_CKPT_EVERY", "0");
+    const auto o = mpi::ElasticOptions::from_env();
+    EXPECT_EQ(o.policy, mpi::Recovery::Abort);  // default wins
+    EXPECT_EQ(o.ckpt_every, 0);                 // zero rejected -> off
+  }
+  {
+    ScopedEnv r("SYCLPORT_RECOVERY", "shrink");
+    ScopedEnv c("SYCLPORT_CKPT_EVERY", "3");
+    const auto o = mpi::ElasticOptions::from_env();
+    EXPECT_EQ(o.policy, mpi::Recovery::Shrink);
+    EXPECT_EQ(o.ckpt_every, 3);
+  }
+  {
+    ScopedEnv r("SYCLPORT_RECOVERY", "respawn");
+    const auto o = mpi::ElasticOptions::from_env();
+    EXPECT_EQ(o.policy, mpi::Recovery::Respawn);
+  }
+  {
+    ScopedEnv h("SYCLPORT_HEARTBEAT_MS", "-5");
+    EXPECT_FALSE(
+        rt::env::get_long("SYCLPORT_HEARTBEAT_MS", 1, 60'000).has_value());
+  }
+}
+
+// Randomized-seed kill schedule: the CI chaos-elastic job exports
+// SYCLPORT_CHAOS_SEED so one fresh kill matrix runs per pipeline; the
+// seed is printed, making a red run reproducible locally.
+TEST(FaultElastic, RandomizedSeedKillScheduleFromEnvironment) {
+  std::uint64_t seed = 616161;
+  if (const char* s = std::getenv("SYCLPORT_CHAOS_SEED"))
+    seed = static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  std::printf("[chaos] SYCLPORT_CHAOS_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  const std::vector<double> want = elastic_reference(Mini::Acoustic3D, 4, 8);
+  for (const mpi::Recovery policy :
+       {mpi::Recovery::Shrink, mpi::Recovery::Respawn}) {
+    mpi::ElasticOptions opts;
+    opts.policy = policy;
+    opts.ckpt_every = 2;
+    opts.ckpt_path = "elastic_rand_ckpt.bin";
+    ScopedPlan plan(std::to_string(seed) + ":rank.kill=0.3x3");
+    const std::vector<double> got =
+        run_elastic_mini(Mini::Acoustic3D, 4, 8, opts);
+    fault::clear();
+    std::remove(opts.ckpt_path.c_str());
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                          want.size() * sizeof(double)),
+              0)
+        << "reproduce with SYCLPORT_CHAOS_SEED=" << seed << " ("
+        << mpi::to_string(policy) << ")";
+  }
 }

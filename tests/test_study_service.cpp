@@ -329,3 +329,50 @@ TEST(StudyService, SessionArenaOwnsReplyBytes) {
   EXPECT_EQ(session.stats().arena_bytes, a.bytes.size() + b.bytes.size());
   EXPECT_TRUE(b.cache_hit);
 }
+
+TEST(StudyService, DegradedModeRetriesThenServesStaleFlaggedResult) {
+  // One retry, then the stale fallback (docs/service.md degraded mode).
+  Service svc({/*cache_path=*/"", /*max_batch=*/256, /*spin_us=*/10,
+               /*compute_retries=*/1, /*retry_backoff_us=*/1});
+  Session session(svc, "degraded");
+  const auto q = bench_request(AppId::CloverLeaf2D, PlatformId::A100, kCuda);
+
+  // Warm fill: a clean compute lands the key in the result cache.
+  const auto warm = session.query(q);
+  EXPECT_TRUE(warm.result.ok());
+  EXPECT_FALSE(warm.stale);
+
+  // Fault every compute (the cap outlasts the retry budget) and force a
+  // recompute of the warm key: the service must serve the last good
+  // result flagged stale, not a service_error.
+  ASSERT_TRUE(fault::configure("23:svc.fail=1.0x8"));
+  auto refresh = q;
+  refresh.refresh = true;
+  const auto reply = session.query(refresh);
+  fault::clear();
+  EXPECT_TRUE(reply.result.ok());
+  EXPECT_TRUE(reply.stale);
+  ASSERT_EQ(reply.bytes.size(), warm.bytes.size());
+  EXPECT_EQ(std::memcmp(reply.bytes.data(), warm.bytes.data(),
+                        warm.bytes.size()),
+            0);  // byte-identical to the pre-fault result
+  const auto s = svc.stats();
+  EXPECT_GE(s.retries, 1u);
+  EXPECT_EQ(s.stale_served, 1u);
+  EXPECT_EQ(session.stats().stale, 1u);
+
+  // The fault cleared: a refresh recomputes, the stale flag drops, and
+  // the cache entry is overwritten with the fresh bytes.
+  auto again = q;
+  again.refresh = true;
+  const auto fresh = session.query(again);
+  EXPECT_TRUE(fresh.result.ok());
+  EXPECT_FALSE(fresh.stale);
+
+  // A cold faulted key (nothing cached) still surfaces the typed error.
+  ASSERT_TRUE(fault::configure("23:svc.fail=1.0x8"));
+  const auto cold = bench_request(AppId::RTM, PlatformId::MI250X, kDpcppNd);
+  EXPECT_THROW((void)session.query(cold), service_error);
+  fault::clear();
+  svc.shutdown();
+}
